@@ -1,0 +1,226 @@
+//! Statistics and rendering for the execution graph `G(C)`
+//! (paper Section 3.3).
+//!
+//! [`census`] summarizes the valence landscape of a reachable space —
+//! how many states are 0-valent, 1-valent, bivalent or undecided — and
+//! [`to_dot`] renders a bounded neighbourhood of `G(C)` (typically the
+//! one around a hook) as Graphviz DOT, with nodes coloured by valence.
+//! Neither is needed by the proofs; both exist to make the proof
+//! objects inspectable.
+
+use crate::hook::Hook;
+use crate::valence::{Valence, ValenceMap};
+use std::collections::{HashSet, VecDeque};
+use std::fmt::Write as _;
+use system::build::SystemState;
+use system::process::ProcessAutomaton;
+
+/// Counts of states per valence class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Census {
+    /// 0-valent states.
+    pub zero: usize,
+    /// 1-valent states.
+    pub one: usize,
+    /// Bivalent states.
+    pub bivalent: usize,
+    /// States from which no decision is reachable.
+    pub undecided: usize,
+}
+
+impl Census {
+    /// Total states counted.
+    pub fn total(&self) -> usize {
+        self.zero + self.one + self.bivalent + self.undecided
+    }
+
+    /// Fraction of bivalent states (0 when empty).
+    pub fn bivalent_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.bivalent as f64 / self.total() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Census {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} states: {} bivalent, {} 0-valent, {} 1-valent, {} undecided",
+            self.total(),
+            self.bivalent,
+            self.zero,
+            self.one,
+            self.undecided
+        )
+    }
+}
+
+/// Classifies every state of the valence map.
+pub fn census<P: ProcessAutomaton>(map: &ValenceMap<P>) -> Census {
+    let mut c = Census::default();
+    // Walk the reachable space from the root.
+    let mut seen: HashSet<&SystemState<P::State>> = HashSet::new();
+    let mut stack = vec![map.root()];
+    seen.insert(map.root());
+    while let Some(s) = stack.pop() {
+        match map.valence(s) {
+            Valence::Zero => c.zero += 1,
+            Valence::One => c.one += 1,
+            Valence::Bivalent => c.bivalent += 1,
+            Valence::Undecided => c.undecided += 1,
+        }
+        for (_, s2) in map.successors(s) {
+            if seen.insert(s2) {
+                stack.push(s2);
+            }
+        }
+    }
+    c
+}
+
+fn color(v: Valence) -> &'static str {
+    match v {
+        Valence::Zero => "#7eb6ff",      // blue: committed to 0
+        Valence::One => "#ffb37e",       // orange: committed to 1
+        Valence::Bivalent => "#c7e9c0",  // green: still open
+        Valence::Undecided => "#d9d9d9", // grey
+    }
+}
+
+/// Renders the neighbourhood of `G(C)` within `radius` task-steps of
+/// `center` as Graphviz DOT, colouring nodes by valence and
+/// (optionally) highlighting a hook's states and edges.
+pub fn to_dot<P: ProcessAutomaton>(
+    map: &ValenceMap<P>,
+    center: &SystemState<P::State>,
+    radius: usize,
+    hook: Option<&Hook<P>>,
+) -> String {
+    let mut ids: Vec<&SystemState<P::State>> = Vec::new();
+    let mut index = std::collections::HashMap::new();
+    let mut frontier: VecDeque<(&SystemState<P::State>, usize)> = VecDeque::new();
+    if map.contains(center) {
+        index.insert(center, 0usize);
+        ids.push(center);
+        frontier.push_back((center, 0));
+    }
+    while let Some((s, d)) = frontier.pop_front() {
+        if d >= radius {
+            continue;
+        }
+        for (_, s2) in map.successors(s) {
+            if !index.contains_key(s2) {
+                index.insert(s2, ids.len());
+                ids.push(s2);
+                frontier.push_back((s2, d + 1));
+            }
+        }
+    }
+
+    let highlighted: Vec<&SystemState<P::State>> = hook
+        .map(|h| vec![&h.alpha, &h.s0, &h.s_prime, &h.s1])
+        .unwrap_or_default();
+
+    let mut out = String::new();
+    out.push_str("digraph GC {\n  rankdir=LR;\n  node [style=filled, shape=circle, label=\"\"];\n");
+    for (s, idx) in ids.iter().zip(0..) {
+        let v = map.valence(s);
+        let extra = if highlighted.iter().any(|h| h == s) {
+            ", penwidth=3, color=red"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{idx} [fillcolor=\"{}\", tooltip=\"{:?}\"{extra}];",
+            color(v),
+            v
+        );
+    }
+    for s in &ids {
+        let from = index[*s];
+        for (t, s2) in map.successors(s) {
+            if let Some(&to) = index.get(s2) {
+                let is_hook_edge = hook
+                    .map(|h| {
+                        (*s == &h.alpha && (t == &h.e || t == &h.e_prime))
+                            || (*s == &h.s_prime && t == &h.e)
+                    })
+                    .unwrap_or(false);
+                let style = if is_hook_edge {
+                    ", color=red, penwidth=2"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  n{from} -> n{to} [label=\"{t}\"{style}];");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{find_hook, HookOutcome};
+    use crate::init::{find_bivalent_init, InitOutcome};
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::{ProcId, SvcId};
+    use std::sync::Arc;
+    use system::build::CompleteSystem;
+    use system::process::direct::DirectConsensus;
+
+    fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn census_partitions_the_space() {
+        let sys = direct(2, 0);
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
+        else {
+            panic!()
+        };
+        let c = census(&map);
+        assert_eq!(c.total(), map.state_count());
+        assert!(c.bivalent >= 1, "the root itself is bivalent");
+        assert!(c.zero >= 1 && c.one >= 1, "both commitments are reachable");
+        assert_eq!(c.undecided, 0, "the direct system always decides");
+        assert!(c.bivalent_fraction() > 0.0 && c.bivalent_fraction() < 1.0);
+    }
+
+    #[test]
+    fn dot_renders_the_hook_neighbourhood() {
+        let sys = direct(2, 0);
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
+        else {
+            panic!()
+        };
+        let HookOutcome::Hook(hook) = find_hook(&sys, &map, 10_000) else {
+            panic!()
+        };
+        let dot = to_dot(&map, &hook.alpha, 2, Some(&hook));
+        assert!(dot.starts_with("digraph GC {"));
+        assert!(dot.contains("color=red"), "hook must be highlighted");
+        assert!(dot.contains("->"), "edges must be present");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_without_hook_is_plain() {
+        let sys = direct(2, 0);
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
+        else {
+            panic!()
+        };
+        let dot = to_dot(&map, map.root(), 1, None);
+        assert!(!dot.contains("penwidth=3"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Lemma 4: a bivalent initialization exists.
+//!
+//! The proof walks the monotone initializations `α_0, …, α_n` (where
+//! `α_j` gives input 1 to the first `j` processes and 0 to the rest).
+//! `α_0` is 0-valent and `α_n` is 1-valent by validity, so somewhere an
+//! adjacent pair flips — and the flip point must be bivalent, because
+//! the two initializations differ only in the input of one process,
+//! which can be failed.
+//!
+//! [`find_bivalent_init`] performs that walk constructively: it
+//! returns the first bivalent initialization together with its valence
+//! map, or — if every initialization is univalent — the adjacent
+//! 0-valent/1-valent pair, which is itself direct evidence that the
+//! system violates `(f+1)`-resilient consensus (the Lemma 4 argument
+//! turns such a pair into a contradiction by failing the process whose
+//! input differs).
+
+use crate::valence::{Truncated, Valence, ValenceMap};
+use spec::ProcId;
+use system::build::CompleteSystem;
+use system::consensus::InputAssignment;
+use system::process::ProcessAutomaton;
+use system::sched::initialize;
+
+/// The outcome of the Lemma 4 walk.
+#[derive(Debug)]
+pub enum InitOutcome<P: ProcessAutomaton> {
+    /// A bivalent initialization `α_b` (with its explored valence map)
+    /// — the launch pad for the hook construction.
+    Bivalent {
+        /// The input assignment of `α_b`.
+        assignment: InputAssignment,
+        /// The valence map rooted at `α_b`'s final state.
+        map: ValenceMap<P>,
+    },
+    /// Every monotone initialization is univalent. The returned
+    /// adjacent pair (0-valent `zero`, 1-valent `one`) differs only in
+    /// the input of `differing`; Lemma 4's proof shows a system that
+    /// tolerates even one failure cannot behave this way, so this
+    /// outcome is per se an impossibility witness (materialized by
+    /// [`crate::similarity::refute_adjacent_pair`]).
+    AdjacentContradiction {
+        /// The 0-valent initialization.
+        zero: InputAssignment,
+        /// The 1-valent initialization right after it.
+        one: InputAssignment,
+        /// The process whose input differs between the two.
+        differing: ProcId,
+    },
+    /// Some initialization decided nothing in any failure-free
+    /// extension — a direct failure-free termination violation.
+    Undecided {
+        /// The assignment with no reachable decision.
+        assignment: InputAssignment,
+    },
+    /// A validity violation surfaced immediately: a unanimous
+    /// initialization can reach the opposite decision.
+    ValidityBroken {
+        /// The offending unanimous assignment.
+        assignment: InputAssignment,
+        /// Its computed valence.
+        valence: Valence,
+    },
+}
+
+/// Walks `α_0, …, α_n` (Lemma 4) and classifies each initialization.
+///
+/// # Errors
+///
+/// Returns [`Truncated`] if some initialization's reachable space
+/// exceeds `max_states`.
+pub fn find_bivalent_init<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    max_states: usize,
+) -> Result<InitOutcome<P>, Truncated> {
+    let n = sys.process_count();
+    let mut valences: Vec<Valence> = Vec::with_capacity(n + 1);
+    for ones in 0..=n {
+        let assignment = InputAssignment::monotone(n, ones);
+        let root = initialize(sys, &assignment);
+        let map = ValenceMap::build(sys, root.clone(), max_states)?;
+        let v = map.valence(&root);
+        match v {
+            Valence::Bivalent => {
+                return Ok(InitOutcome::Bivalent { assignment, map });
+            }
+            Valence::Undecided => {
+                return Ok(InitOutcome::Undecided { assignment });
+            }
+            univalent => {
+                // Validity sanity: α_0 must be 0-valent, α_n 1-valent.
+                if (ones == 0 && univalent != Valence::Zero)
+                    || (ones == n && univalent != Valence::One)
+                {
+                    return Ok(InitOutcome::ValidityBroken {
+                        assignment,
+                        valence: univalent,
+                    });
+                }
+                valences.push(univalent);
+            }
+        }
+    }
+    // All univalent: find the adjacent flip (must exist since the ends
+    // differ).
+    let flip = valences
+        .windows(2)
+        .position(|w| w[0] == Valence::Zero && w[1] == Valence::One)
+        .expect("α_0 is 0-valent and α_n is 1-valent, so a flip exists");
+    Ok(InitOutcome::AdjacentContradiction {
+        zero: InputAssignment::monotone(n, flip),
+        one: InputAssignment::monotone(n, flip + 1),
+        // monotone(n, ones) and monotone(n, ones+1) differ at index `ones`.
+        differing: ProcId(flip),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::SvcId;
+    use std::sync::Arc;
+    use system::process::direct::DirectConsensus;
+
+    fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn direct_system_has_a_bivalent_initialization() {
+        // The direct protocol's mixed initializations are bivalent:
+        // whichever input reaches the object first wins.
+        let sys = direct(2, 0);
+        match find_bivalent_init(&sys, 100_000).unwrap() {
+            InitOutcome::Bivalent { assignment, map } => {
+                assert_eq!(assignment, InputAssignment::monotone(2, 1));
+                assert!(map.state_count() > 1);
+            }
+            other => panic!("expected a bivalent init, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_process_system_also_bivalent() {
+        let sys = direct(3, 1);
+        match find_bivalent_init(&sys, 500_000).unwrap() {
+            InitOutcome::Bivalent { assignment, .. } => {
+                // The first mixed initialization α_1 is already bivalent.
+                assert_eq!(assignment, InputAssignment::monotone(3, 1));
+            }
+            other => panic!("expected a bivalent init, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_propagates() {
+        let sys = direct(2, 0);
+        assert!(find_bivalent_init(&sys, 2).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! The γ → γ′ strip-and-replay construction from the proofs of
+//! Lemmas 6 and 7 (paper Section 3.5 and Appendix A).
+//!
+//! The proofs take a fair deciding extension `γ` that contains `fail`
+//! actions and dummy steps, *strip* the `fail_i` actions, the failed
+//! processes' subsequent internal actions and all dummy actions to get
+//! a failure-free fragment `γ′`, and then *replay* the task sequence ρ
+//! of `γ′` after the similar state on the other side, arguing by
+//! induction that the surviving components behave identically. This
+//! module makes both operations executable:
+//!
+//! * [`strip`] — extract ρ from a run (drop inputs, dummies, and the
+//!   failed processes' steps);
+//! * [`replay`] — apply ρ from an arbitrary state, skipping tasks that
+//!   are inapplicable (they correspond to steps that were removed);
+//! * [`lemma6_holds_at`] — the *positive* direction: for a system that
+//!   genuinely satisfies `(f+1)`-resilient consensus, verify on
+//!   concrete similar pairs that the lemma's conclusion is true — the
+//!   stripped deciding run from one side replays on the other side
+//!   with the same decision.
+
+use ioa::execution::Execution;
+use spec::{ProcId, Val};
+use std::collections::BTreeSet;
+use system::build::{CompleteSystem, SystemState};
+use system::process::ProcessAutomaton;
+use system::{Action, Task};
+
+/// Extracts the paper's replayable task sequence ρ from a run: the
+/// tasks of every locally controlled, non-dummy step that does not
+/// belong to a process in `failed_set`.
+pub fn strip<P: ProcessAutomaton>(
+    exec: &Execution<CompleteSystem<P>>,
+    failed_set: &BTreeSet<ProcId>,
+) -> Vec<Task> {
+    exec.steps()
+        .iter()
+        .filter(|step| {
+            if step.action.is_dummy() {
+                return false;
+            }
+            match &step.action {
+                // Environment inputs (init, fail) are not tasks.
+                Action::Init(..) | Action::Fail(..) => false,
+                // Failed processes' own steps are removed by the proof.
+                Action::ProcStep(i)
+                | Action::Decide(i, _)
+                | Action::Output(i, _)
+                | Action::Invoke(i, _, _) => !failed_set.contains(i),
+                // Service steps on behalf of failed endpoints are also
+                // removed (the proof assumes no perform_{i,c}/b_{i,c}
+                // for i ∈ J occurs in β).
+                Action::Perform(_, i) | Action::Respond(_, i, _) => !failed_set.contains(i),
+                // Global compute steps stay (Appendix A: compute_{g,k}
+                // actions may occur in γ′).
+                Action::Compute(..) => true,
+                Action::DummyPerform(..)
+                | Action::DummyOutput(..)
+                | Action::DummyCompute(..) => false,
+            }
+        })
+        .filter_map(|step| step.task.clone())
+        .collect()
+}
+
+/// Replays a task sequence from `from`, taking each task's canonical
+/// deterministic branch and skipping inapplicable tasks; returns the
+/// resulting execution.
+pub fn replay<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    from: SystemState<P::State>,
+    tasks: &[Task],
+) -> Execution<CompleteSystem<P>> {
+    let mut exec = Execution::new(from);
+    exec.replay(sys, tasks);
+    exec
+}
+
+/// The outcome of a [`lemma6_holds_at`] check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lemma6Outcome {
+    /// The lemma's conclusion held: both sides decide the same value
+    /// through the same (stripped) schedule.
+    Holds {
+        /// The common decision.
+        value: Val,
+        /// The surviving decider observed on side 0.
+        survivor: ProcId,
+    },
+    /// Side 0's post-failure run never produced a surviving decider
+    /// within the step budget — the lemma's *hypothesis* (that the
+    /// system is `(f+1)`-resilient) fails here, which is exactly what
+    /// the impossibility pipeline reports for doomed candidates.
+    HypothesisFails,
+    /// The replayed schedule decided a different value on side 1 —
+    /// never observed for the paper's service classes; reported for
+    /// diagnosability.
+    ConclusionFails {
+        /// Side 0's decision.
+        v0: Val,
+        /// Side 1's decision (None = undecided after replay).
+        v1: Option<Val>,
+    },
+}
+
+/// Executes the Lemma 6/7 argument *positively* on a pair of states:
+/// fail every process in `j_set` from `s0`, run fair until a survivor
+/// decides, strip the run to ρ, replay ρ after `s1` (also with `j_set`
+/// failed, as in the proof's `γ′′`), and compare decisions.
+pub fn lemma6_holds_at<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s0: &SystemState<P::State>,
+    s1: &SystemState<P::State>,
+    j_set: &BTreeSet<ProcId>,
+    max_steps: usize,
+) -> Lemma6Outcome {
+    use system::sched::{run_fair, BranchPolicy, FairOutcome};
+
+    let fail_all = |s: &SystemState<P::State>| {
+        let mut s = s.clone();
+        for i in j_set {
+            s = sys.fail(&s, *i);
+        }
+        s
+    };
+
+    // Side 0: fair run until some survivor decides.
+    let x0 = fail_all(s0);
+    let baseline: Vec<Option<Val>> = sys.decisions(&x0);
+    let stop = |st: &SystemState<P::State>| {
+        (0..sys.process_count()).any(|i| {
+            !j_set.contains(&ProcId(i))
+                && baseline[i].is_none()
+                && sys.decision(st, ProcId(i)).is_some()
+        })
+    };
+    let run0 = run_fair(sys, x0, BranchPolicy::PreferDummy, &[], max_steps, stop);
+    if !matches!(run0.outcome, FairOutcome::Stopped) {
+        return Lemma6Outcome::HypothesisFails;
+    }
+    let (survivor, v0) = (0..sys.process_count())
+        .find_map(|i| {
+            let p = ProcId(i);
+            if j_set.contains(&p) || baseline[i].is_some() {
+                return None;
+            }
+            sys.decision(run0.exec.last_state(), p).map(|v| (p, v))
+        })
+        .expect("Stopped implies a fresh surviving decider");
+
+    // Strip γ to ρ and replay after s1.
+    let rho = strip(&run0.exec, j_set);
+    let x1 = fail_all(s1);
+    let replayed = replay(sys, x1, &rho);
+    match sys.decision(replayed.last_state(), survivor) {
+        Some(v1) if v1 == v0 => Lemma6Outcome::Holds {
+            value: v0,
+            survivor,
+        },
+        v1 => Lemma6Outcome::ConclusionFails { v0, v1 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::SvcId;
+    use std::sync::Arc;
+    use system::consensus::InputAssignment;
+    use system::process::direct::DirectConsensus;
+    use system::sched::initialize;
+
+    fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn lemma6_holds_on_a_genuinely_resilient_system() {
+        // The direct protocol over a WAIT-FREE object satisfies
+        // 1-resilient consensus for 3 processes, so Lemma 6's
+        // conclusion must hold on j-similar pairs: take two states
+        // differing only in P0's input, fail {P0}, and check both
+        // sides decide identically through the stripped schedule.
+        let sys = direct(3, 2);
+        let s0 = initialize(&sys, &InputAssignment::monotone(3, 0));
+        let s1 = initialize(&sys, &InputAssignment::monotone(3, 1));
+        // The two initializations are 0-similar (only P0's input
+        // differs).
+        assert!(crate::similarity::j_similar(&sys, &s0, &s1, ProcId(0)));
+        let j_set: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        match lemma6_holds_at(&sys, &s0, &s1, &j_set, 100_000) {
+            Lemma6Outcome::Holds { value, survivor } => {
+                // With P0 dead, the survivors' inputs are all 0 on both
+                // sides: the common decision is 0.
+                assert_eq!(value, Val::Int(0));
+                assert!(survivor != ProcId(0));
+            }
+            other => panic!("Lemma 6 must hold here, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lemma6_hypothesis_fails_on_the_doomed_system() {
+        // The same pair on the 0-resilient object: failing P0 exceeds
+        // the object's resilience and the hypothesis check reports it.
+        let sys = direct(3, 0);
+        let s0 = initialize(&sys, &InputAssignment::monotone(3, 0));
+        let s1 = initialize(&sys, &InputAssignment::monotone(3, 1));
+        let j_set: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        assert_eq!(
+            lemma6_holds_at(&sys, &s0, &s1, &j_set, 50_000),
+            Lemma6Outcome::HypothesisFails
+        );
+    }
+
+    #[test]
+    fn strip_removes_inputs_dummies_and_failed_steps() {
+        use system::sched::{run_fair, BranchPolicy};
+        let sys = direct(2, 1);
+        let a = InputAssignment::monotone(2, 1);
+        let s = initialize(&sys, &a);
+        let run = run_fair(
+            &sys,
+            s,
+            BranchPolicy::PreferDummy,
+            &[(0, ProcId(1))],
+            50_000,
+            |st| sys.decision(st, ProcId(0)).is_some(),
+        );
+        let j: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
+        let rho = strip(&run.exec, &j);
+        // ρ mentions no P1 task and no output/perform task at P1's
+        // endpoint.
+        for t in &rho {
+            match t {
+                Task::Proc(i) | Task::Perform(_, i) | Task::Output(_, i) => {
+                    assert_ne!(*i, ProcId(1), "failed process's step survived the strip")
+                }
+                Task::Compute(..) => {}
+            }
+        }
+        assert!(!rho.is_empty());
+    }
+
+    #[test]
+    fn replay_of_an_unmodified_schedule_reproduces_the_state() {
+        use system::sched::{run_fair, BranchPolicy};
+        let sys = direct(2, 1);
+        let a = InputAssignment::monotone(2, 2);
+        let s = initialize(&sys, &a);
+        let run = run_fair(&sys, s.clone(), BranchPolicy::Canonical, &[], 50_000, |st| {
+            (0..2).all(|i| sys.decision(st, ProcId(i)).is_some())
+        });
+        let rho: Vec<Task> = run.exec.task_sequence();
+        let replayed = replay(&sys, s, &rho);
+        assert_eq!(replayed.last_state(), run.exec.last_state());
+    }
+}

@@ -1,0 +1,292 @@
+//! Resilience certification — the positive direction.
+//!
+//! The paper's Section 4 (k-set-consensus boosting) and Section 6.3
+//! (failure-detector boosting) exhibit systems that *do* achieve a
+//! resilience level. [`certify`] verifies such claims empirically and,
+//! for small systems, exhaustively: it sweeps input assignments,
+//! failure patterns of size up to the claimed resilience, failure
+//! timings and adversarial branch policies, running a provably fair
+//! schedule for each combination and checking k-agreement, validity
+//! and the modified termination condition of Section 2.2.4.
+
+use spec::{ProcId, Val};
+use std::collections::BTreeSet;
+use system::build::CompleteSystem;
+use system::consensus::{all_obliged_decided, check_k_safety, InputAssignment, SafetyViolation};
+use system::process::ProcessAutomaton;
+use system::sched::{initialize, run_fair, run_random, BranchPolicy, FairOutcome};
+
+/// Configuration for a certification sweep.
+#[derive(Clone, Debug)]
+pub struct CertifyConfig {
+    /// The agreement bound: `1` for consensus, `k` for
+    /// k-set-consensus.
+    pub k: usize,
+    /// The resilience level to certify: every failure pattern with at
+    /// most this many failures must preserve safety and termination.
+    pub resilience: usize,
+    /// The input assignments to sweep.
+    pub inputs: Vec<InputAssignment>,
+    /// Steps at which failure injection is attempted (failures in a
+    /// pattern are injected at consecutive offsets from each timing).
+    pub failure_timings: Vec<usize>,
+    /// Step budget per run.
+    pub max_steps: usize,
+    /// Branch policies to drive (the dummy-preferring adversary is the
+    /// interesting one: it silences whatever the resilience levels
+    /// allow).
+    pub policies: Vec<BranchPolicy>,
+    /// Seeds for additional randomized runs per combination (empty to
+    /// skip).
+    pub random_seeds: Vec<u64>,
+}
+
+impl CertifyConfig {
+    /// A thorough default: both policies, failures at the start and
+    /// mid-run, no extra random runs.
+    pub fn new(k: usize, resilience: usize, inputs: Vec<InputAssignment>) -> Self {
+        CertifyConfig {
+            k,
+            resilience,
+            inputs,
+            failure_timings: vec![0, 3, 10],
+            max_steps: 200_000,
+            policies: vec![BranchPolicy::Canonical, BranchPolicy::PreferDummy],
+            random_seeds: Vec::new(),
+        }
+    }
+}
+
+/// All assignments of values from `domain` to `n` processes
+/// (`|domain|^n` of them) — exhaustive input sweeps for small systems.
+pub fn all_assignments(n: usize, domain: &[Val]) -> Vec<InputAssignment> {
+    let mut out: Vec<Vec<Val>> = vec![Vec::new()];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(out.len() * domain.len());
+        for prefix in &out {
+            for v in domain {
+                let mut p = prefix.clone();
+                p.push(v.clone());
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out.into_iter()
+        .map(|vals| {
+            InputAssignment::of(vals.into_iter().enumerate().map(|(i, v)| (ProcId(i), v)))
+        })
+        .collect()
+}
+
+/// All binary assignments to `n` processes.
+pub fn all_binary_assignments(n: usize) -> Vec<InputAssignment> {
+    all_assignments(n, &[Val::Int(0), Val::Int(1)])
+}
+
+/// All failure sets of size at most `max` over `n` processes.
+pub fn failure_sets(n: usize, max: usize) -> Vec<BTreeSet<ProcId>> {
+    let mut out = Vec::new();
+    for mask in 0..(1u32 << n) {
+        let set: BTreeSet<ProcId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ProcId)
+            .collect();
+        if set.len() <= max {
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// One counterexample found by [`certify`].
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The input assignment.
+    pub assignment: InputAssignment,
+    /// The injected failures `(step, process)`.
+    pub failures: Vec<(usize, ProcId)>,
+    /// The branch policy (or `None` for a random run, with the seed).
+    pub policy: Option<BranchPolicy>,
+    /// The random seed, for random runs.
+    pub seed: Option<u64>,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// The condition a violating run broke.
+#[derive(Clone, Debug)]
+pub enum ViolationKind {
+    /// k-agreement or validity failed at the run's final state.
+    Safety(SafetyViolation),
+    /// The run ended (lasso or budget) with an obliged survivor
+    /// undecided.
+    Termination(FairOutcome),
+}
+
+/// The result of a certification sweep.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Total runs driven.
+    pub runs: usize,
+    /// Violations found (empty = certified at these bounds).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Whether the sweep found no violations.
+    pub fn certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Sweeps the system per `cfg` and reports every violation.
+///
+/// A run passes when it reaches a state where every nonfaulty process
+/// that received an input has decided (modified termination,
+/// Section 2.2.4) with at most `cfg.k` distinct, valid decision
+/// values; it fails when it lassos/budgets first or decides unsafely.
+pub fn certify<P: ProcessAutomaton>(sys: &CompleteSystem<P>, cfg: &CertifyConfig) -> Report {
+    let n = sys.process_count();
+    let mut report = Report::default();
+    let patterns = failure_sets(n, cfg.resilience);
+    for assignment in &cfg.inputs {
+        for pattern in &patterns {
+            for &timing in &cfg.failure_timings {
+                // Stagger failures from the timing point.
+                let failures: Vec<(usize, ProcId)> = pattern
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, p)| (timing + idx, *p))
+                    .collect();
+                // Skip duplicated timings for the empty pattern.
+                if pattern.is_empty() && timing != cfg.failure_timings[0] {
+                    continue;
+                }
+                for &policy in &cfg.policies {
+                    report.runs += 1;
+                    let start = initialize(sys, assignment);
+                    let run = run_fair(sys, start, policy, &failures, cfg.max_steps, |st| {
+                        all_obliged_decided(sys, st, assignment)
+                    });
+                    let last = run.exec.last_state();
+                    if let Some(v) = check_k_safety(sys, last, assignment, cfg.k) {
+                        report.violations.push(Violation {
+                            assignment: assignment.clone(),
+                            failures: failures.clone(),
+                            policy: Some(policy),
+                            seed: None,
+                            kind: ViolationKind::Safety(v),
+                        });
+                    } else if !matches!(run.outcome, FairOutcome::Stopped) {
+                        report.violations.push(Violation {
+                            assignment: assignment.clone(),
+                            failures: failures.clone(),
+                            policy: Some(policy),
+                            seed: None,
+                            kind: ViolationKind::Termination(run.outcome),
+                        });
+                    }
+                }
+                for &seed in &cfg.random_seeds {
+                    report.runs += 1;
+                    let start = initialize(sys, assignment);
+                    let run = run_random(sys, start, seed, &failures, cfg.max_steps, |st| {
+                        all_obliged_decided(sys, st, assignment)
+                    });
+                    let last = run.exec.last_state();
+                    if let Some(v) = check_k_safety(sys, last, assignment, cfg.k) {
+                        report.violations.push(Violation {
+                            assignment: assignment.clone(),
+                            failures: failures.clone(),
+                            policy: None,
+                            seed: Some(seed),
+                            kind: ViolationKind::Safety(v),
+                        });
+                    } else if !matches!(run.outcome, FairOutcome::Stopped) {
+                        // Random runs are only probabilistically fair;
+                        // a budget exhaustion is still reported, since
+                        // the budget is far beyond any plausible fair
+                        // decision time for these systems.
+                        report.violations.push(Violation {
+                            assignment: assignment.clone(),
+                            failures: failures.clone(),
+                            policy: None,
+                            seed: Some(seed),
+                            kind: ViolationKind::Termination(run.outcome),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::SvcId;
+    use std::sync::Arc;
+    use system::process::direct::DirectConsensus;
+
+    fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn assignment_and_pattern_enumeration() {
+        assert_eq!(all_binary_assignments(3).len(), 8);
+        assert_eq!(failure_sets(3, 1).len(), 4); // ∅ + three singletons
+        assert_eq!(failure_sets(3, 3).len(), 8);
+    }
+
+    #[test]
+    fn direct_system_is_certified_at_its_own_resilience() {
+        // A wait-free (f = n−1) object solves (n−1)-resilient consensus
+        // directly: certification at resilience n−1 passes.
+        let sys = direct(3, 2);
+        let cfg = CertifyConfig::new(1, 2, all_binary_assignments(3));
+        let report = certify(&sys, &cfg);
+        assert!(report.certified(), "violations: {:?}", report.violations);
+        assert!(report.runs > 0);
+    }
+
+    #[test]
+    fn direct_system_fails_certification_one_level_up() {
+        // The same protocol over a 0-resilient object does NOT tolerate
+        // one failure: the dummy-preferring adversary starves survivors.
+        let sys = direct(2, 0);
+        let cfg = CertifyConfig::new(1, 1, all_binary_assignments(2));
+        let report = certify(&sys, &cfg);
+        assert!(!report.certified());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::Termination(_))));
+        // But every violation involves at least one failure — the
+        // failure-free runs all decide.
+        for v in &report.violations {
+            assert!(!v.failures.is_empty(), "failure-free violation: {v:?}");
+        }
+    }
+
+    #[test]
+    fn random_seeds_add_runs() {
+        let sys = direct(2, 1);
+        let mut cfg = CertifyConfig::new(1, 0, vec![InputAssignment::monotone(2, 1)]);
+        cfg.random_seeds = vec![1, 2, 3];
+        cfg.failure_timings = vec![0];
+        let base_runs = certify(&sys, &CertifyConfig {
+            random_seeds: Vec::new(),
+            ..cfg.clone()
+        })
+        .runs;
+        let with_random = certify(&sys, &cfg).runs;
+        assert_eq!(with_random, base_runs + 3);
+    }
+}

@@ -1,0 +1,491 @@
+//! Similarity of system states and the Lemma 6/7/8 machinery
+//! (paper Sections 3.5, 3.6 and 6.3).
+//!
+//! Two states are *j-similar* when every component except process
+//! `P_j` — and except `P_j`'s buffers inside each service — looks the
+//! same; *k-similar* when everything except service `S_k` looks the
+//! same. Following Section 6.3, the state of *general* (failure-aware)
+//! services is never compared: those services can be silenced wholesale
+//! by failing the `f + 1` processes, all of which are connected to
+//! them.
+//!
+//! Lemmas 6 and 7 say that for a system genuinely solving
+//! `(f+1)`-resilient consensus, similar univalent states cannot have
+//! opposite valences — the proof fails `f + 1` processes chosen around
+//! the differing component and replays the surviving schedule on both
+//! sides. For a *candidate* system this argument is executable, and
+//! running it produces the concrete counterexample:
+//! [`refute_similar_pair`] fails the Lemma's process set `J`, silences
+//! everything it may, and reports either a fair non-deciding lasso
+//! (termination violation) or a decision that contradicts one side's
+//! valence.
+
+use crate::hook::Hook;
+use crate::valence::Valence;
+use spec::{ProcId, SvcId, Val};
+use std::collections::BTreeSet;
+use system::build::{CompleteSystem, SystemState};
+use system::consensus::InputAssignment;
+use system::process::ProcessAutomaton;
+use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome, FairRun};
+use ioa::automaton::Automaton;
+
+/// Why two states count as similar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimilarityKind {
+    /// j-similar: identical except for process `P_j` (Section 3.5).
+    Process(ProcId),
+    /// k-similar: identical except for service `S_k` (Section 3.5).
+    Service(SvcId),
+}
+
+/// Whether `s0` and `s1` are j-similar for process `j`
+/// (Section 3.5; general services excluded per Section 6.3).
+pub fn j_similar<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s0: &SystemState<P::State>,
+    s1: &SystemState<P::State>,
+    j: ProcId,
+) -> bool {
+    // (1) every process except P_j agrees.
+    for i in 0..sys.process_count() {
+        if i != j.0 && s0.procs[i] != s1.procs[i] {
+            return false;
+        }
+    }
+    // (2) every compared service agrees on val and on the buffers of
+    // every endpoint except j.
+    for (c, svc) in sys.services().iter().enumerate() {
+        if !svc.class().compared_by_similarity() {
+            continue;
+        }
+        let a = &s0.services[c];
+        let b = &s1.services[c];
+        if a.val != b.val {
+            return false;
+        }
+        for i in svc.endpoints() {
+            if *i != j && a.buffer(*i) != b.buffer(*i) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `s0` and `s1` are k-similar for service `k`
+/// (Section 3.5; general services excluded per Section 6.3).
+pub fn k_similar<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s0: &SystemState<P::State>,
+    s1: &SystemState<P::State>,
+    k: SvcId,
+) -> bool {
+    // (1) every process agrees.
+    if s0.procs != s1.procs {
+        return false;
+    }
+    // (2) every compared service except S_k agrees entirely.
+    for (c, svc) in sys.services().iter().enumerate() {
+        if c == k.0 || !svc.class().compared_by_similarity() {
+            continue;
+        }
+        if s0.services[c] != s1.services[c] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Every similarity relation that holds between `s0` and `s1`.
+pub fn find_similarities<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s0: &SystemState<P::State>,
+    s1: &SystemState<P::State>,
+) -> Vec<SimilarityKind> {
+    let mut kinds = Vec::new();
+    for i in 0..sys.process_count() {
+        if j_similar(sys, s0, s1, ProcId(i)) {
+            kinds.push(SimilarityKind::Process(ProcId(i)));
+        }
+    }
+    for c in 0..sys.services().len() {
+        if k_similar(sys, s0, s1, SvcId(c)) {
+            kinds.push(SimilarityKind::Service(SvcId(c)));
+        }
+    }
+    kinds
+}
+
+/// The Lemma 8 case analysis applied to a concrete hook: which of the
+/// state pairs demanded by the claims is similar, and how.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HookSimilarity {
+    /// `s0` and `s1` themselves are similar (Claims 3/4-case-1/5-case-1b).
+    Direct(SimilarityKind),
+    /// `e'(s0)` equals `s1` — the tasks commute (the contradiction shape
+    /// of Claims 2, 4-cases-2/3/4, 5-cases-1a/2/3/4).
+    Commute,
+    /// `e'(s0)` and `s1` are similar (Claim 5 case 1c).
+    AfterEPrime(SimilarityKind),
+    /// None of the Lemma 8 shapes holds — cannot happen for a genuine
+    /// hook over the paper's service classes; reported for
+    /// diagnosability.
+    None,
+}
+
+/// Runs the Lemma 8 case analysis on a hook: checks `e ≠ e'` and finds
+/// the similar (or commuting) pair among `(s0, s1)` and `(e'(s0), s1)`.
+pub fn analyze_hook<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    hook: &Hook<P>,
+) -> HookSimilarity {
+    assert_ne!(hook.e, hook.e_prime, "Claim 1: e ≠ e' in a genuine hook");
+    if let Some(kind) = find_similarities(sys, &hook.s0, &hook.s1).into_iter().next() {
+        return HookSimilarity::Direct(kind);
+    }
+    if let Some((_, after)) = sys.succ_det(&hook.e_prime, &hook.s0) {
+        if after == hook.s1 {
+            return HookSimilarity::Commute;
+        }
+        if let Some(kind) = find_similarities(sys, &after, &hook.s1).into_iter().next() {
+            return HookSimilarity::AfterEPrime(kind);
+        }
+    }
+    HookSimilarity::None
+}
+
+/// The concrete counterexample extracted from a similar pair with
+/// opposite valences (the executable content of Lemmas 6/7).
+#[derive(Debug)]
+pub enum Refutation<P: ProcessAutomaton> {
+    /// After failing the Lemma's `f + 1` processes, a fair run never
+    /// lets any obliged survivor decide: the claimed
+    /// `(f+1)`-resilient termination is violated. The run ends in a
+    /// provably fair lasso.
+    TerminationViolation {
+        /// Which side of the pair the run started from (0 or 1).
+        side: u8,
+        /// The failed process set `J`.
+        failed: BTreeSet<ProcId>,
+        /// The fair non-deciding run.
+        run: FairRun<P>,
+    },
+    /// Both sides decided — and, as Lemma 6/7 predict, they decided the
+    /// *same* value, although the two sides have opposite valences.
+    /// The side whose valence disagrees with the decision exhibits a
+    /// fair post-failure execution inconsistent with its failure-free
+    /// valence: stripping the `fail` and dummy actions (which the
+    /// survivors never observe) yields a failure-free extension
+    /// deciding against that side's valence — the Lemma's
+    /// contradiction, realized.
+    SameDecision {
+        /// The common decided value.
+        value: Val,
+        /// The failed process set `J`.
+        failed: BTreeSet<ProcId>,
+        /// Valence of side 0 / side 1.
+        valences: (Valence, Valence),
+    },
+    /// The two sides decided differently — the schedules were
+    /// observably identical to the survivors, so this means the
+    /// similarity assumption failed to isolate the runs; reported for
+    /// diagnosability (does not occur for the paper's service classes).
+    DivergentDecisions {
+        /// Side 0's decision.
+        v0: Val,
+        /// Side 1's decision.
+        v1: Val,
+        /// The failed process set `J`.
+        failed: BTreeSet<ProcId>,
+    },
+    /// Some survivor had already decided before the failure was
+    /// injected, identically on both sides (similarity forces this) —
+    /// which immediately contradicts the sides' opposite valences.
+    AlreadyDecided {
+        /// The survivor and its recorded decision.
+        survivor: (ProcId, Val),
+    },
+}
+
+/// Chooses the Lemma 6/7 failure set `J` of size `f + 1`.
+///
+/// For [`SimilarityKind::Process`] `j`: any `J ∋ j` with `|J| = f+1`
+/// (Lemma 6). For [`SimilarityKind::Service`] `k`: if `|J_k| ≤ f+1`
+/// then `J ⊇ J_k`, else `J ⊆ J_k` (Lemma 7) — either way the `f + 1`
+/// failures enable all of `S_k`'s dummies.
+pub fn lemma_failure_set<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    kind: SimilarityKind,
+    f: usize,
+) -> BTreeSet<ProcId> {
+    let n = sys.process_count();
+    let size = f + 1;
+    assert!(
+        size < n,
+        "Lemma 6/7 need f + 1 < n so that a survivor exists (f < n − 1)"
+    );
+    let mut j_set: BTreeSet<ProcId> = BTreeSet::new();
+    match kind {
+        SimilarityKind::Process(j) => {
+            j_set.insert(j);
+        }
+        SimilarityKind::Service(k) => {
+            let jk = sys.service(k).endpoints();
+            if jk.len() <= size {
+                j_set.extend(jk.iter().copied());
+            } else {
+                j_set.extend(jk.iter().copied().take(size));
+            }
+        }
+    }
+    // Pad with the lowest-numbered remaining processes.
+    for i in 0..n {
+        if j_set.len() >= size {
+            break;
+        }
+        j_set.insert(ProcId(i));
+    }
+    assert_eq!(j_set.len(), size, "could not assemble |J| = f + 1");
+    j_set
+}
+
+/// Executes the Lemma 6/7 argument on a similar pair `(x0, x1)` with
+/// (expected) opposite valences: fails `J`, silences what it may, and
+/// reports the resulting violation.
+///
+/// `max_steps` bounds each fair run.
+pub fn refute_similar_pair<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    x0: &SystemState<P::State>,
+    x1: &SystemState<P::State>,
+    kind: SimilarityKind,
+    valences: (Valence, Valence),
+    f: usize,
+    max_steps: usize,
+) -> Refutation<P> {
+    let j_set = lemma_failure_set(sys, kind, f);
+
+    // If a survivor already decided, similarity copied that decision to
+    // both sides: immediate contradiction with opposite valences.
+    for i in 0..sys.process_count() {
+        let p = ProcId(i);
+        if j_set.contains(&p) {
+            continue;
+        }
+        if let Some(v) = sys.decision(x0, p) {
+            return Refutation::AlreadyDecided { survivor: (p, v) };
+        }
+    }
+
+    let run_side = |x: &SystemState<P::State>| -> (FairRun<P>, Option<(ProcId, Val)>) {
+        let mut s = x.clone();
+        for i in &j_set {
+            s = sys.fail(&s, *i);
+        }
+        let baseline: Vec<Option<Val>> = sys.decisions(&s);
+        let j_ref = &j_set;
+        let stop = move |st: &SystemState<P::State>| {
+            (0..st.procs.len()).any(|i| {
+                !j_ref.contains(&ProcId(i))
+                    && baseline[i].is_none()
+                    && sys.decision(st, ProcId(i)).is_some()
+            })
+        };
+        let run = run_fair(sys, s, BranchPolicy::PreferDummy, &[], max_steps, &stop);
+        let decider = (0..sys.process_count()).find_map(|i| {
+            let p = ProcId(i);
+            if j_set.contains(&p) {
+                return None;
+            }
+            sys.decision(run.exec.last_state(), p).map(|v| (p, v))
+        });
+        (run, decider)
+    };
+
+    let (run0, dec0) = run_side(x0);
+    if !matches!(run0.outcome, FairOutcome::Stopped) || dec0.is_none() {
+        return Refutation::TerminationViolation {
+            side: 0,
+            failed: j_set,
+            run: run0,
+        };
+    }
+    let (run1, dec1) = run_side(x1);
+    if !matches!(run1.outcome, FairOutcome::Stopped) || dec1.is_none() {
+        return Refutation::TerminationViolation {
+            side: 1,
+            failed: j_set,
+            run: run1,
+        };
+    }
+    let (_, v0) = dec0.expect("checked above");
+    let (_, v1) = dec1.expect("checked above");
+    if v0 == v1 {
+        Refutation::SameDecision {
+            value: v0,
+            failed: j_set,
+            valences,
+        }
+    } else {
+        Refutation::DivergentDecisions {
+            v0,
+            v1,
+            failed: j_set,
+        }
+    }
+}
+
+/// The Lemma 4 fallback: every monotone initialization was univalent
+/// and an adjacent 0-valent/1-valent pair differs only in `differing`'s
+/// input. The proof's argument — fail `differing`, run fair, both sides
+/// must decide identically — is executed here.
+pub fn refute_adjacent_pair<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    zero: &InputAssignment,
+    one: &InputAssignment,
+    differing: ProcId,
+    f: usize,
+    max_steps: usize,
+) -> Refutation<P> {
+    let x0 = initialize(sys, zero);
+    let x1 = initialize(sys, one);
+    refute_similar_pair(
+        sys,
+        &x0,
+        &x1,
+        SimilarityKind::Process(differing),
+        (Valence::Zero, Valence::One),
+        f,
+        max_steps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::{find_hook, HookOutcome};
+    use crate::init::{find_bivalent_init, InitOutcome};
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use std::sync::Arc;
+    use system::process::direct::DirectConsensus;
+
+    fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn identical_states_are_similar_in_every_way() {
+        let sys = direct(2, 0);
+        let s = sys.single_initial_state();
+        assert!(j_similar(&sys, &s, &s, ProcId(0)));
+        assert!(k_similar(&sys, &s, &s, SvcId(0)));
+        assert_eq!(find_similarities(&sys, &s, &s).len(), 3);
+    }
+
+    #[test]
+    fn differing_process_state_is_j_similar_only_for_that_process() {
+        let sys = direct(2, 0);
+        let s0 = sys.single_initial_state();
+        let s1 = sys.init(&s0, ProcId(1), Val::Int(1)); // P1's state changed
+        assert!(j_similar(&sys, &s0, &s1, ProcId(1)));
+        assert!(!j_similar(&sys, &s0, &s1, ProcId(0)));
+        assert!(!k_similar(&sys, &s0, &s1, SvcId(0)));
+    }
+
+    #[test]
+    fn differing_service_val_is_k_similar_only_for_that_service() {
+        let sys = direct(2, 1);
+        let s0 = sys.single_initial_state();
+        let mut s1 = s0.clone();
+        s1.services[0].val = Val::set([Val::Int(1)]);
+        assert!(k_similar(&sys, &s0, &s1, SvcId(0)));
+        assert!(!j_similar(&sys, &s0, &s1, ProcId(0)));
+        assert!(!j_similar(&sys, &s0, &s1, ProcId(1)));
+    }
+
+    #[test]
+    fn j_similarity_tolerates_differing_buffers_of_j() {
+        let sys = direct(2, 0);
+        let s0 = sys.single_initial_state();
+        let mut s1 = s0.clone();
+        // Put an invocation from P1 into the object's buffer: only P1's
+        // buffer differs → 1-similar but not 0-similar.
+        s1.services[0] = s1.services[0]
+            .with_invocation(ProcId(1), BinaryConsensus::init(0));
+        assert!(j_similar(&sys, &s0, &s1, ProcId(1)));
+        assert!(!j_similar(&sys, &s0, &s1, ProcId(0)));
+    }
+
+    #[test]
+    fn hook_states_of_the_direct_system_are_similar_with_opposite_valences() {
+        // The heart of the impossibility argument, on a live hook.
+        let sys = direct(2, 0);
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
+        else {
+            panic!("bivalent init expected")
+        };
+        let HookOutcome::Hook(hook) = find_hook(&sys, &map, 10_000) else {
+            panic!("hook expected")
+        };
+        let sim = analyze_hook(&sys, &hook);
+        assert!(
+            !matches!(sim, HookSimilarity::None | HookSimilarity::Commute),
+            "hook endpoints must be j- or k-similar, got {sim:?}"
+        );
+    }
+
+    #[test]
+    fn lemma_failure_set_shapes() {
+        let sys = direct(3, 1);
+        // Process kind: j ∈ J, |J| = 2.
+        let j = lemma_failure_set(&sys, SimilarityKind::Process(ProcId(2)), 1);
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&ProcId(2)));
+        // Service kind with |J_k| = 3 > f+1 = 2: J ⊆ J_k.
+        let j = lemma_failure_set(&sys, SimilarityKind::Service(SvcId(0)), 1);
+        assert_eq!(j.len(), 2);
+        assert!(j.iter().all(|i| sys.service(SvcId(0)).endpoints().contains(i)));
+    }
+
+    #[test]
+    fn refutation_of_the_direct_hook_is_a_termination_violation() {
+        // Failing f+1 = 1 process around the hook silences the
+        // 0-resilient object: the survivor never decides.
+        let sys = direct(2, 0);
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
+        else {
+            panic!()
+        };
+        let HookOutcome::Hook(hook) = find_hook(&sys, &map, 10_000) else {
+            panic!()
+        };
+        let sim = analyze_hook(&sys, &hook);
+        let (x0, x1, kind) = match sim {
+            HookSimilarity::Direct(kind) => (hook.s0.clone(), hook.s1.clone(), kind),
+            HookSimilarity::AfterEPrime(kind) => {
+                let (_, after) = sys.succ_det(&hook.e_prime, &hook.s0).unwrap();
+                (after, hook.s1.clone(), kind)
+            }
+            other => panic!("unexpected similarity {other:?}"),
+        };
+        let refutation = refute_similar_pair(
+            &sys,
+            &x0,
+            &x1,
+            kind,
+            (hook.v, hook.v.opposite()),
+            0,
+            100_000,
+        );
+        match refutation {
+            Refutation::TerminationViolation { failed, .. } => {
+                assert_eq!(failed.len(), 1);
+            }
+            other => panic!("expected termination violation, got {other:?}"),
+        }
+    }
+}

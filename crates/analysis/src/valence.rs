@@ -1,0 +1,330 @@
+//! Valence of finite failure-free input-first executions
+//! (paper Sections 3.2–3.3).
+//!
+//! An execution `α` is 0-valent if some failure-free extension decides
+//! 0 and none decides 1 (symmetrically 1-valent); bivalent if both
+//! decisions are reachable. Because decisions are recorded in process
+//! states (Section 2.2.1), "some extension contains `decide(v)_i`" is
+//! equivalent to "some state reachable by task steps records `v`" —
+//! so valence is computed by one sweep over the reachable portion of
+//! the graph `G(C)` (Section 3.3) followed by a backward fixpoint.
+
+use ioa::automaton::Automaton;
+use spec::Val;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use system::build::{CompleteSystem, SystemState};
+use system::process::ProcessAutomaton;
+use system::Task;
+
+/// The valence of a finite failure-free input-first execution
+/// (equivalently, of its final state — the extension set depends only
+/// on the state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Valence {
+    /// Only `decide(0)` is reachable failure-free.
+    Zero,
+    /// Only `decide(1)` is reachable failure-free.
+    One,
+    /// Both decisions are reachable: the pivotal situation the
+    /// impossibility proof chases.
+    Bivalent,
+    /// No decision is reachable failure-free at all — already a
+    /// violation of the consensus termination condition (Lemma 3 rules
+    /// this out for genuine consensus implementations).
+    Undecided,
+}
+
+impl Valence {
+    /// Whether this is 0-valent or 1-valent.
+    pub fn is_univalent(self) -> bool {
+        matches!(self, Valence::Zero | Valence::One)
+    }
+
+    /// The decided value this univalent class pins down.
+    pub fn decided_value(self) -> Option<Val> {
+        match self {
+            Valence::Zero => Some(Val::Int(0)),
+            Valence::One => Some(Val::Int(1)),
+            _ => None,
+        }
+    }
+
+    /// The opposite univalent class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not univalent.
+    pub fn opposite(self) -> Valence {
+        match self {
+            Valence::Zero => Valence::One,
+            Valence::One => Valence::Zero,
+            other => panic!("{other:?} has no opposite"),
+        }
+    }
+}
+
+/// The error returned when the reachable space exceeds the state
+/// budget, making exhaustive valence claims unsound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Truncated {
+    /// The number of states explored before giving up.
+    pub states_explored: usize,
+}
+
+impl std::fmt::Display for Truncated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "state budget exhausted after {} states; valence undecidable at this bound",
+            self.states_explored
+        )
+    }
+}
+
+impl std::error::Error for Truncated {}
+
+/// The materialized failure-free reachable graph from a root state,
+/// with each state's set of reachable decision values — the executable
+/// form of `G(C)` (Section 3.3) restricted to what valence needs.
+#[derive(Debug)]
+pub struct ValenceMap<P: ProcessAutomaton> {
+    root: SystemState<P::State>,
+    /// `succ[s]` = the `(task, s')` successors of `s`.
+    #[allow(clippy::type_complexity)]
+    succ: HashMap<SystemState<P::State>, Vec<(Task, SystemState<P::State>)>>,
+    /// `decided[s]` = the decision values reachable from `s`.
+    decided: HashMap<SystemState<P::State>, BTreeSet<Val>>,
+}
+
+impl<P: ProcessAutomaton> ValenceMap<P> {
+    /// Explores every failure-free extension of `root` (at most
+    /// `max_states` distinct states) and computes each state's
+    /// reachable-decisions set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Truncated`] if the reachable space exceeds
+    /// `max_states` — all valence answers would be unsound.
+    pub fn build(
+        sys: &CompleteSystem<P>,
+        root: SystemState<P::State>,
+        max_states: usize,
+    ) -> Result<Self, Truncated> {
+        let tasks = sys.tasks();
+        #[allow(clippy::type_complexity)]
+        let mut succ: HashMap<SystemState<P::State>, Vec<(Task, SystemState<P::State>)>> =
+            HashMap::new();
+        let mut queue: VecDeque<SystemState<P::State>> = VecDeque::from([root.clone()]);
+        let mut seen: HashSet<SystemState<P::State>> = HashSet::from([root.clone()]);
+        while let Some(s) = queue.pop_front() {
+            let mut out = Vec::new();
+            for t in &tasks {
+                for (_, s2) in sys.succ_all(t, &s) {
+                    if s2 != s {
+                        if !seen.contains(&s2) {
+                            if seen.len() >= max_states {
+                                return Err(Truncated {
+                                    states_explored: seen.len(),
+                                });
+                            }
+                            seen.insert(s2.clone());
+                            queue.push_back(s2.clone());
+                        }
+                        out.push((t.clone(), s2));
+                    }
+                }
+            }
+            succ.insert(s, out);
+        }
+
+        // Backward fixpoint: decided(s) = own decisions ∪ ⋃ decided(s').
+        let mut preds: HashMap<&SystemState<P::State>, Vec<&SystemState<P::State>>> =
+            HashMap::new();
+        for (s, outs) in &succ {
+            for (_, s2) in outs {
+                preds.entry(s2).or_default().push(s);
+            }
+        }
+        let mut decided: HashMap<SystemState<P::State>, BTreeSet<Val>> = succ
+            .keys()
+            .map(|s| (s.clone(), sys.decided_values(s)))
+            .collect();
+        let mut work: VecDeque<&SystemState<P::State>> = succ.keys().collect();
+        while let Some(s) = work.pop_front() {
+            let vals = decided[s].clone();
+            if vals.is_empty() {
+                continue;
+            }
+            if let Some(ps) = preds.get(s) {
+                for p in ps.clone() {
+                    let entry = decided.get_mut(p).expect("all states present");
+                    let before = entry.len();
+                    entry.extend(vals.iter().cloned());
+                    if entry.len() > before {
+                        work.push_back(p);
+                    }
+                }
+            }
+        }
+
+        Ok(ValenceMap {
+            root,
+            succ,
+            decided,
+        })
+    }
+
+    /// The root state the map was built from.
+    pub fn root(&self) -> &SystemState<P::State> {
+        &self.root
+    }
+
+    /// The number of reachable states.
+    pub fn state_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether `s` is in the explored space.
+    pub fn contains(&self, s: &SystemState<P::State>) -> bool {
+        self.succ.contains_key(s)
+    }
+
+    /// The decision values reachable failure-free from `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not in the explored space (check with
+    /// [`ValenceMap::contains`]).
+    pub fn reachable_decisions(&self, s: &SystemState<P::State>) -> &BTreeSet<Val> {
+        self.decided
+            .get(s)
+            .unwrap_or_else(|| panic!("state not in the explored space"))
+    }
+
+    /// The valence of `s` (Section 3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not in the explored space.
+    pub fn valence(&self, s: &SystemState<P::State>) -> Valence {
+        let d = self.reachable_decisions(s);
+        let zero = d.contains(&Val::Int(0));
+        let one = d.contains(&Val::Int(1));
+        match (zero, one) {
+            (true, true) => Valence::Bivalent,
+            (true, false) => Valence::Zero,
+            (false, true) => Valence::One,
+            (false, false) => Valence::Undecided,
+        }
+    }
+
+    /// The `(task, successor)` edges out of `s` in `G(C)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not in the explored space.
+    pub fn successors(&self, s: &SystemState<P::State>) -> &[(Task, SystemState<P::State>)] {
+        self.succ
+            .get(s)
+            .map(Vec::as_slice)
+            .unwrap_or_else(|| panic!("state not in the explored space"))
+    }
+
+    /// The deterministic successor of `s` under task `t` within the
+    /// explored graph, if `t` is applicable (the `e(α)` operation of
+    /// Section 3.1, restricted to non-self-loop progress edges).
+    pub fn apply(
+        &self,
+        sys: &CompleteSystem<P>,
+        t: &Task,
+        s: &SystemState<P::State>,
+    ) -> Option<SystemState<P::State>> {
+        sys.succ_det(t, s).map(|(_, s2)| s2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::{ProcId, SvcId};
+    use std::sync::Arc;
+    use system::consensus::InputAssignment;
+    use system::process::direct::DirectConsensus;
+    use system::sched::initialize;
+
+    fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn unanimous_initializations_are_univalent() {
+        let sys = direct(2, 0);
+        let s0 = initialize(&sys, &InputAssignment::monotone(2, 0));
+        let map = ValenceMap::build(&sys, s0.clone(), 100_000).unwrap();
+        assert_eq!(map.valence(&s0), Valence::Zero);
+        let s1 = initialize(&sys, &InputAssignment::monotone(2, 2));
+        let map = ValenceMap::build(&sys, s1.clone(), 100_000).unwrap();
+        assert_eq!(map.valence(&s1), Valence::One);
+    }
+
+    #[test]
+    fn mixed_initialization_is_bivalent_and_resolves() {
+        let sys = direct(2, 0);
+        let s = initialize(&sys, &InputAssignment::monotone(2, 1));
+        let map = ValenceMap::build(&sys, s.clone(), 100_000).unwrap();
+        assert_eq!(map.valence(&s), Valence::Bivalent);
+        // Let P0 (input 1) reach the object first: commits to 1.
+        let s = map
+            .apply(&sys, &Task::Proc(ProcId(0)), &s)
+            .expect("invoke step");
+        let s = map
+            .apply(&sys, &Task::Perform(SvcId(0), ProcId(0)), &s)
+            .expect("perform step");
+        assert_eq!(map.valence(&s), Valence::One);
+    }
+
+    #[test]
+    fn valence_helpers() {
+        assert!(Valence::Zero.is_univalent());
+        assert!(!Valence::Bivalent.is_univalent());
+        assert_eq!(Valence::Zero.opposite(), Valence::One);
+        assert_eq!(Valence::One.decided_value(), Some(Val::Int(1)));
+        assert_eq!(Valence::Bivalent.decided_value(), None);
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let sys = direct(2, 0);
+        let s = initialize(&sys, &InputAssignment::monotone(2, 1));
+        assert!(ValenceMap::build(&sys, s, 3).is_err());
+    }
+
+    #[test]
+    fn decided_states_stay_decided() {
+        // Once a decision is recorded it persists in every extension —
+        // the monotonicity the Section 2.2.1 technicality buys.
+        let sys = direct(2, 1);
+        let s = initialize(&sys, &InputAssignment::monotone(2, 2));
+        let map = ValenceMap::build(&sys, s.clone(), 100_000).unwrap();
+        for st in map.succ.keys() {
+            let own = sys.decided_values(st);
+            if !own.is_empty() {
+                assert!(map.reachable_decisions(st).is_superset(&own));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the explored space")]
+    fn foreign_states_panic() {
+        let sys = direct(2, 0);
+        let s = initialize(&sys, &InputAssignment::monotone(2, 1));
+        let map = ValenceMap::build(&sys, s, 100_000).unwrap();
+        let other = initialize(&sys, &InputAssignment::monotone(2, 2));
+        let _ = map.valence(&other);
+    }
+}

@@ -1,0 +1,59 @@
+//! E10 (extension) — universality of consensus (Herlihy [11]): cost of
+//! driving the one-shot universal construction to completion.
+//!
+//! Regenerates: wait-free test&set / fetch&add objects implemented
+//! from wait-free consensus logs, answering every process under the
+//! dummy-preferring adversary.
+//!
+//! Expected shape: decision cost grows with `n` (log length × replica
+//! replay), and the survivor is always answered even under `n − 1`
+//! failures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::universal::{build, UniversalProcess};
+use spec::seq::TestAndSet;
+use spec::ProcId;
+use std::hint::black_box;
+use std::sync::Arc;
+use system::consensus::InputAssignment;
+use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_universal");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let sys = build(Arc::new(TestAndSet), n);
+        let a = InputAssignment::of(
+            (0..n).map(|i| (ProcId(i), UniversalProcess::request(&TestAndSet::test_and_set()))),
+        );
+        let run = run_fair(
+            &sys,
+            initialize(&sys, &a),
+            BranchPolicy::Canonical,
+            &[],
+            200_000,
+            |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+        );
+        eprintln!(
+            "[E10] n={n}: all answered in {} steps (one winner: {})",
+            run.exec.len(),
+            matches!(run.outcome, FairOutcome::Stopped)
+        );
+        group.bench_function(format!("test_and_set_n{n}"), |b| {
+            b.iter(|| {
+                black_box(run_fair(
+                    &sys,
+                    initialize(&sys, &a),
+                    BranchPolicy::Canonical,
+                    &[],
+                    200_000,
+                    |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E11 (extension) — the valence landscape of `G(C)` and its growth.
+//!
+//! Regenerates: the census of `G(C)` (how many states are bivalent vs
+//! committed) across scales — the quantitative backdrop of the
+//! bivalence argument: bivalent states are rare but unavoidable.
+//!
+//! Expected shape: reachable states grow roughly ×5 per added process;
+//! the bivalent fraction shrinks but never hits zero (Lemma 4).
+
+use analysis::graph::census;
+use analysis::init::{find_bivalent_init, InitOutcome};
+use bench_suite::doomed_atomic_scales;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_valence_scaling");
+    group.sample_size(10);
+    for (label, sys) in doomed_atomic_scales() {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 5_000_000).unwrap()
+        else {
+            panic!("{label}: bivalent init expected")
+        };
+        let cen = census(&map);
+        eprintln!(
+            "[E11] {label}: {} (bivalent fraction {:.1}%)",
+            cen,
+            100.0 * cen.bivalent_fraction()
+        );
+        group.bench_function(format!("census_{label}"), |b| {
+            b.iter(|| black_box(census(&map)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

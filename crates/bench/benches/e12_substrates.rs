@@ -1,0 +1,92 @@
+//! E12 (extension) — substrate costs: message-passing flooding and the
+//! double-collect snapshot.
+//!
+//! Regenerates: the flooding-consensus decision over pairwise channels
+//! (messages grow quadratically in `n`) and a writer/scanner snapshot
+//! round over single-writer registers.
+//!
+//! Expected shape: flooding cost grows ~n² (the full mesh); snapshot
+//! cost grows ~n per collect with a small constant number of retries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::message_passing::build_flood_all;
+use protocols::snapshot::{build as build_snapshot, SnapshotProcess};
+use spec::{ProcId, Val};
+use std::hint::black_box;
+use system::consensus::InputAssignment;
+use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_substrates");
+    group.sample_size(10);
+
+    // Flooding consensus across mesh sizes.
+    for n in [2usize, 3, 4] {
+        let sys = build_flood_all(n, 1);
+        let a = InputAssignment::monotone(n, 1);
+        let run = run_fair(
+            &sys,
+            initialize(&sys, &a),
+            BranchPolicy::Canonical,
+            &[],
+            200_000,
+            |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+        );
+        eprintln!(
+            "[E12] flooding n={n}: decided in {} steps ({})",
+            run.exec.len(),
+            matches!(run.outcome, FairOutcome::Stopped)
+        );
+        group.bench_function(format!("flooding_n{n}"), |b| {
+            b.iter(|| {
+                black_box(run_fair(
+                    &sys,
+                    initialize(&sys, &a),
+                    BranchPolicy::Canonical,
+                    &[],
+                    200_000,
+                    |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+                ))
+            })
+        });
+    }
+
+    // Snapshot: one writer, one scanner, across register counts.
+    for n in [2usize, 3, 4] {
+        let sys = build_snapshot(n, 2);
+        let mut pairs = vec![(ProcId(0), SnapshotProcess::update_request(Val::Int(1)))];
+        for i in 1..n {
+            pairs.push((ProcId(i), SnapshotProcess::scan_request()));
+        }
+        let a = InputAssignment::of(pairs);
+        let run = run_fair(
+            &sys,
+            initialize(&sys, &a),
+            BranchPolicy::Canonical,
+            &[],
+            200_000,
+            |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+        );
+        eprintln!(
+            "[E12] snapshot n={n}: all answered in {} steps ({})",
+            run.exec.len(),
+            matches!(run.outcome, FairOutcome::Stopped)
+        );
+        group.bench_function(format!("snapshot_n{n}"), |b| {
+            b.iter(|| {
+                black_box(run_fair(
+                    &sys,
+                    initialize(&sys, &a),
+                    BranchPolicy::Canonical,
+                    &[],
+                    200_000,
+                    |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1 — Lemma 4: finding the bivalent initialization.
+//!
+//! Regenerates: the Lemma 4 walk over the monotone initializations
+//! `α_0 … α_n`, reporting which one is bivalent, across the doomed
+//! atomic-object candidates at each `(n, f)` scale point.
+//!
+//! Expected shape: the first mixed initialization `α_1` is bivalent for
+//! every scale; cost grows with the failure-free reachable state space.
+
+use analysis::init::{find_bivalent_init, InitOutcome};
+use bench_suite::doomed_atomic_scales;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_bivalent_init");
+    group.sample_size(10);
+    for (label, sys) in doomed_atomic_scales() {
+        // Report the experiment's qualitative row once, outside timing.
+        match find_bivalent_init(&sys, 2_000_000).unwrap() {
+            InitOutcome::Bivalent { assignment, map } => eprintln!(
+                "[E1] {label}: bivalent init = {assignment} ({} reachable states)",
+                map.state_count()
+            ),
+            other => eprintln!("[E1] {label}: unexpected outcome {other:?}"),
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(find_bivalent_init(&sys, 2_000_000).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

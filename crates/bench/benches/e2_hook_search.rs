@@ -1,0 +1,43 @@
+//! E2 — Lemma 5 / Figs. 2–3: the hook construction.
+//!
+//! Regenerates: the Fig. 3 round-robin path construction from the
+//! bivalent initialization, ending in a hook, for each doomed
+//! atomic-object scale point. The valence map is prebuilt so the
+//! measurement isolates the construction itself.
+//!
+//! Expected shape: a hook exists at every scale; search cost grows with
+//! the state count but remains far below exhaustive valence mapping.
+
+use analysis::hook::{find_hook, HookOutcome};
+use analysis::init::{find_bivalent_init, InitOutcome};
+use bench_suite::doomed_atomic_scales;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_hook_search");
+    group.sample_size(10);
+    for (label, sys) in doomed_atomic_scales() {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 2_000_000).unwrap()
+        else {
+            panic!("{label}: expected a bivalent init")
+        };
+        match find_hook(&sys, &map, 20_000) {
+            HookOutcome::Hook(h) => eprintln!(
+                "[E2] {label}: hook e={} e'={} (α after {} tasks, v={:?})",
+                h.e,
+                h.e_prime,
+                h.alpha_tasks.len(),
+                h.v
+            ),
+            other => eprintln!("[E2] {label}: unexpected outcome {other:?}"),
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(find_hook(&sys, &map, 20_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

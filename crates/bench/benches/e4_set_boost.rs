@@ -1,0 +1,66 @@
+//! E4 — Section 4: the k-set-consensus boost, certified.
+//!
+//! Regenerates: the wait-free certification sweep of the group
+//! construction (k-agreement + validity + termination over every
+//! failure pattern up to `n − 1`), plus ablation A1: the same system
+//! fails `k = 1` certification, confirming it does not contradict
+//! Theorem 2.
+//!
+//! Expected shape: `k = 2` certification passes at resilience `n − 1`;
+//! `k = 1` certification fails fast with an agreement violation.
+
+use analysis::resilience::{all_assignments, certify, CertifyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::set_boost::{build, SetBoostParams};
+use spec::Val;
+use std::hint::black_box;
+use system::consensus::InputAssignment;
+use system::sched::BranchPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_set_boost");
+    group.sample_size(10);
+
+    let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+    // A representative input slice (full 256-assignment sweeps live in
+    // the integration tests; the bench measures per-sweep cost).
+    let domain: Vec<Val> = (0..4).map(Val::Int).collect();
+    let mut inputs = all_assignments(4, &domain);
+    inputs.truncate(32);
+    let mut cfg = CertifyConfig::new(2, 3, inputs);
+    cfg.failure_timings = vec![0];
+    cfg.max_steps = 50_000;
+    cfg.policies = vec![BranchPolicy::PreferDummy];
+
+    let report = certify(&sys, &cfg);
+    eprintln!(
+        "[E4] n=4,k=2,k'=1: {} runs, {} violations → {}",
+        report.runs,
+        report.violations.len(),
+        if report.certified() { "certified wait-free 2-set consensus" } else { "FAILED" }
+    );
+    group.bench_function("certify_k2_resilience3_n4", |b| {
+        b.iter(|| black_box(certify(&sys, &cfg)))
+    });
+
+    // Ablation A1: k = 1 on the same system must fail.
+    let mut cfg1 = cfg.clone();
+    cfg1.k = 1;
+    cfg1.resilience = 0;
+    cfg1.inputs = vec![InputAssignment::of(
+        (0..4).map(|i| (spec::ProcId(i), Val::Int(i as i64))),
+    )];
+    let report1 = certify(&sys, &cfg1);
+    eprintln!(
+        "[E4/A1] same system at k=1: {} violations (expected > 0: it is 2-set, not consensus)",
+        report1.violations.len()
+    );
+    group.bench_function("ablation_k1_fails", |b| {
+        b.iter(|| black_box(certify(&sys, &cfg1)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

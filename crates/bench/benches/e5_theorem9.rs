@@ -1,0 +1,30 @@
+//! E5 — Theorem 9: the impossibility pipeline over failure-oblivious
+//! services (totally ordered broadcast, Figs. 4–7).
+//!
+//! Regenerates: the witness for the TOB-based consensus candidate at
+//! `(n, f) ∈ {(2,0), (3,1)}`.
+//!
+//! Expected shape: a hook refutation pivoting on the broadcast service,
+//! failing `f + 1` processes.
+
+use analysis::witness::{find_witness, Bounds};
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::doomed::doomed_oblivious;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_theorem9");
+    group.sample_size(10);
+    for (label, n, f) in [("n=2,f=0", 2, 0), ("n=3,f=1", 3, 1)] {
+        let sys = doomed_oblivious(n, f);
+        let w = find_witness(&sys, f, Bounds::default()).unwrap();
+        eprintln!("[E5] {label}: {}", w.headline());
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(find_witness(&sys, f, Bounds::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E6 — Theorem 10: the impossibility pipeline over all-connected
+//! failure-aware services (the perfect failure detector of Fig. 9).
+//!
+//! Regenerates: the witness for the rotating-coordinator candidate over
+//! one all-connected `f`-resilient detector, plus ablation A2: the
+//! Section 6.3 pairwise topology survives the identical adversary.
+//!
+//! Expected shape: the all-connected candidate is refuted through the
+//! Lemma 4 adjacent-pair argument (its failure-free behaviour is
+//! coordinator-deterministic, so no bivalent initialization exists);
+//! the pairwise control decides.
+
+use analysis::witness::{find_witness, Bounds};
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::{doomed::doomed_general, fd_boost};
+use spec::ProcId;
+use std::hint::black_box;
+use system::consensus::InputAssignment;
+use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_theorem10");
+    group.sample_size(10);
+    for (label, n, f) in [("n=2,f=0", 2usize, 0usize), ("n=3,f=1", 3, 1)] {
+        let sys = doomed_general(n, f);
+        let w = find_witness(&sys, f, Bounds::default()).unwrap();
+        eprintln!("[E6] {label}: {}", w.headline());
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(find_witness(&sys, f, Bounds::default()).unwrap()))
+        });
+    }
+
+    // Ablation A2: the pairwise topology under the same adversary.
+    let boosted = fd_boost::build(2);
+    let a = InputAssignment::monotone(2, 1);
+    let run = run_fair(
+        &boosted,
+        initialize(&boosted, &a),
+        BranchPolicy::PreferDummy,
+        &[(0, ProcId(0))],
+        200_000,
+        |st| boosted.decision(st, ProcId(1)).is_some(),
+    );
+    eprintln!(
+        "[E6/A2] pairwise topology, same adversary: {:?} (survivor decided: {})",
+        run.outcome,
+        matches!(run.outcome, FairOutcome::Stopped)
+    );
+    group.bench_function("ablation_pairwise_survives", |b| {
+        b.iter(|| {
+            let run = run_fair(
+                &boosted,
+                initialize(&boosted, &a),
+                BranchPolicy::PreferDummy,
+                &[(0, ProcId(0))],
+                200_000,
+                |st| boosted.decision(st, ProcId(1)).is_some(),
+            );
+            black_box(run)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

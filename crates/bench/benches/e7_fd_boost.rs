@@ -1,0 +1,76 @@
+//! E7 — Section 6.3: the failure-detector boost, certified.
+//!
+//! Regenerates: consensus decisions under maximal failures (`n − 1`
+//! processes killed) for the pairwise-FD rotating-coordinator system,
+//! and the per-sweep certification cost at `n = 3`.
+//!
+//! Expected shape: every run decides; certification passes at
+//! resilience `n − 1` although no individual service tolerates more
+//! than one failure.
+
+use analysis::resilience::{all_binary_assignments, certify, CertifyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use protocols::fd_boost;
+use spec::ProcId;
+use std::hint::black_box;
+use system::consensus::InputAssignment;
+use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fd_boost");
+    group.sample_size(10);
+
+    // Maximal-failure single runs across n.
+    for n in [2usize, 3, 4, 5] {
+        let sys = fd_boost::build(n);
+        let a = InputAssignment::monotone(n, 1);
+        let failures: Vec<(usize, ProcId)> = (0..n - 1).map(|i| (i, ProcId(i))).collect();
+        let run = run_fair(
+            &sys,
+            initialize(&sys, &a),
+            BranchPolicy::PreferDummy,
+            &failures,
+            2_000_000,
+            |st| sys.decision(st, ProcId(n - 1)).is_some(),
+        );
+        eprintln!(
+            "[E7] n={n}: kill {} processes → survivor decides: {} ({} steps)",
+            n - 1,
+            matches!(run.outcome, FairOutcome::Stopped),
+            run.exec.len()
+        );
+        group.bench_function(format!("max_failures_n{n}"), |b| {
+            b.iter(|| {
+                let run = run_fair(
+                    &sys,
+                    initialize(&sys, &a),
+                    BranchPolicy::PreferDummy,
+                    &failures,
+                    2_000_000,
+                    |st| sys.decision(st, ProcId(n - 1)).is_some(),
+                );
+                black_box(run)
+            })
+        });
+    }
+
+    // Certification sweep at n = 3.
+    let sys = fd_boost::build(3);
+    let mut cfg = CertifyConfig::new(1, 2, all_binary_assignments(3));
+    cfg.failure_timings = vec![0];
+    cfg.max_steps = 400_000;
+    cfg.policies = vec![BranchPolicy::PreferDummy];
+    let report = certify(&sys, &cfg);
+    eprintln!(
+        "[E7] certify n=3 at resilience 2: {} runs, {} violations",
+        report.runs,
+        report.violations.len()
+    );
+    group.bench_function("certify_n3_resilience2", |b| {
+        b.iter(|| black_box(certify(&sys, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

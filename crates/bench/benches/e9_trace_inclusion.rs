@@ -1,0 +1,71 @@
+//! E9 — Fig. 1 semantics: atomicity as trace inclusion.
+//!
+//! Regenerates: the Section 2.1.4 "implements" check — every finite
+//! trace of the direct-protocol system is a trace of the canonical
+//! consensus object — via the on-the-fly subset construction.
+//!
+//! Expected shape: inclusion holds; the subset construction's cost is
+//! dominated by the implementation's interleavings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ioa::refine::{check_trace_inclusion, Inclusion};
+use protocols::doomed::doomed_atomic;
+use services::atomic::CanonicalAtomicObject;
+use services::automaton::{ServiceAutomaton, SvcAction};
+use spec::seq::BinaryConsensus;
+use spec::{ProcId, Val};
+use std::hint::black_box;
+use std::sync::Arc;
+use system::Action;
+
+fn external(a: &Action) -> Option<SvcAction> {
+    match a {
+        Action::Init(i, v) => Some(SvcAction::Invoke(
+            *i,
+            BinaryConsensus::init(v.as_int().expect("binary input")),
+        )),
+        Action::Decide(i, v) => Some(SvcAction::Respond(
+            *i,
+            BinaryConsensus::decide(v.as_int().expect("binary decision")),
+        )),
+        Action::Fail(i) => Some(SvcAction::Fail(*i)),
+        _ => None,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_trace_inclusion");
+    group.sample_size(10);
+    for (label, n) in [("n=2", 2usize), ("n=3", 3)] {
+        let imp = doomed_atomic(n, n - 1);
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let spec_obj = ServiceAutomaton::new(Arc::new(CanonicalAtomicObject::new(
+            Arc::new(BinaryConsensus),
+            endpoints,
+            n - 1,
+        )));
+        let mut inputs = Vec::new();
+        for i in 0..n {
+            inputs.push(Action::Init(ProcId(i), Val::Int(0)));
+            inputs.push(Action::Init(ProcId(i), Val::Int(1)));
+            inputs.push(Action::Fail(ProcId(i)));
+        }
+        let verdict =
+            check_trace_inclusion(&imp, &spec_obj, external, &inputs, n + 1, 3_000_000);
+        eprintln!(
+            "[E9] {label}: implementation traces ⊆ canonical traces: {}",
+            matches!(verdict, Inclusion::Holds)
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(check_trace_inclusion(
+                    &imp, &spec_obj, external, &inputs, n + 1, 3_000_000,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

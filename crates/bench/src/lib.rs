@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target in `benches/` regenerates one experiment from
+//! `EXPERIMENTS.md` (one per paper theorem/figure/section); this crate
+//! hosts the builders they share so the measured closures stay free of
+//! setup noise.
+
+use protocols::doomed::doomed_atomic;
+use system::build::CompleteSystem;
+use system::process::direct::DirectConsensus;
+
+/// The doomed atomic-object candidates, one per `(n, f)` scale point
+/// used across benches.
+pub fn doomed_atomic_scales() -> Vec<(&'static str, CompleteSystem<DirectConsensus>)> {
+    vec![
+        ("n=2,f=0", doomed_atomic(2, 0)),
+        ("n=3,f=0", doomed_atomic(3, 0)),
+        ("n=3,f=1", doomed_atomic(3, 1)),
+        ("n=4,f=2", doomed_atomic(4, 2)),
+    ]
+}
+
+/// The claimed-resilience parameter `f` matching each entry of
+/// [`doomed_atomic_scales`].
+pub fn doomed_atomic_fs() -> Vec<usize> {
+    vec![0, 0, 1, 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_build() {
+        assert_eq!(doomed_atomic_scales().len(), doomed_atomic_fs().len());
+    }
+}

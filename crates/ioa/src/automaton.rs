@@ -1,0 +1,114 @@
+//! The `Automaton` trait: task-structured I/O automata
+//! (paper Section 2.1.1).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The classification of an action in an automaton's signature
+/// (Section 2.1.1): input, output, or internal. Output and internal
+/// actions are collectively *locally controlled*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionKind {
+    /// An input action — always enabled, not under the automaton's
+    /// control, and not a member of any task.
+    Input,
+    /// An output action — locally controlled and externally visible.
+    Output,
+    /// An internal action — locally controlled and hidden.
+    Internal,
+}
+
+impl ActionKind {
+    /// Whether the action is locally controlled (output or internal).
+    pub fn is_locally_controlled(self) -> bool {
+        !matches!(self, ActionKind::Input)
+    }
+
+    /// Whether the action is external (input or output) and therefore
+    /// appears in traces.
+    pub fn is_external(self) -> bool {
+        !matches!(self, ActionKind::Internal)
+    }
+}
+
+/// A task-structured I/O automaton.
+///
+/// The locally controlled actions are partitioned into *tasks*
+/// (Section 2.1.1); a task `e` is *applicable* to a state `s` when some
+/// action of `e` is enabled in `s`. Implementations expose transitions
+/// per task:
+///
+/// * [`Automaton::succ_all`] — every `(action, state')` the task can
+///   produce, realizing the full nondeterminism of the model;
+/// * [`Automaton::succ_det`] — the canonical determinization used under
+///   the paper's Section 3.1 assumptions, where `transition(e, s)` is a
+///   function. The default takes the first (least, by construction
+///   order) branch; implementations whose branch order is not already
+///   canonical should override it.
+///
+/// Input actions arrive from the environment and are *not* task-driven;
+/// they are applied with [`Automaton::apply_input`].
+pub trait Automaton {
+    /// The state type. Orderable and hashable so that state spaces can
+    /// be deduplicated and canonically sorted.
+    type State: Clone + Eq + Ord + Hash + Debug;
+    /// The action label type.
+    type Action: Clone + Eq + Debug;
+    /// The task identifier type.
+    type Task: Clone + Eq + Ord + Hash + Debug;
+
+    /// The start states (nonempty).
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// All tasks, in a fixed canonical order (the round-robin order the
+    /// Fig. 3 construction walks).
+    fn tasks(&self) -> Vec<Self::Task>;
+
+    /// Every transition task `t` can take from `s`.
+    fn succ_all(&self, t: &Self::Task, s: &Self::State) -> Vec<(Self::Action, Self::State)>;
+
+    /// The determinized transition of task `t` from `s`
+    /// (`transition(e, s)` of Section 3.1), or `None` when `t` is not
+    /// applicable to `s`.
+    fn succ_det(&self, t: &Self::Task, s: &Self::State) -> Option<(Self::Action, Self::State)> {
+        self.succ_all(t, s).into_iter().next()
+    }
+
+    /// Whether task `t` is applicable to (has an action enabled in) `s`.
+    fn applicable(&self, t: &Self::Task, s: &Self::State) -> bool {
+        !self.succ_all(t, s).is_empty()
+    }
+
+    /// Applies an environment input action, returning the successor
+    /// state, or `None` if `a` is not an input action of this automaton.
+    ///
+    /// I/O automata are input-enabled (Section 2.1.1): if `a` *is* an
+    /// input of the automaton, this must return `Some`.
+    fn apply_input(&self, s: &Self::State, a: &Self::Action) -> Option<Self::State>;
+
+    /// The signature classification of `a`.
+    fn kind(&self, a: &Self::Action) -> ActionKind;
+
+    /// The tasks applicable to `s`.
+    fn applicable_tasks(&self, s: &Self::State) -> Vec<Self::Task> {
+        self.tasks()
+            .into_iter()
+            .filter(|t| self.applicable(t, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(ActionKind::Output.is_locally_controlled());
+        assert!(ActionKind::Internal.is_locally_controlled());
+        assert!(!ActionKind::Input.is_locally_controlled());
+        assert!(ActionKind::Input.is_external());
+        assert!(ActionKind::Output.is_external());
+        assert!(!ActionKind::Internal.is_external());
+    }
+}

@@ -1,0 +1,283 @@
+//! Executions, steps and traces (paper Section 2.1.1).
+//!
+//! An execution is an alternating sequence `s0 a1 s1 a2 s2 …` of states
+//! and actions starting in a start state where every triple
+//! `(s_{i−1}, a_i, s_i)` is a transition. A *trace* is the subsequence
+//! of external actions. Executions here also record which task produced
+//! each locally controlled step (`None` for environment inputs), since
+//! the paper's constructions — Fig. 3 in particular — are phrased as
+//! *task sequences* applied from a state (Section 3.1: "the task
+//! sequence is enough to uniquely specify the execution").
+
+use crate::automaton::Automaton;
+use std::fmt;
+
+/// One step of an execution: the task that fired (if locally
+/// controlled), the action label, and the post-state.
+#[derive(Debug)]
+pub struct Step<A: Automaton> {
+    /// The task that produced this step, or `None` for an environment
+    /// input action.
+    pub task: Option<A::Task>,
+    /// The action label.
+    pub action: A::Action,
+    /// The state after the step.
+    pub state: A::State,
+}
+
+/// A finite execution (or execution fragment) of an automaton.
+#[derive(Debug)]
+pub struct Execution<A: Automaton> {
+    first: A::State,
+    steps: Vec<Step<A>>,
+}
+
+// Manual Clone/PartialEq impls: the derives would (incorrectly) demand
+// `A: Clone`/`A: PartialEq` although only the associated types are stored.
+impl<A: Automaton> Clone for Step<A> {
+    fn clone(&self) -> Self {
+        Step {
+            task: self.task.clone(),
+            action: self.action.clone(),
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<A: Automaton> PartialEq for Step<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.task == other.task && self.action == other.action && self.state == other.state
+    }
+}
+
+impl<A: Automaton> Eq for Step<A> {}
+
+impl<A: Automaton> Clone for Execution<A> {
+    fn clone(&self) -> Self {
+        Execution {
+            first: self.first.clone(),
+            steps: self.steps.clone(),
+        }
+    }
+}
+
+impl<A: Automaton> PartialEq for Execution<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.first == other.first && self.steps == other.steps
+    }
+}
+
+impl<A: Automaton> Eq for Execution<A> {}
+
+impl<A: Automaton> Execution<A> {
+    /// The zero-length execution at `first`.
+    pub fn new(first: A::State) -> Self {
+        Execution {
+            first,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The start state `s0`.
+    pub fn first_state(&self) -> &A::State {
+        &self.first
+    }
+
+    /// The final state.
+    pub fn last_state(&self) -> &A::State {
+        self.steps.last().map(|s| &s.state).unwrap_or(&self.first)
+    }
+
+    /// The number of steps (actions) in the execution.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the execution has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps, in order.
+    pub fn steps(&self) -> &[Step<A>] {
+        &self.steps
+    }
+
+    /// Appends a step. The caller asserts it is a genuine transition
+    /// from [`Execution::last_state`].
+    pub fn push(&mut self, step: Step<A>) {
+        self.steps.push(step);
+    }
+
+    /// Extends the execution by applying task `t` deterministically
+    /// (`e(α)` in Section 3.1). Returns `false` (leaving the execution
+    /// unchanged) if `t` is not applicable.
+    pub fn apply_task(&mut self, aut: &A, t: &A::Task) -> bool {
+        match aut.succ_det(t, self.last_state()) {
+            Some((action, state)) => {
+                self.steps.push(Step {
+                    task: Some(t.clone()),
+                    action,
+                    state,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Extends the execution by an environment input action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an input action of `aut` — inputs are always
+    /// enabled in the I/O automaton model, so a rejected input is a
+    /// caller bug.
+    pub fn apply_input(&mut self, aut: &A, a: A::Action) {
+        let next = aut
+            .apply_input(self.last_state(), &a)
+            .unwrap_or_else(|| panic!("not an input action: {a:?}"));
+        self.steps.push(Step {
+            task: None,
+            action: a,
+            state: next,
+        });
+    }
+
+    /// Concatenation `α · α'` (Section 2.1.1): appends a fragment that
+    /// starts in this execution's last state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` does not start in [`Execution::last_state`].
+    pub fn concat(&mut self, other: &Execution<A>) {
+        assert_eq!(
+            self.last_state(),
+            other.first_state(),
+            "fragment must start in the last state of the prefix"
+        );
+        self.steps.extend(other.steps.iter().cloned());
+    }
+
+    /// The trace: the sequence of external actions (Section 2.1.1).
+    pub fn trace(&self, aut: &A) -> Vec<A::Action> {
+        self.steps
+            .iter()
+            .filter(|s| aut.kind(&s.action).is_external())
+            .map(|s| s.action.clone())
+            .collect()
+    }
+
+    /// The sequence of tasks that produced the locally controlled steps
+    /// (the `ρ` of the paper's Lemma 6 replay argument).
+    pub fn task_sequence(&self) -> Vec<A::Task> {
+        self.steps.iter().filter_map(|s| s.task.clone()).collect()
+    }
+
+    /// The states visited, starting with the start state.
+    pub fn states(&self) -> Vec<&A::State> {
+        std::iter::once(&self.first)
+            .chain(self.steps.iter().map(|s| &s.state))
+            .collect()
+    }
+
+    /// Replays a task sequence from this execution's final state,
+    /// appending each applicable task's deterministic transition and
+    /// silently skipping inapplicable tasks.
+    ///
+    /// This is the paper's "apply the same sequence ρ of tasks after
+    /// α1" construction (proof of Lemma 6): tasks that produced dummy
+    /// or removed steps are simply not applicable and drop out.
+    pub fn replay(&mut self, aut: &A, tasks: &[A::Task]) -> usize {
+        let mut applied = 0;
+        for t in tasks {
+            if self.apply_task(aut, t) {
+                applied += 1;
+            }
+        }
+        applied
+    }
+}
+
+impl<A: Automaton> fmt::Display for Execution<A>
+where
+    A::Action: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution[{} steps]:", self.steps.len())?;
+        for s in &self.steps {
+            write!(f, " {:?}", s.action)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::Channel;
+
+    #[test]
+    fn empty_execution_has_first_as_last() {
+        let ch = Channel::new(&[1]);
+        let e: Execution<Channel> = Execution::new(ch.initial_states()[0].clone());
+        assert!(e.is_empty());
+        assert_eq!(e.first_state(), e.last_state());
+    }
+
+    #[test]
+    fn apply_input_then_task_traces_both() {
+        let ch = Channel::new(&[7]);
+        let mut e = Execution::new(ch.initial_states()[0].clone());
+        e.apply_input(&ch, crate::toy::ChanAction::Send(7));
+        assert_eq!(e.len(), 1);
+        let tasks = ch.tasks();
+        assert!(e.apply_task(&ch, &tasks[0]));
+        let tr = e.trace(&ch);
+        assert_eq!(tr.len(), 2); // send and recv are both external
+    }
+
+    #[test]
+    fn inapplicable_task_leaves_execution_unchanged() {
+        let ch = Channel::new(&[7]);
+        let mut e = Execution::new(ch.initial_states()[0].clone());
+        let tasks = ch.tasks();
+        assert!(!e.apply_task(&ch, &tasks[0])); // nothing to deliver
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn concat_requires_matching_states() {
+        let ch = Channel::new(&[7]);
+        let s0 = ch.initial_states()[0].clone();
+        let mut a = Execution::new(s0.clone());
+        let b: Execution<Channel> = Execution::new(s0);
+        a.concat(&b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must start in the last state")]
+    fn concat_rejects_mismatched_fragment() {
+        let ch = Channel::new(&[7]);
+        let mut a = Execution::new(ch.initial_states()[0].clone());
+        let mut b = Execution::new(ch.initial_states()[0].clone());
+        b.apply_input(&ch, crate::toy::ChanAction::Send(7));
+        let frag = b.clone();
+        a.apply_input(&ch, crate::toy::ChanAction::Send(7));
+        let mut after = Execution::new(b.last_state().clone());
+        after.apply_task(&ch, &ch.tasks()[0]);
+        a.concat(&frag); // frag starts at empty channel, a ends at nonempty
+    }
+
+    #[test]
+    fn replay_skips_inapplicable_tasks() {
+        let ch = Channel::new(&[7]);
+        let mut e = Execution::new(ch.initial_states()[0].clone());
+        let deliver = ch.tasks()[0];
+        // Nothing in flight: replaying [deliver, deliver] applies zero.
+        assert_eq!(e.replay(&ch, &[deliver, deliver]), 0);
+        e.apply_input(&ch, crate::toy::ChanAction::Send(7));
+        assert_eq!(e.replay(&ch, &[deliver, deliver]), 1);
+    }
+}

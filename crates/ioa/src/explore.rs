@@ -1,0 +1,270 @@
+//! Breadth-first exploration of task-generated state spaces.
+//!
+//! The valence definitions of paper Section 3.2 quantify over *all
+//! failure-free extensions* of an execution. For the finite systems this
+//! workspace studies, that quantifier is decided by exhaustive
+//! reachability over task applications — the functions in this module.
+
+use crate::automaton::Automaton;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The result of a reachability sweep.
+#[derive(Clone, Debug)]
+pub struct ReachResult<S> {
+    /// Every state reached (including the roots).
+    pub states: HashSet<S>,
+    /// Whether exploration stopped at the state budget rather than at a
+    /// fixpoint. When `true`, absence of a state from `states` proves
+    /// nothing.
+    pub truncated: bool,
+}
+
+/// Computes all states reachable from `roots` by task transitions
+/// (`succ_all` over every task), up to `max_states` distinct states.
+///
+/// # Example
+///
+/// ```
+/// use ioa::automaton::Automaton;
+/// use ioa::explore::reachable_states;
+/// use ioa::toy::ParityCounter;
+///
+/// let c = ParityCounter::new(3);
+/// let r = reachable_states(&c, c.initial_states(), 100);
+/// assert_eq!(r.states.len(), 4); // 0, 1, 2, 3
+/// assert!(!r.truncated);
+/// ```
+pub fn reachable_states<A: Automaton>(
+    aut: &A,
+    roots: Vec<A::State>,
+    max_states: usize,
+) -> ReachResult<A::State> {
+    let tasks = aut.tasks();
+    let mut states: HashSet<A::State> = HashSet::new();
+    let mut queue: VecDeque<A::State> = VecDeque::new();
+    for r in roots {
+        if states.insert(r.clone()) {
+            queue.push_back(r);
+        }
+    }
+    let mut truncated = false;
+    while let Some(s) = queue.pop_front() {
+        for t in &tasks {
+            for (_, s2) in aut.succ_all(t, &s) {
+                if states.contains(&s2) {
+                    continue;
+                }
+                if states.len() >= max_states {
+                    truncated = true;
+                    continue;
+                }
+                states.insert(s2.clone());
+                queue.push_back(s2);
+            }
+        }
+    }
+    ReachResult { states, truncated }
+}
+
+/// A path found by [`search`]: the steps `(task, action, state)` from
+/// the root to the first state satisfying the predicate.
+#[allow(clippy::type_complexity)]
+pub type Path<A> = Vec<(
+    <A as Automaton>::Task,
+    <A as Automaton>::Action,
+    <A as Automaton>::State,
+)>;
+
+/// The outcome of a bounded predicate search.
+#[derive(Debug)]
+pub enum SearchOutcome<A: Automaton> {
+    /// A state satisfying the predicate was found; the path from the
+    /// root is returned (empty if the root itself satisfies it).
+    Found(Path<A>),
+    /// The full reachable space was explored and no state satisfies the
+    /// predicate — a *proof* of unreachability.
+    Exhausted,
+    /// The state budget ran out first; the result is inconclusive.
+    Truncated,
+}
+
+// Manual impls to avoid spurious `A: Clone`/`A: PartialEq` bounds.
+impl<A: Automaton> Clone for SearchOutcome<A> {
+    fn clone(&self) -> Self {
+        match self {
+            SearchOutcome::Found(p) => SearchOutcome::Found(p.clone()),
+            SearchOutcome::Exhausted => SearchOutcome::Exhausted,
+            SearchOutcome::Truncated => SearchOutcome::Truncated,
+        }
+    }
+}
+
+impl<A: Automaton> PartialEq for SearchOutcome<A> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SearchOutcome::Found(a), SearchOutcome::Found(b)) => a == b,
+            (SearchOutcome::Exhausted, SearchOutcome::Exhausted) => true,
+            (SearchOutcome::Truncated, SearchOutcome::Truncated) => true,
+            _ => false,
+        }
+    }
+}
+
+impl<A: Automaton> Eq for SearchOutcome<A> {}
+
+/// Breadth-first search from `root` for a state satisfying `pred`,
+/// visiting at most `max_states` distinct states.
+///
+/// Returns the *shortest* witnessing path (by step count).
+pub fn search<A, P>(aut: &A, root: &A::State, pred: P, max_states: usize) -> SearchOutcome<A>
+where
+    A: Automaton,
+    P: Fn(&A::State) -> bool,
+{
+    if pred(root) {
+        return SearchOutcome::Found(Vec::new());
+    }
+    let tasks = aut.tasks();
+    // parent: state -> (prev state, task, action)
+    #[allow(clippy::type_complexity)]
+    let mut parent: HashMap<A::State, (A::State, A::Task, A::Action)> = HashMap::new();
+    let mut seen: HashSet<A::State> = HashSet::new();
+    seen.insert(root.clone());
+    let mut queue: VecDeque<A::State> = VecDeque::from([root.clone()]);
+    let mut truncated = false;
+    while let Some(s) = queue.pop_front() {
+        for t in &tasks {
+            for (a, s2) in aut.succ_all(t, &s) {
+                if seen.contains(&s2) {
+                    continue;
+                }
+                if seen.len() >= max_states {
+                    truncated = true;
+                    continue;
+                }
+                seen.insert(s2.clone());
+                parent.insert(s2.clone(), (s.clone(), t.clone(), a.clone()));
+                if pred(&s2) {
+                    // Reconstruct the path root → s2.
+                    let mut path = Vec::new();
+                    let mut cur = s2.clone();
+                    while let Some((prev, task, action)) = parent.get(&cur) {
+                        path.push((task.clone(), action.clone(), cur.clone()));
+                        cur = prev.clone();
+                    }
+                    path.reverse();
+                    return SearchOutcome::Found(path);
+                }
+                queue.push_back(s2);
+            }
+        }
+    }
+    if truncated {
+        SearchOutcome::Truncated
+    } else {
+        SearchOutcome::Exhausted
+    }
+}
+
+/// A materialized transition graph over the reachable space: for each
+/// state, the out-edges `(task, action, successor)`.
+#[derive(Clone, Debug)]
+pub struct Graph<A: Automaton> {
+    /// Out-edges per state.
+    #[allow(clippy::type_complexity)]
+    pub edges: HashMap<A::State, Vec<(A::Task, A::Action, A::State)>>,
+    /// Whether the graph was truncated at the state budget.
+    pub truncated: bool,
+}
+
+/// Builds the full transition graph reachable from `roots`, up to
+/// `max_states` distinct states.
+pub fn build_graph<A: Automaton>(aut: &A, roots: Vec<A::State>, max_states: usize) -> Graph<A> {
+    let tasks = aut.tasks();
+    #[allow(clippy::type_complexity)]
+    let mut edges: HashMap<A::State, Vec<(A::Task, A::Action, A::State)>> = HashMap::new();
+    let mut queue: VecDeque<A::State> = VecDeque::new();
+    let mut seen: HashSet<A::State> = HashSet::new();
+    for r in roots {
+        if seen.insert(r.clone()) {
+            queue.push_back(r);
+        }
+    }
+    let mut truncated = false;
+    while let Some(s) = queue.pop_front() {
+        let mut out = Vec::new();
+        for t in &tasks {
+            for (a, s2) in aut.succ_all(t, &s) {
+                out.push((t.clone(), a.clone(), s2.clone()));
+                if seen.contains(&s2) {
+                    continue;
+                }
+                if seen.len() >= max_states {
+                    truncated = true;
+                    continue;
+                }
+                seen.insert(s2.clone());
+                queue.push_back(s2);
+            }
+        }
+        edges.insert(s, out);
+    }
+    Graph { edges, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{ParityCounter, ParityTask};
+
+    #[test]
+    fn reachability_reaches_the_bound() {
+        let c = ParityCounter::new(5);
+        let r = reachable_states(&c, c.initial_states(), 100);
+        assert_eq!(r.states.len(), 6);
+        assert!(r.states.contains(&5));
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let c = ParityCounter::new(100);
+        let r = reachable_states(&c, c.initial_states(), 10);
+        assert!(r.truncated);
+        assert_eq!(r.states.len(), 10);
+    }
+
+    #[test]
+    fn search_finds_shortest_path() {
+        let c = ParityCounter::new(5);
+        match search(&c, &0, |s| *s == 3, 100) {
+            SearchOutcome::Found(path) => {
+                assert_eq!(path.len(), 3);
+                assert_eq!(path[0].0, ParityTask::Even);
+                assert_eq!(path[1].0, ParityTask::Odd);
+                assert_eq!(path[2].0, ParityTask::Even);
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_exhausted_is_a_proof() {
+        let c = ParityCounter::new(5);
+        assert_eq!(search(&c, &0, |s| *s == 42, 100), SearchOutcome::Exhausted);
+    }
+
+    #[test]
+    fn search_at_root() {
+        let c = ParityCounter::new(5);
+        assert_eq!(search(&c, &0, |s| *s == 0, 100), SearchOutcome::Found(Vec::new()));
+    }
+
+    #[test]
+    fn graph_has_one_edge_per_applicable_task() {
+        let c = ParityCounter::new(2);
+        let g = build_graph(&c, c.initial_states(), 100);
+        assert!(!g.truncated);
+        assert_eq!(g.edges[&0].len(), 1);
+        assert_eq!(g.edges[&2].len(), 0);
+    }
+}

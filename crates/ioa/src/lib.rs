@@ -1,0 +1,53 @@
+//! A task-structured I/O automata kernel (Lynch–Tuttle model, as used in
+//! paper Section 2.1.1).
+//!
+//! The paper's entire framework is phrased in the I/O automaton model:
+//! state machines whose transitions are labeled with input, output or
+//! internal actions, whose locally controlled actions are partitioned
+//! into *tasks*, and whose fair executions give every task infinitely
+//! many turns. This crate provides that model in executable form:
+//!
+//! * [`automaton::Automaton`] — the central trait: task-indexed
+//!   successor functions with both the fully nondeterministic view
+//!   (`succ_all`) and the determinized view (`succ_det`) required by the
+//!   paper's Section 3.1 determinism assumptions.
+//! * [`execution`] — executions, steps and traces (Section 2.1.1),
+//!   including extension and concatenation of execution fragments.
+//! * [`explore`] — breadth-first reachability, predicate search and
+//!   graph materialization over task-generated transitions; this is what
+//!   makes valence ("does any extension decide 0?") decidable for the
+//!   finite systems the `analysis` crate studies.
+//! * [`fairness`] — fair-execution checking and the deterministic
+//!   round-robin scheduler, whose infinite runs are fair by
+//!   construction and whose finite-state lassos witness fair
+//!   nontermination.
+//! * [`compose`] — binary composition of I/O automata with action
+//!   synchronization and hiding (Section 2.2.3 uses the n-ary analogue,
+//!   implemented natively by the `system` crate).
+//! * [`refine`] — finite-trace inclusion ("A implements B",
+//!   Section 2.1.1, clause 2) via on-the-fly subset construction.
+//!
+//! # Example
+//!
+//! ```
+//! use ioa::automaton::{ActionKind, Automaton};
+//! use ioa::toy::Channel;
+//! use ioa::explore::reachable_states;
+//!
+//! let ch = Channel::new(&[1, 2]);
+//! let reach = reachable_states(&ch, ch.initial_states(), 100);
+//! assert!(!reach.truncated);
+//! # let _ = ActionKind::Input;
+//! ```
+
+pub mod automaton;
+pub mod compose;
+pub mod execution;
+pub mod explore;
+pub mod fairness;
+pub mod nary;
+pub mod refine;
+pub mod toy;
+
+pub use automaton::{ActionKind, Automaton};
+pub use execution::{Execution, Step};

@@ -1,0 +1,243 @@
+//! N-ary composition of I/O automata (paper Section 2.2.3 composes
+//! `n` processes with `|K| + |R|` services in one step).
+//!
+//! [`Composite`] composes a homogeneous vector of component automata
+//! over a shared action alphabet: every component with an action in
+//! its signature executes it jointly. Homogeneity is no restriction —
+//! a heterogeneous system is composed by making the component type an
+//! enum (exactly how `system::build::CompleteSystem` handles processes
+//! vs services, natively for speed; `Composite` is the generic,
+//! kernel-level form used for smaller models and for testing the
+//! composition laws themselves).
+
+use crate::automaton::{ActionKind, Automaton};
+
+/// A task of an n-ary composition: component index + component task.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexedTask<T> {
+    /// Which component owns the task.
+    pub component: usize,
+    /// The component's own task.
+    pub task: T,
+}
+
+/// The n-ary parallel composition of components over one action
+/// alphabet.
+///
+/// When component `c` performs action `a`, every *other* component
+/// that accepts `a` as an input performs it simultaneously (the
+/// standard synchronization rule; output-ownership uniqueness is the
+/// caller's obligation, as in the binary [`crate::compose::Compose`]).
+///
+/// # Example
+///
+/// ```
+/// use ioa::automaton::Automaton;
+/// use ioa::nary::Composite;
+/// use ioa::toy::Channel;
+///
+/// let net = Composite::new(vec![Channel::new(&[1]), Channel::new(&[1]), Channel::new(&[1])]);
+/// assert_eq!(net.tasks().len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Composite<A> {
+    components: Vec<A>,
+}
+
+impl<A: Automaton> Composite<A> {
+    /// Composes the given components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<A>) -> Self {
+        assert!(!components.is_empty(), "a composition needs components");
+        Composite { components }
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[A] {
+        &self.components
+    }
+
+    /// Propagates action `a`, performed by `actor`, into every other
+    /// component that accepts it as an input.
+    fn sync(&self, states: &[A::State], actor: usize, a: &A::Action) -> Vec<A::State> {
+        states
+            .iter()
+            .enumerate()
+            .map(|(c, s)| {
+                if c == actor {
+                    s.clone() // actor's post-state is substituted by the caller
+                } else {
+                    self.components[c].apply_input(s, a).unwrap_or_else(|| s.clone())
+                }
+            })
+            .collect()
+    }
+}
+
+impl<A: Automaton> Automaton for Composite<A> {
+    type State = Vec<A::State>;
+    type Action = A::Action;
+    type Task = IndexedTask<A::Task>;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        // Cross product of component start states.
+        let mut states: Vec<Vec<A::State>> = vec![Vec::new()];
+        for c in &self.components {
+            let choices = c.initial_states();
+            let mut next = Vec::with_capacity(states.len() * choices.len());
+            for prefix in &states {
+                for choice in &choices {
+                    let mut p = prefix.clone();
+                    p.push(choice.clone());
+                    next.push(p);
+                }
+            }
+            states = next;
+        }
+        states
+    }
+
+    fn tasks(&self) -> Vec<Self::Task> {
+        self.components
+            .iter()
+            .enumerate()
+            .flat_map(|(component, c)| {
+                c.tasks()
+                    .into_iter()
+                    .map(move |task| IndexedTask { component, task })
+            })
+            .collect()
+    }
+
+    fn succ_all(&self, t: &Self::Task, s: &Self::State) -> Vec<(Self::Action, Self::State)> {
+        let c = t.component;
+        self.components[c]
+            .succ_all(&t.task, &s[c])
+            .into_iter()
+            .map(|(a, cs2)| {
+                let mut joint = self.sync(s, c, &a);
+                joint[c] = cs2;
+                (a, joint)
+            })
+            .collect()
+    }
+
+    fn apply_input(&self, s: &Self::State, a: &Self::Action) -> Option<Self::State> {
+        let mut any = false;
+        let next: Vec<A::State> = s
+            .iter()
+            .enumerate()
+            .map(|(c, cs)| match self.components[c].apply_input(cs, a) {
+                Some(cs2) => {
+                    any = true;
+                    cs2
+                }
+                None => cs.clone(),
+            })
+            .collect();
+        if any {
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    fn kind(&self, a: &Self::Action) -> ActionKind {
+        // Output of any component ⇒ output; internal anywhere ⇒
+        // internal; else input.
+        let mut kind = ActionKind::Input;
+        for c in &self.components {
+            match c.kind(a) {
+                ActionKind::Internal => return ActionKind::Internal,
+                ActionKind::Output => kind = ActionKind::Output,
+                ActionKind::Input => {}
+            }
+        }
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::Compose;
+    use crate::explore::reachable_states;
+    use crate::toy::{ChanAction, Channel};
+
+    #[test]
+    fn composite_of_channels_interleaves_independently() {
+        let net = Composite::new(vec![Channel::new(&[1]), Channel::new(&[2])]);
+        let s0 = net.initial_states().remove(0);
+        // Send goes to every channel that accepts it (both do: they
+        // share the alphabet type, so a send lands in both queues).
+        let s1 = net.apply_input(&s0, &ChanAction::Send(1)).unwrap();
+        assert_eq!(s1, vec![vec![1], vec![1]]);
+        // Each channel's deliver task fires independently.
+        let t0 = IndexedTask { component: 0, task: crate::toy::DeliverTask };
+        let (a, s2) = net.succ_det(&t0, &s1).unwrap();
+        assert_eq!(a, ChanAction::Recv(1));
+        assert_eq!(s2[0], Vec::<i64>::new());
+        assert_eq!(s2[1], vec![1], "only component 0 moved on its own output?");
+    }
+
+    #[test]
+    fn binary_and_nary_compositions_agree_on_reachability() {
+        // Compose two channels both ways and compare reachable-state
+        // counts from the same driven prefix.
+        let nary = Composite::new(vec![Channel::new(&[1]), Channel::new(&[1])]);
+        let bin = Compose::new(Channel::new(&[1]), Channel::new(&[1]));
+        let sn = nary
+            .apply_input(&nary.initial_states().remove(0), &ChanAction::Send(1))
+            .unwrap();
+        let sb = bin
+            .apply_input(&bin.initial_states().remove(0), &ChanAction::Send(1))
+            .unwrap();
+        let rn = reachable_states(&nary, vec![sn], 1000);
+        let rb = reachable_states(&bin, vec![sb], 1000);
+        assert_eq!(rn.states.len(), rb.states.len());
+    }
+
+    #[test]
+    fn nondeterministic_initials_cross_product() {
+        /// Two start states each.
+        #[derive(Clone, Debug)]
+        struct TwoStart;
+        impl Automaton for TwoStart {
+            type State = u8;
+            type Action = ();
+            type Task = ();
+            fn initial_states(&self) -> Vec<u8> {
+                vec![0, 1]
+            }
+            fn tasks(&self) -> Vec<()> {
+                vec![]
+            }
+            fn succ_all(&self, _t: &(), _s: &u8) -> Vec<((), u8)> {
+                vec![]
+            }
+            fn apply_input(&self, _s: &u8, _a: &()) -> Option<u8> {
+                None
+            }
+            fn kind(&self, _a: &()) -> ActionKind {
+                ActionKind::Internal
+            }
+        }
+        let c = Composite::new(vec![TwoStart, TwoStart]);
+        assert_eq!(c.initial_states().len(), 4);
+    }
+
+    #[test]
+    fn recv_of_one_component_is_not_an_input_elsewhere() {
+        // Recv is an output — other channels ignore it (their
+        // apply_input returns None), so sync leaves them unchanged.
+        let net = Composite::new(vec![Channel::new(&[1]), Channel::new(&[1])]);
+        let s = net.apply_input(&net.initial_states().remove(0), &ChanAction::Send(1)).unwrap();
+        let t1 = IndexedTask { component: 1, task: crate::toy::DeliverTask };
+        let (_, s2) = net.succ_det(&t1, &s).unwrap();
+        assert_eq!(s2[0], vec![1], "component 0 untouched by component 1's output");
+        assert_eq!(s2[1], Vec::<i64>::new());
+    }
+}

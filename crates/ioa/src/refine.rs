@@ -1,0 +1,302 @@
+//! Finite-trace inclusion: "A implements B" (paper Section 2.1.1).
+//!
+//! Automaton `A` implements `B` when they share external interfaces and
+//! every (finite or infinite) trace of `A` is a trace of `B`, and every
+//! fair trace of `A` is a fair trace of `B`. For the finite systems in
+//! this workspace we check the finite-trace clause exhaustively by an
+//! on-the-fly subset construction; the fair-trace clause (which for the
+//! canonical services amounts to the resilient-termination guarantee)
+//! is checked separately by `analysis`'s resilience checker, which
+//! drives fair schedules directly.
+//!
+//! For an atomic-object implementation, finite-trace inclusion against
+//! the canonical object of paper Fig. 1 is exactly *atomicity*
+//! (Section 2.1.4, clause 2: "any trace of A is also a trace of S
+//! guarantees the atomicity of A").
+
+use crate::automaton::{ActionKind, Automaton};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// A trace-inclusion counterexample: a trace of the implementation that
+/// the specification cannot exhibit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceCounterexample<Act> {
+    /// The externally visible prefix that *was* matched.
+    pub matched_prefix: Vec<Act>,
+    /// The first external action the specification could not match.
+    pub offending: Act,
+}
+
+impl<Act: std::fmt::Debug> std::fmt::Display for TraceCounterexample<Act> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spec cannot match {:?} after trace {:?}",
+            self.offending, self.matched_prefix
+        )
+    }
+}
+
+/// The verdict of [`check_trace_inclusion`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Inclusion<Act> {
+    /// Every reachable finite trace of the implementation is a trace of
+    /// the specification (exhaustively verified).
+    Holds,
+    /// A counterexample trace was found.
+    Fails(TraceCounterexample<Act>),
+    /// The state budget was exhausted; the check is inconclusive.
+    Truncated,
+}
+
+/// Closes a set of specification states under internal transitions.
+fn internal_closure<S: Automaton>(spec: &S, states: BTreeSet<S::State>) -> BTreeSet<S::State> {
+    let tasks = spec.tasks();
+    let mut closed = states;
+    let mut frontier: Vec<S::State> = closed.iter().cloned().collect();
+    while let Some(q) = frontier.pop() {
+        for t in &tasks {
+            for (a, q2) in spec.succ_all(t, &q) {
+                if spec.kind(&a) == ActionKind::Internal && closed.insert(q2.clone()) {
+                    frontier.push(q2);
+                }
+            }
+        }
+    }
+    closed
+}
+
+/// All specification states reachable from `states` by performing the
+/// external action `x` (as an input or as a task-generated output),
+/// closed under internal steps.
+fn advance<S: Automaton>(
+    spec: &S,
+    states: &BTreeSet<S::State>,
+    x: &S::Action,
+) -> BTreeSet<S::State> {
+    let mut next = BTreeSet::new();
+    if spec.kind(x) == ActionKind::Input {
+        for q in states {
+            if let Some(q2) = spec.apply_input(q, x) {
+                next.insert(q2);
+            }
+        }
+    } else {
+        let tasks = spec.tasks();
+        for q in states {
+            for t in &tasks {
+                for (a, q2) in spec.succ_all(t, &q.clone()) {
+                    if &a == x {
+                        next.insert(q2.clone());
+                    }
+                }
+            }
+        }
+    }
+    internal_closure(spec, next)
+}
+
+/// Checks that every finite trace of `imp` (reachable by task steps and
+/// the environment inputs listed in `env_inputs`) is a trace of `spec`.
+///
+/// `map` translates implementation actions to specification actions;
+/// `None` means the action is invisible (internal, or hidden plumbing).
+/// Visits at most `max_states` distinct `(impl state, spec state-set)`
+/// pairs, and drives at most `max_env` environment inputs along any
+/// path (the paper's executions of interest are *input-first* with
+/// finitely many inputs, Section 3.2, so a finite input budget loses no
+/// generality for the properties checked here).
+///
+/// # Example
+///
+/// ```
+/// use ioa::refine::{check_trace_inclusion, Inclusion};
+/// use ioa::toy::Channel;
+/// use ioa::toy::ChanAction;
+///
+/// // A channel trivially implements itself.
+/// let a = Channel::new(&[1]);
+/// let b = Channel::new(&[1]);
+/// let verdict = check_trace_inclusion(
+///     &a,
+///     &b,
+///     |x| Some(*x),
+///     &[ChanAction::Send(1)],
+///     4,
+///     10_000,
+/// );
+/// assert_eq!(verdict, Inclusion::Holds);
+/// ```
+pub fn check_trace_inclusion<I, S, M>(
+    imp: &I,
+    spec: &S,
+    map: M,
+    env_inputs: &[I::Action],
+    max_env: usize,
+    max_states: usize,
+) -> Inclusion<S::Action>
+where
+    I: Automaton,
+    S: Automaton,
+    M: Fn(&I::Action) -> Option<S::Action>,
+{
+    #[allow(clippy::type_complexity)]
+    type Config<I, S> = (
+        <I as Automaton>::State,
+        BTreeSet<<S as Automaton>::State>,
+        usize, // environment inputs consumed
+    );
+
+    let spec_init = internal_closure(spec, spec.initial_states().into_iter().collect());
+    let tasks = imp.tasks();
+    let mut seen: HashSet<Config<I, S>> = HashSet::new();
+    #[allow(clippy::type_complexity)]
+    let mut queue: VecDeque<(Config<I, S>, Vec<S::Action>)> = VecDeque::new();
+    for s0 in imp.initial_states() {
+        let cfg = (s0, spec_init.clone(), 0);
+        if seen.insert(cfg.clone()) {
+            queue.push_back((cfg, Vec::new()));
+        }
+    }
+    let mut truncated = false;
+    while let Some(((si, qs, used), prefix)) = queue.pop_front() {
+        // Enumerate implementation moves: task steps plus environment
+        // inputs (the latter only while the input budget lasts).
+        let mut moves: Vec<(I::Action, I::State, usize)> = Vec::new();
+        for t in &tasks {
+            for (a, s2) in imp.succ_all(t, &si) {
+                moves.push((a, s2, used));
+            }
+        }
+        if used < max_env {
+            for inp in env_inputs {
+                if let Some(s2) = imp.apply_input(&si, inp) {
+                    moves.push((inp.clone(), s2, used + 1));
+                }
+            }
+        }
+        for (act, si2, used2) in moves {
+            let (qs2, prefix2) = match map(&act) {
+                None => (qs.clone(), prefix.clone()),
+                Some(x) => {
+                    let adv = advance(spec, &qs, &x);
+                    if adv.is_empty() {
+                        return Inclusion::Fails(TraceCounterexample {
+                            matched_prefix: prefix,
+                            offending: x,
+                        });
+                    }
+                    let mut p2 = prefix.clone();
+                    p2.push(x);
+                    (adv, p2)
+                }
+            };
+            let cfg = (si2, qs2, used2);
+            if seen.contains(&cfg) {
+                continue;
+            }
+            if seen.len() >= max_states {
+                truncated = true;
+                continue;
+            }
+            seen.insert(cfg.clone());
+            queue.push_back((cfg, prefix2));
+        }
+    }
+    if truncated {
+        Inclusion::Truncated
+    } else {
+        Inclusion::Holds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{ChanAction, Channel, DeliverTask};
+
+    /// A "lossy reorder" channel that delivers the *last* message first
+    /// — it does NOT implement the FIFO channel.
+    #[derive(Clone, Debug)]
+    struct LifoChannel;
+
+    impl Automaton for LifoChannel {
+        type State = Vec<i64>;
+        type Action = ChanAction;
+        type Task = DeliverTask;
+
+        fn initial_states(&self) -> Vec<Vec<i64>> {
+            vec![Vec::new()]
+        }
+        fn tasks(&self) -> Vec<DeliverTask> {
+            vec![DeliverTask]
+        }
+        fn succ_all(&self, _t: &DeliverTask, s: &Vec<i64>) -> Vec<(ChanAction, Vec<i64>)> {
+            match s.split_last() {
+                Some((last, rest)) => vec![(ChanAction::Recv(*last), rest.to_vec())],
+                None => Vec::new(),
+            }
+        }
+        fn apply_input(&self, s: &Vec<i64>, a: &ChanAction) -> Option<Vec<i64>> {
+            match a {
+                ChanAction::Send(m) => {
+                    let mut s = s.clone();
+                    s.push(*m);
+                    Some(s)
+                }
+                ChanAction::Recv(_) => None,
+            }
+        }
+        fn kind(&self, a: &ChanAction) -> crate::automaton::ActionKind {
+            match a {
+                ChanAction::Send(_) => crate::automaton::ActionKind::Input,
+                ChanAction::Recv(_) => crate::automaton::ActionKind::Output,
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_implements_fifo() {
+        let verdict = check_trace_inclusion(
+            &Channel::new(&[1, 2]),
+            &Channel::new(&[1, 2]),
+            |x| Some(*x),
+            &[ChanAction::Send(1), ChanAction::Send(2)],
+            4,
+            50_000,
+        );
+        assert_eq!(verdict, Inclusion::Holds);
+    }
+
+    #[test]
+    fn lifo_does_not_implement_fifo() {
+        let verdict = check_trace_inclusion(
+            &LifoChannel,
+            &Channel::new(&[1, 2]),
+            |x| Some(*x),
+            &[ChanAction::Send(1), ChanAction::Send(2)],
+            4,
+            50_000,
+        );
+        match verdict {
+            Inclusion::Fails(cex) => {
+                // The offending output delivers the later message first.
+                assert!(matches!(cex.offending, ChanAction::Recv(_)));
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_reported_when_budget_tiny() {
+        let verdict = check_trace_inclusion(
+            &Channel::new(&[1]),
+            &Channel::new(&[1]),
+            |x| Some(*x),
+            &[ChanAction::Send(1)],
+            4,
+            1,
+        );
+        assert_eq!(verdict, Inclusion::Truncated);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the boosting constructions: safety under
+//! random inputs, failure patterns and schedules.
+
+use proptest::prelude::*;
+use protocols::set_boost::{build, SetBoostParams};
+use protocols::{doomed, fd_boost};
+use spec::{ProcId, Val};
+use std::collections::BTreeSet;
+use system::consensus::{check_k_safety, InputAssignment};
+use system::sched::{initialize, run_fair, run_random, BranchPolicy, FairOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn set_boost_never_exceeds_k_values(
+        inputs in proptest::collection::vec(0i64..4, 4),
+        seed in 0u64..10_000,
+        kill in proptest::collection::btree_set(0usize..4, 0..4),
+    ) {
+        let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+        let a = InputAssignment::of(
+            inputs.iter().enumerate().map(|(i, v)| (ProcId(i), Val::Int(*v))),
+        );
+        let failures: Vec<(usize, ProcId)> =
+            kill.iter().enumerate().map(|(idx, p)| (idx, ProcId(*p))).collect();
+        let s = initialize(&sys, &a);
+        let run = run_random(&sys, s, seed, &failures, 10_000, |_| false);
+        for st in run.exec.states() {
+            prop_assert_eq!(check_k_safety(&sys, st, &a, 2), None);
+        }
+    }
+
+    #[test]
+    fn set_boost_groups_agree_internally(
+        inputs in proptest::collection::vec(0i64..4, 4),
+    ) {
+        let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+        let a = InputAssignment::of(
+            inputs.iter().enumerate().map(|(i, v)| (ProcId(i), Val::Int(*v))),
+        );
+        let run = run_fair(&sys, initialize(&sys, &a), BranchPolicy::Canonical, &[], 50_000, |st| {
+            (0..4).all(|i| sys.decision(st, ProcId(i)).is_some())
+        });
+        prop_assert_eq!(&run.outcome, &FairOutcome::Stopped);
+        let last = run.exec.last_state();
+        // Within each group the service is 1-consensus: exact agreement.
+        prop_assert_eq!(sys.decision(last, ProcId(0)), sys.decision(last, ProcId(1)));
+        prop_assert_eq!(sys.decision(last, ProcId(2)), sys.decision(last, ProcId(3)));
+    }
+
+    #[test]
+    fn fd_boost_deciders_always_agree(
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        kill in proptest::collection::btree_set(0usize..3, 0..3),
+        when in 0usize..15,
+    ) {
+        let sys = fd_boost::build(3);
+        let a = InputAssignment::of(
+            bits.iter().enumerate().map(|(i, b)| (ProcId(i), Val::Int(i64::from(*b)))),
+        );
+        let failures: Vec<(usize, ProcId)> =
+            kill.iter().enumerate().map(|(idx, p)| (when + idx, ProcId(*p))).collect();
+        let live: BTreeSet<usize> =
+            (0..3).filter(|i| !kill.contains(i)).collect();
+        let s = initialize(&sys, &a);
+        let run = run_fair(&sys, s, BranchPolicy::PreferDummy, &failures, 400_000, |st| {
+            live.iter().all(|i| sys.decision(st, ProcId(*i)).is_some())
+        });
+        // Termination for all live processes…
+        prop_assert_eq!(&run.outcome, &FairOutcome::Stopped);
+        // …and agreement + validity among every decider.
+        let last = run.exec.last_state();
+        prop_assert_eq!(check_k_safety(&sys, last, &a, 1), None);
+    }
+
+    #[test]
+    fn doomed_candidates_are_safe_below_their_resilience(
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        seed in 0u64..10_000,
+    ) {
+        // The doomed systems are perfectly correct at their own level:
+        // f = 1 object, at most one failure.
+        let sys = doomed::doomed_atomic(3, 1);
+        let a = InputAssignment::of(
+            bits.iter().enumerate().map(|(i, b)| (ProcId(i), Val::Int(i64::from(*b)))),
+        );
+        let s = initialize(&sys, &a);
+        let run = run_random(&sys, s, seed, &[(2, ProcId(0))], 10_000, |_| false);
+        for st in run.exec.states() {
+            prop_assert_eq!(check_k_safety(&sys, st, &a, 1), None);
+        }
+    }
+
+    #[test]
+    fn tob_consensus_is_safe_under_random_schedules(
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        seed in 0u64..10_000,
+    ) {
+        let sys = doomed::doomed_oblivious(3, 2);
+        let a = InputAssignment::of(
+            bits.iter().enumerate().map(|(i, b)| (ProcId(i), Val::Int(i64::from(*b)))),
+        );
+        let s = initialize(&sys, &a);
+        let run = run_random(&sys, s, seed, &[], 10_000, |_| false);
+        for st in run.exec.states() {
+            prop_assert_eq!(check_k_safety(&sys, st, &a, 1), None);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The canonical `f`-resilient general (failure-aware) service
+//! (paper Fig. 8, Section 6.1).
+//!
+//! Identical to the failure-oblivious service of Fig. 4 except that the
+//! `perform` and `compute` transition definitions pass the current
+//! `failed` set to `δ1`/`δ2` — the service may act on knowledge of past
+//! failures, which is what makes failure detectors expressible
+//! (Section 6.2) and what forces Theorem 10's all-processes
+//! connectivity requirement.
+
+use crate::service::{Service, ServiceClass};
+use crate::state::SvcState;
+use spec::service_type::GeneralType;
+use spec::{GlobalTaskId, Inv, ProcId};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The canonical `f`-resilient general service of Fig. 8.
+///
+/// # Example
+///
+/// ```
+/// use services::general::CanonicalGeneralService;
+/// use services::service::Service;
+/// use spec::fd::PerfectFd;
+/// use spec::ProcId;
+/// use std::sync::Arc;
+///
+/// let j = [ProcId(0), ProcId(1)];
+/// let fd = CanonicalGeneralService::new(Arc::new(PerfectFd::new(j)), j, 1);
+/// assert!(fd.class().is_failure_aware());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CanonicalGeneralService {
+    typ: Arc<dyn GeneralType>,
+    endpoints: BTreeSet<ProcId>,
+    resilience: usize,
+}
+
+impl CanonicalGeneralService {
+    /// The canonical `f`-resilient general service of type `typ` for
+    /// endpoint set `endpoints`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn new<J: IntoIterator<Item = ProcId>>(
+        typ: Arc<dyn GeneralType>,
+        endpoints: J,
+        resilience: usize,
+    ) -> Self {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        assert!(
+            !endpoints.is_empty(),
+            "general services require a nonempty endpoint set"
+        );
+        CanonicalGeneralService {
+            typ,
+            endpoints,
+            resilience,
+        }
+    }
+
+    /// The canonical wait-free variant (`f = |J| − 1`).
+    pub fn wait_free<J: IntoIterator<Item = ProcId>>(
+        typ: Arc<dyn GeneralType>,
+        endpoints: J,
+    ) -> Self {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        let f = endpoints.len().saturating_sub(1);
+        CanonicalGeneralService::new(typ, endpoints, f)
+    }
+
+    /// The underlying general service type.
+    pub fn service_type(&self) -> &Arc<dyn GeneralType> {
+        &self.typ
+    }
+}
+
+impl Service for CanonicalGeneralService {
+    fn class(&self) -> ServiceClass {
+        ServiceClass::General
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "{}-resilient {} ({} endpoints)",
+            self.resilience,
+            self.typ.name(),
+            self.endpoints.len()
+        )
+    }
+
+    fn endpoints(&self) -> &BTreeSet<ProcId> {
+        &self.endpoints
+    }
+
+    fn resilience(&self) -> usize {
+        self.resilience
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        self.typ.global_tasks()
+    }
+
+    fn initial_states(&self) -> Vec<SvcState> {
+        self.typ
+            .initial_values()
+            .into_iter()
+            .map(|v0| SvcState::fresh(v0, self.endpoints.iter().copied()))
+            .collect()
+    }
+
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        self.typ.is_invocation(inv)
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        self.typ.invocations()
+    }
+
+    fn perform_all(&self, i: ProcId, st: &SvcState) -> Vec<SvcState> {
+        // Fig. 8, perform: δ1 sees the current failed set.
+        let Some((inv, popped)) = st.pop_invocation(i) else {
+            return Vec::new();
+        };
+        self.typ
+            .delta1(&inv, i, &st.val, &st.failed)
+            .into_iter()
+            .map(|(map, v2)| {
+                let mut st2 = popped.with_responses(&map);
+                st2.val = v2;
+                st2
+            })
+            .collect()
+    }
+
+    fn compute_all(&self, g: &GlobalTaskId, st: &SvcState) -> Vec<SvcState> {
+        // Fig. 8, compute: δ2 sees the current failed set.
+        self.typ
+            .delta2(g, &st.val, &st.failed)
+            .into_iter()
+            .map(|(map, v2)| {
+                let mut st2 = st.with_responses(&map);
+                st2.val = v2;
+                st2
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec::fd::{decode_suspect, EventuallyPerfectFd, PerfectFd};
+
+    fn j3() -> [ProcId; 3] {
+        [ProcId(0), ProcId(1), ProcId(2)]
+    }
+
+    #[test]
+    fn perfect_fd_reports_current_failures() {
+        let svc = CanonicalGeneralService::new(Arc::new(PerfectFd::new(j3())), j3(), 1);
+        let st = svc.initial_states().remove(0);
+        let st = svc.apply_fail(ProcId(2), &st);
+        let st = svc
+            .compute_all(&GlobalTaskId::for_endpoint(ProcId(0)), &st)
+            .remove(0);
+        let suspected = decode_suspect(st.resp_buffer(ProcId(0)).front().unwrap()).unwrap();
+        assert_eq!(suspected, [ProcId(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn fd_compute_observes_failures_unlike_oblivious_services() {
+        let svc = CanonicalGeneralService::new(Arc::new(PerfectFd::new(j3())), j3(), 2);
+        let st0 = svc.initial_states().remove(0);
+        let st1 = svc.apply_fail(ProcId(1), &st0);
+        let g = GlobalTaskId::for_endpoint(ProcId(0));
+        let before = svc.compute_all(&g, &st0).remove(0);
+        let after = svc.compute_all(&g, &st1).remove(0);
+        // Same val, different responses: the step depended on failures.
+        assert_eq!(before.val, after.val);
+        assert_ne!(
+            before.resp_buffer(ProcId(0)),
+            after.resp_buffer(ProcId(0))
+        );
+    }
+
+    #[test]
+    fn eventually_perfect_fd_stabilizes() {
+        let svc = CanonicalGeneralService::new(Arc::new(EventuallyPerfectFd::new(j3())), j3(), 1);
+        let st = svc.initial_states().remove(0);
+        // imperfect mode: 2^3 = 8 possible suspicion outcomes.
+        let outs = svc.compute_all(&GlobalTaskId::for_endpoint(ProcId(0)), &st);
+        assert_eq!(outs.len(), 8);
+        // stabilize, then outcomes are unique and accurate.
+        let st = svc
+            .compute_all(&EventuallyPerfectFd::stabilize_task(), &st)
+            .remove(0);
+        let outs = svc.compute_all(&GlobalTaskId::for_endpoint(ProcId(0)), &st);
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn fds_have_no_invocations() {
+        let svc = CanonicalGeneralService::new(Arc::new(PerfectFd::new(j3())), j3(), 1);
+        assert!(svc.invocations().is_empty());
+        let st = svc.initial_states().remove(0);
+        assert!(svc
+            .enqueue_invocation(ProcId(0), &Inv::nullary("x"), &st)
+            .is_none());
+        assert!(svc.perform_all(ProcId(0), &st).is_empty());
+    }
+
+    #[test]
+    fn wait_free_constructor() {
+        let svc = CanonicalGeneralService::wait_free(Arc::new(PerfectFd::new(j3())), j3());
+        assert_eq!(svc.resilience(), 2);
+        assert!(svc.is_wait_free());
+    }
+}

@@ -1,0 +1,49 @@
+//! Canonical `f`-resilient services.
+//!
+//! This crate transcribes the paper's three canonical service automata
+//! into executable form:
+//!
+//! * [`atomic::CanonicalAtomicObject`] — the canonical `f`-resilient
+//!   atomic object of Fig. 1 (Section 2.1.3), including canonical
+//!   reliable *registers* as the wait-free read/write special case;
+//! * [`oblivious::CanonicalObliviousService`] — the canonical
+//!   `f`-resilient failure-oblivious service of Fig. 4 (Section 5.1);
+//! * [`general::CanonicalGeneralService`] — the canonical `f`-resilient
+//!   general (failure-aware) service of Fig. 8 (Section 6.1).
+//!
+//! All three share the [`state::SvcState`] shape — a current value
+//! `val`, two FIFO buffers per endpoint (`inv_buffer(i)`,
+//! `resp_buffer(i)`) and the `failed` set — and implement the
+//! object-safe [`service::Service`] interface consumed by the `system`
+//! crate's composition. Resilience is encoded exactly as in the paper:
+//! `dummy` actions become enabled once endpoint `i` has failed or more
+//! than `f` endpoints have failed, which lets I/O-automaton fairness be
+//! satisfied without the service ever responding again.
+//!
+//! # Example
+//!
+//! ```
+//! use services::atomic::CanonicalAtomicObject;
+//! use services::service::Service;
+//! use spec::seq::BinaryConsensus;
+//! use spec::ProcId;
+//! use std::sync::Arc;
+//!
+//! // A 1-resilient 3-process consensus object.
+//! let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), [ProcId(0), ProcId(1), ProcId(2)], 1);
+//! let st = obj.initial_states().remove(0);
+//! let st = obj.enqueue_invocation(ProcId(0), &BinaryConsensus::init(1), &st).unwrap();
+//! let st = obj.perform_all(ProcId(0), &st).remove(0);
+//! let (resp, _) = obj.pop_response(ProcId(0), &st).unwrap();
+//! assert_eq!(resp, BinaryConsensus::decide(1));
+//! ```
+
+pub mod atomic;
+pub mod automaton;
+pub mod general;
+pub mod oblivious;
+pub mod service;
+pub mod state;
+
+pub use service::{ArcService, Service, ServiceClass};
+pub use state::SvcState;

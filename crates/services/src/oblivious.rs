@@ -1,0 +1,268 @@
+//! The canonical `f`-resilient failure-oblivious service
+//! (paper Fig. 4, Section 5.1).
+//!
+//! Compared to the atomic object of Fig. 1, a failure-oblivious service
+//! may: let a `perform` step's outcome depend on *which* endpoint's
+//! buffer it services; deposit any number of responses into any subset
+//! of response buffers; and take spontaneous `compute` steps driven by
+//! global tasks. The defining constraint — no step depends on failure
+//! events — is structural: `δ1`/`δ2` never see the `failed` set.
+
+use crate::service::{Service, ServiceClass};
+use crate::state::SvcState;
+use spec::service_type::ObliviousType;
+use spec::{GlobalTaskId, Inv, ProcId};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The canonical `f`-resilient failure-oblivious service of Fig. 4.
+///
+/// # Example
+///
+/// ```
+/// use services::oblivious::CanonicalObliviousService;
+/// use services::service::Service;
+/// use spec::tob::TotallyOrderedBroadcast;
+/// use spec::{ProcId, Val};
+/// use std::sync::Arc;
+///
+/// let j = [ProcId(0), ProcId(1)];
+/// let tob = TotallyOrderedBroadcast::new([Val::Sym("m")], j);
+/// let svc = CanonicalObliviousService::new(Arc::new(tob), j, 1);
+/// assert_eq!(svc.global_tasks().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CanonicalObliviousService {
+    typ: Arc<dyn ObliviousType>,
+    endpoints: BTreeSet<ProcId>,
+    resilience: usize,
+}
+
+impl CanonicalObliviousService {
+    /// The canonical `f`-resilient failure-oblivious service of type
+    /// `typ` for endpoint set `endpoints`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn new<J: IntoIterator<Item = ProcId>>(
+        typ: Arc<dyn ObliviousType>,
+        endpoints: J,
+        resilience: usize,
+    ) -> Self {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        assert!(
+            !endpoints.is_empty(),
+            "failure-oblivious services require a nonempty endpoint set"
+        );
+        CanonicalObliviousService {
+            typ,
+            endpoints,
+            resilience,
+        }
+    }
+
+    /// The canonical wait-free variant (`f = |J| − 1`).
+    pub fn wait_free<J: IntoIterator<Item = ProcId>>(
+        typ: Arc<dyn ObliviousType>,
+        endpoints: J,
+    ) -> Self {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        let f = endpoints.len().saturating_sub(1);
+        CanonicalObliviousService::new(typ, endpoints, f)
+    }
+
+    /// The underlying failure-oblivious service type.
+    pub fn service_type(&self) -> &Arc<dyn ObliviousType> {
+        &self.typ
+    }
+}
+
+impl Service for CanonicalObliviousService {
+    fn class(&self) -> ServiceClass {
+        ServiceClass::FailureOblivious
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "{}-resilient {} ({} endpoints)",
+            self.resilience,
+            self.typ.name(),
+            self.endpoints.len()
+        )
+    }
+
+    fn endpoints(&self) -> &BTreeSet<ProcId> {
+        &self.endpoints
+    }
+
+    fn resilience(&self) -> usize {
+        self.resilience
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        self.typ.global_tasks()
+    }
+
+    fn initial_states(&self) -> Vec<SvcState> {
+        self.typ
+            .initial_values()
+            .into_iter()
+            .map(|v0| SvcState::fresh(v0, self.endpoints.iter().copied()))
+            .collect()
+    }
+
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        self.typ.is_invocation(inv)
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        self.typ.invocations()
+    }
+
+    fn perform_all(&self, i: ProcId, st: &SvcState) -> Vec<SvcState> {
+        // Fig. 4, perform_{i,k}: pop the head of inv_buffer(i), pick
+        // (B, v') ∈ δ1(head, i, val), set val := v' and append B(j) to
+        // every resp_buffer(j).
+        let Some((inv, popped)) = st.pop_invocation(i) else {
+            return Vec::new();
+        };
+        self.typ
+            .delta1(&inv, i, &st.val)
+            .into_iter()
+            .map(|(map, v2)| {
+                let mut st2 = popped.with_responses(&map);
+                st2.val = v2;
+                st2
+            })
+            .collect()
+    }
+
+    fn compute_all(&self, g: &GlobalTaskId, st: &SvcState) -> Vec<SvcState> {
+        // Fig. 4, compute_{g,k}: pick (B, v') ∈ δ2(g, val).
+        self.typ
+            .delta2(g, &st.val)
+            .into_iter()
+            .map(|(map, v2)| {
+                let mut st2 = st.with_responses(&map);
+                st2.val = v2;
+                st2
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec::tob::TotallyOrderedBroadcast;
+    use spec::Val;
+
+    fn tob_svc(f: usize) -> CanonicalObliviousService {
+        let j = [ProcId(0), ProcId(1), ProcId(2)];
+        CanonicalObliviousService::new(
+            Arc::new(TotallyOrderedBroadcast::new([Val::Sym("a"), Val::Sym("b")], j)),
+            j,
+            f,
+        )
+    }
+
+    #[test]
+    fn bcast_then_compute_delivers_to_every_endpoint() {
+        let svc = tob_svc(1);
+        let st = svc.initial_states().remove(0);
+        let st = svc
+            .enqueue_invocation(ProcId(1), &TotallyOrderedBroadcast::bcast(Val::Sym("a")), &st)
+            .unwrap();
+        // perform moves the message into msgs and answers nobody.
+        let st = svc.perform_all(ProcId(1), &st).remove(0);
+        assert!(st.resp_buf.values().all(|q| q.is_empty()));
+        // compute pops msgs and responds to all three endpoints.
+        let st = svc
+            .compute_all(&TotallyOrderedBroadcast::delivery_task(), &st)
+            .remove(0);
+        for i in [0, 1, 2] {
+            assert_eq!(
+                st.resp_buffer(ProcId(i)).front(),
+                Some(&TotallyOrderedBroadcast::rcv(Val::Sym("a"), ProcId(1)))
+            );
+        }
+    }
+
+    #[test]
+    fn compute_is_total_even_on_empty_queue() {
+        let svc = tob_svc(1);
+        let st = svc.initial_states().remove(0);
+        let outs = svc.compute_all(&TotallyOrderedBroadcast::delivery_task(), &st);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0], st);
+    }
+
+    #[test]
+    fn dummy_compute_needs_more_than_f_failures_or_all_failed() {
+        let svc = tob_svc(1);
+        let st = svc.initial_states().remove(0);
+        assert!(!svc.dummy_compute_enabled(&st));
+        let st1 = svc.apply_fail(ProcId(0), &st);
+        assert!(!svc.dummy_compute_enabled(&st1)); // 1 failure ≤ f
+        let st2 = svc.apply_fail(ProcId(1), &st1);
+        assert!(svc.dummy_compute_enabled(&st2)); // 2 > f
+    }
+
+    #[test]
+    fn dummy_compute_when_all_endpoints_failed() {
+        // f = 2 = |J| - 1: two failures don't exceed f, but all three do
+        // satisfy the failed = J clause.
+        let svc = tob_svc(2);
+        let mut st = svc.initial_states().remove(0);
+        for i in [0, 1, 2] {
+            assert!(!svc.dummy_compute_enabled(&st));
+            st = svc.apply_fail(ProcId(i), &st);
+        }
+        assert!(svc.dummy_compute_enabled(&st));
+    }
+
+    #[test]
+    fn total_order_is_global_across_senders() {
+        let svc = tob_svc(1);
+        let st = svc.initial_states().remove(0);
+        let st = svc
+            .enqueue_invocation(ProcId(0), &TotallyOrderedBroadcast::bcast(Val::Sym("a")), &st)
+            .unwrap();
+        let st = svc
+            .enqueue_invocation(ProcId(2), &TotallyOrderedBroadcast::bcast(Val::Sym("b")), &st)
+            .unwrap();
+        // Perform P2's first: its message is ordered first.
+        let st = svc.perform_all(ProcId(2), &st).remove(0);
+        let st = svc.perform_all(ProcId(0), &st).remove(0);
+        let st = svc
+            .compute_all(&TotallyOrderedBroadcast::delivery_task(), &st)
+            .remove(0);
+        let st = svc
+            .compute_all(&TotallyOrderedBroadcast::delivery_task(), &st)
+            .remove(0);
+        // Every endpoint sees b (from P2) then a (from P0).
+        for i in [0, 1, 2] {
+            let buf = st.resp_buffer(ProcId(i));
+            assert_eq!(
+                buf.iter().cloned().collect::<Vec<_>>(),
+                vec![
+                    TotallyOrderedBroadcast::rcv(Val::Sym("b"), ProcId(2)),
+                    TotallyOrderedBroadcast::rcv(Val::Sym("a"), ProcId(0)),
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn wait_free_constructor() {
+        let j = [ProcId(0), ProcId(1), ProcId(2)];
+        let svc = CanonicalObliviousService::wait_free(
+            Arc::new(TotallyOrderedBroadcast::new([Val::Sym("a")], j)),
+            j,
+        );
+        assert_eq!(svc.resilience(), 2);
+        assert!(svc.is_wait_free());
+        assert_eq!(svc.class(), ServiceClass::FailureOblivious);
+    }
+}

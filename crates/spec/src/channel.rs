@@ -1,0 +1,232 @@
+//! Reliable point-to-point channels as failure-oblivious services.
+//!
+//! The paper's results originate in a technical report on *message
+//! passing* systems (\[2\]: "Boosting Fault-Tolerance in Asynchronous
+//! Message Passing Systems is Impossible"); the journal version's
+//! service framework subsumes that model because a reliable FIFO
+//! channel is a failure-oblivious service: `send(m)` invocations
+//! enqueue, spontaneous `compute` steps deliver `rcv(m)` responses to
+//! the peer, and nothing depends on failure events.
+//!
+//! [`PairChannel`] is the bidirectional channel between two endpoints;
+//! `protocols::message_passing` builds full pairwise networks from it.
+
+use crate::ids::{GlobalTaskId, ProcId};
+use crate::seq_type::{Inv, Resp};
+use crate::service_type::{ObliviousType, ResponseMap};
+use crate::value::Val;
+
+/// A bidirectional reliable FIFO channel between endpoints `a` and
+/// `b`, carrying messages from a finite alphabet.
+///
+/// The value is a pair of queues `(a→b, b→a)`. `δ1(send(m), i, ·)`
+/// appends to `i`'s outgoing queue; the two global delivery tasks
+/// (named by the *receiving* endpoint) pop the corresponding queue and
+/// deliver `rcv(m)` to that endpoint.
+///
+/// # Example
+///
+/// ```
+/// use spec::channel::PairChannel;
+/// use spec::service_type::ObliviousType;
+/// use spec::{ProcId, Val};
+///
+/// let ch = PairChannel::new(ProcId(0), ProcId(1), [Val::Int(7)]);
+/// let v = ch.initial_value();
+/// let (_, v) = ch.delta1(&PairChannel::send(Val::Int(7)), ProcId(0), &v).remove(0);
+/// let (resps, _) = ch
+///     .delta2(&PairChannel::delivery_to(ProcId(1)), &v)
+///     .remove(0);
+/// assert_eq!(resps.for_endpoint(ProcId(1)).len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PairChannel {
+    a: ProcId,
+    b: ProcId,
+    alphabet: Vec<Val>,
+}
+
+impl PairChannel {
+    /// A channel between `a` and `b` over `alphabet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new<M: IntoIterator<Item = Val>>(a: ProcId, b: ProcId, alphabet: M) -> Self {
+        assert_ne!(a, b, "a channel connects two distinct endpoints");
+        PairChannel {
+            a,
+            b,
+            alphabet: alphabet.into_iter().collect(),
+        }
+    }
+
+    /// The `send(m)` invocation.
+    pub fn send(m: Val) -> Inv {
+        Inv::op("send", m)
+    }
+
+    /// The `rcv(m)` response.
+    pub fn rcv(m: Val) -> Resp {
+        Resp::op("rcv", m)
+    }
+
+    /// Decodes a `rcv(m)` response.
+    pub fn decode_rcv(resp: &Resp) -> Option<&Val> {
+        if resp.name() == Some("rcv") {
+            resp.arg()
+        } else {
+            None
+        }
+    }
+
+    /// The delivery task feeding endpoint `to`.
+    pub fn delivery_to(to: ProcId) -> GlobalTaskId {
+        GlobalTaskId::for_endpoint(to)
+    }
+
+    /// The two endpoints.
+    pub fn endpoints(&self) -> (ProcId, ProcId) {
+        (self.a, self.b)
+    }
+
+    fn queues(val: &Val) -> (&Vec<Val>, &Vec<Val>) {
+        let (ab, ba) = val.as_pair().expect("channel value is a queue pair");
+        (
+            ab.as_seq().expect("a→b queue"),
+            ba.as_seq().expect("b→a queue"),
+        )
+    }
+}
+
+impl ObliviousType for PairChannel {
+    fn name(&self) -> &str {
+        "reliable FIFO channel"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![Val::pair(Val::empty_seq(), Val::empty_seq())]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        self.alphabet.iter().cloned().map(PairChannel::send).collect()
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        vec![
+            PairChannel::delivery_to(self.a),
+            PairChannel::delivery_to(self.b),
+        ]
+    }
+
+    fn delta1(&self, inv: &Inv, i: ProcId, val: &Val) -> Vec<(ResponseMap, Val)> {
+        assert_eq!(inv.name(), Some("send"), "not a channel invocation: {inv:?}");
+        let m = inv.arg().expect("send carries a message").clone();
+        let (ab, ba) = PairChannel::queues(val);
+        let (mut ab, mut ba) = (ab.clone(), ba.clone());
+        if i == self.a {
+            ab.push(m);
+        } else if i == self.b {
+            ba.push(m);
+        } else {
+            panic!("{i} is not an endpoint of this channel");
+        }
+        vec![(ResponseMap::empty(), Val::pair(Val::Seq(ab), Val::Seq(ba)))]
+    }
+
+    fn delta2(&self, g: &GlobalTaskId, val: &Val) -> Vec<(ResponseMap, Val)> {
+        let GlobalTaskId::Endpoint(to) = g else {
+            panic!("channel delivery tasks are per-endpoint, got {g:?}")
+        };
+        let (ab, ba) = PairChannel::queues(val);
+        // The queue *feeding* `to`.
+        let (feeding, other, to_is_b) = if *to == self.b {
+            (ab, ba, true)
+        } else if *to == self.a {
+            (ba, ab, false)
+        } else {
+            panic!("{to} is not an endpoint of this channel")
+        };
+        match feeding.split_first() {
+            Some((head, rest)) => {
+                let rest = Val::Seq(rest.to_vec());
+                let other = Val::Seq(other.clone());
+                let val2 = if to_is_b {
+                    Val::pair(rest, other)
+                } else {
+                    Val::pair(other, rest)
+                };
+                vec![(
+                    ResponseMap::single(*to, PairChannel::rcv(head.clone())),
+                    val2,
+                )]
+            }
+            None => vec![(ResponseMap::empty(), val.clone())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> PairChannel {
+        PairChannel::new(ProcId(0), ProcId(2), [Val::Int(1), Val::Int(2)])
+    }
+
+    #[test]
+    fn messages_flow_in_both_directions_independently() {
+        let c = ch();
+        let v = c.initial_value();
+        let (_, v) = c.delta1(&PairChannel::send(Val::Int(1)), ProcId(0), &v).remove(0);
+        let (_, v) = c.delta1(&PairChannel::send(Val::Int(2)), ProcId(2), &v).remove(0);
+        // Deliver to P2 (from P0).
+        let (r, v) = c.delta2(&PairChannel::delivery_to(ProcId(2)), &v).remove(0);
+        assert_eq!(r.for_endpoint(ProcId(2)), &[PairChannel::rcv(Val::Int(1))]);
+        // Deliver to P0 (from P2).
+        let (r, v) = c.delta2(&PairChannel::delivery_to(ProcId(0)), &v).remove(0);
+        assert_eq!(r.for_endpoint(ProcId(0)), &[PairChannel::rcv(Val::Int(2))]);
+        assert_eq!(v, c.initial_value());
+    }
+
+    #[test]
+    fn fifo_per_direction() {
+        let c = ch();
+        let v = c.initial_value();
+        let (_, v) = c.delta1(&PairChannel::send(Val::Int(1)), ProcId(0), &v).remove(0);
+        let (_, v) = c.delta1(&PairChannel::send(Val::Int(2)), ProcId(0), &v).remove(0);
+        let (r1, v) = c.delta2(&PairChannel::delivery_to(ProcId(2)), &v).remove(0);
+        let (r2, _) = c.delta2(&PairChannel::delivery_to(ProcId(2)), &v).remove(0);
+        assert_eq!(r1.for_endpoint(ProcId(2)), &[PairChannel::rcv(Val::Int(1))]);
+        assert_eq!(r2.for_endpoint(ProcId(2)), &[PairChannel::rcv(Val::Int(2))]);
+    }
+
+    #[test]
+    fn empty_delivery_is_a_noop() {
+        let c = ch();
+        let outs = c.delta2(&PairChannel::delivery_to(ProcId(0)), &c.initial_value());
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].0.is_empty());
+        assert_eq!(outs[0].1, c.initial_value());
+    }
+
+    #[test]
+    fn rcv_roundtrip() {
+        let r = PairChannel::rcv(Val::Int(2));
+        assert_eq!(PairChannel::decode_rcv(&r), Some(&Val::Int(2)));
+        assert_eq!(PairChannel::decode_rcv(&Resp::sym("ack")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn foreign_senders_are_rejected() {
+        let c = ch();
+        let _ = c.delta1(&PairChannel::send(Val::Int(1)), ProcId(7), &c.initial_value());
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct endpoints")]
+    fn self_channels_are_rejected() {
+        let _ = PairChannel::new(ProcId(1), ProcId(1), [Val::Int(0)]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Failure detectors as general (failure-aware) service types
+//! (paper Section 6.2, Figs. 9–11).
+//!
+//! Failure detectors have *no invocations*: their only inputs are
+//! `fail_i` actions, and they spontaneously emit `suspect(J')` responses
+//! through `compute` steps driven by global tasks.
+//!
+//! * [`PerfectFd`] — the perfect failure detector `P` (Fig. 9): the
+//!   single internal state is trivial; for each endpoint `i ∈ J = glob`,
+//!   the global task `i` deposits `suspect(failed)` — recent, accurate
+//!   information — into `i`'s response buffer.
+//! * [`EventuallyPerfectFd`] — the eventually perfect failure detector
+//!   `◇P` (Figs. 10–11): a `mode ∈ {imperfect, perfect}` state variable;
+//!   while `imperfect` the service may emit *arbitrary* suspicion sets;
+//!   a background task `g` eventually switches `mode` to `perfect`,
+//!   after which suspicions are recent and accurate.
+
+use crate::ids::{GlobalTaskId, ProcId};
+use crate::seq_type::{Inv, Resp};
+use crate::service_type::{GeneralType, ResponseMap};
+use crate::value::Val;
+use std::collections::BTreeSet;
+
+/// Encodes a suspicion set `J' ⊆ J` as a `suspect(J')` response.
+pub fn suspect(set: &BTreeSet<ProcId>) -> Resp {
+    Resp::op(
+        "suspect",
+        Val::set(set.iter().map(|p| Val::Int(p.0 as i64))),
+    )
+}
+
+/// Decodes a `suspect(J')` response into the suspicion set.
+pub fn decode_suspect(resp: &Resp) -> Option<BTreeSet<ProcId>> {
+    if resp.name() != Some("suspect") {
+        return None;
+    }
+    resp.arg()?
+        .as_set()?
+        .iter()
+        .map(|v| v.as_int().map(|n| ProcId(n as usize)))
+        .collect()
+}
+
+/// The perfect failure detector `P` (paper Section 6.2.1, Fig. 9).
+///
+/// # Example
+///
+/// ```
+/// use spec::fd::{decode_suspect, PerfectFd};
+/// use spec::service_type::GeneralType;
+/// use spec::{GlobalTaskId, ProcId};
+/// use std::collections::BTreeSet;
+///
+/// let p = PerfectFd::new([ProcId(0), ProcId(1)]);
+/// let failed: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
+/// let outs = p.delta2(&GlobalTaskId::for_endpoint(ProcId(0)), &p.initial_value(), &failed);
+/// let (map, _) = &outs[0];
+/// assert_eq!(decode_suspect(&map.for_endpoint(ProcId(0))[0]), Some(failed));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PerfectFd {
+    endpoints: BTreeSet<ProcId>,
+}
+
+impl PerfectFd {
+    /// A perfect failure detector for endpoint set `J`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn new<J: IntoIterator<Item = ProcId>>(endpoints: J) -> Self {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        assert!(!endpoints.is_empty(), "P requires a nonempty endpoint set");
+        PerfectFd { endpoints }
+    }
+
+    /// The endpoint set `J`.
+    pub fn endpoints(&self) -> &BTreeSet<ProcId> {
+        &self.endpoints
+    }
+}
+
+impl GeneralType for PerfectFd {
+    fn name(&self) -> &str {
+        "perfect failure detector P"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        // Fig. 9: V contains only the trivial state v̄.
+        vec![Val::Unit]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        Vec::new()
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        // glob = J: one suspicion-generating task per endpoint.
+        self.endpoints
+            .iter()
+            .map(|i| GlobalTaskId::for_endpoint(*i))
+            .collect()
+    }
+
+    fn delta1(
+        &self,
+        inv: &Inv,
+        _i: ProcId,
+        _val: &Val,
+        _failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        panic!("P has no invocations, got {inv:?}")
+    }
+
+    fn delta2(
+        &self,
+        g: &GlobalTaskId,
+        val: &Val,
+        failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        // Fig. 9: δ2(i, v̄, failed) puts suspect(failed) into i's buffer.
+        let GlobalTaskId::Endpoint(i) = g else {
+            panic!("P's global tasks are per-endpoint, got {g:?}")
+        };
+        let visible: BTreeSet<ProcId> = failed.intersection(&self.endpoints).copied().collect();
+        vec![(ResponseMap::single(*i, suspect(&visible)), val.clone())]
+    }
+}
+
+/// The eventually perfect failure detector `◇P` (paper Section 6.2.2,
+/// Figs. 10–11).
+///
+/// While `mode = imperfect`, each endpoint task may emit any suspicion
+/// set over `J` (full nondeterminism); the background task `g` flips
+/// `mode` to `perfect`, after which behaviour coincides with `P`.
+/// Because `g` is a task, I/O-automaton fairness guarantees that `mode`
+/// eventually becomes `perfect` in every fair execution — exactly the
+/// "eventually" of `◇P`.
+#[derive(Clone, Debug)]
+pub struct EventuallyPerfectFd {
+    endpoints: BTreeSet<ProcId>,
+}
+
+/// `◇P`'s mode values (Fig. 10).
+pub mod mode {
+    use crate::value::Val;
+
+    /// The initial, unconstrained mode.
+    pub fn imperfect() -> Val {
+        Val::Sym("imperfect")
+    }
+
+    /// The stabilized, accurate mode.
+    pub fn perfect() -> Val {
+        Val::Sym("perfect")
+    }
+}
+
+impl EventuallyPerfectFd {
+    /// An eventually perfect failure detector for endpoint set `J`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn new<J: IntoIterator<Item = ProcId>>(endpoints: J) -> Self {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        assert!(!endpoints.is_empty(), "◇P requires a nonempty endpoint set");
+        EventuallyPerfectFd { endpoints }
+    }
+
+    /// The background stabilization task `g` (Fig. 11).
+    pub fn stabilize_task() -> GlobalTaskId {
+        GlobalTaskId::named("stabilize")
+    }
+
+    /// All subsets of the endpoint set, in canonical order — the
+    /// suspicion sets an `imperfect` detector may emit.
+    fn all_subsets(&self) -> Vec<BTreeSet<ProcId>> {
+        let items: Vec<ProcId> = self.endpoints.iter().copied().collect();
+        let mut subsets = Vec::with_capacity(1 << items.len());
+        for mask in 0..(1u32 << items.len()) {
+            let s: BTreeSet<ProcId> = items
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| mask & (1 << idx) != 0)
+                .map(|(_, p)| *p)
+                .collect();
+            subsets.push(s);
+        }
+        subsets
+    }
+}
+
+impl GeneralType for EventuallyPerfectFd {
+    fn name(&self) -> &str {
+        "eventually perfect failure detector ◇P"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        // Fig. 10: mode is initially imperfect.
+        vec![mode::imperfect()]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        Vec::new()
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        // glob = J ∪ {g}.
+        let mut tasks: Vec<GlobalTaskId> = self
+            .endpoints
+            .iter()
+            .map(|i| GlobalTaskId::for_endpoint(*i))
+            .collect();
+        tasks.push(EventuallyPerfectFd::stabilize_task());
+        tasks
+    }
+
+    fn delta1(
+        &self,
+        inv: &Inv,
+        _i: ProcId,
+        _val: &Val,
+        _failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        panic!("◇P has no invocations, got {inv:?}")
+    }
+
+    fn delta2(
+        &self,
+        g: &GlobalTaskId,
+        val: &Val,
+        failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        match g {
+            // Fig. 11, background task: switch mode to perfect.
+            GlobalTaskId::Named("stabilize") => {
+                vec![(ResponseMap::empty(), mode::perfect())]
+            }
+            // Fig. 11, per-endpoint suspicion generation.
+            GlobalTaskId::Endpoint(i) => {
+                if *val == mode::perfect() {
+                    let visible: BTreeSet<ProcId> =
+                        failed.intersection(&self.endpoints).copied().collect();
+                    vec![(ResponseMap::single(*i, suspect(&visible)), val.clone())]
+                } else {
+                    // imperfect: any suspicion set is allowed.
+                    self.all_subsets()
+                        .into_iter()
+                        .map(|s| (ResponseMap::single(*i, suspect(&s)), val.clone()))
+                        .collect()
+                }
+            }
+            other => panic!("unknown ◇P global task {other:?}"),
+        }
+    }
+}
+
+/// An *edge-triggered* perfect failure detector: behaviourally a
+/// perfect failure detector (every report is recent and accurate),
+/// but each endpoint is only notified when its suspicion set would
+/// *change*.
+///
+/// The canonical `P` of Fig. 9 re-sends `suspect(failed)` forever,
+/// which makes the composed system's reachable state space infinite
+/// (response buffers grow without bound) and exhaustive valence
+/// analysis impossible. `FreshPerfectFd` keeps, per endpoint, the last
+/// suspicion set delivered (in `val`) and emits only on change — the
+/// same information content with a finite state space. Every trace of
+/// this service is a trace of canonical `P` restricted to
+/// change-points, and the protocols in `protocols::fd_boost` /
+/// `protocols::doomed` only consume the *latest* suspicion set, for
+/// which the two detectors are interchangeable.
+#[derive(Clone, Debug)]
+pub struct FreshPerfectFd {
+    endpoints: BTreeSet<ProcId>,
+}
+
+impl FreshPerfectFd {
+    /// An edge-triggered perfect failure detector for endpoint set `J`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn new<J: IntoIterator<Item = ProcId>>(endpoints: J) -> Self {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        assert!(!endpoints.is_empty(), "P requires a nonempty endpoint set");
+        FreshPerfectFd { endpoints }
+    }
+
+    /// The endpoint set `J`.
+    pub fn endpoints(&self) -> &BTreeSet<ProcId> {
+        &self.endpoints
+    }
+
+    fn encode_last(set: &BTreeSet<ProcId>) -> Val {
+        Val::set(set.iter().map(|p| Val::Int(p.0 as i64)))
+    }
+}
+
+impl GeneralType for FreshPerfectFd {
+    fn name(&self) -> &str {
+        "edge-triggered perfect failure detector P"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        // val: endpoint ↦ last suspicion set sent (all initially ∅,
+        // and ∅ counts as already-sent so the failure-free system is
+        // quiescent).
+        let empty = Val::empty_set();
+        vec![Val::map(
+            self.endpoints
+                .iter()
+                .map(|i| (Val::Int(i.0 as i64), empty.clone())),
+        )]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        Vec::new()
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        self.endpoints
+            .iter()
+            .map(|i| GlobalTaskId::for_endpoint(*i))
+            .collect()
+    }
+
+    fn delta1(
+        &self,
+        inv: &Inv,
+        _i: ProcId,
+        _val: &Val,
+        _failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        panic!("P has no invocations, got {inv:?}")
+    }
+
+    fn delta2(
+        &self,
+        g: &GlobalTaskId,
+        val: &Val,
+        failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        let GlobalTaskId::Endpoint(i) = g else {
+            panic!("P's global tasks are per-endpoint, got {g:?}")
+        };
+        let visible: BTreeSet<ProcId> = failed.intersection(&self.endpoints).copied().collect();
+        let key = Val::Int(i.0 as i64);
+        let last = val.field(&key).expect("every endpoint has a last-sent entry");
+        let fresh = FreshPerfectFd::encode_last(&visible);
+        if *last == fresh {
+            // Nothing new: no-op compute (δ2 stays total).
+            vec![(ResponseMap::empty(), val.clone())]
+        } else {
+            vec![(
+                ResponseMap::single(*i, suspect(&visible)),
+                val.with_field(key, fresh),
+            )]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j() -> BTreeSet<ProcId> {
+        [ProcId(0), ProcId(1)].into_iter().collect()
+    }
+
+    #[test]
+    fn p_reports_exactly_the_failed_endpoints() {
+        let p = PerfectFd::new(j());
+        let failed: BTreeSet<ProcId> = [ProcId(1), ProcId(9)].into_iter().collect();
+        let outs = p.delta2(&GlobalTaskId::for_endpoint(ProcId(0)), &Val::Unit, &failed);
+        assert_eq!(outs.len(), 1);
+        let got = decode_suspect(&outs[0].0.for_endpoint(ProcId(0))[0]).unwrap();
+        // P9 is not an endpoint of this detector, so it is not reported.
+        assert_eq!(got, [ProcId(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn p_has_no_invocations_and_one_task_per_endpoint() {
+        let p = PerfectFd::new(j());
+        assert!(p.invocations().is_empty());
+        assert_eq!(p.global_tasks().len(), 2);
+    }
+
+    #[test]
+    fn ep_imperfect_mode_may_suspect_anything() {
+        let ep = EventuallyPerfectFd::new(j());
+        let outs = ep.delta2(
+            &GlobalTaskId::for_endpoint(ProcId(0)),
+            &mode::imperfect(),
+            &BTreeSet::new(),
+        );
+        // 2 endpoints → 4 possible suspicion sets.
+        assert_eq!(outs.len(), 4);
+    }
+
+    #[test]
+    fn ep_perfect_mode_is_accurate() {
+        let ep = EventuallyPerfectFd::new(j());
+        let failed: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        let outs = ep.delta2(&GlobalTaskId::for_endpoint(ProcId(1)), &mode::perfect(), &failed);
+        assert_eq!(outs.len(), 1);
+        let got = decode_suspect(&outs[0].0.for_endpoint(ProcId(1))[0]).unwrap();
+        assert_eq!(got, failed);
+    }
+
+    #[test]
+    fn ep_stabilize_switches_mode() {
+        let ep = EventuallyPerfectFd::new(j());
+        let outs = ep.delta2(
+            &EventuallyPerfectFd::stabilize_task(),
+            &mode::imperfect(),
+            &BTreeSet::new(),
+        );
+        assert_eq!(outs, vec![(ResponseMap::empty(), mode::perfect())]);
+    }
+
+    #[test]
+    fn fresh_p_is_quiescent_without_failures() {
+        let p = FreshPerfectFd::new(j());
+        let v0 = p.initial_value();
+        let outs = p.delta2(&GlobalTaskId::for_endpoint(ProcId(0)), &v0, &BTreeSet::new());
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].0.is_empty());
+        assert_eq!(outs[0].1, v0);
+    }
+
+    #[test]
+    fn fresh_p_reports_each_change_once() {
+        let p = FreshPerfectFd::new(j());
+        let v0 = p.initial_value();
+        let failed: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
+        let g = GlobalTaskId::for_endpoint(ProcId(0));
+        // First compute after the failure: report it.
+        let (map, v1) = p.delta2(&g, &v0, &failed).remove(0);
+        assert_eq!(
+            decode_suspect(&map.for_endpoint(ProcId(0))[0]),
+            Some(failed.clone())
+        );
+        // Second compute: quiescent again.
+        let (map2, v2) = p.delta2(&g, &v1, &failed).remove(0);
+        assert!(map2.is_empty());
+        assert_eq!(v2, v1);
+    }
+
+    #[test]
+    fn fresh_p_reports_per_endpoint_independently() {
+        let p = FreshPerfectFd::new(j());
+        let v0 = p.initial_value();
+        let failed: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        // Endpoint 0 learns; endpoint 1's last-sent is unchanged.
+        let (_, v1) = p
+            .delta2(&GlobalTaskId::for_endpoint(ProcId(0)), &v0, &failed)
+            .remove(0);
+        let (map, _) = p
+            .delta2(&GlobalTaskId::for_endpoint(ProcId(1)), &v1, &failed)
+            .remove(0);
+        assert!(!map.is_empty(), "endpoint 1 still has to hear the news");
+    }
+
+    #[test]
+    fn suspect_roundtrip() {
+        let s: BTreeSet<ProcId> = [ProcId(2), ProcId(5)].into_iter().collect();
+        assert_eq!(decode_suspect(&suspect(&s)), Some(s));
+        assert_eq!(decode_suspect(&Resp::sym("ack")), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Index newtypes for the paper's three (disjoint) index sets.
+//!
+//! The paper (Section 2.2) fixes finite index sets `I` for processes,
+//! `K` for resilient services and `R` for registers. We use [`ProcId`]
+//! for elements of `I` and [`SvcId`] for elements of `K ∪ R` (whether a
+//! given service is a register is recorded by its service class, not by
+//! the index type). [`GlobalTaskId`] names the elements of a service
+//! type's `glob` set (Section 5.1).
+
+use std::fmt;
+
+/// A process index `i ∈ I` (also called an *endpoint*, Section 2.1.3).
+///
+/// # Example
+///
+/// ```
+/// use spec::ProcId;
+/// let p = ProcId(2);
+/// assert_eq!(format!("{p}"), "P2");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub usize);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A service index `c ∈ K ∪ R` — a resilient atomic object, a
+/// failure-oblivious service, a general service, or a reliable register.
+///
+/// # Example
+///
+/// ```
+/// use spec::SvcId;
+/// let s = SvcId(0);
+/// assert_eq!(format!("{s}"), "S0");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SvcId(pub usize);
+
+impl fmt::Display for SvcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The name of a *global task* `g ∈ glob` of a failure-oblivious or
+/// general service type (paper Section 5.1).
+///
+/// Global tasks drive the service's `compute` steps. For the perfect
+/// failure detector (Fig. 9) `glob = J`, so we provide
+/// [`GlobalTaskId::for_endpoint`]; for totally ordered broadcast
+/// (Fig. 7) `glob = {g}`, a single anonymous task.
+///
+/// # Example
+///
+/// ```
+/// use spec::{GlobalTaskId, ProcId};
+/// let g = GlobalTaskId::for_endpoint(ProcId(1));
+/// assert_eq!(format!("{g}"), "g(P1)");
+/// assert_eq!(format!("{}", GlobalTaskId::named("bg")), "g(bg)");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GlobalTaskId {
+    /// A task associated with a single endpoint (e.g. the suspicion
+    /// generator for endpoint `i` in the failure detectors of Section 6.2).
+    Endpoint(ProcId),
+    /// A free-standing named task (e.g. the message-delivery task of
+    /// totally ordered broadcast, or `◇P`'s stabilization task `g`).
+    Named(&'static str),
+}
+
+impl GlobalTaskId {
+    /// The per-endpoint global task for endpoint `i`.
+    pub fn for_endpoint(i: ProcId) -> Self {
+        GlobalTaskId::Endpoint(i)
+    }
+
+    /// A named global task.
+    pub fn named(name: &'static str) -> Self {
+        GlobalTaskId::Named(name)
+    }
+}
+
+impl fmt::Display for GlobalTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalTaskId::Endpoint(i) => write!(f, "g({i})"),
+            GlobalTaskId::Named(n) => write!(f, "g({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn proc_ids_order_by_index() {
+        assert!(ProcId(0) < ProcId(1));
+        assert!(ProcId(1) < ProcId(10));
+    }
+
+    #[test]
+    fn svc_ids_are_hashable_set_members() {
+        let s: BTreeSet<SvcId> = [SvcId(3), SvcId(1), SvcId(3)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().next(), Some(&SvcId(1)));
+    }
+
+    #[test]
+    fn global_task_variants_are_distinct() {
+        let a = GlobalTaskId::for_endpoint(ProcId(0));
+        let b = GlobalTaskId::named("bg");
+        assert_ne!(a, b);
+        assert_eq!(a, GlobalTaskId::Endpoint(ProcId(0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(7).to_string(), "P7");
+        assert_eq!(SvcId(7).to_string(), "S7");
+    }
+}

@@ -1,0 +1,127 @@
+//! The compare&swap sequential type (listed among the paper's examples
+//! of atomic objects, Section 1).
+//!
+//! `cas(expected, new)` replaces the value with `new` iff the current
+//! value equals `expected`, and returns the old value either way.
+//! Deterministic.
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+
+/// The deterministic compare&swap sequential type over a finite domain.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::CompareAndSwap;
+/// use spec::seq_type::SeqType;
+/// use spec::Val;
+///
+/// let t = CompareAndSwap::with_domain([Val::Int(0), Val::Int(1)], Val::Int(0));
+/// let (old, v) = t.delta_det(&CompareAndSwap::cas(Val::Int(0), Val::Int(1)), &t.initial_value());
+/// assert_eq!(old.0, Val::Int(0));
+/// assert_eq!(v, Val::Int(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompareAndSwap {
+    domain: Vec<Val>,
+    initial: Val,
+}
+
+impl CompareAndSwap {
+    /// A compare&swap type over an explicit finite domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not in `domain`.
+    pub fn with_domain<I: IntoIterator<Item = Val>>(domain: I, initial: Val) -> Self {
+        let domain: Vec<Val> = domain.into_iter().collect();
+        assert!(
+            domain.contains(&initial),
+            "initial value {initial:?} must be in the CAS domain"
+        );
+        CompareAndSwap { domain, initial }
+    }
+
+    /// The `cas(expected, new)` invocation.
+    pub fn cas(expected: Val, new: Val) -> Inv {
+        Inv::op("cas", Val::pair(expected, new))
+    }
+
+    /// The `read()` invocation.
+    pub fn read() -> Inv {
+        Inv::nullary("read")
+    }
+}
+
+impl SeqType for CompareAndSwap {
+    fn name(&self) -> &str {
+        "compare&swap"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![self.initial.clone()]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        let mut invs = vec![CompareAndSwap::read()];
+        for e in &self.domain {
+            for n in &self.domain {
+                invs.push(CompareAndSwap::cas(e.clone(), n.clone()));
+            }
+        }
+        invs
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        match inv.name() {
+            Some("read") => vec![(Resp(val.clone()), val.clone())],
+            Some("cas") => {
+                let (expected, new) = inv
+                    .arg()
+                    .and_then(Val::as_pair)
+                    .expect("cas carries (expected, new)");
+                let next = if val == expected { new.clone() } else { val.clone() };
+                vec![(Resp(val.clone()), next)]
+            }
+            _ => panic!("not a compare&swap invocation: {inv:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> CompareAndSwap {
+        CompareAndSwap::with_domain([Val::Int(0), Val::Int(1), Val::Int(2)], Val::Int(0))
+    }
+
+    #[test]
+    fn successful_cas_swaps() {
+        let (old, v) = t().delta_det(&CompareAndSwap::cas(Val::Int(0), Val::Int(2)), &Val::Int(0));
+        assert_eq!(old.0, Val::Int(0));
+        assert_eq!(v, Val::Int(2));
+    }
+
+    #[test]
+    fn failed_cas_leaves_value() {
+        let (old, v) = t().delta_det(&CompareAndSwap::cas(Val::Int(1), Val::Int(2)), &Val::Int(0));
+        assert_eq!(old.0, Val::Int(0));
+        assert_eq!(v, Val::Int(0));
+    }
+
+    #[test]
+    fn read_is_passive() {
+        let (r, v) = t().delta_det(&CompareAndSwap::read(), &Val::Int(2));
+        assert_eq!(r.0, Val::Int(2));
+        assert_eq!(v, Val::Int(2));
+    }
+
+    #[test]
+    fn deterministic_and_total() {
+        let t = t();
+        assert!(t.is_deterministic(2));
+        assert_eq!(t.invocations().len(), 1 + 9);
+    }
+}

@@ -1,0 +1,117 @@
+//! The fetch&add counter sequential type (the paper's "counter" example
+//! of an atomic object, Section 1).
+//!
+//! `fetch_add(d)` returns the old value and adds `d`; `read()` returns
+//! the current value. The counter is bounded to keep exhaustive
+//! exploration finite: arithmetic is modulo `modulus`. Deterministic.
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+
+/// The deterministic bounded fetch&add counter.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::FetchAndAdd;
+/// use spec::seq_type::SeqType;
+/// use spec::Val;
+///
+/// let t = FetchAndAdd::modulo(8);
+/// let (old, v) = t.delta_det(&FetchAndAdd::fetch_add(3), &t.initial_value());
+/// assert_eq!(old.0, Val::Int(0));
+/// assert_eq!(v, Val::Int(3));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchAndAdd {
+    modulus: i64,
+}
+
+impl FetchAndAdd {
+    /// A counter with values in `{0, …, modulus−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 1`.
+    pub fn modulo(modulus: i64) -> Self {
+        assert!(modulus >= 1, "counter modulus must be positive");
+        FetchAndAdd { modulus }
+    }
+
+    /// The `fetch_add(d)` invocation.
+    pub fn fetch_add(d: i64) -> Inv {
+        Inv::op("fetch_add", Val::Int(d))
+    }
+
+    /// The `read()` invocation.
+    pub fn read() -> Inv {
+        Inv::nullary("read")
+    }
+}
+
+impl SeqType for FetchAndAdd {
+    fn name(&self) -> &str {
+        "fetch&add counter"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![Val::Int(0)]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        vec![FetchAndAdd::read(), FetchAndAdd::fetch_add(1)]
+    }
+
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        match inv.name() {
+            Some("read") => true,
+            Some("fetch_add") => inv.arg().is_some_and(|a| a.as_int().is_some()),
+            _ => false,
+        }
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        let cur = val.as_int().expect("counter value is an int");
+        match inv.name() {
+            Some("read") => vec![(Resp(val.clone()), val.clone())],
+            Some("fetch_add") => {
+                let d = inv.arg().and_then(Val::as_int).expect("fetch_add carries d");
+                let next = (cur + d).rem_euclid(self.modulus);
+                vec![(Resp(val.clone()), Val::Int(next))]
+            }
+            _ => panic!("not a counter invocation: {inv:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_add_returns_old_value() {
+        let t = FetchAndAdd::modulo(10);
+        let (old, v) = t.delta_det(&FetchAndAdd::fetch_add(1), &Val::Int(4));
+        assert_eq!(old.0, Val::Int(4));
+        assert_eq!(v, Val::Int(5));
+    }
+
+    #[test]
+    fn wraps_at_modulus() {
+        let t = FetchAndAdd::modulo(4);
+        let (_, v) = t.delta_det(&FetchAndAdd::fetch_add(3), &Val::Int(3));
+        assert_eq!(v, Val::Int(2));
+    }
+
+    #[test]
+    fn negative_deltas_wrap_euclidean() {
+        let t = FetchAndAdd::modulo(4);
+        let (_, v) = t.delta_det(&FetchAndAdd::fetch_add(-5), &Val::Int(0));
+        assert_eq!(v, Val::Int(3));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(FetchAndAdd::modulo(3).is_deterministic(4));
+    }
+}

@@ -1,0 +1,28 @@
+//! Concrete sequential types.
+//!
+//! The three examples from paper Section 2.1.2 — [`ReadWrite`],
+//! [`BinaryConsensus`] and [`KSetConsensus`] — plus the standard shared
+//! objects the introduction lists as examples of atomic services:
+//! [`TestAndSet`], [`CompareAndSwap`], [`FetchAndAdd`] and [`FifoQueue`].
+
+mod cas;
+mod consensus;
+mod counter;
+mod multi_consensus;
+mod queue;
+mod read_write;
+mod set_consensus;
+mod snapshot;
+mod sticky;
+mod test_and_set;
+
+pub use cas::CompareAndSwap;
+pub use consensus::BinaryConsensus;
+pub use counter::FetchAndAdd;
+pub use multi_consensus::MultiValueConsensus;
+pub use queue::FifoQueue;
+pub use read_write::ReadWrite;
+pub use set_consensus::KSetConsensus;
+pub use snapshot::Snapshot;
+pub use sticky::StickyBit;
+pub use test_and_set::TestAndSet;

@@ -1,0 +1,139 @@
+//! The FIFO queue sequential type (the paper's "queue" example of an
+//! atomic object, Section 1).
+//!
+//! `enq(v)` appends; `deq()` removes and returns the head, or returns
+//! `empty` if the queue is empty. The queue is capacity-bounded so that
+//! exhaustive exploration stays finite: an `enq` on a full queue
+//! responds `full` and leaves the state unchanged. Deterministic.
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+
+/// The deterministic bounded FIFO queue.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::FifoQueue;
+/// use spec::seq_type::SeqType;
+/// use spec::Val;
+///
+/// let t = FifoQueue::bounded([Val::Int(0), Val::Int(1)], 2);
+/// let (_, v) = t.delta_det(&FifoQueue::enq(Val::Int(1)), &t.initial_value());
+/// let (head, _) = t.delta_det(&FifoQueue::deq(), &v);
+/// assert_eq!(head.0, Val::Int(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FifoQueue {
+    domain: Vec<Val>,
+    capacity: usize,
+}
+
+impl FifoQueue {
+    /// A queue of elements from `domain` holding at most `capacity`
+    /// items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded<I: IntoIterator<Item = Val>>(domain: I, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        FifoQueue {
+            domain: domain.into_iter().collect(),
+            capacity,
+        }
+    }
+
+    /// The `enq(v)` invocation.
+    pub fn enq(v: Val) -> Inv {
+        Inv::op("enq", v)
+    }
+
+    /// The `deq()` invocation.
+    pub fn deq() -> Inv {
+        Inv::nullary("deq")
+    }
+}
+
+impl SeqType for FifoQueue {
+    fn name(&self) -> &str {
+        "FIFO queue"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![Val::empty_seq()]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        let mut invs = vec![FifoQueue::deq()];
+        invs.extend(self.domain.iter().cloned().map(FifoQueue::enq));
+        invs
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        let items = val.as_seq().expect("queue value is a sequence");
+        match inv.name() {
+            Some("enq") => {
+                let v = inv.arg().expect("enq carries a value").clone();
+                if items.len() >= self.capacity {
+                    vec![(Resp::sym("full"), val.clone())]
+                } else {
+                    let mut items = items.clone();
+                    items.push(v);
+                    vec![(Resp::sym("ack"), Val::Seq(items))]
+                }
+            }
+            Some("deq") => match items.split_first() {
+                Some((head, rest)) => {
+                    vec![(Resp(head.clone()), Val::Seq(rest.to_vec()))]
+                }
+                None => vec![(Resp::sym("empty"), val.clone())],
+            },
+            _ => panic!("not a queue invocation: {inv:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> FifoQueue {
+        FifoQueue::bounded([Val::Int(0), Val::Int(1)], 2)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = t();
+        let (_, v) = q.delta_det(&FifoQueue::enq(Val::Int(0)), &q.initial_value());
+        let (_, v) = q.delta_det(&FifoQueue::enq(Val::Int(1)), &v);
+        let (h0, v) = q.delta_det(&FifoQueue::deq(), &v);
+        let (h1, v) = q.delta_det(&FifoQueue::deq(), &v);
+        assert_eq!(h0.0, Val::Int(0));
+        assert_eq!(h1.0, Val::Int(1));
+        assert_eq!(v, Val::empty_seq());
+    }
+
+    #[test]
+    fn deq_on_empty_reports_empty() {
+        let q = t();
+        let (r, v) = q.delta_det(&FifoQueue::deq(), &q.initial_value());
+        assert_eq!(r, Resp::sym("empty"));
+        assert_eq!(v, q.initial_value());
+    }
+
+    #[test]
+    fn enq_on_full_reports_full() {
+        let q = t();
+        let (_, v) = q.delta_det(&FifoQueue::enq(Val::Int(0)), &q.initial_value());
+        let (_, v) = q.delta_det(&FifoQueue::enq(Val::Int(0)), &v);
+        let (r, v2) = q.delta_det(&FifoQueue::enq(Val::Int(1)), &v);
+        assert_eq!(r, Resp::sym("full"));
+        assert_eq!(v2, v);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(t().is_deterministic(3));
+    }
+}

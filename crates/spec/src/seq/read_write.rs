@@ -1,0 +1,165 @@
+//! The read/write sequential type (paper Section 2.1.2, first example).
+//!
+//! `V` is a set of values, `V0 = {v0}`, `invs = {read} ∪ {write(v)}`,
+//! `resps = V ∪ {ack}`, and
+//! `δ = {((read, v), (v, v))} ∪ {((write(v), v'), (ack, v))}`.
+//! This type is deterministic; canonical *registers* are canonical
+//! wait-free atomic objects of this type (Section 2.1.3).
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+
+/// The deterministic read/write sequential type over a finite domain.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::ReadWrite;
+/// use spec::seq_type::SeqType;
+/// use spec::Val;
+///
+/// let t = ReadWrite::binary();
+/// assert_eq!(t.initial_value(), Val::Int(0));
+/// assert!(t.is_deterministic(3));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadWrite {
+    domain: Vec<Val>,
+    initial: Val,
+}
+
+impl ReadWrite {
+    /// A read/write type over an explicit finite `domain` with initial
+    /// value `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not in `domain` (the initial value must be
+    /// an element of `V`).
+    pub fn with_domain<I: IntoIterator<Item = Val>>(domain: I, initial: Val) -> Self {
+        let domain: Vec<Val> = domain.into_iter().collect();
+        assert!(
+            domain.contains(&initial),
+            "initial value {initial:?} must be in the register domain"
+        );
+        ReadWrite { domain, initial }
+    }
+
+    /// A binary register over `{0, 1}` initialized to `0`.
+    pub fn binary() -> Self {
+        ReadWrite::with_domain([Val::Int(0), Val::Int(1)], Val::Int(0))
+    }
+
+    /// A register over `{0, …, n−1} ∪ {⊥}` initialized to `⊥`
+    /// (`⊥ = Sym("bot")`), the shape most protocols in `protocols` use.
+    pub fn values_with_bot(n: i64) -> Self {
+        let mut domain = vec![Val::Sym("bot")];
+        domain.extend((0..n).map(Val::Int));
+        ReadWrite::with_domain(domain, Val::Sym("bot"))
+    }
+
+    /// The `read` invocation.
+    pub fn read() -> Inv {
+        Inv::nullary("read")
+    }
+
+    /// The `write(v)` invocation.
+    pub fn write(v: Val) -> Inv {
+        Inv::op("write", v)
+    }
+
+    /// The `ack` response to a write.
+    pub fn ack() -> Resp {
+        Resp::sym("ack")
+    }
+
+    /// The register domain `V`.
+    pub fn domain(&self) -> &[Val] {
+        &self.domain
+    }
+}
+
+impl SeqType for ReadWrite {
+    fn name(&self) -> &str {
+        "read/write"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![self.initial.clone()]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        let mut invs = vec![ReadWrite::read()];
+        invs.extend(self.domain.iter().cloned().map(ReadWrite::write));
+        invs
+    }
+
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        match inv.name() {
+            Some("read") => inv.arg() == Some(&Val::Unit),
+            Some("write") => inv.arg().is_some_and(|a| self.domain.contains(a)),
+            _ => false,
+        }
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        match inv.name() {
+            // ((read, v), (v, v))
+            Some("read") => vec![(Resp(val.clone()), val.clone())],
+            // ((write(v), v'), (ack, v))
+            Some("write") => {
+                let v = inv.arg().expect("write carries a value").clone();
+                vec![(ReadWrite::ack(), v)]
+            }
+            _ => panic!("not a read/write invocation: {inv:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_returns_current_value_unchanged() {
+        let t = ReadWrite::binary();
+        let (r, v) = t.delta_det(&ReadWrite::read(), &Val::Int(1));
+        assert_eq!(r, Resp(Val::Int(1)));
+        assert_eq!(v, Val::Int(1));
+    }
+
+    #[test]
+    fn write_overwrites_and_acks() {
+        let t = ReadWrite::binary();
+        let (r, v) = t.delta_det(&ReadWrite::write(Val::Int(1)), &Val::Int(0));
+        assert_eq!(r, ReadWrite::ack());
+        assert_eq!(v, Val::Int(1));
+    }
+
+    #[test]
+    fn deterministic_per_paper() {
+        assert!(ReadWrite::binary().is_deterministic(4));
+    }
+
+    #[test]
+    fn recognizes_only_domain_writes() {
+        let t = ReadWrite::binary();
+        assert!(t.is_invocation(&ReadWrite::write(Val::Int(0))));
+        assert!(!t.is_invocation(&ReadWrite::write(Val::Int(7))));
+        assert!(t.is_invocation(&ReadWrite::read()));
+        assert!(!t.is_invocation(&Inv::nullary("pop")));
+    }
+
+    #[test]
+    fn values_with_bot_starts_at_bot() {
+        let t = ReadWrite::values_with_bot(2);
+        assert_eq!(t.initial_value(), Val::Sym("bot"));
+        assert_eq!(t.invocations().len(), 1 + 3); // read + write{⊥,0,1}
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in the register domain")]
+    fn initial_must_be_in_domain() {
+        let _ = ReadWrite::with_domain([Val::Int(0)], Val::Int(9));
+    }
+}

@@ -1,0 +1,174 @@
+//! The k-set-consensus sequential type (paper Section 2.1.2, third
+//! example).
+//!
+//! For `0 < k < n`: `V` is the set of subsets of `{0, …, n−1}` with at
+//! most `k` elements, `V0 = {∅}`, and
+//!
+//! ```text
+//! δ = {((init(v), W), (decide(v'), W ∪ {v})) : |W| < k, v' ∈ W ∪ {v}}
+//!   ∪ {((init(v), W), (decide(v'), W))      : |W| = k, v' ∈ W}
+//! ```
+//!
+//! The first `k` values are remembered and every operation returns one of
+//! them. This type is **nondeterministic** — which is exactly why the
+//! paper's definition of sequential types allows nondeterministic `δ`,
+//! and why k-set-consensus escapes the impossibility theorems
+//! (Section 4).
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+use std::collections::BTreeSet;
+
+/// The nondeterministic k-set-consensus sequential type with inputs in
+/// `{0, …, n−1}`.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::KSetConsensus;
+/// use spec::seq_type::SeqType;
+///
+/// let t = KSetConsensus::new(2, 4);
+/// // From ∅, init(3) can only decide 3.
+/// let outs = t.delta(&KSetConsensus::init(3), &t.initial_value());
+/// assert_eq!(outs.len(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KSetConsensus {
+    k: usize,
+    n: usize,
+}
+
+impl KSetConsensus {
+    /// A k-set-consensus type over inputs `{0, …, n−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < n` (the paper's side condition).
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(0 < k && k < n, "k-set-consensus requires 0 < k < n, got k={k}, n={n}");
+        KSetConsensus { k, n }
+    }
+
+    /// The agreement bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The input-domain size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The `init(v)` invocation.
+    pub fn init(v: i64) -> Inv {
+        Inv::op("init", Val::Int(v))
+    }
+
+    /// The `decide(v)` response.
+    pub fn decide(v: i64) -> Resp {
+        Resp::op("decide", Val::Int(v))
+    }
+
+    /// Extracts the decided value from a `decide(v)` response.
+    pub fn decision(resp: &Resp) -> Option<i64> {
+        if resp.name() == Some("decide") {
+            resp.arg().and_then(Val::as_int)
+        } else {
+            None
+        }
+    }
+}
+
+impl SeqType for KSetConsensus {
+    fn name(&self) -> &str {
+        "k-set-consensus"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![Val::empty_set()]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        (0..self.n as i64).map(KSetConsensus::init).collect()
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        assert_eq!(inv.name(), Some("init"), "not a set-consensus invocation: {inv:?}");
+        let v = inv.arg().and_then(Val::as_int).expect("init carries an int");
+        let w = val.as_set().expect("set-consensus value is a set W");
+        if w.len() < self.k {
+            // ((init(v), W), (decide(v'), W ∪ {v})), v' ∈ W ∪ {v}
+            let mut w2: BTreeSet<Val> = w.clone();
+            w2.insert(Val::Int(v));
+            w2.iter()
+                .map(|vp| {
+                    let d = vp.as_int().expect("members of W are ints");
+                    (KSetConsensus::decide(d), Val::Set(w2.clone()))
+                })
+                .collect()
+        } else {
+            // ((init(v), W), (decide(v'), W)), v' ∈ W
+            w.iter()
+                .map(|vp| {
+                    let d = vp.as_int().expect("members of W are ints");
+                    (KSetConsensus::decide(d), val.clone())
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remembers_at_most_k_values() {
+        let t = KSetConsensus::new(2, 4);
+        let v0 = t.initial_value();
+        let (_, v1) = t.delta_det(&KSetConsensus::init(0), &v0);
+        let (_, v2) = t.delta_det(&KSetConsensus::init(1), &v1);
+        assert_eq!(v2.as_set().unwrap().len(), 2);
+        // Third distinct input does not grow W.
+        let (_, v3) = t.delta_det(&KSetConsensus::init(3), &v2);
+        assert_eq!(v3, v2);
+    }
+
+    #[test]
+    fn full_w_responses_are_exactly_w() {
+        let t = KSetConsensus::new(2, 4);
+        let w = Val::set([Val::Int(0), Val::Int(1)]);
+        let outs = t.delta(&KSetConsensus::init(3), &w);
+        let decisions: Vec<i64> = outs
+            .iter()
+            .map(|(r, _)| KSetConsensus::decision(r).unwrap())
+            .collect();
+        assert_eq!(decisions, vec![0, 1]);
+    }
+
+    #[test]
+    fn nondeterministic_once_w_nonempty() {
+        let t = KSetConsensus::new(2, 4);
+        // |W| = 1 < k: init(2) may decide 0 or 2.
+        let w = Val::set([Val::Int(0)]);
+        let outs = t.delta(&KSetConsensus::init(2), &w);
+        assert_eq!(outs.len(), 2);
+        assert!(!t.is_deterministic(3));
+    }
+
+    #[test]
+    fn determinized_view_picks_least() {
+        let t = KSetConsensus::new(2, 4);
+        let w = Val::set([Val::Int(1)]);
+        let (r, _) = t.delta_det(&KSetConsensus::init(3), &w);
+        // decide(1) < decide(3) lexicographically on the payload.
+        assert_eq!(KSetConsensus::decision(&r), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k < n")]
+    fn rejects_degenerate_parameters() {
+        let _ = KSetConsensus::new(3, 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! The atomic snapshot sequential type — the standard formalization of
+//! the "concurrently-accessible data structures" the paper's
+//! introduction lists among services (Section 1).
+//!
+//! The value is a vector of `m` segments. `update(idx, v)` overwrites
+//! one segment and acks; `scan()` returns the entire vector
+//! atomically. Deterministic.
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+
+/// The deterministic atomic snapshot type with `m` segments over a
+/// finite per-segment domain.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::Snapshot;
+/// use spec::seq_type::SeqType;
+/// use spec::Val;
+///
+/// let t = Snapshot::new(2, [Val::Int(0), Val::Int(1)], Val::Int(0));
+/// let (_, v) = t.delta_det(&Snapshot::update(1, Val::Int(1)), &t.initial_value());
+/// let (snap, _) = t.delta_det(&Snapshot::scan(), &v);
+/// assert_eq!(snap.0, Val::seq([Val::Int(0), Val::Int(1)]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    segments: usize,
+    domain: Vec<Val>,
+    initial: Val,
+}
+
+impl Snapshot {
+    /// A snapshot with `segments` slots over `domain`, each starting at
+    /// `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero or `initial ∉ domain`.
+    pub fn new<D: IntoIterator<Item = Val>>(segments: usize, domain: D, initial: Val) -> Self {
+        let domain: Vec<Val> = domain.into_iter().collect();
+        assert!(segments > 0, "a snapshot needs at least one segment");
+        assert!(
+            domain.contains(&initial),
+            "initial segment value must be in the domain"
+        );
+        Snapshot {
+            segments,
+            domain,
+            initial,
+        }
+    }
+
+    /// The `update(idx, v)` invocation.
+    pub fn update(idx: usize, v: Val) -> Inv {
+        Inv::op("update", Val::pair(Val::Int(idx as i64), v))
+    }
+
+    /// The `scan()` invocation.
+    pub fn scan() -> Inv {
+        Inv::nullary("scan")
+    }
+
+    /// The number of segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+}
+
+impl SeqType for Snapshot {
+    fn name(&self) -> &str {
+        "atomic snapshot"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![Val::seq(std::iter::repeat_n(self.initial.clone(), self.segments))]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        let mut invs = vec![Snapshot::scan()];
+        for idx in 0..self.segments {
+            for v in &self.domain {
+                invs.push(Snapshot::update(idx, v.clone()));
+            }
+        }
+        invs
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        match inv.name() {
+            Some("scan") => vec![(Resp(val.clone()), val.clone())],
+            Some("update") => {
+                let (idx, v) = inv.arg().and_then(Val::as_pair).expect("update payload");
+                let idx = idx.as_int().expect("segment index") as usize;
+                let mut segs = val.as_seq().expect("snapshot value").clone();
+                assert!(idx < segs.len(), "segment {idx} out of range");
+                segs[idx] = v.clone();
+                vec![(Resp::sym("ack"), Val::Seq(segs))]
+            }
+            _ => panic!("not a snapshot invocation: {inv:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Snapshot {
+        Snapshot::new(3, [Val::Int(0), Val::Int(1)], Val::Int(0))
+    }
+
+    #[test]
+    fn scan_returns_the_whole_vector() {
+        let t = t();
+        let (_, v) = t.delta_det(&Snapshot::update(2, Val::Int(1)), &t.initial_value());
+        let (snap, v2) = t.delta_det(&Snapshot::scan(), &v);
+        assert_eq!(snap.0, Val::seq([Val::Int(0), Val::Int(0), Val::Int(1)]));
+        assert_eq!(v2, v);
+    }
+
+    #[test]
+    fn updates_are_per_segment() {
+        let t = t();
+        let (_, v) = t.delta_det(&Snapshot::update(0, Val::Int(1)), &t.initial_value());
+        let (_, v) = t.delta_det(&Snapshot::update(1, Val::Int(1)), &v);
+        assert_eq!(v, Val::seq([Val::Int(1), Val::Int(1), Val::Int(0)]));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(t().is_deterministic(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_segment() {
+        let t = t();
+        let _ = t.delta(&Snapshot::update(9, Val::Int(0)), &t.initial_value());
+    }
+}

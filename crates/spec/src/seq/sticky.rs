@@ -1,0 +1,115 @@
+//! The sticky bit (write-once register) sequential type.
+//!
+//! A classic consensus-universal object (Plotkin): the first `write`
+//! sticks forever and every later operation reports the stuck value.
+//! It is the read/write face of the consensus type — included to show
+//! that Theorem 2's reach is about *power*, not syntax: an object whose
+//! interface is just reads and writes still cannot be boosted once it
+//! is strong enough to solve consensus.
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+
+/// The deterministic sticky bit: `⊥` until the first `write(v)`, then
+/// `v` forever.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::StickyBit;
+/// use spec::seq_type::SeqType;
+/// use spec::Val;
+///
+/// let t = StickyBit;
+/// let (first, v) = t.delta_det(&StickyBit::write(1), &t.initial_value());
+/// assert_eq!(first.0, Val::Int(1)); // the write reports the stuck value
+/// let (second, _) = t.delta_det(&StickyBit::write(0), &v);
+/// assert_eq!(second.0, Val::Int(1)); // later writes lose
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StickyBit;
+
+impl StickyBit {
+    /// The `write(v)` invocation, `v ∈ {0, 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v` is binary.
+    pub fn write(v: i64) -> Inv {
+        assert!(v == 0 || v == 1, "sticky bit values are binary");
+        Inv::op("write", Val::Int(v))
+    }
+
+    /// The `read()` invocation.
+    pub fn read() -> Inv {
+        Inv::nullary("read")
+    }
+}
+
+impl SeqType for StickyBit {
+    fn name(&self) -> &str {
+        "sticky bit"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![Val::Sym("bot")]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        vec![StickyBit::read(), StickyBit::write(0), StickyBit::write(1)]
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        match inv.name() {
+            Some("read") => vec![(Resp(val.clone()), val.clone())],
+            Some("write") => {
+                let v = inv.arg().expect("write carries a value").clone();
+                if *val == Val::Sym("bot") {
+                    // First write sticks and is echoed back.
+                    vec![(Resp(v.clone()), v)]
+                } else {
+                    // Stuck: report the winner.
+                    vec![(Resp(val.clone()), val.clone())]
+                }
+            }
+            _ => panic!("not a sticky-bit invocation: {inv:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_write_sticks() {
+        let t = StickyBit;
+        let (r, v) = t.delta_det(&StickyBit::write(0), &t.initial_value());
+        assert_eq!(r.0, Val::Int(0));
+        let (r, v2) = t.delta_det(&StickyBit::write(1), &v);
+        assert_eq!(r.0, Val::Int(0));
+        assert_eq!(v2, v);
+    }
+
+    #[test]
+    fn read_before_any_write_reports_bot() {
+        let t = StickyBit;
+        let (r, _) = t.delta_det(&StickyBit::read(), &t.initial_value());
+        assert_eq!(r.0, Val::Sym("bot"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(StickyBit.is_deterministic(3));
+    }
+
+    #[test]
+    fn sticky_bit_solves_consensus_sequentially() {
+        // The write's echo IS a consensus decision: whoever writes
+        // first wins, everyone learns the winner.
+        let t = StickyBit;
+        let (d0, v) = t.delta_det(&StickyBit::write(1), &t.initial_value());
+        let (d1, _) = t.delta_det(&StickyBit::write(0), &v);
+        assert_eq!(d0, d1, "both writers learn the same decision");
+    }
+}

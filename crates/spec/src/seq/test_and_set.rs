@@ -1,0 +1,90 @@
+//! The test&set sequential type (listed among the paper's examples of
+//! atomic objects, Section 1).
+//!
+//! `V = {0, 1}`, `V0 = {0}`; `test_and_set()` returns the old value and
+//! sets the value to `1`; `reset()` clears it. Deterministic.
+
+use crate::seq_type::{Inv, Resp, SeqType};
+use crate::value::Val;
+
+/// The deterministic test&set sequential type.
+///
+/// # Example
+///
+/// ```
+/// use spec::seq::TestAndSet;
+/// use spec::seq_type::SeqType;
+/// use spec::Val;
+///
+/// let t = TestAndSet;
+/// let (won, v) = t.delta_det(&TestAndSet::test_and_set(), &t.initial_value());
+/// assert_eq!(won.0, Val::Int(0)); // first caller sees 0: it wins
+/// let (lost, _) = t.delta_det(&TestAndSet::test_and_set(), &v);
+/// assert_eq!(lost.0, Val::Int(1));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TestAndSet;
+
+impl TestAndSet {
+    /// The `test&set()` invocation.
+    pub fn test_and_set() -> Inv {
+        Inv::nullary("test_and_set")
+    }
+
+    /// The `reset()` invocation.
+    pub fn reset() -> Inv {
+        Inv::nullary("reset")
+    }
+}
+
+impl SeqType for TestAndSet {
+    fn name(&self) -> &str {
+        "test&set"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        vec![Val::Int(0)]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        vec![TestAndSet::test_and_set(), TestAndSet::reset()]
+    }
+
+    fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
+        match inv.name() {
+            Some("test_and_set") => vec![(Resp(val.clone()), Val::Int(1))],
+            Some("reset") => vec![(Resp::sym("ack"), Val::Int(0))],
+            _ => panic!("not a test&set invocation: {inv:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_winner_between_resets() {
+        let t = TestAndSet;
+        let (r0, v) = t.delta_det(&TestAndSet::test_and_set(), &t.initial_value());
+        let (r1, v) = t.delta_det(&TestAndSet::test_and_set(), &v);
+        let (r2, _) = t.delta_det(&TestAndSet::test_and_set(), &v);
+        assert_eq!(r0.0, Val::Int(0));
+        assert_eq!(r1.0, Val::Int(1));
+        assert_eq!(r2.0, Val::Int(1));
+    }
+
+    #[test]
+    fn reset_reopens_the_race() {
+        let t = TestAndSet;
+        let (_, v) = t.delta_det(&TestAndSet::test_and_set(), &t.initial_value());
+        let (_, v) = t.delta_det(&TestAndSet::reset(), &v);
+        let (r, _) = t.delta_det(&TestAndSet::test_and_set(), &v);
+        assert_eq!(r.0, Val::Int(0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(TestAndSet.is_deterministic(4));
+    }
+}

@@ -1,0 +1,374 @@
+//! Failure-oblivious and general (failure-aware) service types.
+//!
+//! Paper Section 5.1 defines a *failure-oblivious service type*
+//! `U = ⟨V, V0, invs, resps, glob, δ1, δ2⟩` where, with `ResponseMap`
+//! the set of mappings from the endpoint set `J` to finite sequences of
+//! responses:
+//!
+//! * `δ1 ⊆ (invs × J × V) × (ResponseMap × V)` drives `perform` steps —
+//!   processing the head of one endpoint's invocation buffer may deposit
+//!   responses into *any* subset of the response buffers;
+//! * `δ2 ⊆ (glob × V) × (ResponseMap × V)` drives spontaneous `compute`
+//!   steps. Both relations are total.
+//!
+//! Section 6.1 generalizes to *general service types* whose `δ1`/`δ2`
+//! additionally observe the current `failed ⊆ I` set.
+//!
+//! This module provides the two traits, the paper's embeddings
+//! (sequential type → failure-oblivious type → general type:
+//! [`ObliviousFromSeq`] and [`GeneralFromOblivious`]), and the
+//! [`ResponseMap`] plumbing.
+
+use crate::ids::{GlobalTaskId, ProcId};
+use crate::seq_type::{ArcSeqType, Inv, Resp};
+use crate::value::Val;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A mapping from endpoints to finite sequences of responses — the
+/// result of one `perform` or `compute` step (paper Section 5.1).
+///
+/// Endpoints absent from the map receive the empty sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResponseMap(pub BTreeMap<ProcId, Vec<Resp>>);
+
+impl ResponseMap {
+    /// The response map assigning every endpoint the empty sequence.
+    pub fn empty() -> Self {
+        ResponseMap::default()
+    }
+
+    /// A response map that delivers a single response to a single
+    /// endpoint (the atomic-object shape, Section 5.1's embedding).
+    pub fn single(i: ProcId, resp: Resp) -> Self {
+        ResponseMap(BTreeMap::from([(i, vec![resp])]))
+    }
+
+    /// A response map that delivers the same response to every endpoint
+    /// in `to` (the totally-ordered-broadcast shape, Fig. 7).
+    pub fn broadcast<I: IntoIterator<Item = ProcId>>(to: I, resp: Resp) -> Self {
+        ResponseMap(
+            to.into_iter()
+                .map(|i| (i, vec![resp.clone()]))
+                .collect(),
+        )
+    }
+
+    /// The sequence of responses destined for endpoint `i`.
+    pub fn for_endpoint(&self, i: ProcId) -> &[Resp] {
+        self.0.get(&i).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether no endpoint receives any response.
+    pub fn is_empty(&self) -> bool {
+        self.0.values().all(Vec::is_empty)
+    }
+
+    /// Iterates over `(endpoint, responses)` pairs with nonempty
+    /// response sequences.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, &[Resp])> {
+        self.0
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (*i, v.as_slice()))
+    }
+}
+
+impl fmt::Display for ResponseMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (idx, (i, rs)) in self.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}: [")?;
+            for (jdx, r) in rs.iter().enumerate() {
+                if jdx > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{r}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A failure-oblivious service type `U` (paper Section 5.1).
+///
+/// The key constraint — *failure obliviousness* — is enforced by the
+/// trait shape itself: neither `δ1` nor `δ2` receives the failed set.
+pub trait ObliviousType: fmt::Debug + Send + Sync {
+    /// A short human-readable name.
+    fn name(&self) -> &str;
+
+    /// The set `V0` of initial values. Nonempty.
+    fn initial_values(&self) -> Vec<Val>;
+
+    /// The invocation set, finitely enumerated.
+    fn invocations(&self) -> Vec<Inv>;
+
+    /// Whether `inv ∈ U.invs`.
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        self.invocations().contains(inv)
+    }
+
+    /// The global task names `glob`.
+    fn global_tasks(&self) -> Vec<GlobalTaskId>;
+
+    /// `δ1`: all outcomes of performing `inv` invoked at endpoint `i`
+    /// with current value `val`. Total.
+    fn delta1(&self, inv: &Inv, i: ProcId, val: &Val) -> Vec<(ResponseMap, Val)>;
+
+    /// `δ2`: all outcomes of running global task `g` with current value
+    /// `val`. Total.
+    fn delta2(&self, g: &GlobalTaskId, val: &Val) -> Vec<(ResponseMap, Val)>;
+
+    /// The canonical initial value (least element of `V0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implementation violates the nonemptiness of `V0`.
+    fn initial_value(&self) -> Val {
+        self.initial_values()
+            .into_iter()
+            .min()
+            .expect("service type must have a nonempty V0")
+    }
+}
+
+/// A general (potentially failure-aware) service type (paper
+/// Section 6.1): `δ1`/`δ2` may observe the failed set.
+pub trait GeneralType: fmt::Debug + Send + Sync {
+    /// A short human-readable name.
+    fn name(&self) -> &str;
+
+    /// The set `V0` of initial values. Nonempty.
+    fn initial_values(&self) -> Vec<Val>;
+
+    /// The invocation set, finitely enumerated (empty for failure
+    /// detectors, Section 6.2).
+    fn invocations(&self) -> Vec<Inv>;
+
+    /// Whether `inv ∈ U.invs`.
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        self.invocations().contains(inv)
+    }
+
+    /// The global task names `glob`.
+    fn global_tasks(&self) -> Vec<GlobalTaskId>;
+
+    /// `δ1` with the current failed set (Fig. 8, perform).
+    fn delta1(
+        &self,
+        inv: &Inv,
+        i: ProcId,
+        val: &Val,
+        failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)>;
+
+    /// `δ2` with the current failed set (Fig. 8, compute).
+    fn delta2(
+        &self,
+        g: &GlobalTaskId,
+        val: &Val,
+        failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)>;
+
+    /// The canonical initial value (least element of `V0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implementation violates the nonemptiness of `V0`.
+    fn initial_value(&self) -> Val {
+        self.initial_values()
+            .into_iter()
+            .min()
+            .expect("service type must have a nonempty V0")
+    }
+}
+
+/// The paper's first embedding (Section 5.1): every sequential type `T`
+/// induces a failure-oblivious type `U` with `glob = ∅`, `δ2 = ∅`, and
+/// `δ1((a, i, v)) = {(B, v') : ∃b. δ((a,v),(b,v')), B = i ↦ [b]}`.
+///
+/// # Example
+///
+/// ```
+/// use spec::service_type::{ObliviousFromSeq, ObliviousType};
+/// use spec::seq::BinaryConsensus;
+/// use spec::{ProcId, Val};
+/// use std::sync::Arc;
+///
+/// let u = ObliviousFromSeq::new(Arc::new(BinaryConsensus));
+/// assert!(u.global_tasks().is_empty());
+/// let outs = u.delta1(&BinaryConsensus::init(1), ProcId(0), &Val::empty_set());
+/// assert_eq!(outs.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ObliviousFromSeq {
+    seq: ArcSeqType,
+}
+
+impl ObliviousFromSeq {
+    /// Wraps a sequential type as a failure-oblivious service type.
+    pub fn new(seq: ArcSeqType) -> Self {
+        ObliviousFromSeq { seq }
+    }
+
+    /// The underlying sequential type.
+    pub fn seq_type(&self) -> &ArcSeqType {
+        &self.seq
+    }
+}
+
+impl ObliviousType for ObliviousFromSeq {
+    fn name(&self) -> &str {
+        self.seq.name()
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        self.seq.initial_values()
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        self.seq.invocations()
+    }
+
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        self.seq.is_invocation(inv)
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        Vec::new()
+    }
+
+    fn delta1(&self, inv: &Inv, i: ProcId, val: &Val) -> Vec<(ResponseMap, Val)> {
+        self.seq
+            .delta(inv, val)
+            .into_iter()
+            .map(|(b, v2)| (ResponseMap::single(i, b), v2))
+            .collect()
+    }
+
+    fn delta2(&self, g: &GlobalTaskId, _val: &Val) -> Vec<(ResponseMap, Val)> {
+        panic!("sequential types have no global tasks, got {g:?}")
+    }
+}
+
+/// The paper's second embedding (Section 6.1): every failure-oblivious
+/// type induces a general type whose `δ1`/`δ2` ignore the failed set.
+#[derive(Clone, Debug)]
+pub struct GeneralFromOblivious {
+    oblivious: Arc<dyn ObliviousType>,
+}
+
+impl GeneralFromOblivious {
+    /// Wraps a failure-oblivious type as a (degenerate) general type.
+    pub fn new(oblivious: Arc<dyn ObliviousType>) -> Self {
+        GeneralFromOblivious { oblivious }
+    }
+}
+
+impl GeneralType for GeneralFromOblivious {
+    fn name(&self) -> &str {
+        self.oblivious.name()
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        self.oblivious.initial_values()
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        self.oblivious.invocations()
+    }
+
+    fn is_invocation(&self, inv: &Inv) -> bool {
+        self.oblivious.is_invocation(inv)
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        self.oblivious.global_tasks()
+    }
+
+    fn delta1(
+        &self,
+        inv: &Inv,
+        i: ProcId,
+        val: &Val,
+        _failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        self.oblivious.delta1(inv, i, val)
+    }
+
+    fn delta2(
+        &self,
+        g: &GlobalTaskId,
+        val: &Val,
+        _failed: &BTreeSet<ProcId>,
+    ) -> Vec<(ResponseMap, Val)> {
+        self.oblivious.delta2(g, val)
+    }
+}
+
+/// Convenience: wraps a [`SeqType`](crate::seq_type::SeqType) directly as a [`GeneralType`] by
+/// composing both embeddings.
+pub fn general_from_seq(seq: ArcSeqType) -> GeneralFromOblivious {
+    GeneralFromOblivious::new(Arc::new(ObliviousFromSeq::new(seq)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{BinaryConsensus, ReadWrite};
+
+    #[test]
+    fn response_map_single_targets_one_endpoint() {
+        let m = ResponseMap::single(ProcId(1), Resp::sym("ack"));
+        assert_eq!(m.for_endpoint(ProcId(1)), &[Resp::sym("ack")]);
+        assert!(m.for_endpoint(ProcId(0)).is_empty());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn response_map_broadcast_targets_all() {
+        let m = ResponseMap::broadcast([ProcId(0), ProcId(2)], Resp::sym("rcv"));
+        assert_eq!(m.iter().count(), 2);
+        assert_eq!(m.for_endpoint(ProcId(2)), &[Resp::sym("rcv")]);
+    }
+
+    #[test]
+    fn response_map_display() {
+        let m = ResponseMap::single(ProcId(0), Resp::sym("ack"));
+        assert_eq!(m.to_string(), "{P0: [ack]}");
+        assert_eq!(ResponseMap::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn oblivious_embedding_routes_response_to_invoker() {
+        let u = ObliviousFromSeq::new(Arc::new(BinaryConsensus));
+        let outs = u.delta1(&BinaryConsensus::init(0), ProcId(3), &Val::empty_set());
+        assert_eq!(outs.len(), 1);
+        let (map, v2) = &outs[0];
+        assert_eq!(map.for_endpoint(ProcId(3)), &[BinaryConsensus::decide(0)]);
+        assert_eq!(*v2, Val::set([Val::Int(0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no global tasks")]
+    fn oblivious_embedding_has_no_delta2() {
+        let u = ObliviousFromSeq::new(Arc::new(ReadWrite::binary()));
+        let _ = u.delta2(&GlobalTaskId::named("g"), &Val::Int(0));
+    }
+
+    #[test]
+    fn general_embedding_ignores_failures() {
+        let g = general_from_seq(Arc::new(ReadWrite::binary()));
+        let failed: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        let a = g.delta1(&ReadWrite::read(), ProcId(0), &Val::Int(1), &failed);
+        let b = g.delta1(&ReadWrite::read(), ProcId(0), &Val::Int(1), &BTreeSet::new());
+        assert_eq!(a, b);
+        assert_eq!(g.name(), "read/write");
+    }
+}

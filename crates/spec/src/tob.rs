@@ -1,0 +1,222 @@
+//! Totally ordered broadcast as a failure-oblivious service type
+//! (paper Section 5.2, Figs. 5–7).
+//!
+//! The value `V` consists of a single `msgs` queue of `(message, sender)`
+//! pairs (Fig. 5). `δ1` (Fig. 6) moves `bcast(m)` invocations from an
+//! endpoint's invocation buffer onto the tail of `msgs`, producing no
+//! responses. `δ2` (Fig. 7) has a single global task `g` that pops the
+//! head of `msgs` and delivers `rcv(m, i)` to *every* endpoint — which is
+//! exactly what an atomic object cannot express (one invocation, many
+//! responses), the paper's motivation for the failure-oblivious class.
+
+use crate::ids::{GlobalTaskId, ProcId};
+use crate::seq_type::{Inv, Resp};
+use crate::service_type::{ObliviousType, ResponseMap};
+use crate::value::Val;
+use std::collections::BTreeSet;
+
+/// The totally ordered broadcast service type for a message alphabet `M`
+/// and endpoint set `J`.
+///
+/// # Example
+///
+/// ```
+/// use spec::tob::TotallyOrderedBroadcast;
+/// use spec::service_type::ObliviousType;
+/// use spec::{ProcId, Val};
+///
+/// let j = [ProcId(0), ProcId(1)];
+/// let tob = TotallyOrderedBroadcast::new([Val::Sym("m")], j);
+/// // bcast(m) at P1 enqueues (m, P1) and answers nobody.
+/// let outs = tob.delta1(&TotallyOrderedBroadcast::bcast(Val::Sym("m")), ProcId(1), &tob.initial_value());
+/// assert_eq!(outs.len(), 1);
+/// assert!(outs[0].0.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TotallyOrderedBroadcast {
+    alphabet: Vec<Val>,
+    endpoints: BTreeSet<ProcId>,
+}
+
+impl TotallyOrderedBroadcast {
+    /// A TOB type for message alphabet `alphabet` and endpoint set
+    /// `endpoints`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn new<M, J>(alphabet: M, endpoints: J) -> Self
+    where
+        M: IntoIterator<Item = Val>,
+        J: IntoIterator<Item = ProcId>,
+    {
+        let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
+        assert!(!endpoints.is_empty(), "TOB requires a nonempty endpoint set");
+        TotallyOrderedBroadcast {
+            alphabet: alphabet.into_iter().collect(),
+            endpoints,
+        }
+    }
+
+    /// The `bcast(m)` invocation.
+    pub fn bcast(m: Val) -> Inv {
+        Inv::op("bcast", m)
+    }
+
+    /// The `rcv(m, i)` response: receipt of message `m` from sender `i`.
+    pub fn rcv(m: Val, sender: ProcId) -> Resp {
+        Resp::op("rcv", Val::pair(m, Val::Int(sender.0 as i64)))
+    }
+
+    /// Decodes a `rcv(m, i)` response into `(message, sender)`.
+    pub fn decode_rcv(resp: &Resp) -> Option<(Val, ProcId)> {
+        if resp.name() != Some("rcv") {
+            return None;
+        }
+        let (m, i) = resp.arg()?.as_pair()?;
+        Some((m.clone(), ProcId(i.as_int()? as usize)))
+    }
+
+    /// The single global delivery task `g` (Fig. 7).
+    pub fn delivery_task() -> GlobalTaskId {
+        GlobalTaskId::named("deliver")
+    }
+
+    /// The endpoint set `J`.
+    pub fn endpoints(&self) -> &BTreeSet<ProcId> {
+        &self.endpoints
+    }
+}
+
+impl ObliviousType for TotallyOrderedBroadcast {
+    fn name(&self) -> &str {
+        "totally ordered broadcast"
+    }
+
+    fn initial_values(&self) -> Vec<Val> {
+        // Fig. 5: msgs is initially the empty queue.
+        vec![Val::empty_seq()]
+    }
+
+    fn invocations(&self) -> Vec<Inv> {
+        self.alphabet
+            .iter()
+            .cloned()
+            .map(TotallyOrderedBroadcast::bcast)
+            .collect()
+    }
+
+    fn global_tasks(&self) -> Vec<GlobalTaskId> {
+        vec![TotallyOrderedBroadcast::delivery_task()]
+    }
+
+    fn delta1(&self, inv: &Inv, i: ProcId, val: &Val) -> Vec<(ResponseMap, Val)> {
+        // Fig. 6: append (m, i) to msgs; B(j) empty for all j.
+        assert_eq!(inv.name(), Some("bcast"), "not a TOB invocation: {inv:?}");
+        let m = inv.arg().expect("bcast carries a message").clone();
+        let mut msgs = val.as_seq().expect("TOB value is the msgs queue").clone();
+        msgs.push(Val::pair(m, Val::Int(i.0 as i64)));
+        vec![(ResponseMap::empty(), Val::Seq(msgs))]
+    }
+
+    fn delta2(&self, g: &GlobalTaskId, val: &Val) -> Vec<(ResponseMap, Val)> {
+        assert_eq!(
+            *g,
+            TotallyOrderedBroadcast::delivery_task(),
+            "TOB has a single global task"
+        );
+        let msgs = val.as_seq().expect("TOB value is the msgs queue");
+        match msgs.split_first() {
+            // Fig. 7 case (a): pop the head, deliver rcv(m, i) to every j ∈ J.
+            Some((head, rest)) => {
+                let (m, sender) = head.as_pair().expect("msgs holds (m, i) pairs");
+                let sender = ProcId(sender.as_int().expect("sender is an index") as usize);
+                let resp = TotallyOrderedBroadcast::rcv(m.clone(), sender);
+                vec![(
+                    ResponseMap::broadcast(self.endpoints.iter().copied(), resp),
+                    Val::Seq(rest.to_vec()),
+                )]
+            }
+            // Fig. 7 case (b): msgs empty — no-op.
+            None => vec![(ResponseMap::empty(), val.clone())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tob() -> TotallyOrderedBroadcast {
+        TotallyOrderedBroadcast::new(
+            [Val::Sym("a"), Val::Sym("b")],
+            [ProcId(0), ProcId(1), ProcId(2)],
+        )
+    }
+
+    #[test]
+    fn bcast_enqueues_in_order() {
+        let t = tob();
+        let (_, v) = t.delta1(&TotallyOrderedBroadcast::bcast(Val::Sym("a")), ProcId(2), &t.initial_value())
+            .pop()
+            .unwrap();
+        let (_, v) = t.delta1(&TotallyOrderedBroadcast::bcast(Val::Sym("b")), ProcId(0), &v)
+            .pop()
+            .unwrap();
+        assert_eq!(
+            v,
+            Val::seq([
+                Val::pair(Val::Sym("a"), Val::Int(2)),
+                Val::pair(Val::Sym("b"), Val::Int(0)),
+            ])
+        );
+    }
+
+    #[test]
+    fn delivery_broadcasts_head_to_all_endpoints() {
+        let t = tob();
+        let v = Val::seq([Val::pair(Val::Sym("a"), Val::Int(1))]);
+        let outs = t.delta2(&TotallyOrderedBroadcast::delivery_task(), &v);
+        assert_eq!(outs.len(), 1);
+        let (map, v2) = &outs[0];
+        assert_eq!(*v2, Val::empty_seq());
+        for i in [0, 1, 2] {
+            assert_eq!(
+                map.for_endpoint(ProcId(i)),
+                &[TotallyOrderedBroadcast::rcv(Val::Sym("a"), ProcId(1))]
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_on_empty_queue_is_a_noop() {
+        let t = tob();
+        let outs = t.delta2(&TotallyOrderedBroadcast::delivery_task(), &t.initial_value());
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].0.is_empty());
+        assert_eq!(outs[0].1, t.initial_value());
+    }
+
+    #[test]
+    fn rcv_roundtrip() {
+        let r = TotallyOrderedBroadcast::rcv(Val::Sym("a"), ProcId(2));
+        assert_eq!(
+            TotallyOrderedBroadcast::decode_rcv(&r),
+            Some((Val::Sym("a"), ProcId(2)))
+        );
+        assert_eq!(TotallyOrderedBroadcast::decode_rcv(&Resp::sym("ack")), None);
+    }
+
+    #[test]
+    fn invocation_set_is_the_alphabet() {
+        assert_eq!(tob().invocations().len(), 2);
+        assert!(tob().is_invocation(&TotallyOrderedBroadcast::bcast(Val::Sym("a"))));
+        assert!(!tob().is_invocation(&TotallyOrderedBroadcast::bcast(Val::Sym("zz"))));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty endpoint set")]
+    fn rejects_empty_endpoint_set() {
+        let _ = TotallyOrderedBroadcast::new([Val::Sym("a")], []);
+    }
+}

@@ -1,0 +1,316 @@
+//! Property-based tests for the specification layer: the sequential
+//! types' algebraic laws under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use spec::seq::{
+    BinaryConsensus, CompareAndSwap, FetchAndAdd, FifoQueue, KSetConsensus, MultiValueConsensus,
+    ReadWrite, TestAndSet,
+};
+use spec::seq_type::{Inv, SeqType};
+use spec::Val;
+
+/// Applies a sequence of invocation indices to a type, checking
+/// totality (δ nonempty) at every step; returns the value trajectory.
+fn drive(t: &dyn SeqType, script: &[usize]) -> Vec<Val> {
+    let invs = t.invocations();
+    let mut v = t.initial_value();
+    let mut trajectory = vec![v.clone()];
+    for idx in script {
+        let inv = &invs[idx % invs.len()];
+        let outs = t.delta(inv, &v);
+        assert!(!outs.is_empty(), "δ must be total at {inv:?}/{v:?}");
+        let (_, v2) = t.delta_det(inv, &v);
+        v = v2;
+        trajectory.push(v.clone());
+    }
+    trajectory
+}
+
+proptest! {
+    #[test]
+    fn consensus_value_is_write_once(script in proptest::collection::vec(0usize..2, 0..30)) {
+        let t = BinaryConsensus;
+        let traj = drive(&t, &script);
+        // Once the set is nonempty it never changes again.
+        let mut fixed: Option<&Val> = None;
+        for v in &traj {
+            let s = v.as_set().unwrap();
+            match (&fixed, s.is_empty()) {
+                (None, false) => fixed = Some(v),
+                (Some(w), _) => prop_assert_eq!(*w, v),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn multi_consensus_decision_matches_first_input(
+        first in 0i64..5,
+        rest in proptest::collection::vec(0i64..5, 0..20),
+    ) {
+        let t = MultiValueConsensus::new(5);
+        let (d, mut v) = t.delta_det(&MultiValueConsensus::init(first), &t.initial_value());
+        prop_assert_eq!(MultiValueConsensus::decision(&d), Some(first));
+        for x in rest {
+            let (d, v2) = t.delta_det(&MultiValueConsensus::init(x), &v);
+            prop_assert_eq!(MultiValueConsensus::decision(&d), Some(first));
+            v = v2;
+        }
+    }
+
+    #[test]
+    fn kset_w_is_bounded_and_decisions_come_from_w(
+        script in proptest::collection::vec(0i64..6, 1..25),
+        k in 1usize..4,
+    ) {
+        let t = KSetConsensus::new(k, 6);
+        let mut v = t.initial_value();
+        for x in &script {
+            let outs = t.delta(&KSetConsensus::init(*x), &v);
+            prop_assert!(!outs.is_empty());
+            for (resp, v2) in &outs {
+                let w2 = v2.as_set().unwrap();
+                prop_assert!(w2.len() <= k, "W grew past k");
+                let d = KSetConsensus::decision(resp).unwrap();
+                prop_assert!(w2.contains(&Val::Int(d)), "decision outside W∪{{v}}");
+            }
+            v = t.delta_det(&KSetConsensus::init(*x), &v).1;
+        }
+    }
+
+    #[test]
+    fn register_read_after_write_returns_the_write(
+        writes in proptest::collection::vec(0i64..2, 1..15),
+    ) {
+        let t = ReadWrite::binary();
+        let mut v = t.initial_value();
+        for w in writes {
+            let (_, v2) = t.delta_det(&ReadWrite::write(Val::Int(w)), &v);
+            let (r, v3) = t.delta_det(&ReadWrite::read(), &v2);
+            prop_assert_eq!(r.0, Val::Int(w));
+            prop_assert_eq!(&v3, &v2);
+            v = v3;
+        }
+    }
+
+    #[test]
+    fn test_and_set_has_a_unique_winner_per_epoch(
+        callers in 1usize..8,
+    ) {
+        let t = TestAndSet;
+        let mut v = t.initial_value();
+        let mut winners = 0;
+        for _ in 0..callers {
+            let (r, v2) = t.delta_det(&TestAndSet::test_and_set(), &v);
+            if r.0 == Val::Int(0) {
+                winners += 1;
+            }
+            v = v2;
+        }
+        prop_assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn cas_succeeds_iff_expected_matches(
+        ops in proptest::collection::vec((0i64..3, 0i64..3), 0..20),
+    ) {
+        let domain: Vec<Val> = (0..3).map(Val::Int).collect();
+        let t = CompareAndSwap::with_domain(domain, Val::Int(0));
+        let mut v = t.initial_value();
+        for (e, n) in ops {
+            let (old, v2) = t.delta_det(&CompareAndSwap::cas(Val::Int(e), Val::Int(n)), &v);
+            prop_assert_eq!(&old.0, &v);
+            if v == Val::Int(e) {
+                prop_assert_eq!(&v2, &Val::Int(n));
+            } else {
+                prop_assert_eq!(&v2, &v);
+            }
+            v = v2;
+        }
+    }
+
+    #[test]
+    fn counter_tracks_modular_sum(
+        deltas in proptest::collection::vec(-5i64..6, 0..25),
+    ) {
+        let t = FetchAndAdd::modulo(7);
+        let mut v = t.initial_value();
+        let mut expected = 0i64;
+        for d in deltas {
+            let (_, v2) = t.delta_det(&FetchAndAdd::fetch_add(d), &v);
+            expected = (expected + d).rem_euclid(7);
+            prop_assert_eq!(&v2, &Val::Int(expected));
+            v = v2;
+        }
+    }
+
+    #[test]
+    fn queue_is_fifo_under_arbitrary_interleaving(
+        ops in proptest::collection::vec(proptest::option::of(0i64..3), 0..25),
+    ) {
+        // Some(v) = enq(v), None = deq. A model VecDeque must agree.
+        let t = FifoQueue::bounded((0..3).map(Val::Int), 8);
+        let mut v = t.initial_value();
+        let mut model: std::collections::VecDeque<i64> = Default::default();
+        for op in ops {
+            match op {
+                Some(x) => {
+                    let (r, v2) = t.delta_det(&FifoQueue::enq(Val::Int(x)), &v);
+                    if model.len() < 8 {
+                        model.push_back(x);
+                        prop_assert_eq!(r.0, Val::Sym("ack"));
+                    } else {
+                        prop_assert_eq!(r.0, Val::Sym("full"));
+                    }
+                    v = v2;
+                }
+                None => {
+                    let (r, v2) = t.delta_det(&FifoQueue::deq(), &v);
+                    match model.pop_front() {
+                        Some(x) => prop_assert_eq!(r.0, Val::Int(x)),
+                        None => prop_assert_eq!(r.0, Val::Sym("empty")),
+                    }
+                    v = v2;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_types_have_singleton_delta_everywhere(
+        script in proptest::collection::vec(0usize..8, 0..15),
+    ) {
+        let types: Vec<Box<dyn SeqType>> = vec![
+            Box::new(BinaryConsensus),
+            Box::new(ReadWrite::binary()),
+            Box::new(TestAndSet),
+            Box::new(MultiValueConsensus::new(3)),
+        ];
+        for t in &types {
+            let traj = drive(t.as_ref(), &script);
+            for v in &traj {
+                for inv in t.invocations() {
+                    prop_assert_eq!(t.delta(&inv, v).len(), 1, "{} not deterministic", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn val_ordering_is_consistent_with_equality(
+        a in -10i64..10,
+        b in -10i64..10,
+    ) {
+        let (x, y) = (Val::Int(a), Val::Int(b));
+        prop_assert_eq!(x == y, a == b);
+        prop_assert_eq!(x < y, a < b);
+        let s1 = Val::set([x.clone(), y.clone()]);
+        let s2 = Val::set([y, x]);
+        prop_assert_eq!(s1, s2, "sets are order-insensitive");
+    }
+}
+
+/// A non-proptest regression: `Inv`/`Resp` payload accessors survive
+/// nesting (used by the FD suspect encoding).
+#[test]
+fn nested_payload_accessors() {
+    let inv = Inv::op("cas", Val::pair(Val::Int(1), Val::Int(2)));
+    let (e, n) = inv.arg().unwrap().as_pair().unwrap();
+    assert_eq!((e.as_int(), n.as_int()), (Some(1), Some(2)));
+}
+
+proptest! {
+    #[test]
+    fn snapshot_scan_agrees_with_a_model_vector(
+        ops in proptest::collection::vec((0usize..3, 0i64..2), 0..20),
+    ) {
+        use spec::seq::Snapshot;
+        let t = Snapshot::new(3, [Val::Int(0), Val::Int(1)], Val::Int(0));
+        let mut v = t.initial_value();
+        let mut model = [0i64; 3];
+        for (idx, x) in ops {
+            let (_, v2) = t.delta_det(&Snapshot::update(idx, Val::Int(x)), &v);
+            model[idx] = x;
+            v = v2;
+            let (snap, _) = t.delta_det(&Snapshot::scan(), &v);
+            let expected = Val::seq(model.iter().map(|m| Val::Int(*m)));
+            prop_assert_eq!(snap.0, expected);
+        }
+    }
+
+    #[test]
+    fn sticky_bit_is_monotone(
+        writes in proptest::collection::vec(0i64..2, 1..15),
+    ) {
+        use spec::seq::StickyBit;
+        let t = StickyBit;
+        let mut v = t.initial_value();
+        let mut stuck: Option<i64> = None;
+        for w in writes {
+            let (r, v2) = t.delta_det(&StickyBit::write(w), &v);
+            match stuck {
+                None => {
+                    stuck = Some(w);
+                    prop_assert_eq!(&r.0, &Val::Int(w));
+                }
+                Some(s) => prop_assert_eq!(&r.0, &Val::Int(s)),
+            }
+            v = v2;
+        }
+    }
+
+    #[test]
+    fn channel_directions_are_independent_fifos(
+        sends in proptest::collection::vec((any::<bool>(), 0i64..2), 0..20),
+    ) {
+        use spec::channel::PairChannel;
+        use spec::service_type::ObliviousType;
+        use spec::ProcId;
+        let ch = PairChannel::new(ProcId(0), ProcId(1), [Val::Int(0), Val::Int(1)]);
+        let mut v = ch.initial_value();
+        let mut model_ab: Vec<i64> = Vec::new();
+        let mut model_ba: Vec<i64> = Vec::new();
+        for (from_a, m) in &sends {
+            let sender = if *from_a { ProcId(0) } else { ProcId(1) };
+            let (_, v2) = ch
+                .delta1(&PairChannel::send(Val::Int(*m)), sender, &v)
+                .remove(0);
+            if *from_a {
+                model_ab.push(*m);
+            } else {
+                model_ba.push(*m);
+            }
+            v = v2;
+        }
+        // Drain towards P1 (the a→b queue) and compare with the model.
+        let mut received = Vec::new();
+        loop {
+            let (resp, v2) = ch.delta2(&PairChannel::delivery_to(ProcId(1)), &v).remove(0);
+            if resp.is_empty() {
+                break;
+            }
+            let m = PairChannel::decode_rcv(&resp.for_endpoint(ProcId(1))[0])
+                .unwrap()
+                .as_int()
+                .unwrap();
+            received.push(m);
+            v = v2;
+        }
+        prop_assert_eq!(received, model_ab);
+        // The b→a queue is untouched by draining a→b.
+        let mut received_a = Vec::new();
+        loop {
+            let (resp, v2) = ch.delta2(&PairChannel::delivery_to(ProcId(0)), &v).remove(0);
+            if resp.is_empty() {
+                break;
+            }
+            let m = PairChannel::decode_rcv(&resp.for_endpoint(ProcId(0))[0])
+                .unwrap()
+                .as_int()
+                .unwrap();
+            received_a.push(m);
+            v = v2;
+        }
+        prop_assert_eq!(received_a, model_ba);
+    }
+}

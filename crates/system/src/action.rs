@@ -1,0 +1,200 @@
+//! The action alphabet and task partition of the complete system
+//! (paper Section 2.2.3).
+//!
+//! When the process, service and register automata are composed, the
+//! invocation outputs `a_{i,c}` of process `P_i` match up with the
+//! invocation inputs of service `S_c` (becoming internal after hiding),
+//! and likewise for responses; `fail_i` is an input to `P_i` *and* to
+//! every service with `i ∈ J_c`. The composed system's tasks are: one
+//! task per process, and per service `S_c` one `i-perform` and one
+//! `i-output` task for each `i ∈ J_c`, plus one `g-compute` task per
+//! global task name.
+
+use spec::{GlobalTaskId, Inv, ProcId, Resp, SvcId, Val};
+use std::fmt;
+
+/// An action of the complete system `C`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// `init(v)_i` — consensus input from the external world (input).
+    Init(ProcId, Val),
+    /// `fail_i` — failure of process `i` (input to `P_i` and to every
+    /// service with `i ∈ J_c`).
+    Fail(ProcId),
+    /// `decide(v)_i` — `P_i` announces its decision (output).
+    Decide(ProcId, Val),
+    /// A generic non-decide external output of `P_i` (output).
+    Output(ProcId, Resp),
+    /// `a_{i,c}` — `P_i` invokes `a` on `S_c` (internal after hiding).
+    Invoke(ProcId, SvcId, Inv),
+    /// An internal computation (or post-failure dummy) step of `P_i`.
+    ProcStep(ProcId),
+    /// `perform_{i,c}` — `S_c` services the head of `inv_buffer(i)`
+    /// (internal).
+    Perform(SvcId, ProcId),
+    /// `b_{i,c}` — `S_c` delivers response `b` to `P_i` (internal after
+    /// hiding).
+    Respond(SvcId, ProcId, Resp),
+    /// `compute_{g,c}` — a spontaneous global-task step of `S_c`
+    /// (internal).
+    Compute(SvcId, GlobalTaskId),
+    /// `dummy_perform_{i,c}` (internal; enabled per Fig. 1).
+    DummyPerform(SvcId, ProcId),
+    /// `dummy_output_{i,c}` (internal; enabled per Fig. 1).
+    DummyOutput(SvcId, ProcId),
+    /// `dummy_compute_{g,c}` (internal; enabled per Fig. 4).
+    DummyCompute(SvcId, GlobalTaskId),
+}
+
+impl Action {
+    /// Whether this is one of the `dummy` actions the canonical
+    /// services use to satisfy fairness without progress.
+    pub fn is_dummy(&self) -> bool {
+        matches!(
+            self,
+            Action::DummyPerform(..) | Action::DummyOutput(..) | Action::DummyCompute(..)
+        )
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Init(i, v) => write!(f, "init({v})_{i}"),
+            Action::Fail(i) => write!(f, "fail_{i}"),
+            Action::Decide(i, v) => write!(f, "decide({v})_{i}"),
+            Action::Output(i, r) => write!(f, "{r}_{i}"),
+            Action::Invoke(i, c, inv) => write!(f, "{inv}_{{{i},{c}}}"),
+            Action::ProcStep(i) => write!(f, "step_{i}"),
+            Action::Perform(c, i) => write!(f, "perform_{{{i},{c}}}"),
+            Action::Respond(c, i, r) => write!(f, "{r}_{{{i},{c}}}"),
+            Action::Compute(c, g) => write!(f, "compute_{{{g},{c}}}"),
+            Action::DummyPerform(c, i) => write!(f, "dummy_perform_{{{i},{c}}}"),
+            Action::DummyOutput(c, i) => write!(f, "dummy_output_{{{i},{c}}}"),
+            Action::DummyCompute(c, g) => write!(f, "dummy_compute_{{{g},{c}}}"),
+        }
+    }
+}
+
+/// A task of the complete system (Section 2.2.3).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Task {
+    /// The single task of process `P_i` (all its locally controlled
+    /// actions).
+    Proc(ProcId),
+    /// The `i-perform` task of `S_c`:
+    /// `{perform_{i,c}, dummy_perform_{i,c}}`.
+    Perform(SvcId, ProcId),
+    /// The `i-output` task of `S_c`:
+    /// `{b_{i,c} : b ∈ resps_c} ∪ {dummy_output_{i,c}}`.
+    Output(SvcId, ProcId),
+    /// The `g-compute` task of `S_c`:
+    /// `{compute_{g,c}, dummy_compute_{g,c}}`.
+    Compute(SvcId, GlobalTaskId),
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Task::Proc(i) => write!(f, "task({i})"),
+            Task::Perform(c, i) => write!(f, "{i}-perform@{c}"),
+            Task::Output(c, i) => write!(f, "{i}-output@{c}"),
+            Task::Compute(c, g) => write!(f, "{g}-compute@{c}"),
+        }
+    }
+}
+
+/// A participant of an action: a process or a service (Section 2.2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Participant {
+    /// Process `P_i`.
+    Proc(ProcId),
+    /// Service (or register) `S_c`.
+    Svc(SvcId),
+}
+
+impl Action {
+    /// The participants of this action, excluding `fail` actions'
+    /// broadcast semantics (a `fail_i` action is an input to `P_i` and
+    /// to every service with `i ∈ J_c`; since the participant list for
+    /// `fail` depends on the service topology, callers that need it use
+    /// [`crate::build::CompleteSystem::fail_participants`]).
+    ///
+    /// For every non-`fail` action the result has at most two elements,
+    /// and two-participant actions always pair a process with a service
+    /// — the fact the hook analysis of Section 3.6 leans on.
+    pub fn participants(&self) -> Vec<Participant> {
+        match self {
+            Action::Init(i, _)
+            | Action::Decide(i, _)
+            | Action::Output(i, _)
+            | Action::ProcStep(i)
+            | Action::Fail(i) => vec![Participant::Proc(*i)],
+            Action::Invoke(i, c, _) | Action::Respond(c, i, _) => {
+                vec![Participant::Proc(*i), Participant::Svc(*c)]
+            }
+            Action::Perform(c, _)
+            | Action::Compute(c, _)
+            | Action::DummyPerform(c, _)
+            | Action::DummyOutput(c, _)
+            | Action::DummyCompute(c, _) => vec![Participant::Svc(*c)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_most_two_participants_and_proc_svc_pairing() {
+        let actions = [
+            Action::Init(ProcId(0), Val::Int(1)),
+            Action::Decide(ProcId(1), Val::Int(0)),
+            Action::Invoke(ProcId(0), SvcId(2), Inv::nullary("read")),
+            Action::Perform(SvcId(1), ProcId(0)),
+            Action::Respond(SvcId(1), ProcId(0), Resp::sym("ack")),
+            Action::Compute(SvcId(0), GlobalTaskId::named("g")),
+            Action::DummyPerform(SvcId(0), ProcId(0)),
+        ];
+        for a in &actions {
+            let ps = a.participants();
+            assert!(ps.len() <= 2, "{a:?}");
+            if ps.len() == 2 {
+                assert!(matches!(ps[0], Participant::Proc(_)));
+                assert!(matches!(ps[1], Participant::Svc(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn dummies_are_flagged() {
+        assert!(Action::DummyOutput(SvcId(0), ProcId(0)).is_dummy());
+        assert!(!Action::Perform(SvcId(0), ProcId(0)).is_dummy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Action::Fail(ProcId(2)).to_string(), "fail_P2");
+        assert_eq!(
+            Task::Perform(SvcId(1), ProcId(0)).to_string(),
+            "P0-perform@S1"
+        );
+        assert_eq!(
+            Action::Decide(ProcId(0), Val::Int(1)).to_string(),
+            "decide(1)_P0"
+        );
+    }
+
+    #[test]
+    fn tasks_are_totally_ordered() {
+        let mut ts = [
+            Task::Compute(SvcId(0), GlobalTaskId::named("g")),
+            Task::Proc(ProcId(1)),
+            Task::Proc(ProcId(0)),
+            Task::Output(SvcId(0), ProcId(0)),
+        ];
+        ts.sort();
+        assert_eq!(ts[0], Task::Proc(ProcId(0)));
+    }
+}

@@ -1,0 +1,522 @@
+//! The complete system `C` (paper Section 2.2.3): the parallel
+//! composition of processes `P_i (i ∈ I)`, resilient services
+//! `S_k (k ∈ K)` and reliable registers `S_r (r ∈ R)`, with the
+//! process/service communication actions hidden.
+//!
+//! [`CompleteSystem`] implements [`ioa::Automaton`], so the kernel's
+//! exploration, fairness and refinement machinery operates on it
+//! directly. The composition is built natively (rather than by folding
+//! `ioa::compose::Compose`) so that system states stay flat and
+//! hashing stays cheap — the semantics is the standard n-ary I/O
+//! automaton composition.
+
+use crate::action::{Action, Participant, Task};
+use crate::process::{ProcAction, ProcessAutomaton};
+use ioa::automaton::{ActionKind, Automaton};
+use services::{ArcService, SvcState};
+use spec::{ProcId, SvcId, Val};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A global state of the complete system: one state per process, one
+/// per service, plus the global failed set.
+///
+/// The failed set is also mirrored into each service's own `failed`
+/// variable (that is how the canonical automata of Figs. 1/4/8 track
+/// it); the global copy makes predicates over the whole system cheap.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SystemState<PS> {
+    /// Process states, indexed by `ProcId`.
+    pub procs: Vec<PS>,
+    /// Service states, indexed by `SvcId`.
+    pub services: Vec<SvcState>,
+    /// Processes whose `fail_i` input has occurred.
+    pub failed: BTreeSet<ProcId>,
+}
+
+impl<PS: fmt::Debug> fmt::Display for SystemState<PS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.procs.iter().enumerate() {
+            writeln!(f, "  P{i}: {p:?}")?;
+        }
+        for (c, s) in self.services.iter().enumerate() {
+            writeln!(f, "  S{c}: {s}")?;
+        }
+        if !self.failed.is_empty() {
+            writeln!(f, "  failed: {:?}", self.failed)?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete system `C` for process family `P`, `n = |I|` processes
+/// and a vector of canonical services (the paper's `K ∪ R`, with the
+/// class of each service distinguishing registers from resilient
+/// objects).
+#[derive(Clone, Debug)]
+pub struct CompleteSystem<P> {
+    procs: P,
+    n: usize,
+    services: Vec<ArcService>,
+}
+
+impl<P: ProcessAutomaton> CompleteSystem<P> {
+    /// Composes `n` processes (described by `procs`) with `services`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or if some service names an endpoint
+    /// outside `{P0, …, P(n−1)}`.
+    pub fn new(procs: P, n: usize, services: Vec<ArcService>) -> Self {
+        assert!(n > 0, "a system needs at least one process");
+        for (c, s) in services.iter().enumerate() {
+            for i in s.endpoints() {
+                assert!(
+                    i.0 < n,
+                    "service S{c} has endpoint {i} outside the process set"
+                );
+            }
+        }
+        CompleteSystem { procs, n, services }
+    }
+
+    /// The number of processes `n = |I|`.
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// All process ids `I`.
+    pub fn process_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.n).map(ProcId)
+    }
+
+    /// The services, indexed by `SvcId`.
+    pub fn services(&self) -> &[ArcService] {
+        &self.services
+    }
+
+    /// The service with index `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn service(&self, c: SvcId) -> &ArcService {
+        &self.services[c.0]
+    }
+
+    /// The process family.
+    pub fn process_automaton(&self) -> &P {
+        &self.procs
+    }
+
+    /// The unique initial state when every service type has a unique
+    /// initial value (determinism assumption (ii) of Section 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some service has several initial values.
+    pub fn single_initial_state(&self) -> SystemState<P::State> {
+        let states = self.initial_states();
+        assert_eq!(
+            states.len(),
+            1,
+            "system has nondeterministic initial values; use initial_states()"
+        );
+        states.into_iter().next().expect("checked length 1")
+    }
+
+    /// The decision recorded by process `i` in `s`, if any.
+    pub fn decision(&self, s: &SystemState<P::State>, i: ProcId) -> Option<Val> {
+        self.procs.decision(&s.procs[i.0])
+    }
+
+    /// All decisions recorded in `s`, indexed by process.
+    pub fn decisions(&self, s: &SystemState<P::State>) -> Vec<Option<Val>> {
+        (0..self.n)
+            .map(|i| self.procs.decision(&s.procs[i]))
+            .collect()
+    }
+
+    /// The distinct decision values present in `s`.
+    pub fn decided_values(&self, s: &SystemState<P::State>) -> BTreeSet<Val> {
+        self.decisions(s).into_iter().flatten().collect()
+    }
+
+    /// The participants of a `fail_i` action in this topology: `P_i`
+    /// plus every service with `i ∈ J_c` (Section 2.2.3).
+    pub fn fail_participants(&self, i: ProcId) -> Vec<Participant> {
+        let mut ps = vec![Participant::Proc(i)];
+        for (c, s) in self.services.iter().enumerate() {
+            if s.endpoints().contains(&i) {
+                ps.push(Participant::Svc(SvcId(c)));
+            }
+        }
+        ps
+    }
+
+    /// Applies the `fail_i` input to a state (convenience wrapper over
+    /// [`Automaton::apply_input`]).
+    pub fn fail(&self, s: &SystemState<P::State>, i: ProcId) -> SystemState<P::State> {
+        self.apply_input(s, &Action::Fail(i))
+            .expect("fail is always an input")
+    }
+
+    /// Applies the `init(v)_i` input to a state.
+    pub fn init(&self, s: &SystemState<P::State>, i: ProcId, v: Val) -> SystemState<P::State> {
+        self.apply_input(s, &Action::Init(i, v))
+            .expect("init is always an input")
+    }
+
+    /// The transition of the single process task of `P_i` from `s`.
+    fn proc_step(&self, i: ProcId, s: &SystemState<P::State>) -> (Action, SystemState<P::State>) {
+        if s.failed.contains(&i) {
+            // Failed processes keep a dummy action enabled but never an
+            // output (Section 2.2.1).
+            return (Action::ProcStep(i), s.clone());
+        }
+        let (act, pst2) = self.procs.step(i, &s.procs[i.0]);
+        let mut s2 = s.clone();
+        s2.procs[i.0] = pst2;
+        match act {
+            ProcAction::Skip => (Action::ProcStep(i), s2),
+            ProcAction::Decide(v) => {
+                debug_assert_eq!(
+                    self.procs.decision(&s2.procs[i.0]),
+                    Some(v.clone()),
+                    "decide(v) must record v in the process state (Section 2.2.1)"
+                );
+                (Action::Decide(i, v), s2)
+            }
+            ProcAction::Output(r) => (Action::Output(i, r), s2),
+            ProcAction::Invoke(c, inv) => {
+                let svc = self
+                    .services
+                    .get(c.0)
+                    .unwrap_or_else(|| panic!("process {i} invoked unknown service {c}"));
+                let st2 = svc
+                    .enqueue_invocation(i, &inv, &s.services[c.0])
+                    .unwrap_or_else(|| {
+                        panic!("process {i} issued invalid invocation {inv:?} on {c}")
+                    });
+                s2.services[c.0] = st2;
+                (Action::Invoke(i, c, inv), s2)
+            }
+        }
+    }
+}
+
+impl<P: ProcessAutomaton> Automaton for CompleteSystem<P> {
+    type State = SystemState<P::State>;
+    type Action = Action;
+    type Task = Task;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        // Cross product over each service's V0 choices.
+        let procs: Vec<P::State> = (0..self.n).map(|i| self.procs.initial(ProcId(i))).collect();
+        let mut states: Vec<Vec<SvcState>> = vec![Vec::new()];
+        for svc in &self.services {
+            let choices = svc.initial_states();
+            let mut next = Vec::with_capacity(states.len() * choices.len());
+            for prefix in &states {
+                for choice in &choices {
+                    let mut p = prefix.clone();
+                    p.push(choice.clone());
+                    next.push(p);
+                }
+            }
+            states = next;
+        }
+        states
+            .into_iter()
+            .map(|services| SystemState {
+                procs: procs.clone(),
+                services,
+                failed: BTreeSet::new(),
+            })
+            .collect()
+    }
+
+    fn tasks(&self) -> Vec<Task> {
+        let mut tasks: Vec<Task> = (0..self.n).map(|i| Task::Proc(ProcId(i))).collect();
+        for (c, svc) in self.services.iter().enumerate() {
+            let c = SvcId(c);
+            for i in svc.endpoints() {
+                tasks.push(Task::Perform(c, *i));
+                tasks.push(Task::Output(c, *i));
+            }
+            for g in svc.global_tasks() {
+                tasks.push(Task::Compute(c, g));
+            }
+        }
+        tasks
+    }
+
+    fn succ_all(&self, t: &Task, s: &Self::State) -> Vec<(Action, Self::State)> {
+        match t {
+            Task::Proc(i) => vec![self.proc_step(*i, s)],
+            Task::Perform(c, i) => {
+                let svc = &self.services[c.0];
+                let st = &s.services[c.0];
+                let mut out: Vec<(Action, Self::State)> = svc
+                    .perform_all(*i, st)
+                    .into_iter()
+                    .map(|st2| {
+                        let mut s2 = s.clone();
+                        s2.services[c.0] = st2;
+                        (Action::Perform(*c, *i), s2)
+                    })
+                    .collect();
+                if svc.dummy_perform_enabled(*i, st) {
+                    out.push((Action::DummyPerform(*c, *i), s.clone()));
+                }
+                out
+            }
+            Task::Output(c, i) => {
+                let svc = &self.services[c.0];
+                let st = &s.services[c.0];
+                let mut out = Vec::new();
+                if let Some((resp, st2)) = svc.pop_response(*i, st) {
+                    let mut s2 = s.clone();
+                    s2.services[c.0] = st2;
+                    // The response is simultaneously an input to P_i
+                    // (inputs are always enabled, even after failure).
+                    s2.procs[i.0] = self.procs.on_response(*i, &s.procs[i.0], *c, &resp);
+                    out.push((Action::Respond(*c, *i, resp), s2));
+                }
+                if svc.dummy_output_enabled(*i, st) {
+                    out.push((Action::DummyOutput(*c, *i), s.clone()));
+                }
+                out
+            }
+            Task::Compute(c, g) => {
+                let svc = &self.services[c.0];
+                let st = &s.services[c.0];
+                let mut out: Vec<(Action, Self::State)> = svc
+                    .compute_all(g, st)
+                    .into_iter()
+                    .map(|st2| {
+                        let mut s2 = s.clone();
+                        s2.services[c.0] = st2;
+                        (Action::Compute(*c, g.clone()), s2)
+                    })
+                    .collect();
+                if svc.dummy_compute_enabled(st) {
+                    out.push((Action::DummyCompute(*c, g.clone()), s.clone()));
+                }
+                out
+            }
+        }
+    }
+
+    fn apply_input(&self, s: &Self::State, a: &Action) -> Option<Self::State> {
+        match a {
+            Action::Init(i, v) => {
+                let mut s2 = s.clone();
+                s2.procs[i.0] = self.procs.on_init(*i, &s.procs[i.0], v);
+                Some(s2)
+            }
+            Action::Fail(i) => {
+                let mut s2 = s.clone();
+                s2.failed.insert(*i);
+                for (c, svc) in self.services.iter().enumerate() {
+                    s2.services[c] = svc.apply_fail(*i, &s2.services[c]);
+                }
+                Some(s2)
+            }
+            _ => None,
+        }
+    }
+
+    fn kind(&self, a: &Action) -> ActionKind {
+        match a {
+            Action::Init(..) | Action::Fail(..) => ActionKind::Input,
+            Action::Decide(..) | Action::Output(..) => ActionKind::Output,
+            _ => ActionKind::Internal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::direct::DirectConsensus;
+    use ioa::fairness::run_round_robin;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use std::sync::Arc;
+
+    fn direct_system(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn composition_has_expected_tasks() {
+        let sys = direct_system(3, 1);
+        let tasks = sys.tasks();
+        // 3 process tasks + 3 perform + 3 output, no compute.
+        assert_eq!(tasks.len(), 9);
+    }
+
+    #[test]
+    fn process_tasks_are_always_applicable() {
+        let sys = direct_system(2, 0);
+        let s0 = sys.single_initial_state();
+        for i in 0..2 {
+            assert!(sys.applicable(&Task::Proc(ProcId(i)), &s0));
+        }
+        // Service tasks are not (no pending work, no failures).
+        assert!(!sys.applicable(&Task::Perform(SvcId(0), ProcId(0)), &s0));
+        assert!(!sys.applicable(&Task::Output(SvcId(0), ProcId(0)), &s0));
+    }
+
+    #[test]
+    fn failure_free_round_robin_run_decides_unanimously() {
+        let sys = direct_system(3, 2);
+        let mut s = sys.single_initial_state();
+        for i in 0..3 {
+            s = sys.init(&s, ProcId(i), Val::Int(1));
+        }
+        let run = run_round_robin(&sys, s, 10_000, |st: &SystemState<_>| {
+            (0..3).all(|i| sys.decision(st, ProcId(i)).is_some())
+        });
+        assert!(run.stopped_at.is_some(), "outcome: {:?}", run.outcome);
+        let final_state = run.exec.last_state();
+        for i in 0..3 {
+            assert_eq!(sys.decision(final_state, ProcId(i)), Some(Val::Int(1)));
+        }
+    }
+
+    #[test]
+    fn first_input_to_reach_the_object_wins() {
+        let sys = direct_system(2, 1);
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(0));
+        s = sys.init(&s, ProcId(1), Val::Int(1));
+        // Drive P1 manually first: invoke, perform, respond, decide.
+        let (_, s) = sys.succ_det(&Task::Proc(ProcId(1)), &s).unwrap();
+        let (_, s) = sys.succ_det(&Task::Perform(SvcId(0), ProcId(1)), &s).unwrap();
+        let (_, s) = sys.succ_det(&Task::Output(SvcId(0), ProcId(1)), &s).unwrap();
+        let (a, s) = sys.succ_det(&Task::Proc(ProcId(1)), &s).unwrap();
+        assert_eq!(a, Action::Decide(ProcId(1), Val::Int(1)));
+        // Now P0 must also decide 1.
+        let (_, s) = sys.succ_det(&Task::Proc(ProcId(0)), &s).unwrap();
+        let (_, s) = sys.succ_det(&Task::Perform(SvcId(0), ProcId(0)), &s).unwrap();
+        let (_, s) = sys.succ_det(&Task::Output(SvcId(0), ProcId(0)), &s).unwrap();
+        let (a, _) = sys.succ_det(&Task::Proc(ProcId(0)), &s).unwrap();
+        assert_eq!(a, Action::Decide(ProcId(0), Val::Int(1)));
+    }
+
+    #[test]
+    fn exceeding_resilience_enables_dummies_and_may_silence_the_object() {
+        // f = 0 object shared by 2 processes: one failure exceeds f.
+        let sys = direct_system(2, 0);
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(0));
+        s = sys.init(&s, ProcId(1), Val::Int(1));
+        // P1 invokes, then fails.
+        let (_, s) = sys.succ_det(&Task::Proc(ProcId(1)), &s).unwrap();
+        let s = sys.fail(&s, ProcId(1));
+        // The perform task for P1 now offers both the real perform and
+        // the dummy.
+        let succ = sys.succ_all(&Task::Perform(SvcId(0), ProcId(1)), &s);
+        assert_eq!(succ.len(), 2);
+        assert!(succ.iter().any(|(a, _)| a.is_dummy()));
+        // P0's tasks at the object are also dummy-enabled (|failed| > f).
+        let s2 = {
+            // give P0 a pending invocation so perform has a real branch
+            let (_, s2) = sys.succ_det(&Task::Proc(ProcId(0)), &s).unwrap();
+            s2
+        };
+        let succ0 = sys.succ_all(&Task::Perform(SvcId(0), ProcId(0)), &s2);
+        assert!(succ0.iter().any(|(a, _)| a.is_dummy()));
+        assert!(succ0.iter().any(|(a, _)| !a.is_dummy()));
+    }
+
+    #[test]
+    fn failed_processes_only_take_dummy_steps() {
+        let sys = direct_system(2, 1);
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(1));
+        let s = sys.fail(&s, ProcId(0));
+        // P0 has input pending but is failed: its step is a dummy, not
+        // the invoke.
+        let (a, s2) = sys.succ_det(&Task::Proc(ProcId(0)), &s).unwrap();
+        assert_eq!(a, Action::ProcStep(ProcId(0)));
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn fail_participants_follow_topology() {
+        let sys = direct_system(3, 1);
+        let ps = sys.fail_participants(ProcId(1));
+        assert_eq!(
+            ps,
+            vec![Participant::Proc(ProcId(1)), Participant::Svc(SvcId(0))]
+        );
+    }
+
+    #[test]
+    fn one_failure_under_wait_free_object_still_terminates_for_survivor() {
+        // Wait-free (f = 1) object with 2 processes: P1 fails, P0 must
+        // still decide under the fair round-robin schedule, because the
+        // real perform/output branches stay canonical (succ_det prefers
+        // the non-dummy branch).
+        let sys = direct_system(2, 1);
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(0));
+        s = sys.init(&s, ProcId(1), Val::Int(1));
+        let s = sys.fail(&s, ProcId(1));
+        let run = run_round_robin(&sys, s, 10_000, |st: &SystemState<_>| {
+            sys.decision(st, ProcId(0)).is_some()
+        });
+        assert!(run.stopped_at.is_some());
+        assert_eq!(
+            sys.decision(run.exec.last_state(), ProcId(0)),
+            Some(Val::Int(0))
+        );
+    }
+
+    #[test]
+    fn silenced_object_yields_fair_nondeciding_lasso() {
+        // f = 0 object, P1 fails after P0 invoked: under the
+        // dummy-preferring adversary the object never answers P0.
+        // With succ_det (real-first) the object WOULD answer; here we
+        // check that the dummy branch exists so the adversary CAN
+        // starve P0 — the full adversarial run lives in `analysis`.
+        let sys = direct_system(2, 0);
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(0));
+        let (_, s) = sys.succ_det(&Task::Proc(ProcId(0)), &s).unwrap();
+        let s = sys.fail(&s, ProcId(1));
+        let succ = sys.succ_all(&Task::Perform(SvcId(0), ProcId(0)), &s);
+        // Both the real perform and the dummy are offered: resilience
+        // exceeded means the object MAY stall but is not forced to.
+        assert_eq!(succ.len(), 2);
+        // Round-robin with the dummy-preferring variant never decides:
+        // emulate by stepping only dummies for the object.
+        let (a, s2) = succ
+            .into_iter()
+            .find(|(a, _)| a.is_dummy())
+            .expect("dummy branch");
+        assert_eq!(a, Action::DummyPerform(SvcId(0), ProcId(0)));
+        assert_eq!(s2, s, "dummy steps do not change state");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the process set")]
+    fn rejects_out_of_range_endpoints() {
+        let obj =
+            CanonicalAtomicObject::new(Arc::new(BinaryConsensus), [ProcId(0), ProcId(5)], 0);
+        let _ = CompleteSystem::new(DirectConsensus::new(SvcId(0)), 2, vec![Arc::new(obj)]);
+    }
+
+    #[test]
+    fn initial_states_cross_product_over_v0() {
+        // Two registers with binary domains have singleton V0 each →
+        // exactly one initial state.
+        let sys = direct_system(2, 1);
+        assert_eq!(sys.initial_states().len(), 1);
+    }
+}

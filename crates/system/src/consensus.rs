@@ -1,0 +1,295 @@
+//! The consensus problem as execution predicates
+//! (paper Section 2.2.4).
+//!
+//! The paper defines "solving `f`-resilient consensus" operationally
+//! (implementing the canonical `f`-resilient consensus object) and
+//! proves (Appendix B, Theorem 11) that this implies the axiomatic
+//! conditions:
+//!
+//! * **Agreement** — no two processes decide on different values;
+//! * **Validity** — any value decided on is the initial value of some
+//!   process;
+//! * **Modified termination** — in every fair execution with at most
+//!   `f` failures, every nonfaulty process that receives an input
+//!   eventually decides.
+//!
+//! Because decisions are recorded in process states (Section 2.2.1),
+//! agreement and validity are state predicates; termination is a
+//! property of a fair run and is checked by the schedulers/lasso
+//! machinery.
+
+use crate::build::{CompleteSystem, SystemState};
+use crate::process::ProcessAutomaton;
+use spec::{ProcId, Val};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An assignment of consensus inputs to processes: the initialization
+/// of an input-first execution (Section 3.2).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InputAssignment(pub BTreeMap<ProcId, Val>);
+
+impl InputAssignment {
+    /// Every process in `0..n` gets input `1` iff its index is below
+    /// `ones` — the monotone initializations `α_0, …, α_n` walked by
+    /// the Lemma 4 proof.
+    pub fn monotone(n: usize, ones: usize) -> Self {
+        InputAssignment(
+            (0..n)
+                .map(|i| (ProcId(i), Val::Int(i64::from(i < ones))))
+                .collect(),
+        )
+    }
+
+    /// An explicit assignment.
+    pub fn of<I: IntoIterator<Item = (ProcId, Val)>>(items: I) -> Self {
+        InputAssignment(items.into_iter().collect())
+    }
+
+    /// The input of process `i`, if assigned.
+    pub fn input(&self, i: ProcId) -> Option<&Val> {
+        self.0.get(&i)
+    }
+
+    /// The set of values that occur as inputs.
+    pub fn values(&self) -> BTreeSet<Val> {
+        self.0.values().cloned().collect()
+    }
+}
+
+impl fmt::Display for InputAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (idx, (i, v)) in self.0.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}←{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A violation of a consensus safety condition, with the witnessing
+/// processes/values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SafetyViolation {
+    /// Two processes decided different values.
+    Agreement {
+        /// First decider and its value.
+        a: (ProcId, Val),
+        /// Second decider and its conflicting value.
+        b: (ProcId, Val),
+    },
+    /// A process decided a value nobody proposed.
+    Validity {
+        /// The offending decider.
+        process: ProcId,
+        /// The decided value.
+        decided: Val,
+        /// The proposed input values.
+        inputs: BTreeSet<Val>,
+    },
+}
+
+impl fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyViolation::Agreement { a, b } => write!(
+                f,
+                "agreement violated: {} decided {} but {} decided {}",
+                a.0, a.1, b.0, b.1
+            ),
+            SafetyViolation::Validity {
+                process,
+                decided,
+                inputs,
+            } => write!(
+                f,
+                "validity violated: {process} decided {decided}, proposed values {inputs:?}"
+            ),
+        }
+    }
+}
+
+/// Checks agreement and validity of the decisions recorded in `s`
+/// against the inputs of `assignment`. `None` means no violation.
+pub fn check_safety<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s: &SystemState<P::State>,
+    assignment: &InputAssignment,
+) -> Option<SafetyViolation> {
+    check_k_safety(sys, s, assignment, 1)
+}
+
+/// The k-set-consensus generalization: at most `k` distinct decided
+/// values (k-agreement) and every decided value proposed (validity).
+/// `k = 1` is consensus.
+pub fn check_k_safety<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s: &SystemState<P::State>,
+    assignment: &InputAssignment,
+    k: usize,
+) -> Option<SafetyViolation> {
+    let inputs = assignment.values();
+    let mut deciders: Vec<(ProcId, Val)> = Vec::new();
+    for i in 0..sys.process_count() {
+        if let Some(v) = sys.decision(s, ProcId(i)) {
+            if !inputs.contains(&v) {
+                return Some(SafetyViolation::Validity {
+                    process: ProcId(i),
+                    decided: v,
+                    inputs,
+                });
+            }
+            deciders.push((ProcId(i), v));
+        }
+    }
+    let distinct: BTreeSet<&Val> = deciders.iter().map(|(_, v)| v).collect();
+    if distinct.len() > k {
+        // Report the first clashing pair for k = 1; for k > 1 report
+        // two of the > k distinct values.
+        let mut seen: BTreeMap<&Val, ProcId> = BTreeMap::new();
+        for (i, v) in &deciders {
+            for (w, j) in &seen {
+                if *w != v && distinct.len() > k {
+                    return Some(SafetyViolation::Agreement {
+                        a: (*j, (*w).clone()),
+                        b: (*i, v.clone()),
+                    });
+                }
+            }
+            seen.entry(v).or_insert(*i);
+        }
+    }
+    None
+}
+
+/// Which processes have decided in `s`.
+pub fn deciders<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s: &SystemState<P::State>,
+) -> BTreeSet<ProcId> {
+    (0..sys.process_count())
+        .map(ProcId)
+        .filter(|i| sys.decision(s, *i).is_some())
+        .collect()
+}
+
+/// Whether every nonfaulty process that received an input has decided
+/// in `s` — the *goal state* of the modified termination condition.
+pub fn all_obliged_decided<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    s: &SystemState<P::State>,
+    assignment: &InputAssignment,
+) -> bool {
+    (0..sys.process_count()).map(ProcId).all(|i| {
+        s.failed.contains(&i)
+            || assignment.input(i).is_none()
+            || sys.decision(s, i).is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::CompleteSystem;
+    use crate::process::direct::DirectConsensus;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::SvcId;
+    use std::sync::Arc;
+
+    fn sys() -> CompleteSystem<DirectConsensus> {
+        let obj = CanonicalAtomicObject::wait_free(
+            Arc::new(BinaryConsensus),
+            [ProcId(0), ProcId(1)],
+        );
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), 2, vec![Arc::new(obj)])
+    }
+
+    fn decided_state(
+        sys: &CompleteSystem<DirectConsensus>,
+        decisions: &[Option<i64>],
+    ) -> SystemState<crate::process::direct::Phase> {
+        let mut s = sys.single_initial_state();
+        for (i, d) in decisions.iter().enumerate() {
+            if let Some(v) = d {
+                s.procs[i] = crate::process::direct::Phase::Decided(Val::Int(*v));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn monotone_assignments() {
+        let a = InputAssignment::monotone(3, 2);
+        assert_eq!(a.input(ProcId(0)), Some(&Val::Int(1)));
+        assert_eq!(a.input(ProcId(1)), Some(&Val::Int(1)));
+        assert_eq!(a.input(ProcId(2)), Some(&Val::Int(0)));
+        assert_eq!(a.values().len(), 2);
+    }
+
+    #[test]
+    fn agreement_violation_detected() {
+        let sys = sys();
+        let s = decided_state(&sys, &[Some(0), Some(1)]);
+        let a = InputAssignment::monotone(2, 1);
+        match check_safety(&sys, &s, &a) {
+            Some(SafetyViolation::Agreement { .. }) => {}
+            other => panic!("expected agreement violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let sys = sys();
+        let s = decided_state(&sys, &[Some(1), None]);
+        let a = InputAssignment::monotone(2, 0); // everyone proposed 0
+        match check_safety(&sys, &s, &a) {
+            Some(SafetyViolation::Validity { decided, .. }) => {
+                assert_eq!(decided, Val::Int(1));
+            }
+            other => panic!("expected validity violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unanimous_decisions_are_safe() {
+        let sys = sys();
+        let s = decided_state(&sys, &[Some(1), Some(1)]);
+        let a = InputAssignment::monotone(2, 1);
+        assert_eq!(check_safety(&sys, &s, &a), None);
+    }
+
+    #[test]
+    fn k_agreement_tolerates_k_values() {
+        let sys = sys();
+        let s = decided_state(&sys, &[Some(0), Some(1)]);
+        let a = InputAssignment::monotone(2, 1);
+        assert_eq!(check_k_safety(&sys, &s, &a, 2), None);
+        assert!(check_k_safety(&sys, &s, &a, 1).is_some());
+    }
+
+    #[test]
+    fn termination_goal_accounts_for_failures_and_missing_inputs() {
+        let sys = sys();
+        let a = InputAssignment::of([(ProcId(0), Val::Int(0))]); // P1 got no input
+        let s = decided_state(&sys, &[Some(0), None]);
+        assert!(all_obliged_decided(&sys, &s, &a));
+        let a2 = InputAssignment::monotone(2, 0);
+        let s2 = decided_state(&sys, &[Some(0), None]);
+        assert!(!all_obliged_decided(&sys, &s2, &a2));
+        // ... unless P1 failed.
+        let mut s3 = s2;
+        s3.failed.insert(ProcId(1));
+        assert!(all_obliged_decided(&sys, &s3, &a2));
+    }
+
+    #[test]
+    fn deciders_set() {
+        let sys = sys();
+        let s = decided_state(&sys, &[None, Some(1)]);
+        assert_eq!(deciders(&sys, &s), [ProcId(1)].into_iter().collect());
+    }
+}

@@ -1,0 +1,48 @@
+//! The complete system `C` (paper Section 2.2): deterministic process
+//! automata composed with canonical resilient services and reliable
+//! registers.
+//!
+//! * [`process::ProcessAutomaton`] — the paper's process model
+//!   (Section 2.2.1): deterministic, one always-enabled task, outputs
+//!   disabled after `fail_i`, decisions recorded in the state.
+//! * [`action`] — the composed system's action alphabet and task
+//!   partition, with the *participants* relation of Section 2.2.3
+//!   (every non-`fail` action has at most two participants).
+//! * [`build::CompleteSystem`] — the composition itself, implementing
+//!   the `ioa::Automaton` trait so that the kernel's exploration,
+//!   fairness and refinement machinery applies unchanged.
+//! * [`consensus`] — the consensus problem as execution predicates:
+//!   agreement, validity, k-agreement and the *modified termination*
+//!   condition of Section 2.2.4.
+//! * [`sched`] — input-first initializations, failure injection and
+//!   fair/random schedulers.
+//!
+//! # Example
+//!
+//! ```
+//! use system::build::{CompleteSystem, SystemState};
+//! use system::process::direct::DirectConsensus;
+//! use services::atomic::CanonicalAtomicObject;
+//! use spec::seq::BinaryConsensus;
+//! use spec::ProcId;
+//! use std::sync::Arc;
+//!
+//! // Two processes sharing one 1-resilient (wait-free) consensus object.
+//! let obj = CanonicalAtomicObject::wait_free(
+//!     Arc::new(BinaryConsensus),
+//!     [ProcId(0), ProcId(1)],
+//! );
+//! let sys = CompleteSystem::new(DirectConsensus::new(spec::SvcId(0)), 2, vec![Arc::new(obj)]);
+//! let _s0: SystemState<_> = sys.single_initial_state();
+//! ```
+
+pub mod action;
+pub mod build;
+pub mod consensus;
+pub mod pretty;
+pub mod process;
+pub mod sched;
+
+pub use action::{Action, Participant, Task};
+pub use build::{CompleteSystem, SystemState};
+pub use process::{ProcAction, ProcessAutomaton};

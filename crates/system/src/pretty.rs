@@ -1,0 +1,103 @@
+//! Human-readable rendering of executions of the complete system.
+//!
+//! The analysis pipeline's outputs (hooks, refutation runs) are
+//! executions; these helpers turn them into the step-by-step listings
+//! shown by the examples and the `repro` CLI.
+
+use crate::build::CompleteSystem;
+use crate::process::ProcessAutomaton;
+use ioa::execution::Execution;
+use std::fmt::Write as _;
+
+/// Renders an execution as numbered action lines, eliding runs of
+/// internal no-progress steps. At most `limit` lines are produced;
+/// a trailing marker reports elision.
+pub fn render_execution<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    exec: &Execution<CompleteSystem<P>>,
+    limit: usize,
+) -> String {
+    let mut out = String::new();
+    let mut shown = 0usize;
+    let mut elided = 0usize;
+    for (idx, step) in exec.steps().iter().enumerate() {
+        let dummy = step.action.is_dummy();
+        if shown >= limit || (dummy && shown + 1 >= limit) {
+            elided += 1;
+            continue;
+        }
+        let _ = writeln!(out, "  {idx:>4}  {}", step.action);
+        shown += 1;
+    }
+    if elided > 0 {
+        let _ = writeln!(out, "  … {elided} further steps elided");
+    }
+    let decisions = sys.decisions(exec.last_state());
+    let _ = writeln!(out, "  final decisions: {decisions:?}");
+    out
+}
+
+/// Renders the externally visible trace (inits, fails, decides) only.
+pub fn render_trace<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    exec: &Execution<CompleteSystem<P>>,
+) -> String {
+    let mut out = String::new();
+    for a in exec.trace(sys) {
+        let _ = writeln!(out, "  {a}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::InputAssignment;
+    use crate::process::direct::DirectConsensus;
+    use crate::sched::{initialize, run_fair, BranchPolicy};
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::{ProcId, SvcId};
+    use std::sync::Arc;
+
+    fn run() -> (
+        CompleteSystem<DirectConsensus>,
+        Execution<CompleteSystem<DirectConsensus>>,
+    ) {
+        let obj = CanonicalAtomicObject::wait_free(
+            Arc::new(BinaryConsensus),
+            [ProcId(0), ProcId(1)],
+        );
+        let sys =
+            CompleteSystem::new(DirectConsensus::new(SvcId(0)), 2, vec![Arc::new(obj)]);
+        let a = InputAssignment::monotone(2, 1);
+        let s = initialize(&sys, &a);
+        let r = run_fair(&sys, s, BranchPolicy::Canonical, &[], 10_000, |st| {
+            (0..2).all(|i| sys.decision(st, ProcId(i)).is_some())
+        });
+        (sys, r.exec)
+    }
+
+    #[test]
+    fn rendering_mentions_decides_and_final_state() {
+        let (sys, exec) = run();
+        let text = render_execution(&sys, &exec, 100);
+        assert!(text.contains("decide"));
+        assert!(text.contains("final decisions"));
+    }
+
+    #[test]
+    fn limit_elides_steps() {
+        let (sys, exec) = run();
+        let text = render_execution(&sys, &exec, 2);
+        assert!(text.contains("elided"));
+    }
+
+    #[test]
+    fn trace_contains_only_external_actions() {
+        let (sys, exec) = run();
+        let text = render_trace(&sys, &exec);
+        assert!(text.contains("decide"));
+        assert!(!text.contains("perform"));
+    }
+}

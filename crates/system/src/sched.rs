@@ -1,0 +1,440 @@
+//! Schedulers: initializations, failure injection, fair round-robin
+//! variants and randomized runs.
+//!
+//! The paper's executions of interest are *input-first* (Section 3.2):
+//! all `init()` inputs arrive before anything else. [`initialize`]
+//! builds such a prefix. Failures are injected as `fail_i` inputs at
+//! scheduler-chosen points. Two execution drivers are provided:
+//!
+//! * [`run_fair`] — deterministic round-robin over tasks with a
+//!   pluggable *branch policy* resolving the nondeterminism inside a
+//!   task (real vs dummy, nondeterministic `δ` outcomes). Round-robin
+//!   runs are fair by construction, so their lassos witness fair
+//!   nontermination and their quiescent endpoints are fair finite
+//!   executions.
+//! * [`run_random`] — uniformly random applicable-task selection with a
+//!   seeded RNG, for statistical sweeps on systems too large to
+//!   explore exhaustively.
+
+use crate::action::{Action, Task};
+use crate::build::{CompleteSystem, SystemState};
+use crate::consensus::InputAssignment;
+use crate::process::ProcessAutomaton;
+use ioa::automaton::Automaton;
+use ioa::execution::{Execution, Step};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Applies the `init(v)_i` inputs of `assignment` (in `ProcId` order)
+/// to the system's initial state — an *initialization* in the paper's
+/// sense: a finite execution containing exactly one `init()_i` per
+/// assigned process and nothing else.
+pub fn initialize<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    assignment: &InputAssignment,
+) -> SystemState<P::State> {
+    let mut s = sys.single_initial_state();
+    for (i, v) in &assignment.0 {
+        s = sys.init(&s, *i, v.clone());
+    }
+    s
+}
+
+/// How to resolve the nondeterministic branches within one task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchPolicy {
+    /// Prefer real (non-dummy) actions, taking the canonical least
+    /// branch — the determinization of Section 3.1.
+    Canonical,
+    /// Prefer dummy actions when offered — the adversary that silences
+    /// services whose resilience has been exceeded.
+    PreferDummy,
+}
+
+impl BranchPolicy {
+    fn pick<PS: Clone>(
+        self,
+        branches: Vec<(Action, SystemState<PS>)>,
+    ) -> Option<(Action, SystemState<PS>)> {
+        match self {
+            BranchPolicy::Canonical => branches.into_iter().next(),
+            BranchPolicy::PreferDummy => {
+                let dummy_idx = branches.iter().position(|(a, _)| a.is_dummy());
+                match dummy_idx {
+                    Some(idx) => branches.into_iter().nth(idx),
+                    None => branches.into_iter().next(),
+                }
+            }
+        }
+    }
+}
+
+/// How a [`run_fair`] drive ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FairOutcome {
+    /// The stop predicate triggered.
+    Stopped,
+    /// A (state, scheduler-position) configuration repeated: the run is
+    /// in a fair cycle. The payload is the step index where the cycle
+    /// begins.
+    Lasso(usize),
+    /// The step budget ran out.
+    Budget,
+}
+
+/// A completed fair run.
+#[derive(Debug)]
+pub struct FairRun<P: ProcessAutomaton> {
+    /// The generated execution (from the supplied start state).
+    pub exec: Execution<CompleteSystem<P>>,
+    /// How it ended.
+    pub outcome: FairOutcome,
+}
+
+/// Drives the system round-robin from `start` under `policy`,
+/// injecting `fail_i` for each `(step, i)` in `failures` when the
+/// execution reaches that length. Stops when `stop` holds, a
+/// configuration repeats (fair lasso), or `max_steps` elapse.
+pub fn run_fair<P, F>(
+    sys: &CompleteSystem<P>,
+    start: SystemState<P::State>,
+    policy: BranchPolicy,
+    failures: &[(usize, spec::ProcId)],
+    max_steps: usize,
+    stop: F,
+) -> FairRun<P>
+where
+    P: ProcessAutomaton,
+    F: Fn(&SystemState<P::State>) -> bool,
+{
+    let tasks = sys.tasks();
+    let mut exec = Execution::new(start);
+    let mut pending_failures: Vec<(usize, spec::ProcId)> = failures.to_vec();
+    pending_failures.sort();
+    let mut pos = 0usize;
+    let mut seen: HashMap<(SystemState<P::State>, usize), usize> = HashMap::new();
+    if stop(exec.last_state()) {
+        return FairRun {
+            exec,
+            outcome: FairOutcome::Stopped,
+        };
+    }
+    while exec.len() < max_steps {
+        // Inject any failures scheduled at or before this point.
+        while let Some(&(at, i)) = pending_failures.first() {
+            if at <= exec.len() {
+                exec.apply_input(sys, Action::Fail(i));
+                pending_failures.remove(0);
+            } else {
+                break;
+            }
+        }
+        let config = (exec.last_state().clone(), pos);
+        if pending_failures.is_empty() {
+            if let Some(&idx) = seen.get(&config) {
+                return FairRun {
+                    exec,
+                    outcome: FairOutcome::Lasso(idx),
+                };
+            }
+            seen.insert(config, exec.len());
+        }
+        // One round-robin offer.
+        let mut fired = false;
+        for off in 0..tasks.len() {
+            let t = &tasks[(pos + off) % tasks.len()];
+            let branches = sys.succ_all(t, exec.last_state());
+            if let Some((action, state)) = policy.pick(branches) {
+                exec.push(Step {
+                    task: Some(t.clone()),
+                    action,
+                    state,
+                });
+                pos = (pos + off + 1) % tasks.len();
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            // No task applicable at all — cannot happen while processes
+            // exist (their task is always enabled), but guard anyway.
+            return FairRun {
+                exec,
+                outcome: FairOutcome::Budget,
+            };
+        }
+        if stop(exec.last_state()) {
+            return FairRun {
+                exec,
+                outcome: FairOutcome::Stopped,
+            };
+        }
+    }
+    FairRun {
+        exec,
+        outcome: FairOutcome::Budget,
+    }
+}
+
+/// Drives the system along an explicit task script (the paper's "task
+/// sequences specify executions", Section 3.1): each task's
+/// policy-chosen branch is applied if applicable, inapplicable tasks
+/// are skipped, and inputs in the script are applied directly.
+///
+/// This is the scheduler used to hand-drive exact interleavings in
+/// tests and to replay the γ′ fragments of the Lemma 6/7 arguments.
+pub fn run_script<P>(
+    sys: &CompleteSystem<P>,
+    start: SystemState<P::State>,
+    policy: BranchPolicy,
+    script: &[ScriptStep],
+) -> FairRun<P>
+where
+    P: ProcessAutomaton,
+{
+    let mut exec = Execution::new(start);
+    for item in script {
+        match item {
+            ScriptStep::Do(t) => {
+                let branches = sys.succ_all(t, exec.last_state());
+                if let Some((action, state)) = policy.pick(branches) {
+                    exec.push(Step {
+                        task: Some(t.clone()),
+                        action,
+                        state,
+                    });
+                }
+            }
+            ScriptStep::Input(a) => {
+                exec.apply_input(sys, a.clone());
+            }
+        }
+    }
+    FairRun {
+        exec,
+        outcome: FairOutcome::Stopped,
+    }
+}
+
+/// One step of a [`run_script`] schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// Offer a task (skipped when inapplicable).
+    Do(Task),
+    /// Apply an environment input (`init` or `fail`).
+    Input(Action),
+}
+
+/// Drives the system by uniformly random choice among applicable tasks
+/// and among each task's branches, injecting the given failures.
+/// Deterministic for a fixed `seed`.
+pub fn run_random<P, F>(
+    sys: &CompleteSystem<P>,
+    start: SystemState<P::State>,
+    seed: u64,
+    failures: &[(usize, spec::ProcId)],
+    max_steps: usize,
+    stop: F,
+) -> FairRun<P>
+where
+    P: ProcessAutomaton,
+    F: Fn(&SystemState<P::State>) -> bool,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks = sys.tasks();
+    let mut exec = Execution::new(start);
+    let mut pending: Vec<(usize, spec::ProcId)> = failures.to_vec();
+    pending.sort();
+    if stop(exec.last_state()) {
+        return FairRun {
+            exec,
+            outcome: FairOutcome::Stopped,
+        };
+    }
+    while exec.len() < max_steps {
+        while let Some(&(at, i)) = pending.first() {
+            if at <= exec.len() {
+                exec.apply_input(sys, Action::Fail(i));
+                pending.remove(0);
+            } else {
+                break;
+            }
+        }
+        let state = exec.last_state().clone();
+        let applicable: Vec<&Task> = tasks.iter().filter(|t| sys.applicable(t, &state)).collect();
+        if applicable.is_empty() {
+            return FairRun {
+                exec,
+                outcome: FairOutcome::Budget,
+            };
+        }
+        let t = applicable[rng.gen_range(0..applicable.len())];
+        let mut branches = sys.succ_all(t, &state);
+        let pick = rng.gen_range(0..branches.len());
+        let (action, next) = branches.swap_remove(pick);
+        exec.push(Step {
+            task: Some(t.clone()),
+            action,
+            state: next,
+        });
+        if stop(exec.last_state()) {
+            return FairRun {
+                exec,
+                outcome: FairOutcome::Stopped,
+            };
+        }
+    }
+    FairRun {
+        exec,
+        outcome: FairOutcome::Budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::{all_obliged_decided, check_safety};
+    use crate::process::direct::DirectConsensus;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::{ProcId, SvcId, Val};
+    use std::sync::Arc;
+
+    fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    #[test]
+    fn initialization_is_input_first() {
+        let sys = direct(3, 2);
+        let a = InputAssignment::monotone(3, 1);
+        let s = initialize(&sys, &a);
+        // Inputs are registered in process states but nothing else ran.
+        assert!(sys.decided_values(&s).is_empty());
+        assert!(s.failed.is_empty());
+    }
+
+    #[test]
+    fn canonical_fair_run_decides() {
+        let sys = direct(3, 2);
+        let a = InputAssignment::monotone(3, 2);
+        let s = initialize(&sys, &a);
+        let run = run_fair(&sys, s, BranchPolicy::Canonical, &[], 10_000, |st| {
+            all_obliged_decided(&sys, st, &a)
+        });
+        assert_eq!(run.outcome, FairOutcome::Stopped);
+        assert_eq!(check_safety(&sys, run.exec.last_state(), &a), None);
+    }
+
+    #[test]
+    fn dummy_preferring_adversary_starves_after_resilience_exceeded() {
+        // f = 0 object, one failure: the adversary silences the object
+        // and the fair run lassos without the survivor deciding.
+        let sys = direct(2, 0);
+        let a = InputAssignment::monotone(2, 1);
+        let s = initialize(&sys, &a);
+        let run = run_fair(
+            &sys,
+            s,
+            BranchPolicy::PreferDummy,
+            &[(0, ProcId(1))],
+            50_000,
+            |st| all_obliged_decided(&sys, st, &a),
+        );
+        match run.outcome {
+            FairOutcome::Lasso(_) => {
+                assert_eq!(sys.decision(run.exec.last_state(), ProcId(0)), None);
+            }
+            other => panic!("expected a fair non-deciding lasso, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_run_survives_failures_within_resilience() {
+        // Wait-free object (f = 2), 3 processes, 2 failures: survivor
+        // still decides even under the dummy-preferring adversary,
+        // because |failed| = 2 ≤ f keeps the survivor's dummies off.
+        let sys = direct(3, 2);
+        let a = InputAssignment::monotone(3, 3);
+        let s = initialize(&sys, &a);
+        let run = run_fair(
+            &sys,
+            s,
+            BranchPolicy::PreferDummy,
+            &[(0, ProcId(1)), (0, ProcId(2))],
+            50_000,
+            |st| sys.decision(st, ProcId(0)).is_some(),
+        );
+        assert_eq!(run.outcome, FairOutcome::Stopped);
+        assert_eq!(
+            sys.decision(run.exec.last_state(), ProcId(0)),
+            Some(Val::Int(1))
+        );
+    }
+
+    #[test]
+    fn scripted_runs_follow_the_script_exactly() {
+        use crate::action::Task;
+        let sys = direct(2, 1);
+        let a = InputAssignment::monotone(2, 1);
+        let s = initialize(&sys, &a);
+        let script = vec![
+            ScriptStep::Do(Task::Proc(ProcId(0))),
+            ScriptStep::Do(Task::Perform(spec::SvcId(0), ProcId(0))),
+            ScriptStep::Do(Task::Output(spec::SvcId(0), ProcId(0))),
+            ScriptStep::Do(Task::Proc(ProcId(0))),
+        ];
+        let run = run_script(&sys, s, BranchPolicy::Canonical, &script);
+        assert_eq!(run.exec.len(), 4);
+        // P0 (input 1) raced alone: it decided its own input.
+        assert_eq!(
+            sys.decision(run.exec.last_state(), ProcId(0)),
+            Some(Val::Int(1))
+        );
+        assert_eq!(sys.decision(run.exec.last_state(), ProcId(1)), None);
+    }
+
+    #[test]
+    fn scripted_inputs_and_inapplicable_tasks() {
+        use crate::action::{Action, Task};
+        let sys = direct(2, 1);
+        let script = vec![
+            // Inapplicable perform (no invocation yet): skipped.
+            ScriptStep::Do(Task::Perform(spec::SvcId(0), ProcId(0))),
+            ScriptStep::Input(Action::Init(ProcId(0), Val::Int(0))),
+            ScriptStep::Input(Action::Fail(ProcId(1))),
+        ];
+        let run = run_script(
+            &sys,
+            sys.single_initial_state(),
+            BranchPolicy::Canonical,
+            &script,
+        );
+        assert_eq!(run.exec.len(), 2, "only the two inputs produced steps");
+        assert!(run.exec.last_state().failed.contains(&ProcId(1)));
+    }
+
+    #[test]
+    fn random_runs_are_reproducible_and_safe() {
+        let sys = direct(3, 2);
+        let a = InputAssignment::monotone(3, 1);
+        for seed in 0..10u64 {
+            let s = initialize(&sys, &a);
+            let run = run_random(&sys, s, seed, &[], 5_000, |st| {
+                all_obliged_decided(&sys, st, &a)
+            });
+            assert_eq!(run.outcome, FairOutcome::Stopped, "seed {seed}");
+            assert_eq!(check_safety(&sys, run.exec.last_state(), &a), None);
+        }
+        // Reproducibility: same seed, same trace length.
+        let s1 = initialize(&sys, &a);
+        let r1 = run_random(&sys, s1, 42, &[], 5_000, |_| false);
+        let s2 = initialize(&sys, &a);
+        let r2 = run_random(&sys, s2, 42, &[], 5_000, |_| false);
+        assert_eq!(r1.exec.len(), r2.exec.len());
+        assert_eq!(r1.exec.last_state(), r2.exec.last_state());
+    }
+}

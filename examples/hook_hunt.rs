@@ -1,0 +1,76 @@
+//! Watch Theorem 2's proof execute: bivalent initialization → hook →
+//! similarity → the concrete starving run.
+//!
+//! ```sh
+//! cargo run --example hook_hunt
+//! ```
+
+use analysis::hook::{find_hook, HookOutcome};
+use analysis::init::{find_bivalent_init, InitOutcome};
+use analysis::similarity::{analyze_hook, refute_similar_pair, HookSimilarity, Refutation};
+use analysis::valence::Valence;
+use resilience_boosting::prelude::*;
+
+fn main() {
+    let (n, f) = (3, 1);
+    println!("candidate: {n} processes over one {f}-resilient consensus object,");
+    println!("claiming ({}-resilient consensus — Theorem 2 says: impossible.\n", f + 1);
+    let sys = protocols::doomed::doomed_atomic(n, f);
+
+    // Lemma 4: the bivalent initialization.
+    let InitOutcome::Bivalent { assignment, map } =
+        find_bivalent_init(&sys, 2_000_000).expect("state budget")
+    else {
+        panic!("this candidate has bivalent initializations")
+    };
+    println!("Lemma 4  ✓ bivalent initialization: {assignment}");
+    println!("         explored {} failure-free states", map.state_count());
+
+    // Lemma 5 / Fig. 3: the hook.
+    let HookOutcome::Hook(hook) = find_hook(&sys, &map, 20_000) else {
+        panic!("this candidate yields a hook")
+    };
+    println!("\nLemma 5  ✓ hook found (Fig. 2):");
+    println!("         α reached after {} tasks", hook.alpha_tasks.len());
+    println!("         e  = {}   (e(α) is {:?}-valent)", hook.e, hook.v);
+    println!("         e' = {}   (e(e'(α)) is {:?}-valent)", hook.e_prime, hook.v.opposite());
+
+    // Lemma 8: the similar pair.
+    let similarity = analyze_hook(&sys, &hook);
+    println!("\nLemma 8  ✓ case analysis: {similarity:?}");
+    let (x0, x1, kind) = match &similarity {
+        HookSimilarity::Direct(kind) => (hook.s0.clone(), hook.s1.clone(), *kind),
+        HookSimilarity::AfterEPrime(kind) => {
+            let (_, after) = sys.succ_det(&hook.e_prime, &hook.s0).unwrap();
+            (after, hook.s1.clone(), *kind)
+        }
+        other => panic!("unexpected similarity shape {other:?}"),
+    };
+    println!("         the {:?}-similar states have OPPOSITE valences —", kind);
+    println!("         which Lemmas 6/7 forbid for any ({})-resilient solution.", f + 1);
+
+    // Lemmas 6/7, executed: the refutation.
+    let refutation = refute_similar_pair(
+        &sys,
+        &x0,
+        &x1,
+        kind,
+        (hook.v, Valence::opposite(hook.v)),
+        f,
+        500_000,
+    );
+    println!("\nLemmas 6/7, executed:");
+    match &refutation {
+        Refutation::TerminationViolation { side, failed, run } => {
+            println!("         fail J = {failed:?} (|J| = f + 1 = {})", f + 1);
+            println!(
+                "         side {side}: after {} provably-fair steps no survivor decided —",
+                run.exec.len()
+            );
+            println!("         the claimed ({})-resilient termination is violated.  ∎", f + 1);
+            println!("\nThe starving run (dummies = the silenced services spinning):");
+            print!("{}", system::pretty::render_execution(&sys, &run.exec, 24));
+        }
+        other => println!("         {other:?}"),
+    }
+}

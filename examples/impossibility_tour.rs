@@ -1,0 +1,76 @@
+//! The grand tour: one impossibility witness per service class, plus
+//! the two boosts the paper proves genuine — the whole paper in one
+//! run.
+//!
+//! ```sh
+//! cargo run --example impossibility_tour
+//! ```
+
+use analysis::resilience::{all_assignments, all_binary_assignments, certify, CertifyConfig};
+use analysis::witness::{find_witness, Bounds};
+use protocols::set_boost::SetBoostParams;
+use resilience_boosting::prelude::*;
+
+fn banner(s: &str) {
+    println!("\n━━━ {s} ━━━");
+}
+
+fn main() {
+    println!("The Impossibility of Boosting Distributed Service Resilience — the tour.");
+
+    banner("Theorem 2 — atomic objects (f = 0: the FLP case)");
+    let sys = protocols::doomed::doomed_atomic(2, 0);
+    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+
+    banner("Theorem 2 — atomic objects (f = 1: beyond FLP)");
+    let sys = protocols::doomed::doomed_atomic(3, 1);
+    println!("{}", find_witness(&sys, 1, Bounds::default()).unwrap().headline());
+
+    banner("Theorem 2 — with reliable registers too");
+    let sys = protocols::doomed::doomed_atomic_with_registers(2, 0);
+    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+
+    banner("Theorem 2 — a different object type (test&set)");
+    let sys = protocols::tas_consensus::build(0);
+    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+
+    banner("Theorem 9 — failure-oblivious services (totally ordered broadcast)");
+    let sys = protocols::doomed::doomed_oblivious(2, 0);
+    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+
+    banner("Theorem 10 — all-connected failure-aware services (perfect FD)");
+    let sys = protocols::doomed::doomed_general(2, 0);
+    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+
+    banner("Section 4 — but 2-set consensus CAN be boosted");
+    let sys = protocols::set_boost::build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+    let domain: Vec<Val> = (0..4).map(Val::Int).collect();
+    let mut cfg = CertifyConfig::new(2, 3, all_assignments(4, &domain));
+    cfg.failure_timings = vec![0];
+    cfg.max_steps = 50_000;
+    let report = certify(&sys, &cfg);
+    println!(
+        "wait-free 2-set consensus from 1-resilient services: {} runs, {} violations → {}",
+        report.runs,
+        report.violations.len(),
+        if report.certified() { "CERTIFIED" } else { "FAILED" }
+    );
+
+    banner("Section 6.3 — and consensus CAN be boosted with pairwise FDs");
+    let sys = protocols::fd_boost::build(3);
+    let mut cfg = CertifyConfig::new(1, 2, all_binary_assignments(3));
+    cfg.failure_timings = vec![0];
+    cfg.max_steps = 400_000;
+    let report = certify(&sys, &cfg);
+    println!(
+        "2-resilient consensus from 1-resilient pairwise FDs: {} runs, {} violations → {}",
+        report.runs,
+        report.violations.len(),
+        if report.certified() { "CERTIFIED" } else { "FAILED" }
+    );
+
+    println!(
+        "\nSummary: consensus resilience never exceeds the services' (Theorems 2/9/10);\n\
+         weaker problems and richer connection patterns escape (Sections 4, 6.3)."
+    );
+}

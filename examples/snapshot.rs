@@ -1,0 +1,42 @@
+//! An atomic snapshot built from plain registers — the
+//! "concurrently-accessible data structure" face of the service
+//! framework — scanned while writers race it.
+//!
+//! ```sh
+//! cargo run --example snapshot
+//! ```
+
+use protocols::snapshot::{build, SnapshotProcess};
+use resilience_boosting::prelude::*;
+
+fn main() {
+    let n = 3;
+    println!("double-collect snapshot: {n} processes, {n} single-writer registers");
+    let sys = build(n, 2);
+    for (c, svc) in sys.services().iter().enumerate() {
+        println!("  S{c}: {}", svc.name());
+    }
+
+    // P0 and P1 update their segments; P2 scans concurrently.
+    let inputs = InputAssignment::of([
+        (ProcId(0), SnapshotProcess::update_request(Val::Int(1))),
+        (ProcId(1), SnapshotProcess::update_request(Val::Int(0))),
+        (ProcId(2), SnapshotProcess::scan_request()),
+    ]);
+    println!("\nP0: update(1)   P1: update(0)   P2: scan()   — racing under random schedules\n");
+    for seed in 0..6u64 {
+        let s = initialize(&sys, &inputs);
+        let run = run_random(&sys, s, seed, &[], 200_000, |st| {
+            (0..n).all(|i| sys.decision(st, ProcId(i)).is_some())
+        });
+        assert!(matches!(run.outcome, FairOutcome::Stopped));
+        let snap = sys.decision(run.exec.last_state(), ProcId(2)).unwrap();
+        println!("  seed {seed}: P2's atomic snapshot = {snap}");
+    }
+
+    println!(
+        "\nEvery snapshot is a vector some single instant could have shown (atomicity:\n\
+         verified exhaustively by trace inclusion in tests/snapshot_atomicity.rs) —\n\
+         even though it was assembled from {n} separate register reads, twice over."
+    );
+}

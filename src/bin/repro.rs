@@ -1,0 +1,226 @@
+//! `repro` — command-line driver for the reproduction.
+//!
+//! ```text
+//! repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F]
+//! repro certify --construction set-boost|fd-boost|tas [--n N]
+//! repro hook    [--n N] [--f F] [--dot FILE]
+//! repro census  [--n N] [--f F]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --bin repro -- witness --class oblivious --n 3 --f 1
+//! cargo run --bin repro -- hook --n 2 --f 0 --dot /tmp/hook.dot
+//! cargo run --bin repro -- certify --construction fd-boost --n 3
+//! ```
+
+use analysis::graph::{census, to_dot};
+use analysis::hook::{find_hook, HookOutcome};
+use analysis::init::{find_bivalent_init, InitOutcome};
+use analysis::resilience::{all_assignments, all_binary_assignments, certify, CertifyConfig};
+use analysis::witness::{find_witness, Bounds};
+use protocols::set_boost::SetBoostParams;
+use resilience_boosting::prelude::*;
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    cmd: String,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut it = std::env::args().skip(1);
+        let cmd = it.next()?;
+        let rest: Vec<String> = it.collect();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest.get(i)?.strip_prefix("--")?.to_string();
+            let value = rest.get(i + 1)?.clone();
+            flags.push((key, value));
+            i += 2;
+        }
+        Some(Args { cmd, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{key} wants a number"))))
+            .unwrap_or(default)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage:\n  repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F]\n  \
+         repro certify --construction set-boost|fd-boost|tas [--n N]\n  \
+         repro hook [--n N] [--f F] [--dot FILE]\n  \
+         repro census [--n N] [--f F]"
+    );
+    std::process::exit(2)
+}
+
+fn witness_cmd(args: &Args) -> ExitCode {
+    let n = args.usize_or("n", 2);
+    let f = args.usize_or("f", 0);
+    let class = args.get("class").unwrap_or("atomic");
+    println!("candidate: class={class}, n={n}, f={f} — claiming ({})-resilient consensus", f + 1);
+    let headline = match class {
+        "atomic" => {
+            let sys = protocols::doomed::doomed_atomic(n, f);
+            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+        }
+        "registers" => {
+            let sys = protocols::doomed::doomed_atomic_with_registers(n, f);
+            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+        }
+        "oblivious" => {
+            let sys = protocols::doomed::doomed_oblivious(n, f);
+            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+        }
+        "general" => {
+            let sys = protocols::doomed::doomed_general(n, f);
+            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+        }
+        "tas" => {
+            if n != 2 {
+                die("--class tas only supports --n 2");
+            }
+            let sys = protocols::tas_consensus::build(f);
+            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+        }
+        other => die(&format!("unknown class {other:?}")),
+    };
+    match headline {
+        Ok(h) => {
+            println!("witness: {h}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn certify_cmd(args: &Args) -> ExitCode {
+    let construction = args.get("construction").unwrap_or("set-boost");
+    let report = match construction {
+        "set-boost" => {
+            let n = args.usize_or("n", 4);
+            let k = args.usize_or("k", 2);
+            let sys = protocols::set_boost::build(SetBoostParams { n, k, k_prime: 1 });
+            let domain: Vec<Val> = (0..n as i64).map(Val::Int).collect();
+            let mut inputs = all_assignments(n, &domain);
+            if inputs.len() > 512 {
+                inputs.truncate(512);
+                println!("(input sweep truncated to 512 assignments)");
+            }
+            let mut cfg = CertifyConfig::new(k, n - 1, inputs);
+            cfg.max_steps = 100_000;
+            println!("certifying {k}-set consensus at resilience {} …", n - 1);
+            certify(&sys, &cfg)
+        }
+        "fd-boost" => {
+            let n = args.usize_or("n", 3);
+            let sys = protocols::fd_boost::build(n);
+            let mut cfg = CertifyConfig::new(1, n - 1, all_binary_assignments(n));
+            cfg.max_steps = 800_000;
+            println!("certifying consensus at resilience {} …", n - 1);
+            certify(&sys, &cfg)
+        }
+        "tas" => {
+            let sys = protocols::tas_consensus::build(1);
+            let mut cfg = CertifyConfig::new(1, 1, all_binary_assignments(2));
+            cfg.max_steps = 100_000;
+            println!("certifying 2-process consensus from wait-free test&set …");
+            certify(&sys, &cfg)
+        }
+        other => die(&format!("unknown construction {other:?}")),
+    };
+    println!(
+        "{} runs, {} violations → {}",
+        report.runs,
+        report.violations.len(),
+        if report.certified() { "CERTIFIED" } else { "FAILED" }
+    );
+    if let Some(v) = report.violations.first() {
+        println!("first violation: {v:?}");
+    }
+    if report.certified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn hook_cmd(args: &Args) -> ExitCode {
+    let n = args.usize_or("n", 2);
+    let f = args.usize_or("f", 0);
+    let sys = protocols::doomed::doomed_atomic(n, f);
+    let InitOutcome::Bivalent { assignment, map } = find_bivalent_init(&sys, 2_000_000)
+        .unwrap_or_else(|e| die(&e.to_string()))
+    else {
+        die("no bivalent initialization (try the witness command)")
+    };
+    println!("bivalent initialization: {assignment} ({} states)", map.state_count());
+    match find_hook(&sys, &map, 20_000) {
+        HookOutcome::Hook(hook) => {
+            println!("hook: e={} e'={} v={:?} (α after {} tasks)", hook.e, hook.e_prime, hook.v, hook.alpha_tasks.len());
+            if let Some(path) = args.get("dot") {
+                let dot = to_dot(&map, &hook.alpha, 3, Some(&hook));
+                if let Err(e) = std::fs::write(path, dot) {
+                    die(&format!("cannot write {path}: {e}"));
+                }
+                println!("wrote G(C) neighbourhood to {path} (render with: dot -Tsvg {path})");
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            println!("no hook: {other:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn census_cmd(args: &Args) -> ExitCode {
+    let n = args.usize_or("n", 3);
+    let f = args.usize_or("f", 1);
+    let sys = protocols::doomed::doomed_atomic(n, f);
+    match find_bivalent_init(&sys, 2_000_000) {
+        Ok(InitOutcome::Bivalent { assignment, map }) => {
+            println!("valence landscape of G(C) from {assignment}:");
+            println!("  {}", census(&map));
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            println!("no bivalent initialization: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => die(&e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = Args::parse() else {
+        die("missing subcommand");
+    };
+    match args.cmd.as_str() {
+        "witness" => witness_cmd(&args),
+        "certify" => certify_cmd(&args),
+        "hook" => hook_cmd(&args),
+        "census" => census_cmd(&args),
+        other => die(&format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,59 @@
+//! # resilience-boosting
+//!
+//! An executable reproduction of *"The Impossibility of Boosting
+//! Distributed Service Resilience"* (Attie, Guerraoui, Kuznetsov,
+//! Lynch, Rajsbaum; ICDCS 2005 / Information and Computation 209
+//! (2011) 927–950).
+//!
+//! The workspace builds the paper's entire formal apparatus — I/O
+//! automata, sequential and service types, the canonical `f`-resilient
+//! services of Figs. 1/4/8, the complete-system composition, and the
+//! bivalence/hook/similarity proof machinery — and uses it to
+//! machine-check both directions of the paper's results on concrete
+//! finite systems:
+//!
+//! * **impossibility** (Theorems 2, 9, 10): for each service class, a
+//!   candidate protocol claiming `(f+1)`-resilient consensus over
+//!   `f`-resilient services is refuted by an
+//!   [`analysis::witness::ImpossibilityWitness`] — a bivalent
+//!   initialization, a hook, a similar state pair with opposite
+//!   valences, and the concrete starving run;
+//! * **possibility** (Sections 4 and 6.3): the k-set-consensus and
+//!   failure-detector boosting constructions are certified resilient
+//!   by exhaustive sweeps over inputs and failure patterns.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
+//! for the experiment index.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use resilience_boosting::prelude::*;
+//!
+//! // Theorem 2 on the smallest candidate: two processes over a
+//! // 0-resilient consensus object, claiming 1-resilient consensus.
+//! let sys = protocols::doomed::doomed_atomic(2, 0);
+//! let witness = analysis::witness::find_witness(&sys, 0, Default::default()).unwrap();
+//! println!("{}", witness.headline());
+//! ```
+
+pub use analysis;
+pub use ioa;
+pub use protocols;
+pub use services;
+pub use spec;
+pub use system;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use analysis;
+    pub use analysis::resilience::{all_binary_assignments, certify, CertifyConfig};
+    pub use analysis::witness::{find_witness, Bounds, ImpossibilityWitness};
+    pub use ioa::automaton::Automaton;
+    pub use protocols;
+    pub use services::{ArcService, Service, ServiceClass};
+    pub use spec::{ProcId, SvcId, Val};
+    pub use system::build::{CompleteSystem, SystemState};
+    pub use system::consensus::InputAssignment;
+    pub use system::sched::{initialize, run_fair, run_random, BranchPolicy, FairOutcome};
+}

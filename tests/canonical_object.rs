@@ -1,0 +1,169 @@
+//! Integration test — Theorem 11 (paper Appendix B): the canonical
+//! `f`-resilient consensus object satisfies the axiomatic agreement,
+//! validity and modified-termination conditions of Section 2.2.4.
+
+use ioa::automaton::Automaton;
+use ioa::explore::{reachable_states, search, SearchOutcome};
+use ioa::fairness::{run_round_robin, RunOutcome};
+use services::atomic::CanonicalAtomicObject;
+use services::automaton::{ServiceAutomaton, SvcAction};
+use services::SvcState;
+use spec::seq::BinaryConsensus;
+use spec::{ProcId, Val};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn canonical(n: usize, f: usize) -> ServiceAutomaton {
+    let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+    ServiceAutomaton::new(Arc::new(CanonicalAtomicObject::new(
+        Arc::new(BinaryConsensus),
+        endpoints,
+        f,
+    )))
+}
+
+/// Drives one `init(v)_i` per process into the object.
+fn inject_inputs(aut: &ServiceAutomaton, inputs: &[(usize, i64)]) -> SvcState {
+    let mut s = aut.initial_states().remove(0);
+    for (i, v) in inputs {
+        s = aut
+            .apply_input(&s, &SvcAction::Invoke(ProcId(*i), BinaryConsensus::init(*v)))
+            .expect("init is an invocation");
+    }
+    s
+}
+
+/// Decisions delivered along an execution: `(endpoint, value)`.
+fn delivered(exec: &ioa::Execution<ServiceAutomaton>) -> Vec<(ProcId, i64)> {
+    exec.steps()
+        .iter()
+        .filter_map(|st| match &st.action {
+            SvcAction::Respond(i, r) => BinaryConsensus::decision(r).map(|v| (*i, v)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn agreement_holds_in_every_reachable_state() {
+    // Exhaustive: from any mixed-input injection, every reachable
+    // state's value is ∅ or a singleton, and every buffered response
+    // matches it — so no two decisions can ever differ.
+    let aut = canonical(3, 1);
+    let s = inject_inputs(&aut, &[(0, 0), (1, 1), (2, 1)]);
+    let reach = reachable_states(&aut, vec![s], 1_000_000);
+    assert!(!reach.truncated);
+    for st in &reach.states {
+        let chosen = st.val.as_set().expect("consensus value is a set");
+        assert!(chosen.len() <= 1, "value grew beyond a singleton: {st}");
+        for i in 0..3 {
+            for r in st.resp_buffer(ProcId(i)) {
+                let v = BinaryConsensus::decision(r).expect("responses are decides");
+                assert_eq!(
+                    chosen.iter().next(),
+                    Some(&Val::Int(v)),
+                    "buffered decision disagrees with the object value"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn validity_no_uninvoked_value_is_ever_decided() {
+    // All inputs are 1: exhaustively, no reachable state contains a
+    // decide(0) response.
+    let aut = canonical(3, 2);
+    let s = inject_inputs(&aut, &[(0, 1), (1, 1), (2, 1)]);
+    let bad = search(
+        &aut,
+        &s,
+        |st: &SvcState| {
+            (0..3).any(|i| {
+                st.resp_buffer(ProcId(i))
+                    .iter()
+                    .any(|r| BinaryConsensus::decision(r) == Some(0))
+            })
+        },
+        1_000_000,
+    );
+    assert_eq!(bad, SearchOutcome::Exhausted, "decide(0) must be unreachable");
+}
+
+#[test]
+fn modified_termination_under_at_most_f_failures() {
+    // f = 1, three endpoints, one failure: the fair round-robin run
+    // still answers both survivors.
+    let aut = canonical(3, 1);
+    let mut s = inject_inputs(&aut, &[(0, 0), (1, 1), (2, 0)]);
+    s = aut.apply_input(&s, &SvcAction::Fail(ProcId(2))).unwrap();
+    let run = run_round_robin(&aut, s, 10_000, |_| false);
+    // The run is fair however it ends; survivors must have been served.
+    let got: BTreeSet<ProcId> = delivered(&run.exec).into_iter().map(|(i, _)| i).collect();
+    assert!(got.contains(&ProcId(0)));
+    assert!(got.contains(&ProcId(1)));
+}
+
+#[test]
+fn beyond_f_failures_the_object_may_stall_but_stays_safe() {
+    // Two failures exceed f = 1: dummies enable everywhere, so a fair
+    // execution may starve the survivor — but any responses that DO
+    // appear still agree.
+    let aut = canonical(3, 1);
+    let mut s = inject_inputs(&aut, &[(0, 0), (1, 1), (2, 0)]);
+    s = aut.apply_input(&s, &SvcAction::Fail(ProcId(1))).unwrap();
+    s = aut.apply_input(&s, &SvcAction::Fail(ProcId(2))).unwrap();
+    // Dummies enabled for everyone, including the live P0.
+    assert!(aut
+        .succ_all(&services::automaton::SvcTask::Perform(ProcId(0)), &s)
+        .iter()
+        .any(|(a, _)| matches!(a, SvcAction::DummyPerform(_))));
+    // Exhaustive safety even past the resilience bound: all reachable
+    // responses agree with the object value.
+    let reach = reachable_states(&aut, vec![s], 1_000_000);
+    assert!(!reach.truncated);
+    for st in &reach.states {
+        assert!(st.val.as_set().expect("set").len() <= 1);
+    }
+}
+
+#[test]
+fn all_failed_object_may_go_fully_silent() {
+    // Section 2.1.3: if all connected processes fail, the object may
+    // avoid responding to anyone — the round-robin run with a
+    // dummy-preferring twist would spin; here we simply verify every
+    // task offers a dummy branch.
+    let aut = canonical(2, 1);
+    let mut s = inject_inputs(&aut, &[(0, 0), (1, 1)]);
+    s = aut.apply_input(&s, &SvcAction::Fail(ProcId(0))).unwrap();
+    s = aut.apply_input(&s, &SvcAction::Fail(ProcId(1))).unwrap();
+    for t in aut.tasks() {
+        let branches = aut.succ_all(&t, &s);
+        assert!(
+            branches.iter().any(|(a, _)| matches!(
+                a,
+                SvcAction::DummyPerform(_) | SvcAction::DummyOutput(_)
+            )),
+            "task {t:?} must offer a dummy once everyone failed"
+        );
+    }
+}
+
+#[test]
+fn fair_failure_free_runs_decide_for_everyone_and_agree() {
+    for inputs in [
+        vec![(0, 0), (1, 0)],
+        vec![(0, 0), (1, 1)],
+        vec![(0, 1), (1, 0)],
+        vec![(0, 1), (1, 1)],
+    ] {
+        let aut = canonical(2, 1);
+        let s = inject_inputs(&aut, &inputs);
+        let run = run_round_robin(&aut, s, 10_000, |_| false);
+        assert_eq!(run.outcome, RunOutcome::Quiescent);
+        let d = delivered(&run.exec);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].1, d[1].1, "agreement: {d:?}");
+        assert!(inputs.iter().any(|(_, v)| *v == d[0].1), "validity: {d:?}");
+    }
+}

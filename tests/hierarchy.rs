@@ -1,0 +1,123 @@
+//! Integration test — the service hierarchy embeddings (paper
+//! Sections 5.1 and 6.1): a canonical atomic object, the same
+//! sequential type wrapped as a failure-oblivious service, and that
+//! wrapped again as a general service, are behaviourally identical.
+
+use ioa::automaton::Automaton;
+use ioa::fairness::run_round_robin;
+use ioa::refine::{check_trace_inclusion, Inclusion};
+use services::atomic::CanonicalAtomicObject;
+use services::automaton::{ServiceAutomaton, SvcAction};
+use services::general::CanonicalGeneralService;
+use services::oblivious::CanonicalObliviousService;
+use services::{ArcService, ServiceClass};
+use spec::seq::BinaryConsensus;
+use spec::service_type::{GeneralFromOblivious, ObliviousFromSeq};
+use spec::ProcId;
+use std::sync::Arc;
+
+fn three_views(f: usize) -> [ArcService; 3] {
+    let j = [ProcId(0), ProcId(1)];
+    let atomic = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), j, f);
+    let oblivious = CanonicalObliviousService::new(
+        Arc::new(ObliviousFromSeq::new(Arc::new(BinaryConsensus))),
+        j,
+        f,
+    );
+    let general = CanonicalGeneralService::new(
+        Arc::new(GeneralFromOblivious::new(Arc::new(ObliviousFromSeq::new(
+            Arc::new(BinaryConsensus),
+        )))),
+        j,
+        f,
+    );
+    [Arc::new(atomic), Arc::new(oblivious), Arc::new(general)]
+}
+
+#[test]
+fn the_three_views_have_matching_structure() {
+    let [a, o, g] = three_views(1);
+    assert_eq!(a.class(), ServiceClass::Atomic);
+    assert_eq!(o.class(), ServiceClass::FailureOblivious);
+    assert_eq!(g.class(), ServiceClass::General);
+    for svc in [&a, &o, &g] {
+        assert_eq!(svc.endpoints().len(), 2);
+        assert_eq!(svc.resilience(), 1);
+        assert_eq!(svc.invocations().len(), 2);
+    }
+    // The embeddings add no global tasks (glob = ∅, Section 5.1).
+    assert!(a.global_tasks().is_empty());
+    assert!(o.global_tasks().is_empty());
+    assert!(g.global_tasks().is_empty());
+}
+
+#[test]
+fn identical_fair_behaviour_across_the_hierarchy() {
+    // Same inputs, same fair schedule → identical response sequences.
+    let transcripts: Vec<Vec<SvcAction>> = three_views(1)
+        .into_iter()
+        .map(|svc| {
+            let aut = ServiceAutomaton::new(svc);
+            let mut s = aut.initial_states().remove(0);
+            for (i, v) in [(0, 1), (1, 0)] {
+                s = aut
+                    .apply_input(&s, &SvcAction::Invoke(ProcId(i), BinaryConsensus::init(v)))
+                    .unwrap();
+            }
+            let run = run_round_robin(&aut, s, 1_000, |_| false);
+            run.exec
+                .steps()
+                .iter()
+                .filter(|st| matches!(st.action, SvcAction::Respond(..)))
+                .map(|st| st.action.clone())
+                .collect()
+        })
+        .collect();
+    assert_eq!(transcripts[0], transcripts[1]);
+    assert_eq!(transcripts[1], transcripts[2]);
+    assert!(!transcripts[0].is_empty());
+}
+
+#[test]
+fn trace_equivalence_of_atomic_and_embedded_views() {
+    // Exhaustive two-way finite-trace inclusion between the atomic
+    // object and its failure-oblivious embedding.
+    let [a, o, _] = three_views(1);
+    let a = ServiceAutomaton::new(a);
+    let o = ServiceAutomaton::new(o);
+    let inputs = vec![
+        SvcAction::Invoke(ProcId(0), BinaryConsensus::init(0)),
+        SvcAction::Invoke(ProcId(0), BinaryConsensus::init(1)),
+        SvcAction::Invoke(ProcId(1), BinaryConsensus::init(0)),
+        SvcAction::Invoke(ProcId(1), BinaryConsensus::init(1)),
+        SvcAction::Fail(ProcId(0)),
+    ];
+    let fwd = check_trace_inclusion(&a, &o, |x| Some(x.clone()), &inputs, 3, 2_000_000);
+    assert_eq!(fwd, Inclusion::Holds, "atomic ⊆ oblivious");
+    let bwd = check_trace_inclusion(&o, &a, |x| Some(x.clone()), &inputs, 3, 2_000_000);
+    assert_eq!(bwd, Inclusion::Holds, "oblivious ⊆ atomic");
+}
+
+#[test]
+fn dummy_semantics_differ_only_where_the_paper_says() {
+    // Atomic objects have no compute dummies; the embedded views have
+    // no global tasks either, so the only dummy structure everywhere is
+    // perform/output — and it coincides.
+    let [a, o, g] = three_views(0);
+    let sa = a.initial_states().remove(0);
+    let so = o.initial_states().remove(0);
+    let sg = g.initial_states().remove(0);
+    let sa = a.apply_fail(ProcId(0), &sa);
+    let so = o.apply_fail(ProcId(0), &so);
+    let sg = g.apply_fail(ProcId(0), &sg);
+    for i in [ProcId(0), ProcId(1)] {
+        assert_eq!(
+            a.dummy_perform_enabled(i, &sa),
+            o.dummy_perform_enabled(i, &so)
+        );
+        assert_eq!(
+            o.dummy_perform_enabled(i, &so),
+            g.dummy_perform_enabled(i, &sg)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Integration test — the double-collect snapshot implementation is
+//! atomic: its external traces are exhaustively included in the
+//! canonical atomic snapshot object's traces.
+
+use ioa::refine::{check_trace_inclusion, Inclusion};
+use protocols::snapshot::{build, spec_invocation, specification, SnapshotProcess};
+use services::automaton::{ServiceAutomaton, SvcAction};
+use spec::seq_type::Resp;
+use spec::{ProcId, Val};
+use std::sync::Arc;
+use system::Action;
+
+fn external(a: &Action) -> Option<SvcAction> {
+    match a {
+        Action::Init(i, v) => spec_invocation(*i, v).map(|inv| SvcAction::Invoke(*i, inv)),
+        Action::Decide(i, v) => Some(SvcAction::Respond(
+            *i,
+            if *v == Val::Sym("ack") {
+                Resp::sym("ack")
+            } else {
+                Resp(v.clone())
+            },
+        )),
+        Action::Fail(i) => Some(SvcAction::Fail(*i)),
+        _ => None,
+    }
+}
+
+#[test]
+fn writer_plus_scanner_is_atomic() {
+    let imp = build(2, 2);
+    let spec_obj = ServiceAutomaton::new(Arc::new(specification(2, 2)));
+    let inputs = vec![
+        Action::Init(ProcId(0), SnapshotProcess::update_request(Val::Int(1))),
+        Action::Init(ProcId(1), SnapshotProcess::scan_request()),
+    ];
+    let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, 2, 5_000_000);
+    assert_eq!(verdict, Inclusion::Holds);
+}
+
+#[test]
+fn two_scanners_agree_with_the_canonical_object() {
+    let imp = build(2, 2);
+    let spec_obj = ServiceAutomaton::new(Arc::new(specification(2, 2)));
+    let inputs = vec![
+        Action::Init(ProcId(0), SnapshotProcess::scan_request()),
+        Action::Init(ProcId(1), SnapshotProcess::scan_request()),
+    ];
+    let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, 2, 5_000_000);
+    assert_eq!(verdict, Inclusion::Holds);
+}
+
+#[test]
+fn writer_scanner_with_failures_is_atomic() {
+    let imp = build(2, 2);
+    let spec_obj = ServiceAutomaton::new(Arc::new(specification(2, 2)));
+    let inputs = vec![
+        Action::Init(ProcId(0), SnapshotProcess::update_request(Val::Int(0))),
+        Action::Init(ProcId(1), SnapshotProcess::scan_request()),
+        Action::Fail(ProcId(0)),
+    ];
+    let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, 3, 5_000_000);
+    assert_eq!(verdict, Inclusion::Holds);
+}

@@ -1,0 +1,125 @@
+//! Integration test — Theorem 10 (paper Section 6): the impossibility
+//! extends to general (failure-aware) services *when every general
+//! service is connected to all processes* — and Section 6.3 shows the
+//! connectivity assumption is necessary.
+
+use analysis::similarity::Refutation;
+use analysis::witness::{find_witness, Bounds, ImpossibilityWitness};
+use protocols::doomed::doomed_general;
+use protocols::fd_boost;
+use spec::ProcId;
+use system::consensus::InputAssignment;
+use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
+
+#[test]
+fn theorem10_all_connected_fd_n2_f0() {
+    // One 0-resilient perfect failure detector connected to BOTH
+    // processes + wait-free registers: one failure can silence the
+    // detector, and the witness pipeline proves the system cannot be
+    // 1-resilient.
+    //
+    // The rotating-coordinator candidate is coordinator-deterministic
+    // failure-free (every failure-free schedule decides P0's input), so
+    // *no bivalent initialization exists* and the pipeline refutes it
+    // through Lemma 4's adjacent-pair argument instead of a hook: the
+    // 0-valent/1-valent neighbours differ only in P0's input, and
+    // failing P0 (f + 1 = 1 failure) silences the all-connected
+    // detector — the survivor starves.
+    let sys = doomed_general(2, 0);
+    let w = find_witness(&sys, 0, Bounds::default()).unwrap();
+    match &w {
+        ImpossibilityWitness::AdjacentRefutation {
+            differing,
+            refutation,
+            ..
+        } => {
+            assert_eq!(*differing, ProcId(0));
+            match refutation {
+                Refutation::TerminationViolation { failed, .. } => {
+                    assert_eq!(failed.len(), 1);
+                    assert!(failed.contains(&ProcId(0)));
+                }
+                other => panic!("expected a termination violation, got {other:?}"),
+            }
+        }
+        other => panic!("expected an adjacent-pair refutation, got: {}", other.headline()),
+    }
+}
+
+#[test]
+fn theorem10_n3_f1() {
+    // Three processes, a 1-resilient all-connected detector: two
+    // failures silence it. Again the adjacent-pair argument fires
+    // (failure-free runs always decide P0's input).
+    let sys = doomed_general(3, 1);
+    let w = find_witness(&sys, 1, Bounds::default()).unwrap();
+    match &w {
+        ImpossibilityWitness::AdjacentRefutation { refutation, .. } => match refutation {
+            Refutation::TerminationViolation { failed, .. } => {
+                assert_eq!(failed.len(), 2, "f + 1 = 2 processes fail");
+            }
+            other => panic!("expected a termination violation, got {other:?}"),
+        },
+        other => panic!("expected an adjacent-pair refutation, got: {}", other.headline()),
+    }
+}
+
+#[test]
+fn section_6_3_pairwise_fds_escape_the_theorem() {
+    // The EXACT same protocol wired to pairwise 1-resilient detectors
+    // (arbitrary connection pattern) survives the same adversary: the
+    // connectivity assumption of Theorem 10 is necessary.
+    let sys = fd_boost::build(2);
+    let a = InputAssignment::monotone(2, 1);
+    let s = initialize(&sys, &a);
+    let run = run_fair(
+        &sys,
+        s,
+        BranchPolicy::PreferDummy,
+        &[(0, ProcId(0))],
+        200_000,
+        |st| sys.decision(st, ProcId(1)).is_some(),
+    );
+    assert_eq!(
+        run.outcome,
+        FairOutcome::Stopped,
+        "the pairwise-FD system must decide despite the failure"
+    );
+}
+
+#[test]
+fn the_silencing_mechanism_is_the_connection_pattern() {
+    // Directly compare the two topologies under the same failure: the
+    // all-connected detector's dummies enable, the pairwise detector's
+    // do not (for the survivor's pair only the failed peer is gone,
+    // |failed ∩ J| = 1 ≤ f = 1).
+    use services::ServiceClass;
+
+    let doomed = doomed_general(2, 0);
+    let boosted = fd_boost::build(2);
+
+    let ds = doomed.fail(&doomed.single_initial_state(), ProcId(0));
+    let bs = boosted.fail(&boosted.single_initial_state(), ProcId(0));
+
+    // Doomed: the (single) general service may go silent.
+    let (idx, fd) = doomed
+        .services()
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.class() == ServiceClass::General)
+        .expect("the doomed system has a general service");
+    assert!(fd.dummy_compute_enabled(&ds.services[idx]));
+
+    // Boosted: no pairwise detector may go silent.
+    for (idx, fd) in boosted
+        .services()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.class() == ServiceClass::General)
+    {
+        assert!(
+            !fd.dummy_compute_enabled(&bs.services[idx]),
+            "pairwise FD S{idx} must stay live with one failure"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration test — Theorem 9 (paper Section 5): the impossibility
+//! of boosting extends to failure-oblivious services, exemplified by
+//! totally ordered broadcast (Figs. 4–7).
+
+use analysis::similarity::Refutation;
+use analysis::witness::{find_witness, Bounds, ImpossibilityWitness};
+use protocols::doomed::doomed_oblivious;
+
+#[test]
+fn theorem9_n2_f0_tob() {
+    let sys = doomed_oblivious(2, 0);
+    let w = find_witness(&sys, 0, Bounds::default()).unwrap();
+    match &w {
+        ImpossibilityWitness::HookRefutation { refutation, .. } => match refutation {
+            Refutation::TerminationViolation { failed, .. } => {
+                assert_eq!(failed.len(), 1);
+            }
+            other => panic!("expected a termination violation, got {other:?}"),
+        },
+        other => panic!("expected a hook refutation, got: {}", other.headline()),
+    }
+}
+
+#[test]
+fn theorem9_n3_f1_tob() {
+    let sys = doomed_oblivious(3, 1);
+    let w = find_witness(&sys, 1, Bounds::default()).unwrap();
+    match &w {
+        ImpossibilityWitness::HookRefutation { refutation, .. } => match refutation {
+            Refutation::TerminationViolation { failed, .. } => {
+                assert_eq!(failed.len(), 2);
+            }
+            other => panic!("expected a termination violation, got {other:?}"),
+        },
+        other => panic!("expected a hook refutation, got: {}", other.headline()),
+    }
+}
+
+#[test]
+fn tob_hook_can_pivot_on_the_service() {
+    // For the TOB-based candidate the pivotal component is the service
+    // itself (its compute task orders the messages): the hook's task e
+    // or e' involves S0. This checks the Lemma 8 analysis engages the
+    // failure-oblivious cases, not just the atomic-object ones.
+    use analysis::hook::{find_hook, HookOutcome};
+    use analysis::init::{find_bivalent_init, InitOutcome};
+    use spec::SvcId;
+    use system::Task;
+
+    let sys = doomed_oblivious(2, 0);
+    let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 2_000_000).unwrap() else {
+        panic!("bivalent init expected")
+    };
+    let HookOutcome::Hook(hook) = find_hook(&sys, &map, 20_000) else {
+        panic!("hook expected")
+    };
+    let touches_service = |t: &Task| {
+        matches!(
+            t,
+            Task::Perform(SvcId(0), _) | Task::Output(SvcId(0), _) | Task::Compute(SvcId(0), _)
+        )
+    };
+    assert!(
+        touches_service(&hook.e) || touches_service(&hook.e_prime),
+        "the TOB hook should pivot on the broadcast service, got e={:?}, e'={:?}",
+        hook.e,
+        hook.e_prime
+    );
+}

@@ -1,0 +1,68 @@
+//! Integration test — the universality of consensus (Herlihy [11], the
+//! paper's Section 1 justification for using consensus as the
+//! resilience benchmark): the one-shot universal construction over
+//! wait-free consensus services implements the canonical wait-free
+//! atomic object of an arbitrary deterministic type, verified by
+//! exhaustive finite-trace inclusion.
+
+use ioa::refine::{check_trace_inclusion, Inclusion};
+use protocols::universal::{build, specification, UniversalProcess};
+use services::automaton::{ServiceAutomaton, SvcAction};
+use spec::seq::{FetchAndAdd, TestAndSet};
+use spec::seq_type::{Inv, Resp};
+use spec::ProcId;
+use std::sync::Arc;
+use system::Action;
+
+/// Maps the universal system's external actions onto canonical-object
+/// actions of the implemented type.
+fn external(a: &Action) -> Option<SvcAction> {
+    match a {
+        Action::Init(i, v) => Some(SvcAction::Invoke(*i, Inv(v.clone()))),
+        Action::Decide(i, v) => Some(SvcAction::Respond(*i, Resp(v.clone()))),
+        Action::Fail(i) => Some(SvcAction::Fail(*i)),
+        _ => None,
+    }
+}
+
+#[test]
+fn universal_test_and_set_implements_the_canonical_object() {
+    let typ = Arc::new(TestAndSet);
+    let imp = build(typ.clone(), 2);
+    let spec_obj = ServiceAutomaton::new(Arc::new(specification(typ, 2)));
+    let inputs = vec![
+        Action::Init(ProcId(0), UniversalProcess::request(&TestAndSet::test_and_set())),
+        Action::Init(ProcId(1), UniversalProcess::request(&TestAndSet::test_and_set())),
+        Action::Fail(ProcId(0)),
+        Action::Fail(ProcId(1)),
+    ];
+    let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, 3, 5_000_000);
+    assert_eq!(verdict, Inclusion::Holds);
+}
+
+#[test]
+fn universal_counter_implements_the_canonical_object() {
+    let typ = Arc::new(FetchAndAdd::modulo(8));
+    let imp = build(typ.clone(), 2);
+    let spec_obj = ServiceAutomaton::new(Arc::new(specification(typ, 2)));
+    let inputs = [
+        Action::Init(ProcId(0), UniversalProcess::request(&FetchAndAdd::fetch_add(1))),
+        Action::Init(ProcId(1), UniversalProcess::request(&FetchAndAdd::fetch_add(1))),
+        Action::Init(ProcId(1), UniversalProcess::request(&FetchAndAdd::read())),
+    ];
+    let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, 2, 5_000_000);
+    assert_eq!(verdict, Inclusion::Holds);
+}
+
+#[test]
+fn universal_object_is_wait_free_by_construction() {
+    // Every service in the universal system is wait-free, so the
+    // composition tolerates n − 1 failures — resilience the base type
+    // could never be "boosted" to if the services were weaker
+    // (Theorem 2 again, from the other side).
+    let sys = build(Arc::new(TestAndSet), 4);
+    for svc in sys.services() {
+        assert!(svc.is_wait_free());
+        assert_eq!(svc.endpoints().len(), 4);
+    }
+}
