@@ -7,12 +7,17 @@
 //! one around a hook) as Graphviz DOT, with nodes coloured by valence.
 //! Neither is needed by the proofs; both exist to make the proof
 //! objects inspectable.
+//!
+//! Both ride on the [`ValenceMap`]'s interned graph: the census is a
+//! single scan of the id-indexed valence table (every interned state is
+//! reachable from the root by construction), and the DOT renderer walks
+//! dense [`StateId`]s instead of cloning `SystemState` keys.
 
 use crate::hook::Hook;
 use crate::valence::{Valence, ValenceMap};
-use std::collections::{HashSet, VecDeque};
+use ioa::store::StateId;
+use std::collections::VecDeque;
 use std::fmt::Write as _;
-use system::build::SystemState;
 use system::process::ProcessAutomaton;
 
 /// Counts of states per valence class.
@@ -58,24 +63,16 @@ impl std::fmt::Display for Census {
     }
 }
 
-/// Classifies every state of the valence map.
+/// Classifies every state of the valence map — one linear scan of the
+/// id-indexed valence table, no hashing or graph walk.
 pub fn census<P: ProcessAutomaton>(map: &ValenceMap<P>) -> Census {
     let mut c = Census::default();
-    // Walk the reachable space from the root.
-    let mut seen: HashSet<&SystemState<P::State>> = HashSet::new();
-    let mut stack = vec![map.root()];
-    seen.insert(map.root());
-    while let Some(s) = stack.pop() {
-        match map.valence(s) {
+    for v in map.valences() {
+        match v {
             Valence::Zero => c.zero += 1,
             Valence::One => c.one += 1,
             Valence::Bivalent => c.bivalent += 1,
             Valence::Undecided => c.undecided += 1,
-        }
-        for (_, s2) in map.successors(s) {
-            if seen.insert(s2) {
-                stack.push(s2);
-            }
         }
     }
     c
@@ -95,40 +92,51 @@ fn color(v: Valence) -> &'static str {
 /// (optionally) highlighting a hook's states and edges.
 pub fn to_dot<P: ProcessAutomaton>(
     map: &ValenceMap<P>,
-    center: &SystemState<P::State>,
+    center: &system::build::SystemState<P::State>,
     radius: usize,
     hook: Option<&Hook<P>>,
 ) -> String {
-    let mut ids: Vec<&SystemState<P::State>> = Vec::new();
-    let mut index = std::collections::HashMap::new();
-    let mut frontier: VecDeque<(&SystemState<P::State>, usize)> = VecDeque::new();
-    if map.contains(center) {
-        index.insert(center, 0usize);
-        ids.push(center);
-        frontier.push_back((center, 0));
+    // BFS out to `radius`, assigning compact node indices; `index` is a
+    // dense per-id table, not a state-keyed map.
+    let mut ids: Vec<StateId> = Vec::new();
+    let mut index: Vec<Option<usize>> = vec![None; map.state_count()];
+    let mut frontier: VecDeque<(StateId, usize)> = VecDeque::new();
+    if let Some(c) = map.id_of(center) {
+        index[c.index()] = Some(0);
+        ids.push(c);
+        frontier.push_back((c, 0));
     }
     while let Some((s, d)) = frontier.pop_front() {
         if d >= radius {
             continue;
         }
-        for (_, s2) in map.successors(s) {
-            if !index.contains_key(s2) {
-                index.insert(s2, ids.len());
-                ids.push(s2);
-                frontier.push_back((s2, d + 1));
+        for (_, _, s2) in map.successors(s) {
+            if index[s2.index()].is_none() {
+                index[s2.index()] = Some(ids.len());
+                ids.push(*s2);
+                frontier.push_back((*s2, d + 1));
             }
         }
     }
 
-    let highlighted: Vec<&SystemState<P::State>> = hook
-        .map(|h| vec![&h.alpha, &h.s0, &h.s_prime, &h.s1])
+    let hook_ids: Vec<Option<StateId>> = hook
+        .map(|h| {
+            vec![
+                map.id_of(&h.alpha),
+                map.id_of(&h.s0),
+                map.id_of(&h.s_prime),
+                map.id_of(&h.s1),
+            ]
+        })
         .unwrap_or_default();
+    let alpha_id = hook.and_then(|h| map.id_of(&h.alpha));
+    let s_prime_id = hook.and_then(|h| map.id_of(&h.s_prime));
 
     let mut out = String::new();
     out.push_str("digraph GC {\n  rankdir=LR;\n  node [style=filled, shape=circle, label=\"\"];\n");
-    for (s, idx) in ids.iter().zip(0..) {
-        let v = map.valence(s);
-        let extra = if highlighted.iter().any(|h| h == s) {
+    for (idx, s) in ids.iter().enumerate() {
+        let v = map.valence_id(*s);
+        let extra = if hook_ids.contains(&Some(*s)) {
             ", penwidth=3, color=red"
         } else {
             ""
@@ -141,13 +149,13 @@ pub fn to_dot<P: ProcessAutomaton>(
         );
     }
     for s in &ids {
-        let from = index[*s];
-        for (t, s2) in map.successors(s) {
-            if let Some(&to) = index.get(s2) {
+        let from = index[s.index()].expect("listed nodes are indexed");
+        for (t, _, s2) in map.successors(*s) {
+            if let Some(to) = index[s2.index()] {
                 let is_hook_edge = hook
                     .map(|h| {
-                        (*s == &h.alpha && (t == &h.e || t == &h.e_prime))
-                            || (*s == &h.s_prime && t == &h.e)
+                        (alpha_id == Some(*s) && (t == &h.e || t == &h.e_prime))
+                            || (s_prime_id == Some(*s) && t == &h.e)
                     })
                     .unwrap_or(false);
                 let style = if is_hook_edge {
@@ -184,8 +192,7 @@ mod tests {
     #[test]
     fn census_partitions_the_space() {
         let sys = direct(2, 0);
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
             panic!()
         };
         let c = census(&map);
@@ -199,8 +206,7 @@ mod tests {
     #[test]
     fn dot_renders_the_hook_neighbourhood() {
         let sys = direct(2, 0);
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
             panic!()
         };
         let HookOutcome::Hook(hook) = find_hook(&sys, &map, 10_000) else {
@@ -216,8 +222,7 @@ mod tests {
     #[test]
     fn dot_without_hook_is_plain() {
         let sys = direct(2, 0);
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
             panic!()
         };
         let dot = to_dot(&map, map.root(), 1, None);

@@ -9,17 +9,22 @@
 //! pins a valence flip along any path to an opposite-valued decision,
 //! and the flip edge is the hook.
 //!
+//! The search runs entirely over the [`ValenceMap`]'s interned graph:
+//! frontiers and parent maps are indexed by dense [`StateId`]s, and
+//! full `SystemState`s are only materialized at the hook's corners.
+//!
 //! For a candidate system that genuinely decides in failure-free fair
 //! executions, the construction terminates (the paper's argument); the
 //! iteration bound guards against candidates that instead sit in
 //! endless bivalence — which is reported as its own witness shape.
 
 use crate::valence::{Valence, ValenceMap};
-use std::collections::{HashMap, HashSet, VecDeque};
+use ioa::automaton::Automaton;
+use ioa::store::StateId;
+use std::collections::VecDeque;
 use system::build::{CompleteSystem, SystemState};
 use system::process::ProcessAutomaton;
 use system::Task;
-use ioa::automaton::Automaton;
 
 /// A hook (paper Fig. 2): from `alpha`, task `e` leads to a `v`-valent
 /// state while `e'` then `e` leads to a `v̄`-valent state.
@@ -69,45 +74,46 @@ pub enum HookOutcome<P: ProcessAutomaton> {
     },
 }
 
-/// Breadth-first search within the valence map from `from`, following
-/// only edges whose task differs from `banned` (when given), for the
-/// first state satisfying `pred`. Returns the task path.
-#[allow(clippy::type_complexity)]
+/// Breadth-first search within the valence map's interned graph from
+/// `from`, following only edges whose task differs from `banned` (when
+/// given), for the first state satisfying `pred`. Returns the
+/// `(task, state id)` path.
 fn bfs_in_map<P, F>(
     map: &ValenceMap<P>,
-    from: &SystemState<P::State>,
+    from: StateId,
     banned: Option<&Task>,
     pred: F,
-) -> Option<(Vec<(Task, SystemState<P::State>)>, SystemState<P::State>)>
+) -> Option<(Vec<(Task, StateId)>, StateId)>
 where
     P: ProcessAutomaton,
-    F: Fn(&SystemState<P::State>) -> bool,
+    F: Fn(StateId) -> bool,
 {
     if pred(from) {
-        return Some((Vec::new(), from.clone()));
+        return Some((Vec::new(), from));
     }
-    #[allow(clippy::type_complexity)]
-    let mut parent: HashMap<SystemState<P::State>, (SystemState<P::State>, Task)> = HashMap::new();
-    let mut seen: HashSet<SystemState<P::State>> = HashSet::from([from.clone()]);
-    let mut queue: VecDeque<SystemState<P::State>> = VecDeque::from([from.clone()]);
+    let n = map.state_count();
+    let mut seen = vec![false; n];
+    seen[from.index()] = true;
+    let mut parent: Vec<Option<(StateId, Task)>> = vec![None; n];
+    let mut queue: VecDeque<StateId> = VecDeque::from([from]);
     while let Some(s) = queue.pop_front() {
-        for (t, s2) in map.successors(&s) {
-            if banned == Some(t) || seen.contains(s2) {
+        for (t, _, s2) in map.successors(s) {
+            if banned == Some(t) || seen[s2.index()] {
                 continue;
             }
-            seen.insert(s2.clone());
-            parent.insert(s2.clone(), (s.clone(), t.clone()));
-            if pred(s2) {
+            seen[s2.index()] = true;
+            parent[s2.index()] = Some((s, t.clone()));
+            if pred(*s2) {
                 let mut path = Vec::new();
-                let mut cur = s2.clone();
-                while let Some((prev, task)) = parent.get(&cur) {
-                    path.push((task.clone(), cur.clone()));
-                    cur = prev.clone();
+                let mut cur = *s2;
+                while let Some((prev, task)) = &parent[cur.index()] {
+                    path.push((task.clone(), cur));
+                    cur = *prev;
                 }
                 path.reverse();
-                return Some((path, s2.clone()));
+                return Some((path, *s2));
             }
-            queue.push_back(s2.clone());
+            queue.push_back(*s2);
         }
     }
     None
@@ -130,12 +136,12 @@ pub fn find_hook<P: ProcessAutomaton>(
     max_iterations: usize,
 ) -> HookOutcome<P> {
     assert_eq!(
-        map.valence(map.root()),
+        map.valence_id(map.root_id()),
         Valence::Bivalent,
         "the Fig. 3 construction starts from a bivalent initialization"
     );
     let tasks = sys.tasks();
-    let mut cur = map.root().clone();
+    let mut cur: StateId = map.root_id();
     let mut cur_tasks: Vec<Task> = Vec::new();
     let mut rr = 0usize;
 
@@ -146,7 +152,7 @@ pub fn find_hook<P: ProcessAutomaton>(
             let mut chosen = None;
             for off in 0..tasks.len() {
                 let t = &tasks[(rr + off) % tasks.len()];
-                if sys.applicable(t, &cur) {
+                if sys.applicable(t, map.resolve(cur)) {
                     rr = (rr + off + 1) % tasks.len();
                     chosen = Some(t.clone());
                     break;
@@ -156,9 +162,10 @@ pub fn find_hook<P: ProcessAutomaton>(
         };
 
         // Seek a descendant α' (reachable without executing e) with
-        // e(α') bivalent.
-        let target = bfs_in_map(map, &cur, Some(&e), |s| {
-            match sys.succ_det(&e, s) {
+        // e(α') bivalent. e(α') is itself in the graph: it is reachable
+        // from α' by the task e (or equals α', for a self-loop).
+        let target = bfs_in_map(map, cur, Some(&e), |id| {
+            match sys.succ_det(&e, map.resolve(id)) {
                 Some((_, t)) => map.valence(&t) == Valence::Bivalent,
                 None => false,
             }
@@ -169,10 +176,12 @@ pub fn find_hook<P: ProcessAutomaton>(
                 // Extend: α := e(α').
                 cur_tasks.extend(path.into_iter().map(|(t, _)| t));
                 let (_, after_e) = sys
-                    .succ_det(&e, &found)
+                    .succ_det(&e, map.resolve(found))
                     .expect("e was applicable at the found state");
                 cur_tasks.push(e);
-                cur = after_e;
+                cur = map
+                    .id_of(&after_e)
+                    .expect("e(α') is reachable, hence interned");
                 let _ = iteration;
             }
             None => {
@@ -184,23 +193,24 @@ pub fn find_hook<P: ProcessAutomaton>(
     }
     HookOutcome::EndlessBivalence {
         iterations: max_iterations,
-        state: cur,
+        state: map.resolve(cur).clone(),
     }
 }
 
-/// Given the terminating bivalent execution `α` (state `cur`, task
+/// Given the terminating bivalent execution `α` (state id `cur`, task
 /// sequence `cur_tasks`) and the pinned task `e`, finds the valence
 /// flip along a path to an opposite-valued decision (the two-case
 /// analysis in the Lemma 5 proof).
 fn extract_hook<P: ProcessAutomaton>(
     sys: &CompleteSystem<P>,
     map: &ValenceMap<P>,
-    cur: SystemState<P::State>,
+    cur: StateId,
     cur_tasks: Vec<Task>,
     e: Task,
 ) -> HookOutcome<P> {
+    let cur_state = map.resolve(cur).clone();
     let (_, e_cur) = sys
-        .succ_det(&e, &cur)
+        .succ_det(&e, &cur_state)
         .expect("the construction only terminates on an applicable task");
     let v = map.valence(&e_cur);
     let vbar = match v {
@@ -216,8 +226,8 @@ fn extract_hook<P: ProcessAutomaton>(
 
     // A descendant of α in which some process decides v̄ — exists
     // because α is bivalent.
-    let (path, _) = bfs_in_map(map, &cur, None, |s| {
-        sys.decided_values(s).contains(&wanted)
+    let (path, _) = bfs_in_map(map, cur, None, |id| {
+        sys.decided_values(map.resolve(id)).contains(&wanted)
     })
     .expect("bivalent states reach both decisions");
 
@@ -226,10 +236,10 @@ fn extract_hook<P: ProcessAutomaton>(
     // the task e has not yet occurred on the path, so e is applicable
     // at σ_m (Lemma 1). When the edge at index `first_e` is itself e,
     // its endpoint σ_{first_e + 1} *is* e(σ_{first_e}).
-    let mut sigma: Vec<SystemState<P::State>> = vec![cur.clone()];
+    let mut sigma: Vec<SystemState<P::State>> = vec![cur_state];
     let mut labels: Vec<Task> = Vec::new();
-    for (t, s) in &path {
-        sigma.push(s.clone());
+    for (t, id) in &path {
+        sigma.push(map.resolve(*id).clone());
         labels.push(t.clone());
     }
     let first_e = labels.iter().position(|t| *t == e).unwrap_or(labels.len());
@@ -268,9 +278,7 @@ fn extract_hook<P: ProcessAutomaton>(
         prev_state = next_state;
         prev_val = next_val;
     }
-    unreachable!(
-        "a valence flip must occur at or before the first e-edge (Lemma 5 case analysis)"
-    )
+    unreachable!("a valence flip must occur at or before the first e-edge (Lemma 5 case analysis)")
 }
 
 #[cfg(test)]
@@ -290,8 +298,7 @@ mod tests {
     }
 
     fn hook_for(sys: &CompleteSystem<DirectConsensus>) -> Hook<DirectConsensus> {
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(sys, 1_000_000).unwrap() else {
             panic!("expected a bivalent init")
         };
         match find_hook(sys, &map, 10_000) {
@@ -307,8 +314,7 @@ mod tests {
         // Hook well-formedness (Fig. 2): e ≠ e' (Claim 1 of Lemma 8)…
         assert_ne!(h.e, h.e_prime);
         // …and the valences are opposite.
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
             unreachable!()
         };
         assert_eq!(map.valence(&h.s0), h.v);
@@ -341,8 +347,7 @@ mod tests {
     fn alpha_tasks_replay_to_alpha() {
         let sys = direct(2, 0);
         let h = hook_for(&sys);
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
             unreachable!()
         };
         let mut s = map.root().clone();

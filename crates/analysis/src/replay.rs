@@ -54,9 +54,9 @@ pub fn strip<P: ProcessAutomaton>(
                 // Global compute steps stay (Appendix A: compute_{g,k}
                 // actions may occur in γ′).
                 Action::Compute(..) => true,
-                Action::DummyPerform(..)
-                | Action::DummyOutput(..)
-                | Action::DummyCompute(..) => false,
+                Action::DummyPerform(..) | Action::DummyOutput(..) | Action::DummyCompute(..) => {
+                    false
+                }
             }
         })
         .filter_map(|step| step.task.clone())
@@ -252,9 +252,14 @@ mod tests {
         let sys = direct(2, 1);
         let a = InputAssignment::monotone(2, 2);
         let s = initialize(&sys, &a);
-        let run = run_fair(&sys, s.clone(), BranchPolicy::Canonical, &[], 50_000, |st| {
-            (0..2).all(|i| sys.decision(st, ProcId(i)).is_some())
-        });
+        let run = run_fair(
+            &sys,
+            s.clone(),
+            BranchPolicy::Canonical,
+            &[],
+            50_000,
+            |st| (0..2).all(|i| sys.decision(st, ProcId(i)).is_some()),
+        );
         let rho: Vec<Task> = run.exec.task_sequence();
         let replayed = replay(&sys, s, &rho);
         assert_eq!(replayed.last_state(), run.exec.last_state());

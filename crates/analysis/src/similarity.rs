@@ -22,13 +22,13 @@
 
 use crate::hook::Hook;
 use crate::valence::Valence;
+use ioa::automaton::Automaton;
 use spec::{ProcId, SvcId, Val};
 use std::collections::BTreeSet;
 use system::build::{CompleteSystem, SystemState};
 use system::consensus::InputAssignment;
 use system::process::ProcessAutomaton;
 use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome, FairRun};
-use ioa::automaton::Automaton;
 
 /// Why two states count as similar.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -141,7 +141,10 @@ pub fn analyze_hook<P: ProcessAutomaton>(
     hook: &Hook<P>,
 ) -> HookSimilarity {
     assert_ne!(hook.e, hook.e_prime, "Claim 1: e ≠ e' in a genuine hook");
-    if let Some(kind) = find_similarities(sys, &hook.s0, &hook.s1).into_iter().next() {
+    if let Some(kind) = find_similarities(sys, &hook.s0, &hook.s1)
+        .into_iter()
+        .next()
+    {
         return HookSimilarity::Direct(kind);
     }
     if let Some((_, after)) = sys.succ_det(&hook.e_prime, &hook.s0) {
@@ -414,8 +417,7 @@ mod tests {
         let mut s1 = s0.clone();
         // Put an invocation from P1 into the object's buffer: only P1's
         // buffer differs → 1-similar but not 0-similar.
-        s1.services[0] = s1.services[0]
-            .with_invocation(ProcId(1), BinaryConsensus::init(0));
+        s1.services[0] = s1.services[0].with_invocation(ProcId(1), BinaryConsensus::init(0));
         assert!(j_similar(&sys, &s0, &s1, ProcId(1)));
         assert!(!j_similar(&sys, &s0, &s1, ProcId(0)));
     }
@@ -424,8 +426,7 @@ mod tests {
     fn hook_states_of_the_direct_system_are_similar_with_opposite_valences() {
         // The heart of the impossibility argument, on a live hook.
         let sys = direct(2, 0);
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
             panic!("bivalent init expected")
         };
         let HookOutcome::Hook(hook) = find_hook(&sys, &map, 10_000) else {
@@ -448,7 +449,9 @@ mod tests {
         // Service kind with |J_k| = 3 > f+1 = 2: J ⊆ J_k.
         let j = lemma_failure_set(&sys, SimilarityKind::Service(SvcId(0)), 1);
         assert_eq!(j.len(), 2);
-        assert!(j.iter().all(|i| sys.service(SvcId(0)).endpoints().contains(i)));
+        assert!(j
+            .iter()
+            .all(|i| sys.service(SvcId(0)).endpoints().contains(i)));
     }
 
     #[test]
@@ -456,8 +459,7 @@ mod tests {
         // Failing f+1 = 1 process around the hook silences the
         // 0-resilient object: the survivor never decides.
         let sys = direct(2, 0);
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap()
-        else {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
             panic!()
         };
         let HookOutcome::Hook(hook) = find_hook(&sys, &map, 10_000) else {

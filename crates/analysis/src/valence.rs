@@ -8,13 +8,22 @@
 //! equivalent to "some state reachable by task steps records `v`" —
 //! so valence is computed by one sweep over the reachable portion of
 //! the graph `G(C)` (Section 3.3) followed by a backward fixpoint.
+//!
+//! The reachable graph is interned once per root as an
+//! [`ExploredGraph`] over dense [`StateId`]s, and the decided-set and
+//! valence tables are flat `Vec`s indexed by id. Every downstream pass
+//! — the Lemma 4 initialization scan, the Lemma 5 hook construction,
+//! the `G(C)` census, the witness safety scan — shares this one graph
+//! instead of re-hashing and re-cloning full `SystemState`s.
 
 use ioa::automaton::Automaton;
+use ioa::explore::{ExploreOptions, ExploredGraph};
+use ioa::store::StateId;
 use spec::Val;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use system::build::{CompleteSystem, SystemState};
 use system::process::ProcessAutomaton;
-use system::Task;
+use system::{Action, Task};
 
 /// The valence of a finite failure-free input-first execution
 /// (equivalently, of its final state — the extension set depends only
@@ -83,17 +92,21 @@ impl std::fmt::Display for Truncated {
 
 impl std::error::Error for Truncated {}
 
-/// The materialized failure-free reachable graph from a root state,
-/// with each state's set of reachable decision values — the executable
-/// form of `G(C)` (Section 3.3) restricted to what valence needs.
+/// The interned failure-free reachable graph from a root state, with
+/// each state's set of reachable decision values — the executable form
+/// of `G(C)` (Section 3.3) restricted to what valence needs.
+///
+/// Self-loop transitions are skipped at exploration time: a stuttering
+/// step never changes the decisions reachable from a configuration.
 #[derive(Debug)]
 pub struct ValenceMap<P: ProcessAutomaton> {
-    root: SystemState<P::State>,
-    /// `succ[s]` = the `(task, s')` successors of `s`.
-    #[allow(clippy::type_complexity)]
-    succ: HashMap<SystemState<P::State>, Vec<(Task, SystemState<P::State>)>>,
-    /// `decided[s]` = the decision values reachable from `s`.
-    decided: HashMap<SystemState<P::State>, BTreeSet<Val>>,
+    graph: ExploredGraph<CompleteSystem<P>>,
+    root: StateId,
+    /// `decided[id]` = the decision values reachable from `id`.
+    decided: Vec<BTreeSet<Val>>,
+    /// `valence[id]`, precomputed from `decided` — the census becomes a
+    /// flat array scan.
+    valence: Vec<Valence>,
 }
 
 impl<P: ProcessAutomaton> ValenceMap<P> {
@@ -110,83 +123,98 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         root: SystemState<P::State>,
         max_states: usize,
     ) -> Result<Self, Truncated> {
-        let tasks = sys.tasks();
-        #[allow(clippy::type_complexity)]
-        let mut succ: HashMap<SystemState<P::State>, Vec<(Task, SystemState<P::State>)>> =
-            HashMap::new();
-        let mut queue: VecDeque<SystemState<P::State>> = VecDeque::from([root.clone()]);
-        let mut seen: HashSet<SystemState<P::State>> = HashSet::from([root.clone()]);
-        while let Some(s) = queue.pop_front() {
-            let mut out = Vec::new();
-            for t in &tasks {
-                for (_, s2) in sys.succ_all(t, &s) {
-                    if s2 != s {
-                        if !seen.contains(&s2) {
-                            if seen.len() >= max_states {
-                                return Err(Truncated {
-                                    states_explored: seen.len(),
-                                });
-                            }
-                            seen.insert(s2.clone());
-                            queue.push_back(s2.clone());
-                        }
-                        out.push((t.clone(), s2));
-                    }
-                }
-            }
-            succ.insert(s, out);
+        let graph = ExploredGraph::explore_with(
+            sys,
+            vec![root],
+            ExploreOptions {
+                max_states,
+                skip_self_loops: true,
+            },
+        );
+        if graph.stats().truncated() {
+            return Err(Truncated {
+                states_explored: graph.len(),
+            });
         }
+        let root = graph.roots()[0];
+        let n = graph.len();
 
         // Backward fixpoint: decided(s) = own decisions ∪ ⋃ decided(s').
-        let mut preds: HashMap<&SystemState<P::State>, Vec<&SystemState<P::State>>> =
-            HashMap::new();
-        for (s, outs) in &succ {
-            for (_, s2) in outs {
-                preds.entry(s2).or_default().push(s);
+        let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for id in graph.ids() {
+            for (_, _, s2) in graph.successors(id) {
+                preds[s2.index()].push(id);
             }
         }
-        let mut decided: HashMap<SystemState<P::State>, BTreeSet<Val>> = succ
-            .keys()
-            .map(|s| (s.clone(), sys.decided_values(s)))
+        let mut decided: Vec<BTreeSet<Val>> = graph
+            .ids()
+            .map(|id| sys.decided_values(graph.resolve(id)))
             .collect();
-        let mut work: VecDeque<&SystemState<P::State>> = succ.keys().collect();
+        let mut work: VecDeque<StateId> = graph.ids().collect();
         while let Some(s) = work.pop_front() {
-            let vals = decided[s].clone();
+            let vals = decided[s.index()].clone();
             if vals.is_empty() {
                 continue;
             }
-            if let Some(ps) = preds.get(s) {
-                for p in ps.clone() {
-                    let entry = decided.get_mut(p).expect("all states present");
-                    let before = entry.len();
-                    entry.extend(vals.iter().cloned());
-                    if entry.len() > before {
-                        work.push_back(p);
-                    }
+            for p in &preds[s.index()] {
+                let entry = &mut decided[p.index()];
+                let before = entry.len();
+                entry.extend(vals.iter().cloned());
+                if entry.len() > before {
+                    work.push_back(*p);
                 }
             }
         }
 
+        let valence = decided.iter().map(classify).collect();
         Ok(ValenceMap {
+            graph,
             root,
-            succ,
             decided,
+            valence,
         })
+    }
+
+    /// The shared interned graph — `G(C)` over dense ids.
+    pub fn graph(&self) -> &ExploredGraph<CompleteSystem<P>> {
+        &self.graph
     }
 
     /// The root state the map was built from.
     pub fn root(&self) -> &SystemState<P::State> {
-        &self.root
+        self.graph.resolve(self.root)
+    }
+
+    /// The root's id.
+    pub fn root_id(&self) -> StateId {
+        self.root
     }
 
     /// The number of reachable states.
     pub fn state_count(&self) -> usize {
-        self.succ.len()
+        self.graph.len()
     }
 
     /// Whether `s` is in the explored space.
     pub fn contains(&self, s: &SystemState<P::State>) -> bool {
-        self.succ.contains_key(s)
+        self.graph.contains(s)
+    }
+
+    /// The id of `s` within the explored space, if present.
+    pub fn id_of(&self, s: &SystemState<P::State>) -> Option<StateId> {
+        self.graph.id_of(s)
+    }
+
+    /// Resolve an id back to its state.
+    #[inline]
+    pub fn resolve(&self, id: StateId) -> &SystemState<P::State> {
+        self.graph.resolve(id)
+    }
+
+    fn require_id(&self, s: &SystemState<P::State>) -> StateId {
+        self.graph
+            .id_of(s)
+            .unwrap_or_else(|| panic!("state not in the explored space"))
     }
 
     /// The decision values reachable failure-free from `s`.
@@ -196,9 +224,13 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     /// Panics if `s` is not in the explored space (check with
     /// [`ValenceMap::contains`]).
     pub fn reachable_decisions(&self, s: &SystemState<P::State>) -> &BTreeSet<Val> {
-        self.decided
-            .get(s)
-            .unwrap_or_else(|| panic!("state not in the explored space"))
+        self.reachable_decisions_id(self.require_id(s))
+    }
+
+    /// The decision values reachable failure-free from `id`.
+    #[inline]
+    pub fn reachable_decisions_id(&self, id: StateId) -> &BTreeSet<Val> {
+        &self.decided[id.index()]
     }
 
     /// The valence of `s` (Section 3.2).
@@ -207,27 +239,25 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     ///
     /// Panics if `s` is not in the explored space.
     pub fn valence(&self, s: &SystemState<P::State>) -> Valence {
-        let d = self.reachable_decisions(s);
-        let zero = d.contains(&Val::Int(0));
-        let one = d.contains(&Val::Int(1));
-        match (zero, one) {
-            (true, true) => Valence::Bivalent,
-            (true, false) => Valence::Zero,
-            (false, true) => Valence::One,
-            (false, false) => Valence::Undecided,
-        }
+        self.valence_id(self.require_id(s))
     }
 
-    /// The `(task, successor)` edges out of `s` in `G(C)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s` is not in the explored space.
-    pub fn successors(&self, s: &SystemState<P::State>) -> &[(Task, SystemState<P::State>)] {
-        self.succ
-            .get(s)
-            .map(Vec::as_slice)
-            .unwrap_or_else(|| panic!("state not in the explored space"))
+    /// The valence of `id` (Section 3.2) — O(1) array access.
+    #[inline]
+    pub fn valence_id(&self, id: StateId) -> Valence {
+        self.valence[id.index()]
+    }
+
+    /// Every state's valence, indexed by id — the census's input.
+    pub fn valences(&self) -> &[Valence] {
+        &self.valence
+    }
+
+    /// The `(task, action, successor)` edges out of `id` in `G(C)`
+    /// (self-loops excluded).
+    #[inline]
+    pub fn successors(&self, id: StateId) -> &[(Task, Action, StateId)] {
+        self.graph.successors(id)
     }
 
     /// The deterministic successor of `s` under task `t` within the
@@ -240,6 +270,18 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         s: &SystemState<P::State>,
     ) -> Option<SystemState<P::State>> {
         sys.succ_det(t, s).map(|(_, s2)| s2)
+    }
+}
+
+/// Classifies a reachable-decisions set (binary consensus values).
+pub fn classify(d: &BTreeSet<Val>) -> Valence {
+    let zero = d.contains(&Val::Int(0));
+    let one = d.contains(&Val::Int(1));
+    match (zero, one) {
+        (true, true) => Valence::Bivalent,
+        (true, false) => Valence::Zero,
+        (false, true) => Valence::One,
+        (false, false) => Valence::Undecided,
     }
 }
 
@@ -310,12 +352,27 @@ mod tests {
         let sys = direct(2, 1);
         let s = initialize(&sys, &InputAssignment::monotone(2, 2));
         let map = ValenceMap::build(&sys, s.clone(), 100_000).unwrap();
-        for st in map.succ.keys() {
-            let own = sys.decided_values(st);
+        for id in map.graph().ids() {
+            let own = sys.decided_values(map.resolve(id));
             if !own.is_empty() {
-                assert!(map.reachable_decisions(st).is_superset(&own));
+                assert!(map.reachable_decisions_id(id).is_superset(&own));
             }
         }
+    }
+
+    #[test]
+    fn id_and_state_lookups_agree() {
+        let sys = direct(2, 0);
+        let s = initialize(&sys, &InputAssignment::monotone(2, 1));
+        let map = ValenceMap::build(&sys, s.clone(), 100_000).unwrap();
+        assert_eq!(map.root(), &s);
+        assert_eq!(map.id_of(&s), Some(map.root_id()));
+        for id in map.graph().ids() {
+            let st = map.resolve(id).clone();
+            assert_eq!(map.valence(&st), map.valence_id(id));
+            assert_eq!(map.reachable_decisions(&st), map.reachable_decisions_id(id));
+        }
+        assert_eq!(map.valences().len(), map.state_count());
     }
 
     #[test]

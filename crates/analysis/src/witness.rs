@@ -115,9 +115,9 @@ impl<P: ProcessAutomaton> ImpossibilityWitness<P> {
             ImpossibilityWitness::Safety { violation, .. } => {
                 format!("failure-free safety violation: {violation}")
             }
-            ImpossibilityWitness::FailureFreeNonTermination { assignment } => format!(
-                "failure-free termination violation from initialization {assignment}"
-            ),
+            ImpossibilityWitness::FailureFreeNonTermination { assignment } => {
+                format!("failure-free termination violation from initialization {assignment}")
+            }
             ImpossibilityWitness::HookRefutation {
                 hook, refutation, ..
             } => format!(
@@ -190,28 +190,18 @@ impl From<Truncated> for WitnessError {
 }
 
 /// Scans every state of `map` for an agreement/validity violation.
+///
+/// The map's interned graph *is* the reachable space (every id was
+/// discovered from the root), so the scan is a linear walk over ids —
+/// no re-traversal, no state-keyed seen-set.
 fn safety_scan<P: ProcessAutomaton>(
     sys: &CompleteSystem<P>,
     assignment: &InputAssignment,
     map: &ValenceMap<P>,
-    root: &SystemState<P::State>,
 ) -> Option<SafetyViolation> {
-    // The map's key set is the reachable space; check_safety is a state
-    // predicate.
-    let mut stack = vec![root.clone()];
-    let mut seen = std::collections::HashSet::new();
-    seen.insert(root.clone());
-    while let Some(s) = stack.pop() {
-        if let Some(v) = check_safety(sys, &s, assignment) {
-            return Some(v);
-        }
-        for (_, s2) in map.successors(&s) {
-            if seen.insert(s2.clone()) {
-                stack.push(s2.clone());
-            }
-        }
-    }
-    None
+    map.graph()
+        .ids()
+        .find_map(|id| check_safety(sys, map.resolve(id), assignment))
 }
 
 /// Runs the full pipeline against `sys`, which claims to solve
@@ -238,8 +228,8 @@ pub fn find_witness<P: ProcessAutomaton>(
     for ones in 0..=n {
         let assignment = InputAssignment::monotone(n, ones);
         let root = initialize(sys, &assignment);
-        let map = ValenceMap::build(sys, root.clone(), bounds.max_states)?;
-        if let Some(violation) = safety_scan(sys, &assignment, &map, &root) {
+        let map = ValenceMap::build(sys, root, bounds.max_states)?;
+        if let Some(violation) = safety_scan(sys, &assignment, &map) {
             return Ok(ImpossibilityWitness::Safety {
                 assignment,
                 violation,
@@ -256,9 +246,7 @@ pub fn find_witness<P: ProcessAutomaton>(
                     // Stage 4: Lemma 8 case analysis.
                     let similarity = analyze_hook(sys, &hook);
                     let (x0, x1, kind) = match &similarity {
-                        HookSimilarity::Direct(kind) => {
-                            (hook.s0.clone(), hook.s1.clone(), *kind)
-                        }
+                        HookSimilarity::Direct(kind) => (hook.s0.clone(), hook.s1.clone(), *kind),
                         HookSimilarity::AfterEPrime(kind) => {
                             let (_, after) = sys
                                 .succ_det(&hook.e_prime, &hook.s0)
@@ -267,8 +255,7 @@ pub fn find_witness<P: ProcessAutomaton>(
                         }
                         HookSimilarity::Commute => {
                             return Err(WitnessError::Inconclusive(
-                                "hook endpoints commute — impossible for opposite valences"
-                                    .into(),
+                                "hook endpoints commute — impossible for opposite valences".into(),
                             ))
                         }
                         HookSimilarity::None => {
@@ -321,8 +308,8 @@ pub fn find_witness<P: ProcessAutomaton>(
         }
         InitOutcome::ValidityBroken { assignment, .. } => {
             let root = initialize(sys, &assignment);
-            let map = ValenceMap::build(sys, root.clone(), bounds.max_states)?;
-            let violation = safety_scan(sys, &assignment, &map, &root).ok_or_else(|| {
+            let map = ValenceMap::build(sys, root, bounds.max_states)?;
+            let violation = safety_scan(sys, &assignment, &map).ok_or_else(|| {
                 WitnessError::Inconclusive(
                     "valence says validity broken but no state violates it".into(),
                 )

@@ -1,0 +1,172 @@
+//! Differential tests for the analysis layer on the interned
+//! exploration core: the id-indexed [`ValenceMap`] must classify the
+//! doomed-atomic system (Theorem 2's candidate: consensus processes
+//! over an `f`-resilient atomic object) exactly as a naive state-keyed
+//! valence computation does, and the downstream proof machinery
+//! (Lemma 4 bivalent init, Lemma 5 hook, Theorem 2 witness) must keep
+//! producing the same proof objects as the seed.
+//!
+//! The naive reference reimplements the seed algorithm verbatim:
+//! `HashMap<SystemState, …>` keyed successor lists and a backward
+//! fixpoint over cloned states.
+
+use analysis::graph::census;
+use analysis::hook::{find_hook, HookOutcome};
+use analysis::init::{find_bivalent_init, InitOutcome};
+use analysis::similarity::Refutation;
+use analysis::valence::{classify, Valence, ValenceMap};
+use analysis::witness::{find_witness, Bounds, ImpossibilityWitness};
+use ioa::automaton::Automaton;
+use services::atomic::CanonicalAtomicObject;
+use spec::seq::BinaryConsensus;
+use spec::{ProcId, SvcId, Val};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+use system::build::{CompleteSystem, SystemState};
+use system::consensus::InputAssignment;
+use system::process::direct::DirectConsensus;
+use system::sched::initialize;
+
+/// The doomed-atomic candidate system: `n` direct-consensus processes
+/// sharing one canonical `f`-resilient atomic consensus object
+/// (`protocols::doomed::doomed_atomic`, replicated here because
+/// `analysis` cannot depend on `protocols`).
+fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+    let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+    let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+    CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+}
+
+type State = SystemState<<DirectConsensus as system::process::ProcessAutomaton>::State>;
+
+/// The seed's valence computation: state-keyed forward exploration
+/// (skipping stuttering steps), then a backward reachable-decisions
+/// fixpoint over cloned-state hash maps.
+fn naive_valences(sys: &CompleteSystem<DirectConsensus>, root: &State) -> HashMap<State, Valence> {
+    let tasks = sys.tasks();
+    let mut succs: HashMap<State, Vec<State>> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::from([root.clone()]);
+    succs.insert(root.clone(), Vec::new());
+    while let Some(s) = queue.pop_front() {
+        let mut out = Vec::new();
+        for t in &tasks {
+            for (_, s2) in sys.succ_all(t, &s) {
+                if s2 != s {
+                    if !succs.contains_key(&s2) {
+                        succs.insert(s2.clone(), Vec::new());
+                        queue.push_back(s2.clone());
+                    }
+                    out.push(s2);
+                }
+            }
+        }
+        succs.insert(s, out);
+    }
+
+    let mut decided: HashMap<State, BTreeSet<Val>> = succs
+        .keys()
+        .map(|s| (s.clone(), sys.decided_values(s)))
+        .collect();
+    let mut preds: HashMap<State, Vec<State>> = HashMap::new();
+    for (s, outs) in &succs {
+        for s2 in outs {
+            preds.entry(s2.clone()).or_default().push(s.clone());
+        }
+    }
+    let mut work: VecDeque<State> = succs.keys().cloned().collect();
+    while let Some(s) = work.pop_front() {
+        let vals = decided[&s].clone();
+        if vals.is_empty() {
+            continue;
+        }
+        for p in preds.get(&s).cloned().unwrap_or_default() {
+            let entry = decided.get_mut(&p).expect("preds are explored");
+            let before = entry.len();
+            entry.extend(vals.iter().cloned());
+            if entry.len() > before {
+                work.push_back(p);
+            }
+        }
+    }
+    decided
+        .into_iter()
+        .map(|(s, d)| (s, classify(&d)))
+        .collect()
+}
+
+#[test]
+fn valence_map_matches_the_naive_reference_on_doomed_atomic() {
+    for (n, f, ones) in [(2, 0, 1), (2, 1, 1), (2, 0, 0)] {
+        let sys = direct(n, f);
+        let root = initialize(&sys, &InputAssignment::monotone(n, ones));
+        let naive = naive_valences(&sys, &root);
+        let map = ValenceMap::build(&sys, root, 1_000_000).unwrap();
+
+        assert_eq!(map.state_count(), naive.len(), "n={n} f={f} ones={ones}");
+        for (s, v) in &naive {
+            assert!(map.contains(s));
+            assert_eq!(map.valence(s), *v, "n={n} f={f} ones={ones} state {s:?}");
+        }
+        // The census is a flat scan of the same table, so the per-class
+        // totals must match a recount of the naive classification.
+        let c = census(&map);
+        let bivalent = naive.values().filter(|v| **v == Valence::Bivalent).count();
+        let zero = naive.values().filter(|v| **v == Valence::Zero).count();
+        let one = naive.values().filter(|v| **v == Valence::One).count();
+        assert_eq!(
+            (c.bivalent, c.zero, c.one, c.total()),
+            (bivalent, zero, one, naive.len())
+        );
+    }
+}
+
+#[test]
+fn lemma4_bivalent_init_is_unchanged() {
+    // Lemma 4 on the doomed 2-process system: the monotone sweep finds
+    // a bivalent initialization, and it is the mixed-input one.
+    let sys = direct(2, 0);
+    let InitOutcome::Bivalent { assignment, map } = find_bivalent_init(&sys, 1_000_000).unwrap()
+    else {
+        panic!("the doomed system has a bivalent initialization")
+    };
+    assert_eq!(assignment, InputAssignment::monotone(2, 1));
+    assert_eq!(map.valence(map.root()), Valence::Bivalent);
+    // The naive reference agrees on the root's bivalence.
+    let root = initialize(&sys, &assignment);
+    assert_eq!(naive_valences(&sys, &root)[&root], Valence::Bivalent);
+}
+
+#[test]
+fn lemma5_hook_endpoints_agree_with_the_naive_valences() {
+    let sys = direct(2, 0);
+    let InitOutcome::Bivalent { map, assignment } = find_bivalent_init(&sys, 1_000_000).unwrap()
+    else {
+        panic!()
+    };
+    let HookOutcome::Hook(hook) = find_hook(&sys, &map, 10_000) else {
+        panic!("the Fig. 3 construction terminates on the doomed system")
+    };
+    // The interned map's classification of the hook endpoints…
+    assert_eq!(map.valence(&hook.s0), hook.v);
+    assert_eq!(map.valence(&hook.s1), hook.v.opposite());
+    // …matches the naive reference state-for-state.
+    let root = initialize(&sys, &assignment);
+    let naive = naive_valences(&sys, &root);
+    assert_eq!(naive[&hook.s0], hook.v);
+    assert_eq!(naive[&hook.s1], hook.v.opposite());
+    assert_eq!(naive[&hook.alpha], Valence::Bivalent);
+}
+
+#[test]
+fn theorem2_witness_kind_is_unchanged() {
+    // The end-to-end pipeline still refutes the doomed system the same
+    // way: a hook whose similar pair yields a termination violation.
+    let witness = find_witness(&direct(2, 0), 0, Bounds::default()).unwrap();
+    let ImpossibilityWitness::HookRefutation { refutation, .. } = witness else {
+        panic!("expected a hook refutation, got {witness:?}")
+    };
+    assert!(
+        matches!(refutation, Refutation::TerminationViolation { .. }),
+        "expected a termination violation, got {refutation:?}"
+    );
+}

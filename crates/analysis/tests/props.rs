@@ -1,10 +1,14 @@
-//! Property-based tests for the analysis machinery: similarity is a
-//! tolerance relation, valence maps are schedule-independent, and the
-//! witness pipeline is deterministic.
+//! Randomized-but-deterministic tests for the analysis machinery:
+//! similarity is a tolerance relation, valence maps are
+//! schedule-independent, and the witness pipeline is deterministic.
+//!
+//! Formerly proptest-based; rewritten onto the in-tree
+//! [`ioa::rng::SplitMix64`] generator so the suite runs hermetically
+//! (no registry dependency) and every case is replayable from its seed.
 
 use analysis::similarity::{find_similarities, j_similar, k_similar};
 use analysis::valence::{Valence, ValenceMap};
-use proptest::prelude::*;
+use ioa::rng::{RandomSource, SplitMix64};
 use services::atomic::CanonicalAtomicObject;
 use spec::seq::BinaryConsensus;
 use spec::{ProcId, SvcId, Val};
@@ -20,19 +24,18 @@ fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
     CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_bits(g: &mut SplitMix64, n: usize) -> InputAssignment {
+    InputAssignment::of((0..n).map(|i| (ProcId(i), Val::Int(i64::from(g.gen_bool())))))
+}
 
-    #[test]
-    fn similarity_is_reflexive_and_symmetric(
-        seed_a in 0u64..5_000,
-        seed_b in 0u64..5_000,
-        bits in proptest::collection::vec(any::<bool>(), 3),
-    ) {
+#[test]
+fn similarity_is_reflexive_and_symmetric() {
+    let mut g = SplitMix64::seed_from_u64(0xa9a1_0001);
+    for _ in 0..32 {
+        let seed_a = g.next_u64();
+        let seed_b = g.next_u64();
         let sys = direct(3, 1);
-        let a = InputAssignment::of(
-            bits.iter().enumerate().map(|(i, b)| (ProcId(i), Val::Int(i64::from(*b)))),
-        );
+        let a = random_bits(&mut g, 3);
         let s0 = {
             let run = run_random(&sys, initialize(&sys, &a), seed_a, &[], 40, |_| false);
             run.exec.last_state().clone()
@@ -42,31 +45,30 @@ proptest! {
             run.exec.last_state().clone()
         };
         // Reflexivity: every similarity kind holds between s and s.
-        prop_assert_eq!(find_similarities(&sys, &s0, &s0).len(), 3 + 1);
+        assert_eq!(find_similarities(&sys, &s0, &s0).len(), 3 + 1);
         // Symmetry on an arbitrary pair.
         for i in 0..3 {
-            prop_assert_eq!(
+            assert_eq!(
                 j_similar(&sys, &s0, &s1, ProcId(i)),
                 j_similar(&sys, &s1, &s0, ProcId(i))
             );
         }
-        prop_assert_eq!(
+        assert_eq!(
             k_similar(&sys, &s0, &s1, SvcId(0)),
             k_similar(&sys, &s1, &s0, SvcId(0))
         );
     }
+}
 
-    #[test]
-    fn valence_is_monotone_along_any_schedule(
-        seed in 0u64..5_000,
-        bits in proptest::collection::vec(any::<bool>(), 2),
-    ) {
-        // Once univalent, always that same valence; bivalence can only
-        // resolve, never flip.
-        let sys = direct(2, 0);
-        let a = InputAssignment::of(
-            bits.iter().enumerate().map(|(i, b)| (ProcId(i), Val::Int(i64::from(*b)))),
-        );
+#[test]
+fn valence_is_monotone_along_any_schedule() {
+    // Once univalent, always that same valence; bivalence can only
+    // resolve, never flip.
+    let sys = direct(2, 0);
+    let mut g = SplitMix64::seed_from_u64(0xa9a1_0002);
+    for _ in 0..32 {
+        let seed = g.next_u64();
+        let a = random_bits(&mut g, 2);
         let root = initialize(&sys, &a);
         let map = ValenceMap::build(&sys, root.clone(), 500_000).unwrap();
         let run = run_random(&sys, root, seed, &[], 60, |_| false);
@@ -74,30 +76,32 @@ proptest! {
         for st in run.exec.states() {
             let v = map.valence(st);
             match (committed, v) {
-                (Some(c), v) => prop_assert_eq!(c, v, "valence flipped after commitment"),
+                (Some(c), v) => assert_eq!(c, v, "valence flipped after commitment"),
                 (None, Valence::Zero) => committed = Some(Valence::Zero),
                 (None, Valence::One) => committed = Some(Valence::One),
                 (None, _) => {}
             }
         }
     }
+}
 
-    #[test]
-    fn reachable_decisions_shrink_along_edges(
-        seed in 0u64..5_000,
-    ) {
-        // decided(s) ⊇ decided(s') for every edge s → s' is false in
-        // general (it's the union over successors); the true invariant
-        // is decided(s) ⊇ decided(s') for s' a successor. Check it.
-        let sys = direct(2, 0);
-        let a = InputAssignment::monotone(2, 1);
-        let root = initialize(&sys, &a);
-        let map = ValenceMap::build(&sys, root.clone(), 500_000).unwrap();
-        let run = run_random(&sys, root, seed, &[], 60, |_| false);
+#[test]
+fn reachable_decisions_shrink_along_edges() {
+    // decided(s) ⊇ decided(s') for every edge s → s' is false in
+    // general (it's the union over successors); the true invariant
+    // is decided(s) ⊇ decided(s') for s' a successor. Check it.
+    let sys = direct(2, 0);
+    let a = InputAssignment::monotone(2, 1);
+    let root = initialize(&sys, &a);
+    let map = ValenceMap::build(&sys, root.clone(), 500_000).unwrap();
+    let mut g = SplitMix64::seed_from_u64(0xa9a1_0003);
+    for _ in 0..32 {
+        let seed = g.next_u64();
+        let run = run_random(&sys, root.clone(), seed, &[], 60, |_| false);
         for w in run.exec.states().windows(2) {
             let before = map.reachable_decisions(w[0]);
             let after = map.reachable_decisions(w[1]);
-            prop_assert!(
+            assert!(
                 after.is_subset(before),
                 "a step cannot create new reachable decisions"
             );

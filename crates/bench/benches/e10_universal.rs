@@ -9,7 +9,7 @@
 //! replay), and the survivor is always answered even under `n − 1`
 //! failures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use protocols::universal::{build, UniversalProcess};
 use spec::seq::TestAndSet;
 use spec::ProcId;
@@ -18,14 +18,16 @@ use std::sync::Arc;
 use system::consensus::InputAssignment;
 use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e10_universal");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("e10_universal");
     for n in [2usize, 3, 4] {
         let sys = build(Arc::new(TestAndSet), n);
-        let a = InputAssignment::of(
-            (0..n).map(|i| (ProcId(i), UniversalProcess::request(&TestAndSet::test_and_set()))),
-        );
+        let a = InputAssignment::of((0..n).map(|i| {
+            (
+                ProcId(i),
+                UniversalProcess::request(&TestAndSet::test_and_set()),
+            )
+        }));
         let run = run_fair(
             &sys,
             initialize(&sys, &a),
@@ -39,21 +41,16 @@ fn bench(c: &mut Criterion) {
             run.exec.len(),
             matches!(run.outcome, FairOutcome::Stopped)
         );
-        group.bench_function(format!("test_and_set_n{n}"), |b| {
-            b.iter(|| {
-                black_box(run_fair(
-                    &sys,
-                    initialize(&sys, &a),
-                    BranchPolicy::Canonical,
-                    &[],
-                    200_000,
-                    |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
-                ))
-            })
+        group.bench(&format!("test_and_set_n{n}"), || {
+            black_box(run_fair(
+                &sys,
+                initialize(&sys, &a),
+                BranchPolicy::Canonical,
+                &[],
+                200_000,
+                |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+            ))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

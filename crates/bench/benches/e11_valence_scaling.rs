@@ -9,16 +9,14 @@
 
 use analysis::graph::census;
 use analysis::init::{find_bivalent_init, InitOutcome};
-use bench_suite::doomed_atomic_scales;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::bench_scales;
+use bench_suite::harness::Group;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e11_valence_scaling");
-    group.sample_size(10);
-    for (label, sys) in doomed_atomic_scales() {
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 5_000_000).unwrap()
-        else {
+fn main() {
+    let mut group = Group::new("e11_valence_scaling");
+    for (label, sys, _f) in bench_scales() {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 5_000_000).unwrap() else {
             panic!("{label}: bivalent init expected")
         };
         let cen = census(&map);
@@ -27,12 +25,7 @@ fn bench(c: &mut Criterion) {
             cen,
             100.0 * cen.bivalent_fraction()
         );
-        group.bench_function(format!("census_{label}"), |b| {
-            b.iter(|| black_box(census(&map)))
-        });
+        group.bench(&format!("census_{label}"), || black_box(census(&map)));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

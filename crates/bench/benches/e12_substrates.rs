@@ -8,7 +8,7 @@
 //! Expected shape: flooding cost grows ~n² (the full mesh); snapshot
 //! cost grows ~n per collect with a small constant number of retries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use protocols::message_passing::build_flood_all;
 use protocols::snapshot::{build as build_snapshot, SnapshotProcess};
 use spec::{ProcId, Val};
@@ -16,9 +16,8 @@ use std::hint::black_box;
 use system::consensus::InputAssignment;
 use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e12_substrates");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("e12_substrates");
 
     // Flooding consensus across mesh sizes.
     for n in [2usize, 3, 4] {
@@ -37,17 +36,15 @@ fn bench(c: &mut Criterion) {
             run.exec.len(),
             matches!(run.outcome, FairOutcome::Stopped)
         );
-        group.bench_function(format!("flooding_n{n}"), |b| {
-            b.iter(|| {
-                black_box(run_fair(
-                    &sys,
-                    initialize(&sys, &a),
-                    BranchPolicy::Canonical,
-                    &[],
-                    200_000,
-                    |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
-                ))
-            })
+        group.bench(&format!("flooding_n{n}"), || {
+            black_box(run_fair(
+                &sys,
+                initialize(&sys, &a),
+                BranchPolicy::Canonical,
+                &[],
+                200_000,
+                |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+            ))
         });
     }
 
@@ -72,21 +69,16 @@ fn bench(c: &mut Criterion) {
             run.exec.len(),
             matches!(run.outcome, FairOutcome::Stopped)
         );
-        group.bench_function(format!("snapshot_n{n}"), |b| {
-            b.iter(|| {
-                black_box(run_fair(
-                    &sys,
-                    initialize(&sys, &a),
-                    BranchPolicy::Canonical,
-                    &[],
-                    200_000,
-                    |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
-                ))
-            })
+        group.bench(&format!("snapshot_n{n}"), || {
+            black_box(run_fair(
+                &sys,
+                initialize(&sys, &a),
+                BranchPolicy::Canonical,
+                &[],
+                200_000,
+                |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+            ))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

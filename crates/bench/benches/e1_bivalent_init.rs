@@ -8,14 +8,13 @@
 //! every scale; cost grows with the failure-free reachable state space.
 
 use analysis::init::{find_bivalent_init, InitOutcome};
-use bench_suite::doomed_atomic_scales;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::bench_scales;
+use bench_suite::harness::Group;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_bivalent_init");
-    group.sample_size(10);
-    for (label, sys) in doomed_atomic_scales() {
+fn main() {
+    let mut group = Group::new("e1_bivalent_init");
+    for (label, sys, _f) in bench_scales() {
         // Report the experiment's qualitative row once, outside timing.
         match find_bivalent_init(&sys, 2_000_000).unwrap() {
             InitOutcome::Bivalent { assignment, map } => eprintln!(
@@ -24,12 +23,9 @@ fn bench(c: &mut Criterion) {
             ),
             other => eprintln!("[E1] {label}: unexpected outcome {other:?}"),
         }
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(find_bivalent_init(&sys, 2_000_000).unwrap()))
+        group.bench(label, || {
+            black_box(find_bivalent_init(&sys, 2_000_000).unwrap())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -10,16 +10,14 @@
 
 use analysis::hook::{find_hook, HookOutcome};
 use analysis::init::{find_bivalent_init, InitOutcome};
-use bench_suite::doomed_atomic_scales;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::bench_scales;
+use bench_suite::harness::Group;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_hook_search");
-    group.sample_size(10);
-    for (label, sys) in doomed_atomic_scales() {
-        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 2_000_000).unwrap()
-        else {
+fn main() {
+    let mut group = Group::new("e2_hook_search");
+    for (label, sys, _f) in bench_scales() {
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 2_000_000).unwrap() else {
             panic!("{label}: expected a bivalent init")
         };
         match find_hook(&sys, &map, 20_000) {
@@ -32,12 +30,7 @@ fn bench(c: &mut Criterion) {
             ),
             other => eprintln!("[E2] {label}: unexpected outcome {other:?}"),
         }
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(find_hook(&sys, &map, 20_000)))
-        });
+        group.bench(label, || black_box(find_hook(&sys, &map, 20_000)));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -9,30 +9,26 @@
 //! exactly `f + 1` processes and starves a survivor.
 
 use analysis::witness::{find_witness, Bounds};
-use bench_suite::{doomed_atomic_fs, doomed_atomic_scales};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::bench_scales;
+use bench_suite::harness::Group;
 use protocols::doomed::doomed_atomic_with_registers;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_theorem2");
-    group.sample_size(10);
-    for ((label, sys), f) in doomed_atomic_scales().into_iter().zip(doomed_atomic_fs()) {
+fn main() {
+    let mut group = Group::new("e3_theorem2");
+    for (label, sys, f) in bench_scales() {
         let w = find_witness(&sys, f, Bounds::default()).unwrap();
         eprintln!("[E3] {label}: {}", w.headline());
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(find_witness(&sys, f, Bounds::default()).unwrap()))
+        group.bench(label, || {
+            black_box(find_witness(&sys, f, Bounds::default()).unwrap())
         });
     }
     // The register-augmented candidate (the theorem's full statement).
     let sys = doomed_atomic_with_registers(2, 0);
     let w = find_witness(&sys, 0, Bounds::default()).unwrap();
     eprintln!("[E3] n=2,f=0+registers: {}", w.headline());
-    group.bench_function("n=2,f=0+registers", |b| {
-        b.iter(|| black_box(find_witness(&sys, 0, Bounds::default()).unwrap()))
+    group.bench("n=2,f=0+registers", || {
+        black_box(find_witness(&sys, 0, Bounds::default()).unwrap())
     });
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -10,18 +10,21 @@
 //! `k = 1` certification fails fast with an agreement violation.
 
 use analysis::resilience::{all_assignments, certify, CertifyConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use protocols::set_boost::{build, SetBoostParams};
 use spec::Val;
 use std::hint::black_box;
 use system::consensus::InputAssignment;
 use system::sched::BranchPolicy;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_set_boost");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("e4_set_boost");
 
-    let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+    let sys = build(SetBoostParams {
+        n: 4,
+        k: 2,
+        k_prime: 1,
+    });
     // A representative input slice (full 256-assignment sweeps live in
     // the integration tests; the bench measures per-sweep cost).
     let domain: Vec<Val> = (0..4).map(Val::Int).collect();
@@ -37,10 +40,14 @@ fn bench(c: &mut Criterion) {
         "[E4] n=4,k=2,k'=1: {} runs, {} violations → {}",
         report.runs,
         report.violations.len(),
-        if report.certified() { "certified wait-free 2-set consensus" } else { "FAILED" }
+        if report.certified() {
+            "certified wait-free 2-set consensus"
+        } else {
+            "FAILED"
+        }
     );
-    group.bench_function("certify_k2_resilience3_n4", |b| {
-        b.iter(|| black_box(certify(&sys, &cfg)))
+    group.bench("certify_k2_resilience3_n4", || {
+        black_box(certify(&sys, &cfg))
     });
 
     // Ablation A1: k = 1 on the same system must fail.
@@ -55,12 +62,7 @@ fn bench(c: &mut Criterion) {
         "[E4/A1] same system at k=1: {} violations (expected > 0: it is 2-set, not consensus)",
         report1.violations.len()
     );
-    group.bench_function("ablation_k1_fails", |b| {
-        b.iter(|| black_box(certify(&sys, &cfg1)))
-    });
+    group.bench("ablation_k1_fails", || black_box(certify(&sys, &cfg1)));
 
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

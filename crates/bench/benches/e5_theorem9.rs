@@ -8,23 +8,19 @@
 //! failing `f + 1` processes.
 
 use analysis::witness::{find_witness, Bounds};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use protocols::doomed::doomed_oblivious;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_theorem9");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("e5_theorem9");
     for (label, n, f) in [("n=2,f=0", 2, 0), ("n=3,f=1", 3, 1)] {
         let sys = doomed_oblivious(n, f);
         let w = find_witness(&sys, f, Bounds::default()).unwrap();
         eprintln!("[E5] {label}: {}", w.headline());
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(find_witness(&sys, f, Bounds::default()).unwrap()))
+        group.bench(label, || {
+            black_box(find_witness(&sys, f, Bounds::default()).unwrap())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

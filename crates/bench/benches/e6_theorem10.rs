@@ -11,22 +11,21 @@
 //! the pairwise control decides.
 
 use analysis::witness::{find_witness, Bounds};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use protocols::{doomed::doomed_general, fd_boost};
 use spec::ProcId;
 use std::hint::black_box;
 use system::consensus::InputAssignment;
 use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_theorem10");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("e6_theorem10");
     for (label, n, f) in [("n=2,f=0", 2usize, 0usize), ("n=3,f=1", 3, 1)] {
         let sys = doomed_general(n, f);
         let w = find_witness(&sys, f, Bounds::default()).unwrap();
         eprintln!("[E6] {label}: {}", w.headline());
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(find_witness(&sys, f, Bounds::default()).unwrap()))
+        group.bench(label, || {
+            black_box(find_witness(&sys, f, Bounds::default()).unwrap())
         });
     }
 
@@ -46,21 +45,16 @@ fn bench(c: &mut Criterion) {
         run.outcome,
         matches!(run.outcome, FairOutcome::Stopped)
     );
-    group.bench_function("ablation_pairwise_survives", |b| {
-        b.iter(|| {
-            let run = run_fair(
-                &boosted,
-                initialize(&boosted, &a),
-                BranchPolicy::PreferDummy,
-                &[(0, ProcId(0))],
-                200_000,
-                |st| boosted.decision(st, ProcId(1)).is_some(),
-            );
-            black_box(run)
-        })
+    group.bench("ablation_pairwise_survives", || {
+        let run = run_fair(
+            &boosted,
+            initialize(&boosted, &a),
+            BranchPolicy::PreferDummy,
+            &[(0, ProcId(0))],
+            200_000,
+            |st| boosted.decision(st, ProcId(1)).is_some(),
+        );
+        black_box(run)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

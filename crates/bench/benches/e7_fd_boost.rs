@@ -9,16 +9,15 @@
 //! than one failure.
 
 use analysis::resilience::{all_binary_assignments, certify, CertifyConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use protocols::fd_boost;
 use spec::ProcId;
 use std::hint::black_box;
 use system::consensus::InputAssignment;
 use system::sched::{initialize, run_fair, BranchPolicy, FairOutcome};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_fd_boost");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("e7_fd_boost");
 
     // Maximal-failure single runs across n.
     for n in [2usize, 3, 4, 5] {
@@ -39,18 +38,16 @@ fn bench(c: &mut Criterion) {
             matches!(run.outcome, FairOutcome::Stopped),
             run.exec.len()
         );
-        group.bench_function(format!("max_failures_n{n}"), |b| {
-            b.iter(|| {
-                let run = run_fair(
-                    &sys,
-                    initialize(&sys, &a),
-                    BranchPolicy::PreferDummy,
-                    &failures,
-                    2_000_000,
-                    |st| sys.decision(st, ProcId(n - 1)).is_some(),
-                );
-                black_box(run)
-            })
+        group.bench(&format!("max_failures_n{n}"), || {
+            let run = run_fair(
+                &sys,
+                initialize(&sys, &a),
+                BranchPolicy::PreferDummy,
+                &failures,
+                2_000_000,
+                |st| sys.decision(st, ProcId(n - 1)).is_some(),
+            );
+            black_box(run)
         });
     }
 
@@ -66,11 +63,6 @@ fn bench(c: &mut Criterion) {
         report.runs,
         report.violations.len()
     );
-    group.bench_function("certify_n3_resilience2", |b| {
-        b.iter(|| black_box(certify(&sys, &cfg)))
-    });
+    group.bench("certify_n3_resilience2", || black_box(certify(&sys, &cfg)));
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

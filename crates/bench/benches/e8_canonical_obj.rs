@@ -9,7 +9,7 @@
 //! Expected shape: responses scale linearly with endpoints; the
 //! exhaustive reachable space stays modest and agreement never breaks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use ioa::automaton::Automaton;
 use ioa::explore::reachable_states;
 use ioa::fairness::run_round_robin;
@@ -39,8 +39,8 @@ fn loaded(n: usize, f: usize) -> (ServiceAutomaton, services::SvcState) {
     (aut, s)
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_canonical_obj");
+fn main() {
+    let mut group = Group::new("e8_canonical_obj");
     for n in [2usize, 4, 8, 16] {
         let (aut, s) = loaded(n, n - 1);
         let run = run_round_robin(&aut, s.clone(), 100_000, |_| false);
@@ -51,8 +51,8 @@ fn bench(c: &mut Criterion) {
             .filter(|st| matches!(st.action, SvcAction::Respond(..)))
             .count();
         eprintln!("[E8] n={n}: fair drive answered {responses}/{n} endpoints");
-        group.bench_function(format!("fair_drive_n{n}"), |b| {
-            b.iter(|| black_box(run_round_robin(&aut, s.clone(), 100_000, |_| false)))
+        group.bench(&format!("fair_drive_n{n}"), || {
+            black_box(run_round_robin(&aut, s.clone(), 100_000, |_| false))
         });
     }
 
@@ -68,11 +68,8 @@ fn bench(c: &mut Criterion) {
             .iter()
             .all(|st| st.val.as_set().map(|w| w.len() <= 1).unwrap_or(false))
     );
-    group.bench_function("exhaustive_agreement_n3", |b| {
-        b.iter(|| black_box(reachable_states(&aut, vec![s.clone()], 1_000_000)))
+    group.bench("exhaustive_agreement_n3", || {
+        black_box(reachable_states(&aut, vec![s.clone()], 1_000_000))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

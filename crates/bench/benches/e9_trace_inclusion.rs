@@ -7,7 +7,7 @@
 //! Expected shape: inclusion holds; the subset construction's cost is
 //! dominated by the implementation's interleavings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::harness::Group;
 use ioa::refine::{check_trace_inclusion, Inclusion};
 use protocols::doomed::doomed_atomic;
 use services::atomic::CanonicalAtomicObject;
@@ -33,9 +33,8 @@ fn external(a: &Action) -> Option<SvcAction> {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_trace_inclusion");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("e9_trace_inclusion");
     for (label, n) in [("n=2", 2usize), ("n=3", 3)] {
         let imp = doomed_atomic(n, n - 1);
         let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
@@ -50,22 +49,21 @@ fn bench(c: &mut Criterion) {
             inputs.push(Action::Init(ProcId(i), Val::Int(1)));
             inputs.push(Action::Fail(ProcId(i)));
         }
-        let verdict =
-            check_trace_inclusion(&imp, &spec_obj, external, &inputs, n + 1, 3_000_000);
+        let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, n + 1, 3_000_000);
         eprintln!(
             "[E9] {label}: implementation traces ⊆ canonical traces: {}",
             matches!(verdict, Inclusion::Holds)
         );
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(check_trace_inclusion(
-                    &imp, &spec_obj, external, &inputs, n + 1, 3_000_000,
-                ))
-            })
+        group.bench(label, || {
+            black_box(check_trace_inclusion(
+                &imp,
+                &spec_obj,
+                external,
+                &inputs,
+                n + 1,
+                3_000_000,
+            ))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,9 +1,17 @@
-//! Shared helpers for the Criterion benchmark harness.
+//! Shared helpers for the benchmark suite.
 //!
 //! Each bench target in `benches/` regenerates one experiment from
 //! `EXPERIMENTS.md` (one per paper theorem/figure/section); this crate
 //! hosts the builders they share so the measured closures stay free of
-//! setup noise.
+//! setup noise, plus the [`harness`] the targets run on and the
+//! [`json`] emitter that records medians for the perf trajectory
+//! (`BENCH_explore.json`).
+//!
+//! The harness is hand-rolled (no criterion): the workspace must build
+//! with `cargo build --offline` in an environment with no registry
+//! access, so external dev-dependencies are off the table. The
+//! trade-off is acceptable — the measured kernels run for milliseconds
+//! to seconds, where a median over ten samples is a stable statistic.
 
 use protocols::doomed::doomed_atomic;
 use system::build::CompleteSystem;
@@ -26,6 +34,241 @@ pub fn doomed_atomic_fs() -> Vec<usize> {
     vec![0, 0, 1, 2]
 }
 
+/// The scale points a default bench run measures: everything up to
+/// n=3. The n=4 point explores a state space orders of magnitude
+/// larger; opt in with `BENCH_FULL=1`. The harness logs what it skips
+/// so a truncated run is never mistaken for a full one.
+pub fn bench_scales() -> Vec<(&'static str, CompleteSystem<DirectConsensus>, usize)> {
+    let full = std::env::var("BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let all: Vec<_> = doomed_atomic_scales()
+        .into_iter()
+        .zip(doomed_atomic_fs())
+        .map(|((label, sys), f)| (label, sys, f))
+        .collect();
+    if full {
+        all
+    } else {
+        let (kept, dropped): (Vec<_>, Vec<_>) =
+            all.into_iter().partition(|(l, _, _)| !l.starts_with("n=4"));
+        for (l, _, _) in &dropped {
+            eprintln!("[bench] skipping scale {l} (set BENCH_FULL=1 to include it)");
+        }
+        kept
+    }
+}
+
+pub mod harness {
+    //! A minimal wall-clock benchmark harness: warm up once, time
+    //! `sample_size` runs, report the median.
+
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Timing result of one labeled benchmark: raw per-run samples in
+    /// nanoseconds, in measurement order.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        pub group: String,
+        pub label: String,
+        pub samples_ns: Vec<u128>,
+    }
+
+    impl Measurement {
+        /// Median of the samples (lower middle for even counts).
+        #[must_use]
+        pub fn median_ns(&self) -> u128 {
+            let mut s = self.samples_ns.clone();
+            s.sort_unstable();
+            s[(s.len() - 1) / 2]
+        }
+
+        #[must_use]
+        pub fn min_ns(&self) -> u128 {
+            *self.samples_ns.iter().min().expect("non-empty samples")
+        }
+
+        #[must_use]
+        pub fn max_ns(&self) -> u128 {
+            *self.samples_ns.iter().max().expect("non-empty samples")
+        }
+    }
+
+    /// Render nanoseconds with an adaptive unit, e.g. `"12.34 ms"`.
+    #[must_use]
+    pub fn fmt_ns(ns: u128) -> String {
+        let ns = ns as f64;
+        if ns < 1e3 {
+            format!("{ns:.0} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.2} s", ns / 1e9)
+        }
+    }
+
+    /// A named group of benchmarks (one per experiment), mirroring the
+    /// `criterion` group API the targets previously used.
+    pub struct Group {
+        name: String,
+        sample_size: usize,
+        results: Vec<Measurement>,
+    }
+
+    impl Group {
+        /// Create a group. Sample count defaults to 10, overridable
+        /// with the `BENCH_SAMPLES` environment variable.
+        #[must_use]
+        pub fn new(name: &str) -> Group {
+            let sample_size = std::env::var("BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            Group {
+                name: name.to_string(),
+                sample_size,
+                results: Vec::new(),
+            }
+        }
+
+        /// Override the per-benchmark sample count.
+        pub fn sample_size(&mut self, n: usize) {
+            assert!(n > 0, "sample_size must be positive");
+            self.sample_size = n;
+        }
+
+        /// Run `f` once as warm-up, then `sample_size` timed times,
+        /// recording wall-clock nanoseconds per run.
+        pub fn bench<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) {
+            black_box(f());
+            let mut samples_ns = Vec::with_capacity(self.sample_size);
+            for _ in 0..self.sample_size {
+                let t0 = Instant::now();
+                black_box(f());
+                samples_ns.push(t0.elapsed().as_nanos());
+            }
+            let m = Measurement {
+                group: self.name.clone(),
+                label: label.to_string(),
+                samples_ns,
+            };
+            eprintln!(
+                "{}/{}: median {} (min {}, max {}, {} samples)",
+                self.name,
+                label,
+                fmt_ns(m.median_ns()),
+                fmt_ns(m.min_ns()),
+                fmt_ns(m.max_ns()),
+                m.samples_ns.len()
+            );
+            self.results.push(m);
+        }
+
+        /// Finish the group. If `BENCH_JSON_OUT` names a directory,
+        /// write `<dir>/<group>.json` with one row per measurement (the
+        /// input the perf-trajectory files like `BENCH_explore.json`
+        /// are assembled from).
+        pub fn finish(self) -> Vec<Measurement> {
+            if let Ok(dir) = std::env::var("BENCH_JSON_OUT") {
+                let variant =
+                    std::env::var("BENCH_VARIANT").unwrap_or_else(|_| "current".to_string());
+                let rows: Vec<crate::json::Row> = self
+                    .results
+                    .iter()
+                    .map(|m| crate::json::Row {
+                        bench: self.name.clone(),
+                        scale: m.label.clone(),
+                        variant: variant.clone(),
+                        median_ns: m.median_ns(),
+                        min_ns: m.min_ns(),
+                        max_ns: m.max_ns(),
+                        samples: m.samples_ns.len(),
+                    })
+                    .collect();
+                let path = format!("{dir}/{}.json", self.name);
+                let body = crate::json::report(&self.name, &rows);
+                if let Err(e) =
+                    std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body))
+                {
+                    eprintln!("[bench] failed to write {path}: {e}");
+                } else {
+                    eprintln!("[bench] wrote {path}");
+                }
+            }
+            self.results
+        }
+    }
+}
+
+pub mod json {
+    //! A tiny hand-rolled JSON writer (no serde — the workspace builds
+    //! offline with no registry access). Emits exactly the shape the
+    //! perf-trajectory files (`BENCH_explore.json`) use: an experiment
+    //! name plus an array of measurement rows.
+
+    /// One benchmark measurement row.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Row {
+        pub bench: String,
+        pub scale: String,
+        /// Which implementation was measured (e.g. `"before"` /
+        /// `"after"` across a refactor, or `"current"`).
+        pub variant: String,
+        pub median_ns: u128,
+        pub min_ns: u128,
+        pub max_ns: u128,
+        pub samples: usize,
+    }
+
+    /// Escape a string for inclusion in a JSON string literal.
+    #[must_use]
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Render a full report document, pretty-printed with 2-space
+    /// indent and a trailing newline (stable output for diffs).
+    #[must_use]
+    pub fn report(experiment: &str, rows: &[Row]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"experiment\": \"{}\",\n", escape(experiment)));
+        out.push_str("  \"unit\": \"ns\",\n");
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"bench\": \"{}\", \"scale\": \"{}\", \"variant\": \"{}\", \
+                 \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+                escape(&r.bench),
+                escape(&r.scale),
+                escape(&r.variant),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -33,5 +276,41 @@ mod tests {
     #[test]
     fn scales_build() {
         assert_eq!(doomed_atomic_scales().len(), doomed_atomic_fs().len());
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let m = harness::Measurement {
+            group: "g".into(),
+            label: "l".into(),
+            samples_ns: vec![5, 1, 9, 3, 7],
+        };
+        assert_eq!(m.median_ns(), 5);
+        assert_eq!(m.min_ns(), 1);
+        assert_eq!(m.max_ns(), 9);
+        let even = harness::Measurement {
+            group: "g".into(),
+            label: "l".into(),
+            samples_ns: vec![4, 2, 8, 6],
+        };
+        assert_eq!(even.median_ns(), 4, "lower middle for even counts");
+    }
+
+    #[test]
+    fn json_report_shape_and_escaping() {
+        let rows = vec![json::Row {
+            bench: "e2_hook_search".into(),
+            scale: "n=3,f=1".into(),
+            variant: "before".into(),
+            median_ns: 123,
+            min_ns: 100,
+            max_ns: 150,
+            samples: 10,
+        }];
+        let doc = json::report("explore-core", &rows);
+        assert!(doc.contains("\"experiment\": \"explore-core\""));
+        assert!(doc.contains("\"median_ns\": 123"));
+        assert!(doc.ends_with("}\n"));
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

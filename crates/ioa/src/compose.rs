@@ -143,7 +143,10 @@ where
         let r2 = self.right.apply_input(sr, a);
         match (l2, r2) {
             (None, None) => None,
-            (l2, r2) => Some((l2.unwrap_or_else(|| sl.clone()), r2.unwrap_or_else(|| sr.clone()))),
+            (l2, r2) => Some((
+                l2.unwrap_or_else(|| sl.clone()),
+                r2.unwrap_or_else(|| sr.clone()),
+            )),
         }
     }
 

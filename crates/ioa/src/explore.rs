@@ -1,28 +1,321 @@
-//! Breadth-first exploration of task-generated state spaces.
+//! Breadth-first exploration of an automaton's reachable state space
+//! (the executions of Section 2.1.1, and the graph `G(C)` of reachable
+//! configurations that Section 3.3's valence analysis walks).
 //!
-//! The valence definitions of paper Section 3.2 quantify over *all
-//! failure-free extensions* of an execution. For the finite systems this
-//! workspace studies, that quantifier is decided by exhaustive
-//! reachability over task applications — the functions in this module.
+//! All exploration funnels through [`ExploredGraph::explore_with`]: one
+//! interning BFS over a [`StateStore`] that hands out dense [`StateId`]s
+//! in discovery order. Frontier, seen-set, parent map and edge lists are
+//! all id-keyed — each distinct state is deep-cloned and deep-hashed
+//! exactly once, at first sight, instead of once per visit/per edge as
+//! in a state-keyed BFS. Downstream passes (valence census, hook
+//! search, witness scans) index flat `Vec`s by id.
+//!
+//! Budget semantics: exploration is truncated by `max_states`. When the
+//! budget is hit, edges that would point at a never-enqueued state are
+//! **dropped and counted** in [`ExploreStats::truncation`] — a truncated
+//! graph never contains an edge to a state that has no node entry, so
+//! every consumer may index edges blindly.
 
 use crate::automaton::Automaton;
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::store::{StateId, StateStore};
+use std::collections::VecDeque;
 
-/// The result of a reachability sweep.
-#[derive(Clone, Debug)]
+/// Why (and whether) exploration stopped before exhausting the
+/// reachable space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truncation {
+    /// The whole reachable space fit in the budget; the graph is exact.
+    Complete,
+    /// The state budget was hit: at least one reachable state was never
+    /// interned, and `dropped_edges` discovered transitions into such
+    /// states were discarded to keep the graph closed over its nodes.
+    StateBudget {
+        /// The `max_states` budget that was exceeded.
+        budget: usize,
+        /// Transitions discarded because their target was never
+        /// admitted (each counted once per discovery, so a dropped
+        /// state reachable along `k` explored edges counts `k` times).
+        dropped_edges: usize,
+    },
+}
+
+/// Census of a finished exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states interned (= nodes in the graph).
+    pub states: usize,
+    /// Transitions retained in the edge lists.
+    pub edges: usize,
+    /// Largest BFS frontier observed (including the state being
+    /// expanded) — a proxy for the exploration's working-set width.
+    pub peak_frontier: usize,
+    /// Whether the graph is exact or budget-truncated.
+    pub truncation: Truncation,
+}
+
+impl ExploreStats {
+    /// Whether any part of the reachable space was cut off.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        !matches!(self.truncation, Truncation::Complete)
+    }
+}
+
+/// Knobs for [`ExploredGraph::explore_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Maximum number of distinct states to intern. Roots are always
+    /// admitted; successors stop being admitted once the arena holds
+    /// `max_states`.
+    pub max_states: usize,
+    /// Drop self-loop transitions (`s -> s`) at discovery time. The
+    /// valence census (Section 3.3) walks `G(C)` this way: a stuttering
+    /// step never changes the decisions reachable from a configuration.
+    pub skip_self_loops: bool,
+}
+
+impl ExploreOptions {
+    /// Keep everything up to `max_states`, self-loops included.
+    #[must_use]
+    pub fn with_budget(max_states: usize) -> Self {
+        ExploreOptions {
+            max_states,
+            skip_self_loops: false,
+        }
+    }
+}
+
+/// One retained transition out of an interned state:
+/// `(task, action, successor id)`.
+pub type Edge<A> = (<A as Automaton>::Task, <A as Automaton>::Action, StateId);
+
+/// The BFS-tree link that first discovered a state:
+/// `(predecessor id, task, action)`.
+pub type Discovery<A> = (StateId, <A as Automaton>::Task, <A as Automaton>::Action);
+
+/// The interned reachable graph of an automaton from a set of roots:
+/// the paper's `G(C)` (Section 3.3) with states replaced by dense
+/// [`StateId`]s.
+///
+/// One `ExploredGraph` is built per root configuration and then shared
+/// by every analysis pass — valence classification, Lemma 4 bivalent
+/// initialization, the Lemma 5 hook search, witness extraction — so the
+/// state space is expanded, hashed and cloned exactly once.
+pub struct ExploredGraph<A: Automaton> {
+    store: StateStore<A::State>,
+    roots: Vec<StateId>,
+    /// `edges[id] = [(task, action, successor)]` in task order — the
+    /// retained transitions out of each interned state.
+    edges: Vec<Vec<Edge<A>>>,
+    /// BFS tree: for each non-root state, the (predecessor, task,
+    /// action) that first discovered it.
+    parent: Vec<Option<Discovery<A>>>,
+    stats: ExploreStats,
+}
+
+// Manual impl: a derive would demand `A: Debug` although only the
+// associated types (all `Debug` by the trait bounds) appear in the data.
+impl<A: Automaton> std::fmt::Debug for ExploredGraph<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExploredGraph")
+            .field("roots", &self.roots)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Automaton> ExploredGraph<A> {
+    /// Explore with the default options (no self-loop skipping).
+    pub fn explore(aut: &A, roots: Vec<A::State>, max_states: usize) -> Self {
+        Self::explore_with(aut, roots, ExploreOptions::with_budget(max_states))
+    }
+
+    /// Interning BFS from `roots`, visiting each distinct state once.
+    ///
+    /// Discovery order (and hence id assignment) is deterministic: the
+    /// root order, then task order within each expanded state, then the
+    /// branch order of [`Automaton::succ_all`].
+    pub fn explore_with(aut: &A, roots: Vec<A::State>, opts: ExploreOptions) -> Self {
+        let tasks = aut.tasks();
+        let mut store: StateStore<A::State> = StateStore::new();
+        let mut root_ids = Vec::with_capacity(roots.len());
+        let mut edges: Vec<Vec<Edge<A>>> = Vec::new();
+        let mut parent: Vec<Option<Discovery<A>>> = Vec::new();
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        let mut edge_count = 0usize;
+        let mut dropped_edges = 0usize;
+        let mut truncated = false;
+        let mut peak_frontier = 0usize;
+
+        for r in &roots {
+            let (id, fresh) = store.intern(r);
+            if fresh {
+                edges.push(Vec::new());
+                parent.push(None);
+                queue.push_back(id);
+            }
+            root_ids.push(id);
+        }
+
+        while let Some(id) = queue.pop_front() {
+            peak_frontier = peak_frontier.max(queue.len() + 1);
+            // Collect successors under an immutable borrow of the
+            // arena, then intern them; succ_all hands back owned
+            // states, so the expanded state itself is never recloned.
+            let succs: Vec<(A::Task, A::Action, A::State)> = {
+                let s = store.resolve(id);
+                tasks
+                    .iter()
+                    .flat_map(|t| {
+                        aut.succ_all(t, s)
+                            .into_iter()
+                            .map(move |(a, s2)| (t.clone(), a, s2))
+                    })
+                    .filter(|(_, _, s2)| !(opts.skip_self_loops && s2 == s))
+                    .collect()
+            };
+            for (t, a, s2) in succs {
+                match store.try_intern(&s2, opts.max_states) {
+                    Some((id2, fresh)) => {
+                        if fresh {
+                            edges.push(Vec::new());
+                            parent.push(Some((id, t.clone(), a.clone())));
+                            queue.push_back(id2);
+                        }
+                        edges[id.index()].push((t, a, id2));
+                        edge_count += 1;
+                    }
+                    None => {
+                        // Budget hit: the target was never admitted, so
+                        // the edge is dropped (and counted) rather than
+                        // left dangling at a node with no entry.
+                        truncated = true;
+                        dropped_edges += 1;
+                    }
+                }
+            }
+        }
+
+        let truncation = if truncated {
+            Truncation::StateBudget {
+                budget: opts.max_states,
+                dropped_edges,
+            }
+        } else {
+            Truncation::Complete
+        };
+        let stats = ExploreStats {
+            states: store.len(),
+            edges: edge_count,
+            peak_frontier,
+            truncation,
+        };
+        ExploredGraph {
+            store,
+            roots: root_ids,
+            edges,
+            parent,
+            stats,
+        }
+    }
+
+    /// The arena mapping ids to states.
+    #[must_use]
+    pub fn store(&self) -> &StateStore<A::State> {
+        &self.store
+    }
+
+    /// Number of interned states (nodes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the graph has no states (only possible with no roots).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The root ids, in the order the roots were given.
+    #[must_use]
+    pub fn roots(&self) -> &[StateId] {
+        &self.roots
+    }
+
+    /// Exploration census: states, edges, peak frontier, truncation.
+    #[must_use]
+    pub fn stats(&self) -> &ExploreStats {
+        &self.stats
+    }
+
+    /// Resolve an id back to its state.
+    #[inline]
+    #[must_use]
+    pub fn resolve(&self, id: StateId) -> &A::State {
+        self.store.resolve(id)
+    }
+
+    /// The id of `state`, if it was reached within budget.
+    #[must_use]
+    pub fn id_of(&self, state: &A::State) -> Option<StateId> {
+        self.store.get(state)
+    }
+
+    /// Whether `state` was reached within budget.
+    #[must_use]
+    pub fn contains(&self, state: &A::State) -> bool {
+        self.store.get(state).is_some()
+    }
+
+    /// The retained transitions out of `id`, in task order.
+    #[inline]
+    #[must_use]
+    pub fn successors(&self, id: StateId) -> &[(A::Task, A::Action, StateId)] {
+        &self.edges[id.index()]
+    }
+
+    /// All ids in discovery (BFS) order.
+    pub fn ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.store.ids()
+    }
+
+    /// The BFS-tree step that first discovered `id` (`None` for roots).
+    #[must_use]
+    pub fn discovered_by(&self, id: StateId) -> Option<&(StateId, A::Task, A::Action)> {
+        self.parent[id.index()].as_ref()
+    }
+
+    /// A shortest path (in the BFS tree) from some root to `id`, as
+    /// `(task, action, resulting state)` steps.
+    #[must_use]
+    pub fn path_to(&self, id: StateId) -> Path<A> {
+        let mut path = Vec::new();
+        let mut cur = id;
+        while let Some((prev, t, a)) = &self.parent[cur.index()] {
+            path.push((t.clone(), a.clone(), self.store.resolve(cur).clone()));
+            cur = *prev;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// The set of states reachable from `roots` (legacy state-set view of
+/// an exploration).
+#[derive(Debug, Clone)]
 pub struct ReachResult<S> {
-    /// Every state reached (including the roots).
-    pub states: HashSet<S>,
-    /// Whether exploration stopped at the state budget rather than at a
-    /// fixpoint. When `true`, absence of a state from `states` proves
-    /// nothing.
+    /// Every reachable state found within the budget.
+    pub states: std::collections::HashSet<S>,
+    /// True if the `max_states` budget stopped the search early.
     pub truncated: bool,
 }
 
-/// Computes all states reachable from `roots` by task transitions
-/// (`succ_all` over every task), up to `max_states` distinct states.
+/// Breadth-first reachability from a set of roots, stopping after
+/// `max_states` distinct states.
 ///
-/// # Example
+/// A thin wrapper over [`ExploredGraph::explore`] that forgets the
+/// graph structure and hands back the plain state set.
 ///
 /// ```
 /// use ioa::automaton::Automaton;
@@ -39,56 +332,37 @@ pub fn reachable_states<A: Automaton>(
     roots: Vec<A::State>,
     max_states: usize,
 ) -> ReachResult<A::State> {
-    let tasks = aut.tasks();
-    let mut states: HashSet<A::State> = HashSet::new();
-    let mut queue: VecDeque<A::State> = VecDeque::new();
-    for r in roots {
-        if states.insert(r.clone()) {
-            queue.push_back(r);
-        }
+    let g = ExploredGraph::explore(aut, roots, max_states);
+    ReachResult {
+        states: g.store().states().iter().cloned().collect(),
+        truncated: g.stats().truncated(),
     }
-    let mut truncated = false;
-    while let Some(s) = queue.pop_front() {
-        for t in &tasks {
-            for (_, s2) in aut.succ_all(t, &s) {
-                if states.contains(&s2) {
-                    continue;
-                }
-                if states.len() >= max_states {
-                    truncated = true;
-                    continue;
-                }
-                states.insert(s2.clone());
-                queue.push_back(s2);
-            }
-        }
-    }
-    ReachResult { states, truncated }
 }
 
-/// A path found by [`search`]: the steps `(task, action, state)` from
-/// the root to the first state satisfying the predicate.
-#[allow(clippy::type_complexity)]
+/// A path through an automaton: the `(task, action, resulting state)`
+/// steps of a finite execution fragment (Section 2.1.1), excluding the
+/// start state.
 pub type Path<A> = Vec<(
     <A as Automaton>::Task,
     <A as Automaton>::Action,
     <A as Automaton>::State,
 )>;
 
-/// The outcome of a bounded predicate search.
+/// Outcome of a bounded breadth-first search for a target state.
 #[derive(Debug)]
 pub enum SearchOutcome<A: Automaton> {
-    /// A state satisfying the predicate was found; the path from the
-    /// root is returned (empty if the root itself satisfies it).
+    /// A shortest path (in steps) from the root to a state satisfying
+    /// the predicate.
     Found(Path<A>),
-    /// The full reachable space was explored and no state satisfies the
-    /// predicate — a *proof* of unreachability.
+    /// The whole reachable space was explored; no state matches. This
+    /// is a proof of unreachability.
     Exhausted,
-    /// The state budget ran out first; the result is inconclusive.
+    /// The state budget was exhausted first; absence is inconclusive.
     Truncated,
 }
 
-// Manual impls to avoid spurious `A: Clone`/`A: PartialEq` bounds.
+// Manual impls: derived ones would demand `A: Clone` / `A: PartialEq`
+// even though only the associated types appear in the data.
 impl<A: Automaton> Clone for SearchOutcome<A> {
     fn clone(&self) -> Self {
         match self {
@@ -112,10 +386,14 @@ impl<A: Automaton> PartialEq for SearchOutcome<A> {
 
 impl<A: Automaton> Eq for SearchOutcome<A> {}
 
-/// Breadth-first search from `root` for a state satisfying `pred`,
-/// visiting at most `max_states` distinct states.
+/// Bounded BFS from `root` for a state satisfying `pred`, returning a
+/// shortest path to the first match.
 ///
-/// Returns the *shortest* witnessing path (by step count).
+/// Unlike [`ExploredGraph::explore`], this stops as soon as a match is
+/// discovered, so it keeps its own early-exit BFS: an interning arena
+/// for the seen-set plus an id-indexed parent vector for path
+/// reconstruction. The predicate is checked on the root first, then on
+/// each state as it is discovered.
 pub fn search<A, P>(aut: &A, root: &A::State, pred: P, max_states: usize) -> SearchOutcome<A>
 where
     A: Automaton,
@@ -125,37 +403,43 @@ where
         return SearchOutcome::Found(Vec::new());
     }
     let tasks = aut.tasks();
-    // parent: state -> (prev state, task, action)
-    #[allow(clippy::type_complexity)]
-    let mut parent: HashMap<A::State, (A::State, A::Task, A::Action)> = HashMap::new();
-    let mut seen: HashSet<A::State> = HashSet::new();
-    seen.insert(root.clone());
-    let mut queue: VecDeque<A::State> = VecDeque::from([root.clone()]);
+    let mut store: StateStore<A::State> = StateStore::new();
+    let (root_id, _) = store.intern(root);
+    let mut parent: Vec<Option<Discovery<A>>> = vec![None];
+    let mut queue: VecDeque<StateId> = VecDeque::from([root_id]);
     let mut truncated = false;
-    while let Some(s) = queue.pop_front() {
-        for t in &tasks {
-            for (a, s2) in aut.succ_all(t, &s) {
-                if seen.contains(&s2) {
-                    continue;
-                }
-                if seen.len() >= max_states {
-                    truncated = true;
-                    continue;
-                }
-                seen.insert(s2.clone());
-                parent.insert(s2.clone(), (s.clone(), t.clone(), a.clone()));
-                if pred(&s2) {
-                    // Reconstruct the path root → s2.
-                    let mut path = Vec::new();
-                    let mut cur = s2.clone();
-                    while let Some((prev, task, action)) = parent.get(&cur) {
-                        path.push((task.clone(), action.clone(), cur.clone()));
-                        cur = prev.clone();
+
+    while let Some(id) = queue.pop_front() {
+        let succs: Vec<(A::Task, A::Action, A::State)> = {
+            let s = store.resolve(id);
+            tasks
+                .iter()
+                .flat_map(|t| {
+                    aut.succ_all(t, s)
+                        .into_iter()
+                        .map(move |(a, s2)| (t.clone(), a, s2))
+                })
+                .collect()
+        };
+        for (t, a, s2) in succs {
+            match store.try_intern(&s2, max_states) {
+                Some((id2, true)) => {
+                    parent.push(Some((id, t, a)));
+                    if pred(&s2) {
+                        // Walk the BFS tree back to the root.
+                        let mut path = Vec::new();
+                        let mut cur = id2;
+                        while let Some((prev, t, a)) = &parent[cur.index()] {
+                            path.push((t.clone(), a.clone(), store.resolve(cur).clone()));
+                            cur = *prev;
+                        }
+                        path.reverse();
+                        return SearchOutcome::Found(path);
                     }
-                    path.reverse();
-                    return SearchOutcome::Found(path);
+                    queue.push_back(id2);
                 }
-                queue.push_back(s2);
+                Some((_, false)) => {}
+                None => truncated = true,
             }
         }
     }
@@ -166,50 +450,19 @@ where
     }
 }
 
-/// A materialized transition graph over the reachable space: for each
-/// state, the out-edges `(task, action, successor)`.
-#[derive(Clone, Debug)]
-pub struct Graph<A: Automaton> {
-    /// Out-edges per state.
-    #[allow(clippy::type_complexity)]
-    pub edges: HashMap<A::State, Vec<(A::Task, A::Action, A::State)>>,
-    /// Whether the graph was truncated at the state budget.
-    pub truncated: bool,
-}
-
-/// Builds the full transition graph reachable from `roots`, up to
-/// `max_states` distinct states.
-pub fn build_graph<A: Automaton>(aut: &A, roots: Vec<A::State>, max_states: usize) -> Graph<A> {
-    let tasks = aut.tasks();
-    #[allow(clippy::type_complexity)]
-    let mut edges: HashMap<A::State, Vec<(A::Task, A::Action, A::State)>> = HashMap::new();
-    let mut queue: VecDeque<A::State> = VecDeque::new();
-    let mut seen: HashSet<A::State> = HashSet::new();
-    for r in roots {
-        if seen.insert(r.clone()) {
-            queue.push_back(r);
-        }
-    }
-    let mut truncated = false;
-    while let Some(s) = queue.pop_front() {
-        let mut out = Vec::new();
-        for t in &tasks {
-            for (a, s2) in aut.succ_all(t, &s) {
-                out.push((t.clone(), a.clone(), s2.clone()));
-                if seen.contains(&s2) {
-                    continue;
-                }
-                if seen.len() >= max_states {
-                    truncated = true;
-                    continue;
-                }
-                seen.insert(s2.clone());
-                queue.push_back(s2);
-            }
-        }
-        edges.insert(s, out);
-    }
-    Graph { edges, truncated }
+/// Build the interned reachable graph from `roots` — the transition
+/// structure of `G(C)` (Section 3.3) that the valence census and hook
+/// search walk.
+///
+/// Under truncation, edges into never-admitted states are dropped and
+/// counted ([`Truncation::StateBudget`]'s `dropped_edges`), so the edge
+/// lists only ever reference states present in the graph.
+pub fn build_graph<A: Automaton>(
+    aut: &A,
+    roots: Vec<A::State>,
+    max_states: usize,
+) -> ExploredGraph<A> {
+    ExploredGraph::explore(aut, roots, max_states)
 }
 
 #[cfg(test)]
@@ -222,26 +475,29 @@ mod tests {
         let c = ParityCounter::new(5);
         let r = reachable_states(&c, c.initial_states(), 100);
         assert_eq!(r.states.len(), 6);
-        assert!(r.states.contains(&5));
+        assert!(!r.truncated);
     }
 
     #[test]
     fn truncation_is_reported() {
         let c = ParityCounter::new(100);
         let r = reachable_states(&c, c.initial_states(), 10);
-        assert!(r.truncated);
         assert_eq!(r.states.len(), 10);
+        assert!(r.truncated);
     }
 
     #[test]
     fn search_finds_shortest_path() {
-        let c = ParityCounter::new(5);
+        let c = ParityCounter::new(10);
         match search(&c, &0, |s| *s == 3, 100) {
             SearchOutcome::Found(path) => {
                 assert_eq!(path.len(), 3);
-                assert_eq!(path[0].0, ParityTask::Even);
-                assert_eq!(path[1].0, ParityTask::Odd);
-                assert_eq!(path[2].0, ParityTask::Even);
+                let tasks: Vec<ParityTask> = path.iter().map(|(t, _, _)| *t).collect();
+                assert_eq!(
+                    tasks,
+                    vec![ParityTask::Even, ParityTask::Odd, ParityTask::Even]
+                );
+                assert_eq!(path.last().unwrap().2, 3);
             }
             other => panic!("expected Found, got {other:?}"),
         }
@@ -256,15 +512,91 @@ mod tests {
     #[test]
     fn search_at_root() {
         let c = ParityCounter::new(5);
-        assert_eq!(search(&c, &0, |s| *s == 0, 100), SearchOutcome::Found(Vec::new()));
+        assert_eq!(
+            search(&c, &0, |s| *s == 0, 100),
+            SearchOutcome::Found(Vec::new())
+        );
     }
 
     #[test]
     fn graph_has_one_edge_per_applicable_task() {
         let c = ParityCounter::new(2);
         let g = build_graph(&c, c.initial_states(), 100);
-        assert!(!g.truncated);
-        assert_eq!(g.edges[&0].len(), 1);
-        assert_eq!(g.edges[&2].len(), 0);
+        assert_eq!(g.len(), 3);
+        assert!(!g.stats().truncated());
+        let id0 = g.id_of(&0).expect("root interned");
+        let id2 = g.id_of(&2).expect("terminal state reached");
+        assert_eq!(g.successors(id0).len(), 1); // only Even applies at 0
+        assert_eq!(g.successors(id2).len(), 0); // terminal
+        assert_eq!(g.stats().edges, 2); // 0 -> 1 -> 2
+    }
+
+    #[test]
+    fn ids_follow_bfs_discovery_order() {
+        let c = ParityCounter::new(3);
+        let g = build_graph(&c, c.initial_states(), 100);
+        for (i, id) in g.ids().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(*g.resolve(id), i as i64);
+        }
+        // The parent chain reconstructs a shortest path to each state.
+        let id3 = g.id_of(&3).unwrap();
+        let path = g.path_to(id3);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path.last().unwrap().2, 3);
+    }
+
+    #[test]
+    fn truncated_graph_has_no_dangling_edges() {
+        // Regression for the pre-interning builder, which pushed edges
+        // before checking the budget: a truncated graph would contain
+        // edges to states that were never given a node entry. The
+        // chosen semantics: drop such edges and count them.
+        let c = ParityCounter::new(1_000);
+        let g = build_graph(&c, c.initial_states(), 10);
+        assert_eq!(g.len(), 10);
+        match g.stats().truncation {
+            Truncation::StateBudget {
+                budget,
+                dropped_edges,
+            } => {
+                assert_eq!(budget, 10);
+                // The counter is a chain, so exactly the edge 9 -> 10 drops.
+                assert_eq!(dropped_edges, 1);
+            }
+            Truncation::Complete => panic!("expected truncation"),
+        }
+        // Every retained edge targets an admitted state.
+        for id in g.ids() {
+            for (_, _, dst) in g.successors(id) {
+                assert!(dst.index() < g.len(), "dangling edge to {dst:?}");
+            }
+        }
+        assert_eq!(g.stats().edges, 9);
+    }
+
+    #[test]
+    fn explore_options_do_not_change_loop_free_graphs() {
+        // ParityCounter has no self-loops, so skip_self_loops must be
+        // a no-op on it; the flag only ever removes s -> s stutters.
+        let c = ParityCounter::new(4);
+        let full = ExploredGraph::explore_with(
+            &c,
+            c.initial_states(),
+            ExploreOptions {
+                max_states: 100,
+                skip_self_loops: false,
+            },
+        );
+        let skipped = ExploredGraph::explore_with(
+            &c,
+            c.initial_states(),
+            ExploreOptions {
+                max_states: 100,
+                skip_self_loops: true,
+            },
+        );
+        assert_eq!(full.len(), skipped.len());
+        assert_eq!(full.stats().edges, skipped.stats().edges);
     }
 }

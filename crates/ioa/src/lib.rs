@@ -26,6 +26,11 @@
 //!   implemented natively by the `system` crate).
 //! * [`refine`] — finite-trace inclusion ("A implements B",
 //!   Section 2.1.1, clause 2) via on-the-fly subset construction.
+//! * [`store`] — the dense state-interning arena ([`store::StateStore`],
+//!   [`store::StateId`]) the exploration layer runs on: each distinct
+//!   state is hashed once and thereafter handled as a `u32` id.
+//! * [`rng`] — in-tree deterministic SplitMix64 randomness for seeded
+//!   schedule drivers; keeps the build hermetic (no `rand` dependency).
 //!
 //! # Example
 //!
@@ -47,7 +52,10 @@ pub mod explore;
 pub mod fairness;
 pub mod nary;
 pub mod refine;
+pub mod rng;
+pub mod store;
 pub mod toy;
 
 pub use automaton::{ActionKind, Automaton};
 pub use execution::{Execution, Step};
+pub use store::{StateId, StateStore};

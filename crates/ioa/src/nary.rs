@@ -70,7 +70,9 @@ impl<A: Automaton> Composite<A> {
                 if c == actor {
                     s.clone() // actor's post-state is substituted by the caller
                 } else {
-                    self.components[c].apply_input(s, a).unwrap_or_else(|| s.clone())
+                    self.components[c]
+                        .apply_input(s, a)
+                        .unwrap_or_else(|| s.clone())
                 }
             })
             .collect()
@@ -176,7 +178,10 @@ mod tests {
         let s1 = net.apply_input(&s0, &ChanAction::Send(1)).unwrap();
         assert_eq!(s1, vec![vec![1], vec![1]]);
         // Each channel's deliver task fires independently.
-        let t0 = IndexedTask { component: 0, task: crate::toy::DeliverTask };
+        let t0 = IndexedTask {
+            component: 0,
+            task: crate::toy::DeliverTask,
+        };
         let (a, s2) = net.succ_det(&t0, &s1).unwrap();
         assert_eq!(a, ChanAction::Recv(1));
         assert_eq!(s2[0], Vec::<i64>::new());
@@ -234,10 +239,19 @@ mod tests {
         // Recv is an output — other channels ignore it (their
         // apply_input returns None), so sync leaves them unchanged.
         let net = Composite::new(vec![Channel::new(&[1]), Channel::new(&[1])]);
-        let s = net.apply_input(&net.initial_states().remove(0), &ChanAction::Send(1)).unwrap();
-        let t1 = IndexedTask { component: 1, task: crate::toy::DeliverTask };
+        let s = net
+            .apply_input(&net.initial_states().remove(0), &ChanAction::Send(1))
+            .unwrap();
+        let t1 = IndexedTask {
+            component: 1,
+            task: crate::toy::DeliverTask,
+        };
         let (_, s2) = net.succ_det(&t1, &s).unwrap();
-        assert_eq!(s2[0], vec![1], "component 0 untouched by component 1's output");
+        assert_eq!(
+            s2[0],
+            vec![1],
+            "component 0 untouched by component 1's output"
+        );
         assert_eq!(s2[1], Vec::<i64>::new());
     }
 }

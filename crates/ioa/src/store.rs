@@ -1,0 +1,369 @@
+//! Dense state interning: the arena underneath the exploration core.
+//!
+//! Every pass in the paper reproduction — reachability (Section 2.1.1
+//! executions), the valence census of G(C) (Section 3.3), the Lemma 4
+//! bivalent-initialization scan, the Lemma 5 hook search — walks the
+//! same reachable state space. Keying frontiers, seen-sets, parent maps
+//! and valence tables directly on full `SystemState` clones pays a deep
+//! clone + deep hash *per visit*; interning pays it once per *distinct
+//! state* and hands every pass a dense [`StateId`] (`u32`) instead.
+//! Downstream tables then become flat `Vec`s indexed by id: no hashing,
+//! no re-cloning, cache-friendly scans.
+//!
+//! The arena is append-only: ids are handed out in first-visit (BFS
+//! discovery) order and are never invalidated, so an id minted during
+//! exploration stays valid for the lifetime of the store — the property
+//! that lets `analysis` share one [`ExploredGraph`](crate::explore::ExploredGraph)
+//! across valence classification, hook extraction and witness scans.
+//!
+//! Hashing is a hand-rolled FxHash-style multiply-xor (the rustc hasher
+//! lineage): not cryptographic, extremely fast on the short word
+//! streams produced by `#[derive(Hash)]` state types, and fully
+//! deterministic (no per-process SipHash keys), which keeps exploration
+//! order reproducible across runs.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Multiplier from the FxHash family (64-bit): a single odd constant
+/// with good bit dispersion under `rotate ^ mul`.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: `hash = (hash.rotate_left(5) ^ word) * SEED`
+/// per input word. Deterministic, no external dependency, and roughly
+/// an order of magnitude cheaper than SipHash on small keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable directly with
+/// `HashMap::with_hasher`.
+pub type BuildFxHasher = BuildHasherDefault<FxHasher>;
+
+/// Hash a single value with the deterministic Fx hasher.
+#[must_use]
+pub fn fx_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// A dense identifier for an interned state.
+///
+/// Ids are handed out consecutively from 0 in discovery order, so they
+/// double as indices into per-state side tables (`Vec<Valence>`,
+/// `Vec<Vec<Edge>>`, …). `u32` bounds the arena at ~4.29 billion
+/// distinct states — far beyond what exhaustive valence classification
+/// can visit — and halves id-table memory versus `usize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The id's position in discovery order, usable as a `Vec` index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an id from an index previously obtained via
+    /// [`StateId::index`]. The caller is responsible for the index
+    /// having come from the same store.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> StateId {
+        StateId(u32::try_from(index).expect("StateId index exceeds u32::MAX"))
+    }
+}
+
+/// An append-only arena interning states of type `S`.
+///
+/// * [`intern`](StateStore::intern) maps a state to its [`StateId`],
+///   allocating a fresh id (and cloning the state **once**) only on
+///   first sight — idempotent thereafter.
+/// * [`resolve`](StateStore::resolve) maps an id back to the state in
+///   O(1); the returned reference is stable for the store's lifetime
+///   (states are never moved or dropped).
+///
+/// Internally a `Vec<S>` arena plus an Fx-hashed bucket table mapping
+/// `hash(state) -> candidate ids`, so each state is stored exactly once
+/// even under hash collisions.
+#[derive(Debug, Clone)]
+pub struct StateStore<S> {
+    states: Vec<S>,
+    buckets: HashMap<u64, Vec<StateId>, BuildFxHasher>,
+}
+
+impl<S> Default for StateStore<S> {
+    fn default() -> Self {
+        StateStore {
+            states: Vec::new(),
+            buckets: HashMap::default(),
+        }
+    }
+}
+
+impl<S: Hash + Eq + Clone> StateStore<S> {
+    /// Create an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty store with room for `capacity` states.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        StateStore {
+            states: Vec::with_capacity(capacity),
+            buckets: HashMap::with_capacity_and_hasher(capacity, BuildFxHasher::default()),
+        }
+    }
+
+    /// Number of distinct states interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Intern `state`, returning its id and whether it was fresh.
+    ///
+    /// On first sight the state is cloned into the arena and assigned
+    /// the next dense id; on every later call the existing id is
+    /// returned without cloning. This is the only place the exploration
+    /// layer ever clones or hashes a full state.
+    ///
+    /// # Panics
+    /// Panics if the arena already holds `u32::MAX as usize + 1` states
+    /// (the `u32` id space is exhausted).
+    pub fn intern(&mut self, state: &S) -> (StateId, bool) {
+        let h = fx_hash(state);
+        let bucket = self.buckets.entry(h).or_default();
+        for &id in bucket.iter() {
+            if &self.states[id.index()] == state {
+                return (id, false);
+            }
+        }
+        let id = StateId::from_index(self.states.len());
+        self.states.push(state.clone());
+        bucket.push(id);
+        (id, true)
+    }
+
+    /// Intern `state` only if doing so keeps the arena within `cap`
+    /// states. Returns `None` (without inserting) when the state is
+    /// fresh but the budget is exhausted — the single-hash primitive
+    /// the explorer's budgeted BFS is built on.
+    pub fn try_intern(&mut self, state: &S, cap: usize) -> Option<(StateId, bool)> {
+        let h = fx_hash(state);
+        let bucket = self.buckets.entry(h).or_default();
+        for &id in bucket.iter() {
+            if &self.states[id.index()] == state {
+                return Some((id, false));
+            }
+        }
+        if self.states.len() >= cap {
+            return None;
+        }
+        let id = StateId::from_index(self.states.len());
+        self.states.push(state.clone());
+        bucket.push(id);
+        Some((id, true))
+    }
+
+    /// Look up the id of an already-interned state without inserting.
+    #[must_use]
+    pub fn get(&self, state: &S) -> Option<StateId> {
+        let h = fx_hash(state);
+        let bucket = self.buckets.get(&h)?;
+        bucket
+            .iter()
+            .copied()
+            .find(|id| &self.states[id.index()] == state)
+    }
+
+    /// Resolve an id back to its state. O(1) array access.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this store.
+    #[inline]
+    #[must_use]
+    pub fn resolve(&self, id: StateId) -> &S {
+        &self.states[id.index()]
+    }
+
+    /// Iterate all interned states in id (discovery) order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &S)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StateId(i as u32), s))
+    }
+
+    /// The interned states in id order, as a slice.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Iterate all ids in discovery order.
+    pub fn ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut st = StateStore::new();
+        let (a, fresh_a) = st.intern(&"alpha".to_string());
+        let (b, fresh_b) = st.intern(&"beta".to_string());
+        let (a2, fresh_a2) = st.intern(&"alpha".to_string());
+        assert!(fresh_a && fresh_b);
+        assert!(!fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_discovery_order() {
+        let mut st = StateStore::new();
+        for i in 0..100u64 {
+            let (id, fresh) = st.intern(&i);
+            assert!(fresh);
+            assert_eq!(id.index(), i as usize);
+        }
+        assert_eq!(st.len(), 100);
+        let ids: Vec<usize> = st.ids().map(StateId::index).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_is_stable_across_growth() {
+        let mut st = StateStore::new();
+        let (id, _) = st.intern(&7u64);
+        for i in 1000..2000u64 {
+            st.intern(&i);
+        }
+        assert_eq!(*st.resolve(id), 7);
+        assert_eq!(st.get(&7u64), Some(id));
+        assert_eq!(st.get(&999_999u64), None);
+    }
+
+    #[test]
+    fn collisions_do_not_conflate_states() {
+        // Two states in the same bucket must still intern separately.
+        // Force the situation by interning many states; with 64-bit Fx
+        // hashes real collisions are unlikely, so instead check the
+        // bucket probe path directly via equal-hash construction:
+        // FxHasher is deterministic, so craft a store keyed on a type
+        // whose Hash impl is intentionally degenerate.
+        #[derive(Clone, PartialEq, Eq, Debug)]
+        struct DegenerateHash(u32);
+        impl Hash for DegenerateHash {
+            fn hash<H: Hasher>(&self, state: &mut H) {
+                state.write_u64(0); // every value collides
+            }
+        }
+        let mut st = StateStore::new();
+        let (a, _) = st.intern(&DegenerateHash(1));
+        let (b, _) = st.intern(&DegenerateHash(2));
+        let (a2, fresh) = st.intern(&DegenerateHash(1));
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+        assert!(!fresh);
+        assert_eq!(*st.resolve(b), DegenerateHash(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn from_index_guards_u32_overflow() {
+        // The guard that fires when the arena would exceed the u32 id
+        // space. Interning 2^32 real states is infeasible in a unit
+        // test, so exercise the checked conversion directly.
+        let _ = StateId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn try_intern_respects_the_budget() {
+        let mut st = StateStore::new();
+        assert_eq!(st.try_intern(&1u64, 2), Some((StateId(0), true)));
+        assert_eq!(st.try_intern(&2u64, 2), Some((StateId(1), true)));
+        // Budget reached: fresh states are refused, known states still hit.
+        assert_eq!(st.try_intern(&3u64, 2), None);
+        assert_eq!(st.try_intern(&1u64, 2), Some((StateId(0), false)));
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn fx_hash_is_deterministic() {
+        assert_eq!(fx_hash(&(1u64, 2u64)), fx_hash(&(1u64, 2u64)));
+        assert_ne!(fx_hash(&1u64), fx_hash(&2u64));
+    }
+}

@@ -1,13 +1,17 @@
-//! Property-based tests for the I/O automata kernel: execution
-//! algebra, Lemma 1 (applicability persistence), fairness of
+//! Randomized-but-deterministic tests for the I/O automata kernel:
+//! execution algebra, Lemma 1 (applicability persistence), fairness of
 //! round-robin runs, and exploration soundness.
+//!
+//! Formerly proptest-based; rewritten onto the in-tree
+//! [`ioa::rng::SplitMix64`] generator so the suite runs hermetically
+//! (no registry dependency) and every case is replayable from its seed.
 
 use ioa::automaton::{ActionKind, Automaton};
 use ioa::execution::Execution;
 use ioa::explore::{reachable_states, search, SearchOutcome};
 use ioa::fairness::{is_fair_finite, lasso_is_fair, run_round_robin, RunOutcome};
+use ioa::rng::{RandomSource, SplitMix64};
 use ioa::toy::{ChanAction, Channel, ParityCounter};
-use proptest::prelude::*;
 
 /// A configurable toy automaton: `tasks[t]` maps state `s` to an
 /// optional successor; used to generate random finite automata with
@@ -46,99 +50,123 @@ impl Automaton for TableAutomaton {
     }
 }
 
-fn table_strategy(states: usize, tasks: usize) -> impl Strategy<Value = TableAutomaton> {
-    proptest::collection::vec(
-        proptest::collection::vec(
-            prop_oneof![3 => 0..states, 1 => Just(usize::MAX)],
-            states,
-        ),
-        tasks,
-    )
-    .prop_map(|table| TableAutomaton { table })
+/// Draw a random `TableAutomaton`: each cell enables a transition with
+/// probability 3/4 (matching the weights of the original strategy).
+fn random_table(g: &mut SplitMix64, states: usize, tasks: usize) -> TableAutomaton {
+    let table = (0..tasks)
+        .map(|_| {
+            (0..states)
+                .map(|_| {
+                    if g.gen_range(4) < 3 {
+                        g.gen_range(states)
+                    } else {
+                        usize::MAX
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    TableAutomaton { table }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn round_robin_outcomes_are_always_fair(aut in table_strategy(6, 3)) {
+#[test]
+fn round_robin_outcomes_are_always_fair() {
+    let mut g = SplitMix64::seed_from_u64(0x10a_0001);
+    for _ in 0..64 {
+        let aut = random_table(&mut g, 6, 3);
         let run = run_round_robin(&aut, 0, 10_000, |_| false);
         match run.outcome {
             RunOutcome::Quiescent => {
-                prop_assert!(is_fair_finite(&aut, &run.exec));
+                assert!(is_fair_finite(&aut, &run.exec), "{aut:?}");
             }
             RunOutcome::Lasso { cycle_start } => {
-                prop_assert!(lasso_is_fair(&aut, &run.exec, cycle_start));
+                assert!(lasso_is_fair(&aut, &run.exec, cycle_start), "{aut:?}");
             }
             RunOutcome::Budget => {
                 // 10k steps over ≤ 18 configurations cannot happen:
                 // the run must terminate or repeat.
-                prop_assert!(false, "budget exhausted on a finite automaton");
+                panic!("budget exhausted on a finite automaton: {aut:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn executions_replay_their_own_task_sequence(aut in table_strategy(6, 3)) {
+#[test]
+fn executions_replay_their_own_task_sequence() {
+    let mut g = SplitMix64::seed_from_u64(0x10a_0002);
+    for _ in 0..64 {
+        let aut = random_table(&mut g, 6, 3);
         let run = run_round_robin(&aut, 0, 1_000, |_| false);
         let tasks = run.exec.task_sequence();
         let mut replay = Execution::new(0);
         let applied = replay.replay(&aut, &tasks);
-        prop_assert_eq!(applied, tasks.len(), "deterministic replay applies every task");
-        prop_assert_eq!(replay.last_state(), run.exec.last_state());
+        assert_eq!(
+            applied,
+            tasks.len(),
+            "deterministic replay applies every task"
+        );
+        assert_eq!(replay.last_state(), run.exec.last_state());
     }
+}
 
-    #[test]
-    fn search_found_implies_reachable_and_exhausted_implies_not(
-        aut in table_strategy(8, 3),
-        target in 0usize..8,
-    ) {
+#[test]
+fn search_found_implies_reachable_and_exhausted_implies_not() {
+    let mut g = SplitMix64::seed_from_u64(0x10a_0003);
+    for _ in 0..64 {
+        let aut = random_table(&mut g, 8, 3);
+        let target = g.gen_range(8);
         let reach = reachable_states(&aut, vec![0], 10_000);
-        prop_assert!(!reach.truncated);
+        assert!(!reach.truncated);
         match search(&aut, &0, |s| *s == target, 10_000) {
             SearchOutcome::Found(path) => {
-                prop_assert!(reach.states.contains(&target));
+                assert!(reach.states.contains(&target));
                 // Path endpoints line up.
                 if let Some((_, _, last)) = path.last() {
-                    prop_assert_eq!(*last, target);
+                    assert_eq!(*last, target);
                 } else {
-                    prop_assert_eq!(target, 0);
+                    assert_eq!(target, 0);
                 }
             }
             SearchOutcome::Exhausted => {
-                prop_assert!(!reach.states.contains(&target));
+                assert!(!reach.states.contains(&target));
             }
-            SearchOutcome::Truncated => prop_assert!(false, "budget was ample"),
+            SearchOutcome::Truncated => panic!("budget was ample"),
         }
     }
+}
 
-    #[test]
-    fn lemma1_applicability_persists_without_the_task(
-        aut in table_strategy(6, 3),
-        steps in proptest::collection::vec(0usize..3, 0..12),
-    ) {
-        // Lemma 1 shape: if task e is applicable at s and we run a
-        // fragment containing no e-steps, e stays applicable — for
-        // automata whose tasks are "buffer-like" (a task, once enabled,
-        // is only disabled by its own firing). TableAutomaton tasks are
-        // not buffer-like in general, so restrict the check to the
-        // system-level property it encodes: applicability is decided by
-        // succ_all alone.
+#[test]
+fn lemma1_applicability_persists_without_the_task() {
+    // Lemma 1 shape: if task e is applicable at s and we run a
+    // fragment containing no e-steps, e stays applicable — for
+    // automata whose tasks are "buffer-like" (a task, once enabled,
+    // is only disabled by its own firing). TableAutomaton tasks are
+    // not buffer-like in general, so restrict the check to the
+    // system-level property it encodes: applicability is decided by
+    // succ_all alone.
+    let mut g = SplitMix64::seed_from_u64(0x10a_0004);
+    for _ in 0..64 {
+        let aut = random_table(&mut g, 6, 3);
+        let len = g.gen_range(12);
+        let steps: Vec<usize> = (0..len).map(|_| g.gen_range(3)).collect();
         let mut s = 0usize;
         for t in steps {
             if let Some((_, s2)) = aut.succ_det(&t, &s) {
                 s = s2;
             }
             for e in aut.tasks() {
-                prop_assert_eq!(aut.applicable(&e, &s), !aut.succ_all(&e, &s).is_empty());
+                assert_eq!(aut.applicable(&e, &s), !aut.succ_all(&e, &s).is_empty());
             }
         }
     }
+}
 
-    #[test]
-    fn channel_trace_is_send_recv_balanced(
-        sends in proptest::collection::vec(0i64..4, 0..10),
-    ) {
+#[test]
+fn channel_trace_is_send_recv_balanced() {
+    let mut g = SplitMix64::seed_from_u64(0x10a_0005);
+    for _ in 0..64 {
+        let len = g.gen_range(10);
+        let sends: Vec<i64> = (0..len).map(|_| g.gen_i64_range(0, 4)).collect();
         let ch = Channel::new(&[0, 1, 2, 3]);
         let mut e = Execution::new(ch.initial_states().remove(0));
         for m in &sends {
@@ -162,15 +190,20 @@ proptest! {
                 _ => None,
             })
             .collect();
-        prop_assert_eq!(sent, received, "FIFO channel delivers exactly what was sent");
+        assert_eq!(
+            sent, received,
+            "FIFO channel delivers exactly what was sent"
+        );
     }
+}
 
-    #[test]
-    fn parity_counter_always_saturates(max in 0i64..40) {
+#[test]
+fn parity_counter_always_saturates() {
+    for max in 0i64..40 {
         let c = ParityCounter::new(max);
         let run = run_round_robin(&c, 0, 10_000, |_| false);
-        prop_assert_eq!(run.outcome, RunOutcome::Quiescent);
-        prop_assert_eq!(*run.exec.last_state(), max);
-        prop_assert_eq!(run.exec.len() as i64, max);
+        assert_eq!(run.outcome, RunOutcome::Quiescent);
+        assert_eq!(*run.exec.last_state(), max);
+        assert_eq!(run.exec.len() as i64, max);
     }
 }

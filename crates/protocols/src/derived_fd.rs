@@ -174,12 +174,18 @@ impl ProcessAutomaton for DerivedFdProcess {
 ///
 /// Panics if `n < 2`.
 pub fn build(n: usize) -> CompleteSystem<DerivedFdProcess> {
-    assert!(n >= 2, "the pairwise construction needs at least two processes");
+    assert!(
+        n >= 2,
+        "the pairwise construction needs at least two processes"
+    );
     let all: Vec<ProcId> = (0..n).map(ProcId).collect();
     // Register domain: all subsets of I (2^n values).
     let mut domain = Vec::with_capacity(1 << n);
     for mask in 0..(1u32 << n) {
-        let s: BTreeSet<ProcId> = (0..n).filter(|i| mask & (1 << i) != 0).map(ProcId).collect();
+        let s: BTreeSet<ProcId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ProcId)
+            .collect();
         domain.push(encode_set(&s));
     }
     let initial = encode_set(&BTreeSet::new());

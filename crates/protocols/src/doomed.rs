@@ -126,10 +126,7 @@ impl ProcessAutomaton for RegisterThenObject {
 /// `f`-resilient consensus object; services `1..=n` are per-process
 /// wait-free binary registers (all-connected, per Section 2.2's
 /// registers).
-pub fn doomed_atomic_with_registers(
-    n: usize,
-    f: usize,
-) -> CompleteSystem<RegisterThenObject> {
+pub fn doomed_atomic_with_registers(n: usize, f: usize) -> CompleteSystem<RegisterThenObject> {
     let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
     let mut services: Vec<services::ArcService> = vec![Arc::new(CanonicalAtomicObject::new(
         Arc::new(BinaryConsensus),
@@ -262,10 +259,7 @@ impl ProcessAutomaton for TobConsensus {
 /// `n` processes.
 pub fn doomed_oblivious(n: usize, f: usize) -> CompleteSystem<TobConsensus> {
     let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
-    let tob = TotallyOrderedBroadcast::new(
-        [Val::Int(0), Val::Int(1)],
-        endpoints.iter().copied(),
-    );
+    let tob = TotallyOrderedBroadcast::new([Val::Int(0), Val::Int(1)], endpoints.iter().copied());
     let svc = CanonicalObliviousService::new(Arc::new(tob), endpoints, f);
     CompleteSystem::new(TobConsensus { tob: SvcId(0) }, n, vec![Arc::new(svc)])
 }
@@ -403,10 +397,7 @@ impl ProcessAutomaton for MixedConsensus {
 /// object, both shared by all `n` processes.
 pub fn doomed_mixed(n: usize, f: usize) -> CompleteSystem<MixedConsensus> {
     let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
-    let tob = TotallyOrderedBroadcast::new(
-        [Val::Int(0), Val::Int(1)],
-        endpoints.iter().copied(),
-    );
+    let tob = TotallyOrderedBroadcast::new([Val::Int(0), Val::Int(1)], endpoints.iter().copied());
     let services: Vec<services::ArcService> = vec![
         Arc::new(CanonicalObliviousService::new(
             Arc::new(tob),

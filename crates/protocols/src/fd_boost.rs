@@ -181,10 +181,7 @@ impl ProcessAutomaton for RotatingCoordinator {
                     let v = st.estimate.clone().expect("Ready implies an estimate");
                     let mut st2 = st.clone();
                     st2.phase = Phase::AwaitWriteAck;
-                    (
-                        ProcAction::Invoke(self.reg_of[r], ReadWrite::write(v)),
-                        st2,
-                    )
+                    (ProcAction::Invoke(self.reg_of[r], ReadWrite::write(v)), st2)
                 } else if st.suspected.contains(&ProcId(r)) {
                     // Accurately suspected coordinator: skip the round.
                     let mut st2 = st.clone();
@@ -215,7 +212,10 @@ impl ProcessAutomaton for RotatingCoordinator {
 ///
 /// Panics if `n < 2`.
 pub fn build(n: usize) -> CompleteSystem<RotatingCoordinator> {
-    assert!(n >= 2, "the pairwise construction needs at least two processes");
+    assert!(
+        n >= 2,
+        "the pairwise construction needs at least two processes"
+    );
     let all: Vec<ProcId> = (0..n).map(ProcId).collect();
     let mut services: Vec<services::ArcService> = Vec::new();
     let reg_of: Vec<SvcId> = (0..n)
@@ -261,15 +261,25 @@ mod tests {
         use services::ServiceClass;
         let classes: Vec<ServiceClass> = sys.services().iter().map(|s| s.class()).collect();
         assert_eq!(
-            classes.iter().filter(|c| **c == ServiceClass::Register).count(),
+            classes
+                .iter()
+                .filter(|c| **c == ServiceClass::Register)
+                .count(),
             4
         );
         assert_eq!(
-            classes.iter().filter(|c| **c == ServiceClass::General).count(),
+            classes
+                .iter()
+                .filter(|c| **c == ServiceClass::General)
+                .count(),
             6
         );
         // Every FD has exactly 2 endpoints and tolerates 1 failure.
-        for s in sys.services().iter().filter(|s| s.class() == ServiceClass::General) {
+        for s in sys
+            .services()
+            .iter()
+            .filter(|s| s.class() == ServiceClass::General)
+        {
             assert_eq!(s.endpoints().len(), 2);
             assert_eq!(s.resilience(), 1);
             assert!(s.is_wait_free());
@@ -316,9 +326,7 @@ mod tests {
             BranchPolicy::PreferDummy,
             &[(0, ProcId(0))],
             400_000,
-            |st| {
-                (1..3).all(|i| sys.decision(st, ProcId(i)).is_some())
-            },
+            |st| (1..3).all(|i| sys.decision(st, ProcId(i)).is_some()),
         );
         assert_eq!(run.outcome, FairOutcome::Stopped, "survivors must decide");
         let last = run.exec.last_state();

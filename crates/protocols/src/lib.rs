@@ -32,8 +32,8 @@
 
 pub mod derived_fd;
 pub mod doomed;
-pub mod message_passing;
 pub mod fd_boost;
+pub mod message_passing;
 pub mod set_boost;
 pub mod snapshot;
 pub mod tas_consensus;

@@ -114,10 +114,7 @@ impl ProcessAutomaton for FloodAll {
             let mut st2 = st.clone();
             st2.next_send += 1;
             return (
-                ProcAction::Invoke(
-                    self.chan[i.0][peer.0],
-                    PairChannel::send(input.clone()),
-                ),
+                ProcAction::Invoke(self.chan[i.0][peer.0], PairChannel::send(input.clone())),
                 st2,
             );
         }

@@ -46,10 +46,16 @@ impl SetBoostParams {
     }
 
     fn validate(&self) {
-        assert!(self.k_prime >= 1 && self.k >= self.k_prime, "need 1 ≤ k' ≤ k");
+        assert!(
+            self.k_prime >= 1 && self.k >= self.k_prime,
+            "need 1 ≤ k' ≤ k"
+        );
         assert_eq!(self.k % self.k_prime, 0, "k' must divide k");
         let g = self.groups();
-        assert!(g >= 1 && self.n.is_multiple_of(g), "the group count must divide n");
+        assert!(
+            g >= 1 && self.n.is_multiple_of(g),
+            "the group count must divide n"
+        );
         assert!(self.group_size() >= 1, "groups must be nonempty");
         // The k-set-consensus side condition 0 < k < n.
         assert!(self.k < self.n, "k-set-consensus needs k < n");
@@ -184,7 +190,11 @@ mod tests {
         // Wait-free 4-process 2-set consensus from two wait-free
         // 2-process consensus services: f = 3 tolerated although each
         // service is only 1-resilient.
-        let params = SetBoostParams { n: 4, k: 2, k_prime: 1 };
+        let params = SetBoostParams {
+            n: 4,
+            k: 2,
+            k_prime: 1,
+        };
         assert_eq!(params.groups(), 2);
         assert_eq!(params.group_size(), 2);
         let sys = build(params);
@@ -197,7 +207,11 @@ mod tests {
 
     #[test]
     fn failure_free_run_yields_at_most_k_values() {
-        let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+        let sys = build(SetBoostParams {
+            n: 4,
+            k: 2,
+            k_prime: 1,
+        });
         // All-distinct inputs: 0,1,2,3.
         let a = InputAssignment::of((0..4).map(|i| (ProcId(i), Val::Int(i as i64))));
         let s = initialize(&sys, &a);
@@ -218,7 +232,11 @@ mod tests {
         // The headline positive result: certify resilience n−1 = 3 with
         // k-agreement k = 2 across every failure pattern — the boosted
         // level that Theorem 2 forbids for k = 1.
-        let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+        let sys = build(SetBoostParams {
+            n: 4,
+            k: 2,
+            k_prime: 1,
+        });
         let domain: Vec<Val> = (0..4).map(Val::Int).collect();
         let mut cfg = CertifyConfig::new(2, 3, all_assignments(4, &domain));
         cfg.failure_timings = vec![0, 4];
@@ -236,7 +254,11 @@ mod tests {
     fn k_prime_greater_than_one_uses_set_consensus_services() {
         // n = 6, k = 4, k' = 2: g = 2 groups of 3 with wait-free
         // 2-set-consensus services.
-        let sys = build(SetBoostParams { n: 6, k: 4, k_prime: 2 });
+        let sys = build(SetBoostParams {
+            n: 6,
+            k: 4,
+            k_prime: 2,
+        });
         assert_eq!(sys.services().len(), 2);
         let a = InputAssignment::of((0..6).map(|i| (ProcId(i), Val::Int(i as i64))));
         let s = initialize(&sys, &a);
@@ -250,12 +272,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "k' must divide k")]
     fn rejects_indivisible_parameters() {
-        let _ = build(SetBoostParams { n: 6, k: 3, k_prime: 2 });
+        let _ = build(SetBoostParams {
+            n: 6,
+            k: 3,
+            k_prime: 2,
+        });
     }
 
     #[test]
     #[should_panic(expected = "group count must divide n")]
     fn rejects_non_dividing_groups() {
-        let _ = build(SetBoostParams { n: 5, k: 2, k_prime: 1 });
+        let _ = build(SetBoostParams {
+            n: 5,
+            k: 2,
+            k_prime: 1,
+        });
     }
 }

@@ -153,10 +153,7 @@ impl ProcessAutomaton for SnapshotProcess {
                         second: *second,
                         cursor: *cursor,
                     };
-                    (
-                        ProcAction::Invoke(SvcId(*cursor), ReadWrite::read()),
-                        st2,
-                    )
+                    (ProcAction::Invoke(SvcId(*cursor), ReadWrite::read()), st2)
                 } else if !*second {
                     // First collect finished: start the second.
                     let mut st2 = st.clone();
@@ -222,10 +219,7 @@ pub fn specification(n: usize, m: i64) -> CanonicalAtomicObject {
     let mut domain = vec![Val::Sym("bot")];
     domain.extend((0..m).map(Val::Int));
     let all: Vec<ProcId> = (0..n).map(ProcId).collect();
-    CanonicalAtomicObject::wait_free(
-        Arc::new(Snapshot::new(n, domain, Val::Sym("bot"))),
-        all,
-    )
+    CanonicalAtomicObject::wait_free(Arc::new(Snapshot::new(n, domain, Val::Sym("bot"))), all)
 }
 
 /// Translates the system's external actions into canonical snapshot
@@ -259,7 +253,11 @@ mod tests {
             None => run_fair(sys, s, BranchPolicy::Canonical, &[], 200_000, stop),
             Some(seed) => run_random(sys, s, seed, &[], 200_000, stop),
         };
-        assert_eq!(run.outcome, FairOutcome::Stopped, "one-shot snapshot terminates");
+        assert_eq!(
+            run.outcome,
+            FairOutcome::Stopped,
+            "one-shot snapshot terminates"
+        );
         sys.decisions(run.exec.last_state())
     }
 
@@ -303,10 +301,7 @@ mod tests {
         let sys = build(2, 2);
         let a = InputAssignment::of([(ProcId(1), SnapshotProcess::scan_request())]);
         let d = drive(&sys, &a, None);
-        assert_eq!(
-            d[1],
-            Some(Val::seq([Val::Sym("bot"), Val::Sym("bot")]))
-        );
+        assert_eq!(d[1], Some(Val::seq([Val::Sym("bot"), Val::Sym("bot")])));
     }
 
     #[test]

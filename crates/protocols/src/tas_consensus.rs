@@ -113,9 +113,7 @@ impl ProcessAutomaton for TasConsensus {
                 ProcAction::Invoke(self.regs[1 - i.0], ReadWrite::read()),
                 Phase::AwaitWinner,
             ),
-            Phase::Responding(v) => {
-                (ProcAction::Decide(v.clone()), Phase::Decided(v.clone()))
-            }
+            Phase::Responding(v) => (ProcAction::Decide(v.clone()), Phase::Decided(v.clone())),
             _ => (ProcAction::Skip, st.clone()),
         }
     }

@@ -133,7 +133,10 @@ impl ProcessAutomaton for UniversalProcess {
         let Some(code) = MultiValueConsensus::decision(resp) else {
             return st.clone();
         };
-        let (winner, inv) = self.decode(code).expect("log holds encoded proposals").clone();
+        let (winner, inv) = self
+            .decode(code)
+            .expect("log holds encoded proposals")
+            .clone();
         let (op_resp, replica2) = self.typ.delta_det(&inv, &st.replica);
         let mut st2 = st.clone();
         st2.replica = replica2;
@@ -232,21 +235,23 @@ mod tests {
                 .map(|(i, inv)| (ProcId(*i), UniversalProcess::request(inv))),
         );
         let s = initialize(sys, &a);
-        let dead: std::collections::BTreeSet<usize> =
-            failures.iter().map(|(_, p)| p.0).collect();
+        let dead: std::collections::BTreeSet<usize> = failures.iter().map(|(_, p)| p.0).collect();
         let run = run_fair(sys, s, BranchPolicy::PreferDummy, failures, 200_000, |st| {
             ops.iter()
                 .all(|(i, _)| dead.contains(i) || sys.decision(st, ProcId(*i)).is_some())
         });
-        assert_eq!(run.outcome, FairOutcome::Stopped, "universal object must answer");
+        assert_eq!(
+            run.outcome,
+            FairOutcome::Stopped,
+            "universal object must answer"
+        );
         sys.decisions(run.exec.last_state())
     }
 
     #[test]
     fn test_and_set_has_one_winner() {
         let sys = build(Arc::new(TestAndSet), 3);
-        let ops: Vec<(usize, Inv)> =
-            (0..3).map(|i| (i, TestAndSet::test_and_set())).collect();
+        let ops: Vec<(usize, Inv)> = (0..3).map(|i| (i, TestAndSet::test_and_set())).collect();
         let decisions = run_all(&sys, &ops, &[]);
         let winners = decisions
             .iter()
@@ -265,13 +270,20 @@ mod tests {
             .map(|d| d.as_ref().unwrap().as_int().unwrap())
             .collect();
         tickets.sort_unstable();
-        assert_eq!(tickets, vec![0, 1, 2], "fetch&add linearizes to distinct tickets");
+        assert_eq!(
+            tickets,
+            vec![0, 1, 2],
+            "fetch&add linearizes to distinct tickets"
+        );
     }
 
     #[test]
     fn queue_dequeues_see_fifo_or_empty() {
         let sys = build(Arc::new(FifoQueue::bounded([Val::Int(7)].to_vec(), 4)), 2);
-        let ops = vec![(0usize, FifoQueue::enq(Val::Int(7))), (1usize, FifoQueue::deq())];
+        let ops = vec![
+            (0usize, FifoQueue::enq(Val::Int(7))),
+            (1usize, FifoQueue::deq()),
+        ];
         let decisions = run_all(&sys, &ops, &[]);
         // P1's deq linearizes before or after P0's enq: empty or 7.
         let deq = decisions[1].as_ref().unwrap();
@@ -285,8 +297,7 @@ mod tests {
     #[test]
     fn wait_free_survivor_is_answered_despite_max_failures() {
         let sys = build(Arc::new(TestAndSet), 3);
-        let ops: Vec<(usize, Inv)> =
-            (0..3).map(|i| (i, TestAndSet::test_and_set())).collect();
+        let ops: Vec<(usize, Inv)> = (0..3).map(|i| (i, TestAndSet::test_and_set())).collect();
         // Kill P0 and P1 immediately: the log's consensus services are
         // wait-free, so P2 still linearizes and answers.
         let decisions = run_all(&sys, &ops, &[(0, ProcId(0)), (0, ProcId(1))]);
@@ -299,8 +310,7 @@ mod tests {
         // after winning one.
         let sys = build(Arc::new(TestAndSet), 4);
         assert_eq!(sys.services().len(), 4);
-        let ops: Vec<(usize, Inv)> =
-            (0..4).map(|i| (i, TestAndSet::test_and_set())).collect();
+        let ops: Vec<(usize, Inv)> = (0..4).map(|i| (i, TestAndSet::test_and_set())).collect();
         let decisions = run_all(&sys, &ops, &[]);
         assert!(decisions.iter().all(Option::is_some));
     }

@@ -56,7 +56,10 @@ impl CanonicalAtomicObject {
         resilience: usize,
     ) -> Self {
         let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
-        assert!(!endpoints.is_empty(), "atomic objects require a nonempty endpoint set");
+        assert!(
+            !endpoints.is_empty(),
+            "atomic objects require a nonempty endpoint set"
+        );
         CanonicalAtomicObject {
             typ,
             endpoints,

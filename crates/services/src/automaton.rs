@@ -192,10 +192,7 @@ mod tests {
         let (a, s) = aut.succ_det(&SvcTask::Perform(ProcId(1)), &s).unwrap();
         assert_eq!(a, SvcAction::Perform(ProcId(1)));
         let (a, _) = aut.succ_det(&SvcTask::Output(ProcId(1)), &s).unwrap();
-        assert_eq!(
-            a,
-            SvcAction::Respond(ProcId(1), BinaryConsensus::decide(0))
-        );
+        assert_eq!(a, SvcAction::Respond(ProcId(1), BinaryConsensus::decide(0)));
     }
 
     #[test]
@@ -254,7 +251,10 @@ mod tests {
         let mut s = aut.initial_states().remove(0);
         for i in 0..2 {
             s = aut
-                .apply_input(&s, &SvcAction::Invoke(ProcId(i), BinaryConsensus::init(i as i64)))
+                .apply_input(
+                    &s,
+                    &SvcAction::Invoke(ProcId(i), BinaryConsensus::init(i as i64)),
+                )
                 .unwrap();
         }
         let reach = reachable_states(&aut, vec![s], 10_000);

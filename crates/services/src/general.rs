@@ -180,10 +180,7 @@ mod tests {
         let after = svc.compute_all(&g, &st1).remove(0);
         // Same val, different responses: the step depended on failures.
         assert_eq!(before.val, after.val);
-        assert_ne!(
-            before.resp_buffer(ProcId(0)),
-            after.resp_buffer(ProcId(0))
-        );
+        assert_ne!(before.resp_buffer(ProcId(0)), after.resp_buffer(ProcId(0)));
     }
 
     #[test]

@@ -161,7 +161,10 @@ mod tests {
     fn tob_svc(f: usize) -> CanonicalObliviousService {
         let j = [ProcId(0), ProcId(1), ProcId(2)];
         CanonicalObliviousService::new(
-            Arc::new(TotallyOrderedBroadcast::new([Val::Sym("a"), Val::Sym("b")], j)),
+            Arc::new(TotallyOrderedBroadcast::new(
+                [Val::Sym("a"), Val::Sym("b")],
+                j,
+            )),
             j,
             f,
         )
@@ -172,7 +175,11 @@ mod tests {
         let svc = tob_svc(1);
         let st = svc.initial_states().remove(0);
         let st = svc
-            .enqueue_invocation(ProcId(1), &TotallyOrderedBroadcast::bcast(Val::Sym("a")), &st)
+            .enqueue_invocation(
+                ProcId(1),
+                &TotallyOrderedBroadcast::bcast(Val::Sym("a")),
+                &st,
+            )
             .unwrap();
         // perform moves the message into msgs and answers nobody.
         let st = svc.perform_all(ProcId(1), &st).remove(0);
@@ -227,10 +234,18 @@ mod tests {
         let svc = tob_svc(1);
         let st = svc.initial_states().remove(0);
         let st = svc
-            .enqueue_invocation(ProcId(0), &TotallyOrderedBroadcast::bcast(Val::Sym("a")), &st)
+            .enqueue_invocation(
+                ProcId(0),
+                &TotallyOrderedBroadcast::bcast(Val::Sym("a")),
+                &st,
+            )
             .unwrap();
         let st = svc
-            .enqueue_invocation(ProcId(2), &TotallyOrderedBroadcast::bcast(Val::Sym("b")), &st)
+            .enqueue_invocation(
+                ProcId(2),
+                &TotallyOrderedBroadcast::bcast(Val::Sym("b")),
+                &st,
+            )
             .unwrap();
         // Perform P2's first: its message is ordered first.
         let st = svc.perform_all(ProcId(2), &st).remove(0);

@@ -173,6 +173,9 @@ mod tests {
 
     #[test]
     fn class_display() {
-        assert_eq!(ServiceClass::FailureOblivious.to_string(), "failure-oblivious");
+        assert_eq!(
+            ServiceClass::FailureOblivious.to_string(),
+            "failure-oblivious"
+        );
     }
 }

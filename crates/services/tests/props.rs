@@ -1,7 +1,12 @@
-//! Property-based tests for the canonical services: structural
-//! invariants of Fig. 1/4/8 automata under arbitrary event sequences.
+//! Randomized-but-deterministic tests for the canonical services:
+//! structural invariants of Fig. 1/4/8 automata under arbitrary event
+//! sequences.
+//!
+//! Formerly proptest-based; rewritten onto the in-tree
+//! [`ioa::rng::SplitMix64`] generator so the suite runs hermetically
+//! (no registry dependency) and every case is replayable from its seed.
 
-use proptest::prelude::*;
+use ioa::rng::{RandomSource, SplitMix64};
 use services::atomic::CanonicalAtomicObject;
 use services::oblivious::CanonicalObliviousService;
 use services::{Service, SvcState};
@@ -9,6 +14,8 @@ use spec::seq::{BinaryConsensus, ReadWrite};
 use spec::tob::TotallyOrderedBroadcast;
 use spec::{ProcId, Val};
 use std::sync::Arc;
+
+const CASES: usize = 64;
 
 /// One abstract event fed to a service at a random endpoint.
 #[derive(Clone, Debug)]
@@ -20,14 +27,20 @@ enum Ev {
     Fail(usize),
 }
 
-fn ev_strategy(n: usize, invs: usize) -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        (0..n, 0..invs).prop_map(|(i, k)| Ev::Invoke(i, k)),
-        (0..n).prop_map(Ev::Perform),
-        (0..n).prop_map(Ev::Output),
-        Just(Ev::Compute),
-        (0..n).prop_map(Ev::Fail),
-    ]
+fn random_ev(g: &mut SplitMix64, n: usize, invs: usize) -> Ev {
+    match g.gen_range(5) {
+        0 => Ev::Invoke(g.gen_range(n), g.gen_range(invs)),
+        1 => Ev::Perform(g.gen_range(n)),
+        2 => Ev::Output(g.gen_range(n)),
+        3 => Ev::Compute,
+        _ => Ev::Fail(g.gen_range(n)),
+    }
+}
+
+fn random_script(g: &mut SplitMix64, n: usize, invs: usize, max_len: usize) -> Vec<Ev> {
+    (0..g.gen_range(max_len))
+        .map(|_| random_ev(g, n, invs))
+        .collect()
 }
 
 /// Drives a service through a script, maintaining a conservation model:
@@ -83,13 +96,11 @@ fn drive(svc: &dyn Service, script: &[Ev]) -> SvcState {
     st
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn atomic_object_conserves_invocations(
-        script in proptest::collection::vec(ev_strategy(3, 2), 0..60),
-    ) {
+#[test]
+fn atomic_object_conserves_invocations() {
+    let mut g = SplitMix64::seed_from_u64(0x5e4c_0001);
+    for _ in 0..CASES {
+        let script = random_script(&mut g, 3, 2, 60);
         let svc = CanonicalAtomicObject::new(
             Arc::new(BinaryConsensus),
             [ProcId(0), ProcId(1), ProcId(2)],
@@ -99,55 +110,60 @@ proptest! {
         // Consensus safety inside the object: val is ∅ or a singleton,
         // and all pending responses carry exactly that value.
         let chosen = st.val.as_set().unwrap();
-        prop_assert!(chosen.len() <= 1);
+        assert!(chosen.len() <= 1);
         for p in svc.endpoints() {
             for r in st.resp_buffer(*p) {
                 let d = BinaryConsensus::decision(r).unwrap();
-                prop_assert_eq!(chosen.iter().next(), Some(&Val::Int(d)));
+                assert_eq!(chosen.iter().next(), Some(&Val::Int(d)));
             }
         }
     }
+}
 
-    #[test]
-    fn register_conserves_invocations_and_acks_every_write(
-        script in proptest::collection::vec(ev_strategy(2, 3), 0..60),
-    ) {
-        let svc = CanonicalAtomicObject::register(
-            ReadWrite::binary(),
-            [ProcId(0), ProcId(1)],
-        );
+#[test]
+fn register_conserves_invocations_and_acks_every_write() {
+    let mut g = SplitMix64::seed_from_u64(0x5e4c_0002);
+    for _ in 0..CASES {
+        let script = random_script(&mut g, 2, 3, 60);
+        let svc = CanonicalAtomicObject::register(ReadWrite::binary(), [ProcId(0), ProcId(1)]);
         let st = drive(&svc, &script);
         // Register domain invariant: val stays in {0, 1}.
-        prop_assert!(st.val == Val::Int(0) || st.val == Val::Int(1));
+        assert!(st.val == Val::Int(0) || st.val == Val::Int(1));
     }
+}
 
-    #[test]
-    fn dummy_enabling_is_monotone_in_failures(
-        fails in proptest::collection::vec(0usize..3, 0..6),
-    ) {
+#[test]
+fn dummy_enabling_is_monotone_in_failures() {
+    let mut g = SplitMix64::seed_from_u64(0x5e4c_0003);
+    for _ in 0..CASES {
+        let fails: Vec<usize> = (0..g.gen_range(6)).map(|_| g.gen_range(3)).collect();
         let svc = CanonicalAtomicObject::new(
             Arc::new(BinaryConsensus),
             [ProcId(0), ProcId(1), ProcId(2)],
             1,
         );
         let mut st = svc.initial_states().remove(0);
-        let mut prev_enabled: Vec<bool> =
-            (0..3).map(|i| svc.dummy_perform_enabled(ProcId(i), &st)).collect();
+        let mut prev_enabled: Vec<bool> = (0..3)
+            .map(|i| svc.dummy_perform_enabled(ProcId(i), &st))
+            .collect();
         for f in fails {
             st = svc.apply_fail(ProcId(f % 3), &st);
-            let now: Vec<bool> =
-                (0..3).map(|i| svc.dummy_perform_enabled(ProcId(i), &st)).collect();
+            let now: Vec<bool> = (0..3)
+                .map(|i| svc.dummy_perform_enabled(ProcId(i), &st))
+                .collect();
             for (before, after) in prev_enabled.iter().zip(&now) {
-                prop_assert!(!before || *after, "a dummy became disabled after a failure");
+                assert!(!before || *after, "a dummy became disabled after a failure");
             }
             prev_enabled = now;
         }
     }
+}
 
-    #[test]
-    fn tob_delivers_every_endpoint_the_same_prefix(
-        script in proptest::collection::vec(ev_strategy(3, 2), 0..80),
-    ) {
+#[test]
+fn tob_delivers_every_endpoint_the_same_prefix() {
+    let mut g = SplitMix64::seed_from_u64(0x5e4c_0004);
+    for _ in 0..CASES {
+        let script = random_script(&mut g, 3, 2, 80);
         let j = [ProcId(0), ProcId(1), ProcId(2)];
         let svc = CanonicalObliviousService::new(
             Arc::new(TotallyOrderedBroadcast::new([Val::Int(0), Val::Int(1)], j)),
@@ -174,10 +190,10 @@ proptest! {
                     }
                 }
                 Ev::Compute => {
-                    let g = TotallyOrderedBroadcast::delivery_task();
+                    let gt = TotallyOrderedBroadcast::delivery_task();
                     let before: Vec<usize> =
                         (0..3).map(|i| st.resp_buffer(ProcId(i)).len()).collect();
-                    let st2 = svc.compute_all(&g, &st).into_iter().next().unwrap();
+                    let st2 = svc.compute_all(&gt, &st).into_iter().next().unwrap();
                     for i in 0..3 {
                         for idx in before[i]..st2.resp_buffer(ProcId(i)).len() {
                             delivered[i].push(st2.resp_buffer(ProcId(i))[idx].clone());
@@ -194,25 +210,26 @@ proptest! {
             }
         }
         // Total order: all three cumulative delivery sequences are equal.
-        prop_assert_eq!(&delivered[0], &delivered[1]);
-        prop_assert_eq!(&delivered[1], &delivered[2]);
+        assert_eq!(&delivered[0], &delivered[1]);
+        assert_eq!(&delivered[1], &delivered[2]);
     }
+}
 
-    #[test]
-    fn fail_is_idempotent_and_commutative(
-        a in 0usize..3,
-        b in 0usize..3,
-    ) {
-        let svc = CanonicalAtomicObject::new(
-            Arc::new(BinaryConsensus),
-            [ProcId(0), ProcId(1), ProcId(2)],
-            0,
-        );
-        let st = svc.initial_states().remove(0);
-        let ab = svc.apply_fail(ProcId(b), &svc.apply_fail(ProcId(a), &st));
-        let ba = svc.apply_fail(ProcId(a), &svc.apply_fail(ProcId(b), &st));
-        prop_assert_eq!(&ab, &ba);
-        let aa = svc.apply_fail(ProcId(a), &svc.apply_fail(ProcId(a), &st));
-        prop_assert_eq!(aa, svc.apply_fail(ProcId(a), &st));
+#[test]
+fn fail_is_idempotent_and_commutative() {
+    for a in 0usize..3 {
+        for b in 0usize..3 {
+            let svc = CanonicalAtomicObject::new(
+                Arc::new(BinaryConsensus),
+                [ProcId(0), ProcId(1), ProcId(2)],
+                0,
+            );
+            let st = svc.initial_states().remove(0);
+            let ab = svc.apply_fail(ProcId(b), &svc.apply_fail(ProcId(a), &st));
+            let ba = svc.apply_fail(ProcId(a), &svc.apply_fail(ProcId(b), &st));
+            assert_eq!(&ab, &ba);
+            let aa = svc.apply_fail(ProcId(a), &svc.apply_fail(ProcId(a), &st));
+            assert_eq!(aa, svc.apply_fail(ProcId(a), &st));
+        }
     }
 }

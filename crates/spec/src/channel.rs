@@ -109,7 +109,11 @@ impl ObliviousType for PairChannel {
     }
 
     fn invocations(&self) -> Vec<Inv> {
-        self.alphabet.iter().cloned().map(PairChannel::send).collect()
+        self.alphabet
+            .iter()
+            .cloned()
+            .map(PairChannel::send)
+            .collect()
     }
 
     fn global_tasks(&self) -> Vec<GlobalTaskId> {
@@ -120,7 +124,11 @@ impl ObliviousType for PairChannel {
     }
 
     fn delta1(&self, inv: &Inv, i: ProcId, val: &Val) -> Vec<(ResponseMap, Val)> {
-        assert_eq!(inv.name(), Some("send"), "not a channel invocation: {inv:?}");
+        assert_eq!(
+            inv.name(),
+            Some("send"),
+            "not a channel invocation: {inv:?}"
+        );
         let m = inv.arg().expect("send carries a message").clone();
         let (ab, ba) = PairChannel::queues(val);
         let (mut ab, mut ba) = (ab.clone(), ba.clone());
@@ -178,8 +186,12 @@ mod tests {
     fn messages_flow_in_both_directions_independently() {
         let c = ch();
         let v = c.initial_value();
-        let (_, v) = c.delta1(&PairChannel::send(Val::Int(1)), ProcId(0), &v).remove(0);
-        let (_, v) = c.delta1(&PairChannel::send(Val::Int(2)), ProcId(2), &v).remove(0);
+        let (_, v) = c
+            .delta1(&PairChannel::send(Val::Int(1)), ProcId(0), &v)
+            .remove(0);
+        let (_, v) = c
+            .delta1(&PairChannel::send(Val::Int(2)), ProcId(2), &v)
+            .remove(0);
         // Deliver to P2 (from P0).
         let (r, v) = c.delta2(&PairChannel::delivery_to(ProcId(2)), &v).remove(0);
         assert_eq!(r.for_endpoint(ProcId(2)), &[PairChannel::rcv(Val::Int(1))]);
@@ -193,8 +205,12 @@ mod tests {
     fn fifo_per_direction() {
         let c = ch();
         let v = c.initial_value();
-        let (_, v) = c.delta1(&PairChannel::send(Val::Int(1)), ProcId(0), &v).remove(0);
-        let (_, v) = c.delta1(&PairChannel::send(Val::Int(2)), ProcId(0), &v).remove(0);
+        let (_, v) = c
+            .delta1(&PairChannel::send(Val::Int(1)), ProcId(0), &v)
+            .remove(0);
+        let (_, v) = c
+            .delta1(&PairChannel::send(Val::Int(2)), ProcId(0), &v)
+            .remove(0);
         let (r1, v) = c.delta2(&PairChannel::delivery_to(ProcId(2)), &v).remove(0);
         let (r2, _) = c.delta2(&PairChannel::delivery_to(ProcId(2)), &v).remove(0);
         assert_eq!(r1.for_endpoint(ProcId(2)), &[PairChannel::rcv(Val::Int(1))]);
@@ -221,7 +237,11 @@ mod tests {
     #[should_panic(expected = "not an endpoint")]
     fn foreign_senders_are_rejected() {
         let c = ch();
-        let _ = c.delta1(&PairChannel::send(Val::Int(1)), ProcId(7), &c.initial_value());
+        let _ = c.delta1(
+            &PairChannel::send(Val::Int(1)),
+            ProcId(7),
+            &c.initial_value(),
+        );
     }
 
     #[test]

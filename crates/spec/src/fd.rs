@@ -347,7 +347,9 @@ impl GeneralType for FreshPerfectFd {
         };
         let visible: BTreeSet<ProcId> = failed.intersection(&self.endpoints).copied().collect();
         let key = Val::Int(i.0 as i64);
-        let last = val.field(&key).expect("every endpoint has a last-sent entry");
+        let last = val
+            .field(&key)
+            .expect("every endpoint has a last-sent entry");
         let fresh = FreshPerfectFd::encode_last(&visible);
         if *last == fresh {
             // Nothing new: no-op compute (δ2 stays total).
@@ -403,7 +405,11 @@ mod tests {
     fn ep_perfect_mode_is_accurate() {
         let ep = EventuallyPerfectFd::new(j());
         let failed: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
-        let outs = ep.delta2(&GlobalTaskId::for_endpoint(ProcId(1)), &mode::perfect(), &failed);
+        let outs = ep.delta2(
+            &GlobalTaskId::for_endpoint(ProcId(1)),
+            &mode::perfect(),
+            &failed,
+        );
         assert_eq!(outs.len(), 1);
         let got = decode_suspect(&outs[0].0.for_endpoint(ProcId(1))[0]).unwrap();
         assert_eq!(got, failed);
@@ -424,7 +430,11 @@ mod tests {
     fn fresh_p_is_quiescent_without_failures() {
         let p = FreshPerfectFd::new(j());
         let v0 = p.initial_value();
-        let outs = p.delta2(&GlobalTaskId::for_endpoint(ProcId(0)), &v0, &BTreeSet::new());
+        let outs = p.delta2(
+            &GlobalTaskId::for_endpoint(ProcId(0)),
+            &v0,
+            &BTreeSet::new(),
+        );
         assert_eq!(outs.len(), 1);
         assert!(outs[0].0.is_empty());
         assert_eq!(outs[0].1, v0);

@@ -81,7 +81,11 @@ impl SeqType for CompareAndSwap {
                     .arg()
                     .and_then(Val::as_pair)
                     .expect("cas carries (expected, new)");
-                let next = if val == expected { new.clone() } else { val.clone() };
+                let next = if val == expected {
+                    new.clone()
+                } else {
+                    val.clone()
+                };
                 vec![(Resp(val.clone()), next)]
             }
             _ => panic!("not a compare&swap invocation: {inv:?}"),

@@ -69,7 +69,11 @@ impl SeqType for BinaryConsensus {
     }
 
     fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
-        assert_eq!(inv.name(), Some("init"), "not a consensus invocation: {inv:?}");
+        assert_eq!(
+            inv.name(),
+            Some("init"),
+            "not a consensus invocation: {inv:?}"
+        );
         let v = inv.arg().and_then(Val::as_int).expect("init carries 0/1");
         let chosen = val.as_set().expect("consensus value is a set");
         match chosen.iter().next() {
@@ -79,10 +83,7 @@ impl SeqType for BinaryConsensus {
                 vec![(BinaryConsensus::decide(w), val.clone())]
             }
             // ((init(v), ∅), (decide(v), {v}))
-            None => vec![(
-                BinaryConsensus::decide(v),
-                Val::set([Val::Int(v)]),
-            )],
+            None => vec![(BinaryConsensus::decide(v), Val::set([Val::Int(v)]))],
         }
     }
 }
@@ -109,7 +110,10 @@ mod tests {
 
     #[test]
     fn decision_extraction() {
-        assert_eq!(BinaryConsensus::decision(&BinaryConsensus::decide(1)), Some(1));
+        assert_eq!(
+            BinaryConsensus::decision(&BinaryConsensus::decide(1)),
+            Some(1)
+        );
         assert_eq!(BinaryConsensus::decision(&Resp::sym("ack")), None);
     }
 

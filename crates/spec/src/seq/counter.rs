@@ -75,7 +75,10 @@ impl SeqType for FetchAndAdd {
         match inv.name() {
             Some("read") => vec![(Resp(val.clone()), val.clone())],
             Some("fetch_add") => {
-                let d = inv.arg().and_then(Val::as_int).expect("fetch_add carries d");
+                let d = inv
+                    .arg()
+                    .and_then(Val::as_int)
+                    .expect("fetch_add carries d");
                 let next = (cur + d).rem_euclid(self.modulus);
                 vec![(Resp(val.clone()), Val::Int(next))]
             }

@@ -80,8 +80,15 @@ impl SeqType for MultiValueConsensus {
     }
 
     fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
-        assert_eq!(inv.name(), Some("init"), "not a consensus invocation: {inv:?}");
-        let v = inv.arg().and_then(Val::as_int).expect("init carries an int");
+        assert_eq!(
+            inv.name(),
+            Some("init"),
+            "not a consensus invocation: {inv:?}"
+        );
+        let v = inv
+            .arg()
+            .and_then(Val::as_int)
+            .expect("init carries an int");
         let chosen = val.as_set().expect("consensus value is a set");
         match chosen.iter().next() {
             Some(first) => {

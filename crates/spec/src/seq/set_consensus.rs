@@ -46,7 +46,10 @@ impl KSetConsensus {
     ///
     /// Panics unless `0 < k < n` (the paper's side condition).
     pub fn new(k: usize, n: usize) -> Self {
-        assert!(0 < k && k < n, "k-set-consensus requires 0 < k < n, got k={k}, n={n}");
+        assert!(
+            0 < k && k < n,
+            "k-set-consensus requires 0 < k < n, got k={k}, n={n}"
+        );
         KSetConsensus { k, n }
     }
 
@@ -94,8 +97,15 @@ impl SeqType for KSetConsensus {
     }
 
     fn delta(&self, inv: &Inv, val: &Val) -> Vec<(Resp, Val)> {
-        assert_eq!(inv.name(), Some("init"), "not a set-consensus invocation: {inv:?}");
-        let v = inv.arg().and_then(Val::as_int).expect("init carries an int");
+        assert_eq!(
+            inv.name(),
+            Some("init"),
+            "not a set-consensus invocation: {inv:?}"
+        );
+        let v = inv
+            .arg()
+            .and_then(Val::as_int)
+            .expect("init carries an int");
         let w = val.as_set().expect("set-consensus value is a set W");
         if w.len() < self.k {
             // ((init(v), W), (decide(v'), W ∪ {v})), v' ∈ W ∪ {v}

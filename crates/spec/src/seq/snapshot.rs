@@ -74,7 +74,10 @@ impl SeqType for Snapshot {
     }
 
     fn initial_values(&self) -> Vec<Val> {
-        vec![Val::seq(std::iter::repeat_n(self.initial.clone(), self.segments))]
+        vec![Val::seq(std::iter::repeat_n(
+            self.initial.clone(),
+            self.segments,
+        ))]
     }
 
     fn invocations(&self) -> Vec<Inv> {

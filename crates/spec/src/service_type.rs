@@ -48,11 +48,7 @@ impl ResponseMap {
     /// A response map that delivers the same response to every endpoint
     /// in `to` (the totally-ordered-broadcast shape, Fig. 7).
     pub fn broadcast<I: IntoIterator<Item = ProcId>>(to: I, resp: Resp) -> Self {
-        ResponseMap(
-            to.into_iter()
-                .map(|i| (i, vec![resp.clone()]))
-                .collect(),
-        )
+        ResponseMap(to.into_iter().map(|i| (i, vec![resp.clone()])).collect())
     }
 
     /// The sequence of responses destined for endpoint `i`.
@@ -367,7 +363,12 @@ mod tests {
         let g = general_from_seq(Arc::new(ReadWrite::binary()));
         let failed: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
         let a = g.delta1(&ReadWrite::read(), ProcId(0), &Val::Int(1), &failed);
-        let b = g.delta1(&ReadWrite::read(), ProcId(0), &Val::Int(1), &BTreeSet::new());
+        let b = g.delta1(
+            &ReadWrite::read(),
+            ProcId(0),
+            &Val::Int(1),
+            &BTreeSet::new(),
+        );
         assert_eq!(a, b);
         assert_eq!(g.name(), "read/write");
     }

@@ -51,7 +51,10 @@ impl TotallyOrderedBroadcast {
         J: IntoIterator<Item = ProcId>,
     {
         let endpoints: BTreeSet<ProcId> = endpoints.into_iter().collect();
-        assert!(!endpoints.is_empty(), "TOB requires a nonempty endpoint set");
+        assert!(
+            !endpoints.is_empty(),
+            "TOB requires a nonempty endpoint set"
+        );
         TotallyOrderedBroadcast {
             alphabet: alphabet.into_iter().collect(),
             endpoints,
@@ -157,10 +160,20 @@ mod tests {
     #[test]
     fn bcast_enqueues_in_order() {
         let t = tob();
-        let (_, v) = t.delta1(&TotallyOrderedBroadcast::bcast(Val::Sym("a")), ProcId(2), &t.initial_value())
+        let (_, v) = t
+            .delta1(
+                &TotallyOrderedBroadcast::bcast(Val::Sym("a")),
+                ProcId(2),
+                &t.initial_value(),
+            )
             .pop()
             .unwrap();
-        let (_, v) = t.delta1(&TotallyOrderedBroadcast::bcast(Val::Sym("b")), ProcId(0), &v)
+        let (_, v) = t
+            .delta1(
+                &TotallyOrderedBroadcast::bcast(Val::Sym("b")),
+                ProcId(0),
+                &v,
+            )
             .pop()
             .unwrap();
         assert_eq!(
@@ -191,7 +204,10 @@ mod tests {
     #[test]
     fn delivery_on_empty_queue_is_a_noop() {
         let t = tob();
-        let outs = t.delta2(&TotallyOrderedBroadcast::delivery_task(), &t.initial_value());
+        let outs = t.delta2(
+            &TotallyOrderedBroadcast::delivery_task(),
+            &t.initial_value(),
+        );
         assert_eq!(outs.len(), 1);
         assert!(outs[0].0.is_empty());
         assert_eq!(outs[0].1, t.initial_value());

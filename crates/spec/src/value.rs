@@ -288,7 +288,10 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(Val::pair(Val::Sym("write"), Val::Int(3)).to_string(), "(write, 3)");
+        assert_eq!(
+            Val::pair(Val::Sym("write"), Val::Int(3)).to_string(),
+            "(write, 3)"
+        );
         assert_eq!(Val::seq([Val::Int(1), Val::Int(2)]).to_string(), "[1, 2]");
     }
 

@@ -396,14 +396,22 @@ mod tests {
         s = sys.init(&s, ProcId(1), Val::Int(1));
         // Drive P1 manually first: invoke, perform, respond, decide.
         let (_, s) = sys.succ_det(&Task::Proc(ProcId(1)), &s).unwrap();
-        let (_, s) = sys.succ_det(&Task::Perform(SvcId(0), ProcId(1)), &s).unwrap();
-        let (_, s) = sys.succ_det(&Task::Output(SvcId(0), ProcId(1)), &s).unwrap();
+        let (_, s) = sys
+            .succ_det(&Task::Perform(SvcId(0), ProcId(1)), &s)
+            .unwrap();
+        let (_, s) = sys
+            .succ_det(&Task::Output(SvcId(0), ProcId(1)), &s)
+            .unwrap();
         let (a, s) = sys.succ_det(&Task::Proc(ProcId(1)), &s).unwrap();
         assert_eq!(a, Action::Decide(ProcId(1), Val::Int(1)));
         // Now P0 must also decide 1.
         let (_, s) = sys.succ_det(&Task::Proc(ProcId(0)), &s).unwrap();
-        let (_, s) = sys.succ_det(&Task::Perform(SvcId(0), ProcId(0)), &s).unwrap();
-        let (_, s) = sys.succ_det(&Task::Output(SvcId(0), ProcId(0)), &s).unwrap();
+        let (_, s) = sys
+            .succ_det(&Task::Perform(SvcId(0), ProcId(0)), &s)
+            .unwrap();
+        let (_, s) = sys
+            .succ_det(&Task::Output(SvcId(0), ProcId(0)), &s)
+            .unwrap();
         let (a, _) = sys.succ_det(&Task::Proc(ProcId(0)), &s).unwrap();
         assert_eq!(a, Action::Decide(ProcId(0), Val::Int(1)));
     }
@@ -507,8 +515,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside the process set")]
     fn rejects_out_of_range_endpoints() {
-        let obj =
-            CanonicalAtomicObject::new(Arc::new(BinaryConsensus), [ProcId(0), ProcId(5)], 0);
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), [ProcId(0), ProcId(5)], 0);
         let _ = CompleteSystem::new(DirectConsensus::new(SvcId(0)), 2, vec![Arc::new(obj)]);
     }
 

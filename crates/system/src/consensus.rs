@@ -184,9 +184,7 @@ pub fn all_obliged_decided<P: ProcessAutomaton>(
     assignment: &InputAssignment,
 ) -> bool {
     (0..sys.process_count()).map(ProcId).all(|i| {
-        s.failed.contains(&i)
-            || assignment.input(i).is_none()
-            || sys.decision(s, i).is_some()
+        s.failed.contains(&i) || assignment.input(i).is_none() || sys.decision(s, i).is_some()
     })
 }
 
@@ -201,10 +199,8 @@ mod tests {
     use std::sync::Arc;
 
     fn sys() -> CompleteSystem<DirectConsensus> {
-        let obj = CanonicalAtomicObject::wait_free(
-            Arc::new(BinaryConsensus),
-            [ProcId(0), ProcId(1)],
-        );
+        let obj =
+            CanonicalAtomicObject::wait_free(Arc::new(BinaryConsensus), [ProcId(0), ProcId(1)]);
         CompleteSystem::new(DirectConsensus::new(SvcId(0)), 2, vec![Arc::new(obj)])
     }
 

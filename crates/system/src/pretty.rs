@@ -64,12 +64,9 @@ mod tests {
         CompleteSystem<DirectConsensus>,
         Execution<CompleteSystem<DirectConsensus>>,
     ) {
-        let obj = CanonicalAtomicObject::wait_free(
-            Arc::new(BinaryConsensus),
-            [ProcId(0), ProcId(1)],
-        );
-        let sys =
-            CompleteSystem::new(DirectConsensus::new(SvcId(0)), 2, vec![Arc::new(obj)]);
+        let obj =
+            CanonicalAtomicObject::wait_free(Arc::new(BinaryConsensus), [ProcId(0), ProcId(1)]);
+        let sys = CompleteSystem::new(DirectConsensus::new(SvcId(0)), 2, vec![Arc::new(obj)]);
         let a = InputAssignment::monotone(2, 1);
         let s = initialize(&sys, &a);
         let r = run_fair(&sys, s, BranchPolicy::Canonical, &[], 10_000, |st| {

@@ -180,10 +180,7 @@ mod tests {
         // init → invoke → waiting.
         let s = p.on_init(i, &s, &Val::Int(1));
         let (a, s) = p.step(i, &s);
-        assert_eq!(
-            a,
-            ProcAction::Invoke(SvcId(0), BinaryConsensus::init(1))
-        );
+        assert_eq!(a, ProcAction::Invoke(SvcId(0), BinaryConsensus::init(1)));
         assert_eq!(s, Phase::Waiting);
         // Response from the wrong service is ignored.
         let s_wrong = p.on_response(i, &s, SvcId(7), &BinaryConsensus::decide(0));

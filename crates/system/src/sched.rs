@@ -22,8 +22,7 @@ use crate::consensus::InputAssignment;
 use crate::process::ProcessAutomaton;
 use ioa::automaton::Automaton;
 use ioa::execution::{Execution, Step};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ioa::rng::{RandomSource, SplitMix64};
 use std::collections::HashMap;
 
 /// Applies the `init(v)_i` inputs of `assignment` (in `ProcId` order)
@@ -217,6 +216,22 @@ where
     }
 }
 
+/// Adapter turning any `FnMut() -> u64` into a [`RandomSource`].
+///
+/// This is the `ext-rand` seam: external generators (e.g. the `rand`
+/// crate's `RngCore::next_u64`) plug into [`run_random_with`] through a
+/// closure, without the workspace itself taking a registry dependency —
+/// the build stays hermetic (`cargo build --offline`).
+#[cfg(feature = "ext-rand")]
+pub struct ExternalRng<F: FnMut() -> u64>(pub F);
+
+#[cfg(feature = "ext-rand")]
+impl<F: FnMut() -> u64> RandomSource for ExternalRng<F> {
+    fn next_u64(&mut self) -> u64 {
+        (self.0)()
+    }
+}
+
 /// One step of a [`run_script`] schedule.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScriptStep {
@@ -228,7 +243,10 @@ pub enum ScriptStep {
 
 /// Drives the system by uniformly random choice among applicable tasks
 /// and among each task's branches, injecting the given failures.
-/// Deterministic for a fixed `seed`.
+/// Deterministic for a fixed `seed`: the schedule is drawn from the
+/// in-tree [`SplitMix64`] stream, so the same seed replays the same run
+/// on every platform and toolchain (unlike `rand::StdRng`, whose
+/// algorithm is unstable across crate versions).
 pub fn run_random<P, F>(
     sys: &CompleteSystem<P>,
     start: SystemState<P::State>,
@@ -241,7 +259,35 @@ where
     P: ProcessAutomaton,
     F: Fn(&SystemState<P::State>) -> bool,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    run_random_with(
+        sys,
+        start,
+        SplitMix64::seed_from_u64(seed),
+        failures,
+        max_steps,
+        stop,
+    )
+}
+
+/// [`run_random`] generalized over the randomness source.
+///
+/// Always available in-tree (the `ext-rand` cargo feature only signals
+/// that a build intends to plug in an external generator); any
+/// implementor of [`ioa::rng::RandomSource`] — e.g. an adapter over a
+/// `rand::RngCore` — can drive the schedule.
+pub fn run_random_with<P, R, F>(
+    sys: &CompleteSystem<P>,
+    start: SystemState<P::State>,
+    mut rng: R,
+    failures: &[(usize, spec::ProcId)],
+    max_steps: usize,
+    stop: F,
+) -> FairRun<P>
+where
+    P: ProcessAutomaton,
+    R: RandomSource,
+    F: Fn(&SystemState<P::State>) -> bool,
+{
     let tasks = sys.tasks();
     let mut exec = Execution::new(start);
     let mut pending: Vec<(usize, spec::ProcId)> = failures.to_vec();
@@ -269,9 +315,9 @@ where
                 outcome: FairOutcome::Budget,
             };
         }
-        let t = applicable[rng.gen_range(0..applicable.len())];
+        let t = applicable[rng.gen_range(applicable.len())];
         let mut branches = sys.succ_all(t, &state);
-        let pick = rng.gen_range(0..branches.len());
+        let pick = rng.gen_range(branches.len());
         let (action, next) = branches.swap_remove(pick);
         exec.push(Step {
             task: Some(t.clone()),

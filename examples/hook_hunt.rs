@@ -14,7 +14,10 @@ use resilience_boosting::prelude::*;
 fn main() {
     let (n, f) = (3, 1);
     println!("candidate: {n} processes over one {f}-resilient consensus object,");
-    println!("claiming ({}-resilient consensus — Theorem 2 says: impossible.\n", f + 1);
+    println!(
+        "claiming ({}-resilient consensus — Theorem 2 says: impossible.\n",
+        f + 1
+    );
     let sys = protocols::doomed::doomed_atomic(n, f);
 
     // Lemma 4: the bivalent initialization.
@@ -24,7 +27,10 @@ fn main() {
         panic!("this candidate has bivalent initializations")
     };
     println!("Lemma 4  ✓ bivalent initialization: {assignment}");
-    println!("         explored {} failure-free states", map.state_count());
+    println!(
+        "         explored {} failure-free states",
+        map.state_count()
+    );
 
     // Lemma 5 / Fig. 3: the hook.
     let HookOutcome::Hook(hook) = find_hook(&sys, &map, 20_000) else {
@@ -33,7 +39,11 @@ fn main() {
     println!("\nLemma 5  ✓ hook found (Fig. 2):");
     println!("         α reached after {} tasks", hook.alpha_tasks.len());
     println!("         e  = {}   (e(α) is {:?}-valent)", hook.e, hook.v);
-    println!("         e' = {}   (e(e'(α)) is {:?}-valent)", hook.e_prime, hook.v.opposite());
+    println!(
+        "         e' = {}   (e(e'(α)) is {:?}-valent)",
+        hook.e_prime,
+        hook.v.opposite()
+    );
 
     // Lemma 8: the similar pair.
     let similarity = analyze_hook(&sys, &hook);
@@ -46,8 +56,14 @@ fn main() {
         }
         other => panic!("unexpected similarity shape {other:?}"),
     };
-    println!("         the {:?}-similar states have OPPOSITE valences —", kind);
-    println!("         which Lemmas 6/7 forbid for any ({})-resilient solution.", f + 1);
+    println!(
+        "         the {:?}-similar states have OPPOSITE valences —",
+        kind
+    );
+    println!(
+        "         which Lemmas 6/7 forbid for any ({})-resilient solution.",
+        f + 1
+    );
 
     // Lemmas 6/7, executed: the refutation.
     let refutation = refute_similar_pair(
@@ -67,7 +83,10 @@ fn main() {
                 "         side {side}: after {} provably-fair steps no survivor decided —",
                 run.exec.len()
             );
-            println!("         the claimed ({})-resilient termination is violated.  ∎", f + 1);
+            println!(
+                "         the claimed ({})-resilient termination is violated.  ∎",
+                f + 1
+            );
             println!("\nThe starving run (dummies = the silenced services spinning):");
             print!("{}", system::pretty::render_execution(&sys, &run.exec, 24));
         }

@@ -20,30 +20,52 @@ fn main() {
 
     banner("Theorem 2 — atomic objects (f = 0: the FLP case)");
     let sys = protocols::doomed::doomed_atomic(2, 0);
-    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+    println!(
+        "{}",
+        find_witness(&sys, 0, Bounds::default()).unwrap().headline()
+    );
 
     banner("Theorem 2 — atomic objects (f = 1: beyond FLP)");
     let sys = protocols::doomed::doomed_atomic(3, 1);
-    println!("{}", find_witness(&sys, 1, Bounds::default()).unwrap().headline());
+    println!(
+        "{}",
+        find_witness(&sys, 1, Bounds::default()).unwrap().headline()
+    );
 
     banner("Theorem 2 — with reliable registers too");
     let sys = protocols::doomed::doomed_atomic_with_registers(2, 0);
-    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+    println!(
+        "{}",
+        find_witness(&sys, 0, Bounds::default()).unwrap().headline()
+    );
 
     banner("Theorem 2 — a different object type (test&set)");
     let sys = protocols::tas_consensus::build(0);
-    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+    println!(
+        "{}",
+        find_witness(&sys, 0, Bounds::default()).unwrap().headline()
+    );
 
     banner("Theorem 9 — failure-oblivious services (totally ordered broadcast)");
     let sys = protocols::doomed::doomed_oblivious(2, 0);
-    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+    println!(
+        "{}",
+        find_witness(&sys, 0, Bounds::default()).unwrap().headline()
+    );
 
     banner("Theorem 10 — all-connected failure-aware services (perfect FD)");
     let sys = protocols::doomed::doomed_general(2, 0);
-    println!("{}", find_witness(&sys, 0, Bounds::default()).unwrap().headline());
+    println!(
+        "{}",
+        find_witness(&sys, 0, Bounds::default()).unwrap().headline()
+    );
 
     banner("Section 4 — but 2-set consensus CAN be boosted");
-    let sys = protocols::set_boost::build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+    let sys = protocols::set_boost::build(SetBoostParams {
+        n: 4,
+        k: 2,
+        k_prime: 1,
+    });
     let domain: Vec<Val> = (0..4).map(Val::Int).collect();
     let mut cfg = CertifyConfig::new(2, 3, all_assignments(4, &domain));
     cfg.failure_timings = vec![0];
@@ -53,7 +75,11 @@ fn main() {
         "wait-free 2-set consensus from 1-resilient services: {} runs, {} violations → {}",
         report.runs,
         report.violations.len(),
-        if report.certified() { "CERTIFIED" } else { "FAILED" }
+        if report.certified() {
+            "CERTIFIED"
+        } else {
+            "FAILED"
+        }
     );
 
     banner("Section 6.3 — and consensus CAN be boosted with pairwise FDs");
@@ -66,7 +92,11 @@ fn main() {
         "2-resilient consensus from 1-resilient pairwise FDs: {} runs, {} violations → {}",
         report.runs,
         report.violations.len(),
-        if report.certified() { "CERTIFIED" } else { "FAILED" }
+        if report.certified() {
+            "CERTIFIED"
+        } else {
+            "FAILED"
+        }
     );
 
     println!(

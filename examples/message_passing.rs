@@ -29,9 +29,14 @@ fn main() {
     // Failure-free: everyone floods, everyone hears all n values,
     // everyone decides the minimum.
     let s = initialize(&sys, &inputs);
-    let run = run_fair(&sys, s.clone(), BranchPolicy::Canonical, &[], 100_000, |st| {
-        (0..n).all(|i| sys.decision(st, ProcId(i)).is_some())
-    });
+    let run = run_fair(
+        &sys,
+        s.clone(),
+        BranchPolicy::Canonical,
+        &[],
+        100_000,
+        |st| (0..n).all(|i| sys.decision(st, ProcId(i)).is_some()),
+    );
     println!(
         "failure-free: all decide {:?} after {} steps",
         sys.decided_values(run.exec.last_state()),

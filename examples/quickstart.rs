@@ -24,9 +24,14 @@ fn main() {
     ]);
     println!("\ninputs: {inputs}");
     let s0 = initialize(&sys, &inputs);
-    let run = run_fair(&sys, s0.clone(), BranchPolicy::Canonical, &[], 100_000, |st| {
-        (0..3).all(|i| sys.decision(st, ProcId(i)).is_some())
-    });
+    let run = run_fair(
+        &sys,
+        s0.clone(),
+        BranchPolicy::Canonical,
+        &[],
+        100_000,
+        |st| (0..3).all(|i| sys.decision(st, ProcId(i)).is_some()),
+    );
     println!(
         "failure-free fair run: {} steps, decisions {:?}",
         run.exec.len(),

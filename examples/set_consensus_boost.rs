@@ -11,7 +11,11 @@ use protocols::set_boost::{build, SetBoostParams};
 use resilience_boosting::prelude::*;
 
 fn main() {
-    let params = SetBoostParams { n: 4, k: 2, k_prime: 1 };
+    let params = SetBoostParams {
+        n: 4,
+        k: 2,
+        k_prime: 1,
+    };
     println!(
         "Section 4 construction: n = {}, k = {}, k' = {} → {} groups of {}",
         params.n,
@@ -54,7 +58,11 @@ fn main() {
         "  {} runs, {} violations → {}",
         report.runs,
         report.violations.len(),
-        if report.certified() { "CERTIFIED wait-free 2-set consensus" } else { "FAILED" }
+        if report.certified() {
+            "CERTIFIED wait-free 2-set consensus"
+        } else {
+            "FAILED"
+        }
     );
     println!(
         "\nEach service is only {}-resilient, yet the composition tolerates {} failures:\n\

@@ -18,10 +18,8 @@ use resilience_boosting::prelude::*;
 fn main() {
     // ---- The raw service ---------------------------------------------------
     let endpoints = [ProcId(0), ProcId(1), ProcId(2)];
-    let tob = TotallyOrderedBroadcast::new(
-        [Val::Sym("a"), Val::Sym("b"), Val::Sym("c")],
-        endpoints,
-    );
+    let tob =
+        TotallyOrderedBroadcast::new([Val::Sym("a"), Val::Sym("b"), Val::Sym("c")], endpoints);
     let svc = CanonicalObliviousService::new(Arc::new(tob), endpoints, 1);
     println!("service: {}", svc.name());
     let aut = ServiceAutomaton::new(Arc::new(svc));
@@ -51,9 +49,14 @@ fn main() {
     let sys = protocols::doomed::doomed_oblivious(2, 0);
     let inputs = InputAssignment::monotone(2, 1);
     let s = initialize(&sys, &inputs);
-    let ok = run_fair(&sys, s.clone(), BranchPolicy::Canonical, &[], 50_000, |st| {
-        (0..2).all(|i| sys.decision(st, ProcId(i)).is_some())
-    });
+    let ok = run_fair(
+        &sys,
+        s.clone(),
+        BranchPolicy::Canonical,
+        &[],
+        50_000,
+        |st| (0..2).all(|i| sys.decision(st, ProcId(i)).is_some()),
+    );
     println!(
         "  failure-free: both decide {:?} (the first totally-ordered message)",
         sys.decided_values(ok.exec.last_state())

@@ -14,12 +14,20 @@ fn main() {
     // ---- A ticket dispenser (fetch&add) ------------------------------------
     println!("universal object #1: fetch&add ticket dispenser, 3 processes");
     let sys = build(Arc::new(FetchAndAdd::modulo(16)), 3);
-    let a = InputAssignment::of(
-        (0..3).map(|i| (ProcId(i), UniversalProcess::request(&FetchAndAdd::fetch_add(1)))),
+    let a = InputAssignment::of((0..3).map(|i| {
+        (
+            ProcId(i),
+            UniversalProcess::request(&FetchAndAdd::fetch_add(1)),
+        )
+    }));
+    let run = run_fair(
+        &sys,
+        initialize(&sys, &a),
+        BranchPolicy::Canonical,
+        &[],
+        200_000,
+        |st| (0..3).all(|i| sys.decision(st, ProcId(i)).is_some()),
     );
-    let run = run_fair(&sys, initialize(&sys, &a), BranchPolicy::Canonical, &[], 200_000, |st| {
-        (0..3).all(|i| sys.decision(st, ProcId(i)).is_some())
-    });
     for i in 0..3 {
         println!(
             "  P{i} fetch_add(1) → ticket {}",
@@ -31,7 +39,10 @@ fn main() {
     println!("\nuniversal object #2: FIFO queue, 2 processes, producer crashes mid-flight");
     let sys = build(Arc::new(FifoQueue::bounded(vec![Val::Int(9)], 4)), 2);
     let a = InputAssignment::of([
-        (ProcId(0), UniversalProcess::request(&FifoQueue::enq(Val::Int(9)))),
+        (
+            ProcId(0),
+            UniversalProcess::request(&FifoQueue::enq(Val::Int(9))),
+        ),
         (ProcId(1), UniversalProcess::request(&FifoQueue::deq())),
     ]);
     let run = run_fair(

@@ -55,7 +55,10 @@ impl Args {
 
     fn usize_or(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{key} wants a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} wants a number")))
+            })
             .unwrap_or(default)
     }
 }
@@ -75,7 +78,10 @@ fn witness_cmd(args: &Args) -> ExitCode {
     let n = args.usize_or("n", 2);
     let f = args.usize_or("f", 0);
     let class = args.get("class").unwrap_or("atomic");
-    println!("candidate: class={class}, n={n}, f={f} — claiming ({})-resilient consensus", f + 1);
+    println!(
+        "candidate: class={class}, n={n}, f={f} — claiming ({})-resilient consensus",
+        f + 1
+    );
     let headline = match class {
         "atomic" => {
             let sys = protocols::doomed::doomed_atomic(n, f);
@@ -153,7 +159,11 @@ fn certify_cmd(args: &Args) -> ExitCode {
         "{} runs, {} violations → {}",
         report.runs,
         report.violations.len(),
-        if report.certified() { "CERTIFIED" } else { "FAILED" }
+        if report.certified() {
+            "CERTIFIED"
+        } else {
+            "FAILED"
+        }
     );
     if let Some(v) = report.violations.first() {
         println!("first violation: {v:?}");
@@ -169,15 +179,24 @@ fn hook_cmd(args: &Args) -> ExitCode {
     let n = args.usize_or("n", 2);
     let f = args.usize_or("f", 0);
     let sys = protocols::doomed::doomed_atomic(n, f);
-    let InitOutcome::Bivalent { assignment, map } = find_bivalent_init(&sys, 2_000_000)
-        .unwrap_or_else(|e| die(&e.to_string()))
+    let InitOutcome::Bivalent { assignment, map } =
+        find_bivalent_init(&sys, 2_000_000).unwrap_or_else(|e| die(&e.to_string()))
     else {
         die("no bivalent initialization (try the witness command)")
     };
-    println!("bivalent initialization: {assignment} ({} states)", map.state_count());
+    println!(
+        "bivalent initialization: {assignment} ({} states)",
+        map.state_count()
+    );
     match find_hook(&sys, &map, 20_000) {
         HookOutcome::Hook(hook) => {
-            println!("hook: e={} e'={} v={:?} (α after {} tasks)", hook.e, hook.e_prime, hook.v, hook.alpha_tasks.len());
+            println!(
+                "hook: e={} e'={} v={:?} (α after {} tasks)",
+                hook.e,
+                hook.e_prime,
+                hook.v,
+                hook.alpha_tasks.len()
+            );
             if let Some(path) = args.get("dot") {
                 let dot = to_dot(&map, &hook.alpha, 3, Some(&hook));
                 if let Err(e) = std::fs::write(path, dot) {

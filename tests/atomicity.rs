@@ -89,13 +89,7 @@ fn a_disagreeing_implementation_is_caught() {
                 other => other.clone(),
             }
         }
-        fn on_response(
-            &self,
-            _i: ProcId,
-            st: &Self::State,
-            _c: SvcId,
-            _r: &Resp,
-        ) -> Self::State {
+        fn on_response(&self, _i: ProcId, st: &Self::State, _c: SvcId, _r: &Resp) -> Self::State {
             st.clone()
         }
         fn step(&self, _i: ProcId, st: &Self::State) -> (ProcAction, Self::State) {

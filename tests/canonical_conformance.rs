@@ -97,7 +97,12 @@ fn concurrent_fair_drives_answer_every_endpoint() {
             .map(|st| &st.action)
             .filter(|a| matches!(a, SvcAction::Respond(..)))
             .collect();
-        assert_eq!(responses.len(), 2, "{}: both endpoints answered", typ.name());
+        assert_eq!(
+            responses.len(),
+            2,
+            "{}: both endpoints answered",
+            typ.name()
+        );
         // Final value matches one of the two sequential orders.
         let v0 = typ.initial_value();
         let order_ab = {
@@ -123,6 +128,10 @@ fn every_type_in_the_zoo_is_deterministic() {
     // Section 3.1 restriction); k-set-consensus, the nondeterministic
     // exception, is exercised separately in tests/nondeterminism.rs.
     for typ in type_zoo() {
-        assert!(typ.is_deterministic(2), "{} must be deterministic", typ.name());
+        assert!(
+            typ.is_deterministic(2),
+            "{} must be deterministic",
+            typ.name()
+        );
     }
 }

@@ -27,7 +27,10 @@ fn inject_inputs(aut: &ServiceAutomaton, inputs: &[(usize, i64)]) -> SvcState {
     let mut s = aut.initial_states().remove(0);
     for (i, v) in inputs {
         s = aut
-            .apply_input(&s, &SvcAction::Invoke(ProcId(*i), BinaryConsensus::init(*v)))
+            .apply_input(
+                &s,
+                &SvcAction::Invoke(ProcId(*i), BinaryConsensus::init(*v)),
+            )
             .expect("init is an invocation");
     }
     s
@@ -87,7 +90,11 @@ fn validity_no_uninvoked_value_is_ever_decided() {
         },
         1_000_000,
     );
-    assert_eq!(bad, SearchOutcome::Exhausted, "decide(0) must be unreachable");
+    assert_eq!(
+        bad,
+        SearchOutcome::Exhausted,
+        "decide(0) must be unreachable"
+    );
 }
 
 #[test]
@@ -140,10 +147,9 @@ fn all_failed_object_may_go_fully_silent() {
     for t in aut.tasks() {
         let branches = aut.succ_all(&t, &s);
         assert!(
-            branches.iter().any(|(a, _)| matches!(
-                a,
-                SvcAction::DummyPerform(_) | SvcAction::DummyOutput(_)
-            )),
+            branches
+                .iter()
+                .any(|(a, _)| matches!(a, SvcAction::DummyPerform(_) | SvcAction::DummyOutput(_))),
             "task {t:?} must offer a dummy once everyone failed"
         );
     }

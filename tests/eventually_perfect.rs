@@ -156,7 +156,11 @@ fn fairness_forces_stabilization() {
     let run = run_fair(&sys, s, BranchPolicy::Canonical, &[], 200, |st| {
         st.services[0].val == spec::fd::mode::perfect()
     });
-    assert_eq!(run.outcome, FairOutcome::Stopped, "stabilize must fire under fairness");
+    assert_eq!(
+        run.outcome,
+        FairOutcome::Stopped,
+        "stabilize must fire under fairness"
+    );
 }
 
 #[test]

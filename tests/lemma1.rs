@@ -53,12 +53,7 @@ fn drive_and_check<P: ProcessAutomaton>(sys: &CompleteSystem<P>, a: &InputAssign
         let s = initialize(sys, a);
         let run = run_random(sys, s, seed, &[], 120, |_| false);
         let states = run.exec.states();
-        let fired: Vec<Option<Task>> = run
-            .exec
-            .steps()
-            .iter()
-            .map(|st| st.task.clone())
-            .collect();
+        let fired: Vec<Option<Task>> = run.exec.steps().iter().map(|st| st.task.clone()).collect();
         check_lemma1(sys, &states, &fired);
     }
 }

@@ -11,6 +11,7 @@
 //! paper introduces nondeterministic sequential types for).
 
 use analysis::valence::ValenceMap;
+use ioa::automaton::Automaton;
 use protocols::set_boost::GroupProcess;
 use services::atomic::CanonicalAtomicObject;
 use spec::seq::KSetConsensus;
@@ -19,17 +20,12 @@ use std::sync::Arc;
 use system::build::CompleteSystem;
 use system::consensus::InputAssignment;
 use system::sched::initialize;
-use ioa::automaton::Automaton;
 
 /// Three processes all wired to ONE wait-free 2-set-consensus object.
 fn kset_system() -> CompleteSystem<GroupProcess> {
     let endpoints = [ProcId(0), ProcId(1), ProcId(2)];
     let obj = CanonicalAtomicObject::wait_free(Arc::new(KSetConsensus::new(2, 3)), endpoints);
-    CompleteSystem::new(
-        GroupProcess::new(vec![SvcId(0); 3]),
-        3,
-        vec![Arc::new(obj)],
-    )
+    CompleteSystem::new(GroupProcess::new(vec![SvcId(0); 3]), 3, vec![Arc::new(obj)])
 }
 
 #[test]

@@ -6,9 +6,7 @@
 //! 2-process perfect failure detectors (boosting with failure-aware
 //! services under arbitrary connection patterns works).
 
-use analysis::resilience::{
-    all_assignments, all_binary_assignments, certify, CertifyConfig,
-};
+use analysis::resilience::{all_assignments, all_binary_assignments, certify, CertifyConfig};
 use protocols::fd_boost;
 use protocols::set_boost::{build, SetBoostParams};
 use spec::{ProcId, Val};
@@ -20,7 +18,11 @@ fn section4_wait_free_2set_from_wait_free_consensus_n4() {
     // The paper's concrete instance with n = 4 (2n = 4 endpoints,
     // n' = 2 per group): certify k = 2 agreement at resilience
     // 2n − 1 = 3 over every input assignment and every failure pattern.
-    let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+    let sys = build(SetBoostParams {
+        n: 4,
+        k: 2,
+        k_prime: 1,
+    });
     let domain: Vec<Val> = (0..4).map(Val::Int).collect();
     let mut cfg = CertifyConfig::new(2, 3, all_assignments(4, &domain));
     cfg.failure_timings = vec![0, 5];
@@ -38,7 +40,11 @@ fn section4_ablation_the_same_system_is_not_consensus() {
     // A1: why consensus is the right benchmark. The identical system
     // violates 1-agreement (it is a 2-set system, not consensus) — so
     // the boost does not contradict Theorem 2.
-    let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+    let sys = build(SetBoostParams {
+        n: 4,
+        k: 2,
+        k_prime: 1,
+    });
     let domain: Vec<Val> = (0..4).map(Val::Int).collect();
     let mut cfg = CertifyConfig::new(1, 0, all_assignments(4, &domain));
     cfg.failure_timings = vec![0];
@@ -59,7 +65,11 @@ fn section4_fed_to_the_consensus_pipeline_yields_a_safety_witness() {
     use analysis::witness::{find_witness, Bounds, ImpossibilityWitness};
     use system::consensus::SafetyViolation;
 
-    let sys = build(SetBoostParams { n: 4, k: 2, k_prime: 1 });
+    let sys = build(SetBoostParams {
+        n: 4,
+        k: 2,
+        k_prime: 1,
+    });
     let w = find_witness(&sys, 3, Bounds::default()).unwrap();
     match &w {
         ImpossibilityWitness::Safety { violation, .. } => {
@@ -72,7 +82,11 @@ fn section4_fed_to_the_consensus_pipeline_yields_a_safety_witness() {
 #[test]
 fn section4_larger_instance_n6_k3() {
     // Three groups of two: at most 3 distinct decisions, resilience 5.
-    let sys = build(SetBoostParams { n: 6, k: 3, k_prime: 1 });
+    let sys = build(SetBoostParams {
+        n: 6,
+        k: 3,
+        k_prime: 1,
+    });
     let domain: Vec<Val> = (0..6).map(Val::Int).collect();
     // 6^6 assignments is too many to sweep exhaustively here; use the
     // structured corners plus a diagonal.
@@ -101,7 +115,11 @@ fn section4_k_prime_2_instance_certified() {
     // The general parameterization with k' > 1: two wait-free
     // 2-set-consensus services on groups of three give wait-free
     // 4-set consensus for six processes (k'n = kn': 2·6 = 4·3).
-    let sys = build(SetBoostParams { n: 6, k: 4, k_prime: 2 });
+    let sys = build(SetBoostParams {
+        n: 6,
+        k: 4,
+        k_prime: 2,
+    });
     let mut inputs = vec![
         InputAssignment::of((0..6).map(|i| (ProcId(i), Val::Int(i as i64)))),
         InputAssignment::of((0..6).map(|i| (ProcId(i), Val::Int((i % 2) as i64)))),

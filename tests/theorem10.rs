@@ -42,7 +42,10 @@ fn theorem10_all_connected_fd_n2_f0() {
                 other => panic!("expected a termination violation, got {other:?}"),
             }
         }
-        other => panic!("expected an adjacent-pair refutation, got: {}", other.headline()),
+        other => panic!(
+            "expected an adjacent-pair refutation, got: {}",
+            other.headline()
+        ),
     }
 }
 
@@ -60,7 +63,10 @@ fn theorem10_n3_f1() {
             }
             other => panic!("expected a termination violation, got {other:?}"),
         },
-        other => panic!("expected an adjacent-pair refutation, got: {}", other.headline()),
+        other => panic!(
+            "expected an adjacent-pair refutation, got: {}",
+            other.headline()
+        ),
     }
 }
 

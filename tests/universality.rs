@@ -31,8 +31,14 @@ fn universal_test_and_set_implements_the_canonical_object() {
     let imp = build(typ.clone(), 2);
     let spec_obj = ServiceAutomaton::new(Arc::new(specification(typ, 2)));
     let inputs = vec![
-        Action::Init(ProcId(0), UniversalProcess::request(&TestAndSet::test_and_set())),
-        Action::Init(ProcId(1), UniversalProcess::request(&TestAndSet::test_and_set())),
+        Action::Init(
+            ProcId(0),
+            UniversalProcess::request(&TestAndSet::test_and_set()),
+        ),
+        Action::Init(
+            ProcId(1),
+            UniversalProcess::request(&TestAndSet::test_and_set()),
+        ),
         Action::Fail(ProcId(0)),
         Action::Fail(ProcId(1)),
     ];
@@ -46,8 +52,14 @@ fn universal_counter_implements_the_canonical_object() {
     let imp = build(typ.clone(), 2);
     let spec_obj = ServiceAutomaton::new(Arc::new(specification(typ, 2)));
     let inputs = [
-        Action::Init(ProcId(0), UniversalProcess::request(&FetchAndAdd::fetch_add(1))),
-        Action::Init(ProcId(1), UniversalProcess::request(&FetchAndAdd::fetch_add(1))),
+        Action::Init(
+            ProcId(0),
+            UniversalProcess::request(&FetchAndAdd::fetch_add(1)),
+        ),
+        Action::Init(
+            ProcId(1),
+            UniversalProcess::request(&FetchAndAdd::fetch_add(1)),
+        ),
         Action::Init(ProcId(1), UniversalProcess::request(&FetchAndAdd::read())),
     ];
     let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, 2, 5_000_000);
