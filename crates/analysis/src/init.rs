@@ -73,12 +73,27 @@ pub fn find_bivalent_init<P: ProcessAutomaton>(
     sys: &CompleteSystem<P>,
     max_states: usize,
 ) -> Result<InitOutcome<P>, Truncated> {
+    find_bivalent_init_with(sys, max_states, 0)
+}
+
+/// [`find_bivalent_init`] with an explicit exploration worker-thread
+/// count (`0` = auto); the outcome is identical for every count.
+///
+/// # Errors
+///
+/// Returns [`Truncated`] if some initialization's reachable space
+/// exceeds `max_states`.
+pub fn find_bivalent_init_with<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    max_states: usize,
+    threads: usize,
+) -> Result<InitOutcome<P>, Truncated> {
     let n = sys.process_count();
     let mut valences: Vec<Valence> = Vec::with_capacity(n + 1);
     for ones in 0..=n {
         let assignment = InputAssignment::monotone(n, ones);
         let root = initialize(sys, &assignment);
-        let map = ValenceMap::build(sys, root.clone(), max_states)?;
+        let map = ValenceMap::build_with(sys, root.clone(), max_states, threads)?;
         let v = map.valence(&root);
         match v {
             Valence::Bivalent => {

@@ -172,7 +172,7 @@ pub enum Refutation<P: ProcessAutomaton> {
         /// The failed process set `J`.
         failed: BTreeSet<ProcId>,
         /// The fair non-deciding run.
-        run: FairRun<P>,
+        run: FairRun<CompleteSystem<P>>,
     },
     /// Both sides decided — and, as Lemma 6/7 predict, they decided the
     /// *same* value, although the two sides have opposite valences.
@@ -281,30 +281,31 @@ pub fn refute_similar_pair<P: ProcessAutomaton>(
         }
     }
 
-    let run_side = |x: &SystemState<P::State>| -> (FairRun<P>, Option<(ProcId, Val)>) {
-        let mut s = x.clone();
-        for i in &j_set {
-            s = sys.fail(&s, *i);
-        }
-        let baseline: Vec<Option<Val>> = sys.decisions(&s);
-        let j_ref = &j_set;
-        let stop = move |st: &SystemState<P::State>| {
-            (0..st.procs.len()).any(|i| {
-                !j_ref.contains(&ProcId(i))
-                    && baseline[i].is_none()
-                    && sys.decision(st, ProcId(i)).is_some()
-            })
-        };
-        let run = run_fair(sys, s, BranchPolicy::PreferDummy, &[], max_steps, &stop);
-        let decider = (0..sys.process_count()).find_map(|i| {
-            let p = ProcId(i);
-            if j_set.contains(&p) {
-                return None;
+    let run_side =
+        |x: &SystemState<P::State>| -> (FairRun<CompleteSystem<P>>, Option<(ProcId, Val)>) {
+            let mut s = x.clone();
+            for i in &j_set {
+                s = sys.fail(&s, *i);
             }
-            sys.decision(run.exec.last_state(), p).map(|v| (p, v))
-        });
-        (run, decider)
-    };
+            let baseline: Vec<Option<Val>> = sys.decisions(&s);
+            let j_ref = &j_set;
+            let stop = move |st: &SystemState<P::State>| {
+                (0..st.procs.len()).any(|i| {
+                    !j_ref.contains(&ProcId(i))
+                        && baseline[i].is_none()
+                        && sys.decision(st, ProcId(i)).is_some()
+                })
+            };
+            let run = run_fair(sys, s, BranchPolicy::PreferDummy, &[], max_steps, &stop);
+            let decider = (0..sys.process_count()).find_map(|i| {
+                let p = ProcId(i);
+                if j_set.contains(&p) {
+                    return None;
+                }
+                sys.decision(run.exec.last_state(), p).map(|v| (p, v))
+            });
+            (run, decider)
+        };
 
     let (run0, dec0) = run_side(x0);
     if !matches!(run0.outcome, FairOutcome::Stopped) || dec0.is_none() {

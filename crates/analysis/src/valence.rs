@@ -16,7 +16,6 @@
 //! the `G(C)` census, the witness safety scan — shares this one graph
 //! instead of re-hashing and re-cloning full `SystemState`s.
 
-use ioa::automaton::Automaton;
 use ioa::explore::{ExploreOptions, ExploredGraph};
 use ioa::store::StateId;
 use spec::Val;
@@ -123,12 +122,31 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         root: SystemState<P::State>,
         max_states: usize,
     ) -> Result<Self, Truncated> {
+        Self::build_with(sys, root, max_states, 0)
+    }
+
+    /// [`ValenceMap::build`] with an explicit exploration worker-thread
+    /// count (`0` = auto, see [`ExploreOptions::threads`]). The
+    /// resulting map is bit-identical for every thread count; the knob
+    /// only trades wall-clock time for cores during the `G(C)` sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Truncated`] if the reachable space exceeds
+    /// `max_states` — all valence answers would be unsound.
+    pub fn build_with(
+        sys: &CompleteSystem<P>,
+        root: SystemState<P::State>,
+        max_states: usize,
+        threads: usize,
+    ) -> Result<Self, Truncated> {
         let graph = ExploredGraph::explore_with(
             sys,
             vec![root],
             ExploreOptions {
                 max_states,
                 skip_self_loops: true,
+                threads,
             },
         );
         if graph.stats().truncated() {
@@ -263,13 +281,19 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     /// The deterministic successor of `s` under task `t` within the
     /// explored graph, if `t` is applicable (the `e(α)` operation of
     /// Section 3.1, restricted to non-self-loop progress edges).
-    pub fn apply(
-        &self,
-        sys: &CompleteSystem<P>,
-        t: &Task,
-        s: &SystemState<P::State>,
-    ) -> Option<SystemState<P::State>> {
-        sys.succ_det(t, s).map(|(_, s2)| s2)
+    ///
+    /// Resolved against the graph's own edge lists, not the system's
+    /// transition function: a task whose only move is a self-loop (a
+    /// stutter, pruned at exploration time) and a state outside the
+    /// explored space both answer `None`, so the successor is always
+    /// safe to feed back into [`ValenceMap::valence`].
+    pub fn apply(&self, t: &Task, s: &SystemState<P::State>) -> Option<SystemState<P::State>> {
+        let id = self.graph.id_of(s)?;
+        self.graph
+            .successors(id)
+            .iter()
+            .find(|(t2, _, _)| t2 == t)
+            .map(|(_, _, s2)| self.graph.resolve(*s2).clone())
     }
 }
 
@@ -288,6 +312,7 @@ pub fn classify(d: &BTreeSet<Val>) -> Valence {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ioa::automaton::Automaton;
     use services::atomic::CanonicalAtomicObject;
     use spec::seq::BinaryConsensus;
     use spec::{ProcId, SvcId};
@@ -320,11 +345,9 @@ mod tests {
         let map = ValenceMap::build(&sys, s.clone(), 100_000).unwrap();
         assert_eq!(map.valence(&s), Valence::Bivalent);
         // Let P0 (input 1) reach the object first: commits to 1.
+        let s = map.apply(&Task::Proc(ProcId(0)), &s).expect("invoke step");
         let s = map
-            .apply(&sys, &Task::Proc(ProcId(0)), &s)
-            .expect("invoke step");
-        let s = map
-            .apply(&sys, &Task::Perform(SvcId(0), ProcId(0)), &s)
+            .apply(&Task::Perform(SvcId(0), ProcId(0)), &s)
             .expect("perform step");
         assert_eq!(map.valence(&s), Valence::One);
     }
@@ -373,6 +396,31 @@ mod tests {
             assert_eq!(map.reachable_decisions(&st), map.reachable_decisions_id(id));
         }
         assert_eq!(map.valences().len(), map.state_count());
+    }
+
+    #[test]
+    fn apply_answers_none_on_stutters_and_off_graph() {
+        // Regression: apply used to call sys.succ_det directly, so a
+        // task whose only move is a Skip self-loop (pruned from G(C))
+        // produced a "successor", and a foreign state produced one
+        // whose valence() lookup then panicked.
+        let sys = direct(2, 0);
+        let s = initialize(&sys, &InputAssignment::monotone(2, 1));
+        let map = ValenceMap::build(&sys, s, 100_000).unwrap();
+        let terminal = map
+            .graph()
+            .ids()
+            .find(|&id| map.successors(id).is_empty())
+            .expect("a fully decided state has no progress edges");
+        let term_state = map.resolve(terminal).clone();
+        let t = Task::Proc(ProcId(0));
+        assert!(
+            sys.succ_det(&t, &term_state).is_some(),
+            "the stutter transition itself still exists"
+        );
+        assert_eq!(map.apply(&t, &term_state), None);
+        let foreign = initialize(&sys, &InputAssignment::monotone(2, 2));
+        assert_eq!(map.apply(&t, &foreign), None);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! paper's three service classes.
 
 use crate::hook::{find_hook, Hook, HookOutcome};
-use crate::init::{find_bivalent_init, InitOutcome};
+use crate::init::{find_bivalent_init_with, InitOutcome};
 use crate::similarity::{
     analyze_hook, refute_adjacent_pair, refute_similar_pair, HookSimilarity, Refutation,
 };
@@ -43,6 +43,10 @@ pub struct Bounds {
     pub max_hook_iterations: usize,
     /// Steps per refutation run.
     pub max_run_steps: usize,
+    /// Exploration worker threads per valence map (`0` = auto, see
+    /// [`ioa::explore::ExploreOptions::threads`]). The witness is
+    /// bit-identical for every count.
+    pub threads: usize,
 }
 
 impl Default for Bounds {
@@ -51,7 +55,17 @@ impl Default for Bounds {
             max_states: 2_000_000,
             max_hook_iterations: 20_000,
             max_run_steps: 500_000,
+            threads: 0,
         }
+    }
+}
+
+impl Bounds {
+    /// The same bounds with an explicit exploration worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -228,7 +242,7 @@ pub fn find_witness<P: ProcessAutomaton>(
     for ones in 0..=n {
         let assignment = InputAssignment::monotone(n, ones);
         let root = initialize(sys, &assignment);
-        let map = ValenceMap::build(sys, root, bounds.max_states)?;
+        let map = ValenceMap::build_with(sys, root, bounds.max_states, bounds.threads)?;
         if let Some(violation) = safety_scan(sys, &assignment, &map) {
             return Ok(ImpossibilityWitness::Safety {
                 assignment,
@@ -238,7 +252,7 @@ pub fn find_witness<P: ProcessAutomaton>(
     }
 
     // Stage 2: Lemma 4.
-    match find_bivalent_init(sys, bounds.max_states)? {
+    match find_bivalent_init_with(sys, bounds.max_states, bounds.threads)? {
         InitOutcome::Bivalent { assignment, map } => {
             // Stage 3: Lemma 5 / Fig. 3.
             match find_hook(sys, &map, bounds.max_hook_iterations) {
@@ -308,7 +322,7 @@ pub fn find_witness<P: ProcessAutomaton>(
         }
         InitOutcome::ValidityBroken { assignment, .. } => {
             let root = initialize(sys, &assignment);
-            let map = ValenceMap::build(sys, root, bounds.max_states)?;
+            let map = ValenceMap::build_with(sys, root, bounds.max_states, bounds.threads)?;
             let violation = safety_scan(sys, &assignment, &map).ok_or_else(|| {
                 WitnessError::Inconclusive(
                     "valence says validity broken but no state violates it".into(),

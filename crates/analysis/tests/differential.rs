@@ -170,3 +170,131 @@ fn theorem2_witness_kind_is_unchanged() {
         "expected a termination violation, got {refutation:?}"
     );
 }
+
+/// Asserts two valence maps were built over bit-identical graphs:
+/// same id assignment, states, edge lists, BFS-tree parents, roots,
+/// stats — and therefore the same valence and decided tables.
+fn assert_maps_bit_identical<P: system::process::ProcessAutomaton>(
+    a: &ValenceMap<P>,
+    b: &ValenceMap<P>,
+    ctx: &str,
+) {
+    let (ga, gb) = (a.graph(), b.graph());
+    assert_eq!(ga.stats(), gb.stats(), "stats differ: {ctx}");
+    assert_eq!(ga.roots(), gb.roots(), "roots differ: {ctx}");
+    assert_eq!(ga.len(), gb.len(), "state count differs: {ctx}");
+    for id in ga.ids() {
+        assert_eq!(ga.resolve(id), gb.resolve(id), "state {id:?}: {ctx}");
+        assert_eq!(ga.successors(id), gb.successors(id), "edges {id:?}: {ctx}");
+        assert_eq!(
+            ga.discovered_by(id),
+            gb.discovered_by(id),
+            "parent {id:?}: {ctx}"
+        );
+        assert_eq!(a.valence_id(id), b.valence_id(id), "valence {id:?}: {ctx}");
+        assert_eq!(
+            a.reachable_decisions_id(id),
+            b.reachable_decisions_id(id),
+            "decided {id:?}: {ctx}"
+        );
+    }
+}
+
+/// Parallel exploration at threads ∈ {2, 4} over the three paper
+/// substrates — doomed-atomic (Theorem 2), totally-ordered broadcast
+/// (Theorem 9's candidate) and the failure-detector system (Theorem
+/// 10's candidate) — must reproduce the sequential valence map bit for
+/// bit.
+#[test]
+fn parallel_valence_maps_are_bit_identical_on_paper_substrates() {
+    fn check<P: system::process::ProcessAutomaton>(name: &str, sys: &CompleteSystem<P>) {
+        let n = sys.process_count();
+        for ones in 0..=n {
+            let root = initialize(sys, &InputAssignment::monotone(n, ones));
+            let seq = ValenceMap::build_with(sys, root.clone(), 1_000_000, 1).unwrap();
+            for threads in [2, 4] {
+                let par = ValenceMap::build_with(sys, root.clone(), 1_000_000, threads).unwrap();
+                let ctx = format!("{name} ones={ones} threads={threads}");
+                assert_maps_bit_identical(&seq, &par, &ctx);
+            }
+        }
+    }
+    check("doomed-atomic(2,0)", &direct(2, 0));
+    check("doomed-atomic(3,1)", &direct(3, 1));
+    check("tob(2,0)", &protocols::doomed::doomed_oblivious(2, 0));
+    check("fd(2)", &protocols::fd_boost::build(2));
+}
+
+/// Tight truncation budgets: mid-layer budget exhaustion must truncate
+/// at exactly the same state, with the same dropped-edge count, for
+/// every thread count.
+#[test]
+fn parallel_truncation_is_bit_identical_on_paper_substrates() {
+    use ioa::explore::{ExploreOptions, ExploredGraph};
+    fn check<P: system::process::ProcessAutomaton>(name: &str, sys: &CompleteSystem<P>) {
+        let n = sys.process_count();
+        let root = initialize(sys, &InputAssignment::monotone(n, 1));
+        let total = ValenceMap::build(sys, root.clone(), 1_000_000)
+            .unwrap()
+            .state_count();
+        // Budgets strictly inside the reachable space, so every one
+        // truncates mid-exploration.
+        for cap in [1 + total / 7, 1 + total / 3, (2 * total) / 3 + 1] {
+            let opts = ExploreOptions {
+                max_states: cap,
+                skip_self_loops: true,
+                threads: 1,
+            };
+            let seq = ExploredGraph::explore_with(sys, vec![root.clone()], opts);
+            assert!(seq.stats().truncated(), "{name} cap={cap} not tight");
+            for threads in [2, 4] {
+                let par = ExploredGraph::explore_with(
+                    sys,
+                    vec![root.clone()],
+                    opts.with_threads(threads),
+                );
+                let ctx = format!("{name} cap={cap} threads={threads}");
+                assert_eq!(seq.stats(), par.stats(), "stats differ: {ctx}");
+                assert_eq!(seq.roots(), par.roots(), "roots differ: {ctx}");
+                for id in seq.ids() {
+                    assert_eq!(seq.resolve(id), par.resolve(id), "state {id:?}: {ctx}");
+                    assert_eq!(
+                        seq.successors(id),
+                        par.successors(id),
+                        "edges {id:?}: {ctx}"
+                    );
+                    assert_eq!(
+                        seq.discovered_by(id),
+                        par.discovered_by(id),
+                        "parent {id:?}: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+    check("doomed-atomic(2,0)", &direct(2, 0));
+    check("tob(2,0)", &protocols::doomed::doomed_oblivious(2, 0));
+    check("fd(2)", &protocols::fd_boost::build(2));
+}
+
+/// The Theorem 2 proof object — bivalent initialization, hook, Lemma 8
+/// similarity, Lemma 6/7 refutation run — must be identical whether
+/// the valence maps underneath were explored sequentially or in
+/// parallel. Debug formatting covers every field of every stage.
+#[test]
+fn theorem2_proof_objects_are_identical_under_parallel_explore() {
+    for (name, sys) in [
+        ("doomed-atomic(2,0)", direct(2, 0)),
+        ("doomed-atomic(3,1)", direct(3, 1)),
+    ] {
+        let seq = find_witness(&sys, 0, Bounds::default().with_threads(1)).unwrap();
+        for threads in [2, 4] {
+            let par = find_witness(&sys, 0, Bounds::default().with_threads(threads)).unwrap();
+            assert_eq!(
+                format!("{seq:?}"),
+                format!("{par:?}"),
+                "{name} threads={threads}"
+            );
+        }
+    }
+}

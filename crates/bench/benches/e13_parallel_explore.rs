@@ -1,0 +1,58 @@
+//! E13 (extension) — layer-synchronous parallel exploration of `G(C)`.
+//!
+//! Regenerates: the wall-clock cost of the full reachable sweep of
+//! `G(C)` (the substrate of every valence/hook/witness pass) at
+//! worker-thread counts 1, 2 and 4. The parallel explorer is
+//! bit-identical to the sequential one by construction (see DESIGN.md
+//! §2.2), so the only observable difference is time — which this bench
+//! records into the perf trajectory (`BENCH_explore.json`).
+//!
+//! Expected shape: on a multi-core host, expansion (successor
+//! generation + hashing) scales with workers while the sequential
+//! merge (intern + edge bookkeeping) sets an Amdahl ceiling; on a
+//! single-core host the thread variants measure pure orchestration
+//! overhead (chunking, scoped spawn/join, batch buffering) and should
+//! sit within a few percent of `threads=1`.
+
+use bench_suite::bench_scales;
+use bench_suite::harness::Group;
+use ioa::explore::{ExploreOptions, ExploredGraph};
+use std::hint::black_box;
+use system::consensus::InputAssignment;
+use system::sched::initialize;
+
+fn main() {
+    let mut group = Group::new("e13_parallel_explore");
+    let opts = ExploreOptions {
+        max_states: 5_000_000,
+        skip_self_loops: true,
+        threads: 1,
+    };
+    for (label, sys, _f) in bench_scales() {
+        // Explore from the first mixed initialization α_1 — the
+        // bivalent root every analysis pass (Lemma 4 onward) sweeps.
+        let n = sys.process_count();
+        let roots = vec![initialize(&sys, &InputAssignment::monotone(n, 1))];
+        let seq = ExploredGraph::explore_with(&sys, roots.clone(), opts);
+        eprintln!(
+            "[E13] {label}: {} states, {} edges, peak frontier {}",
+            seq.len(),
+            seq.stats().edges,
+            seq.stats().peak_frontier
+        );
+        for threads in [1usize, 2, 4] {
+            group.bench(&format!("explore_{label}_threads={threads}"), || {
+                black_box(ExploredGraph::explore_with(
+                    &sys,
+                    roots.clone(),
+                    opts.with_threads(threads),
+                ))
+            });
+        }
+        // Guard the headline claim inside the bench itself: the
+        // parallel sweep must reproduce the sequential graph's stats.
+        let par = ExploredGraph::explore_with(&sys, roots.clone(), opts.with_threads(4));
+        assert_eq!(seq.stats(), par.stats(), "{label}: parallel sweep diverged");
+    }
+    group.finish();
+}

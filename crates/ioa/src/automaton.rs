@@ -48,14 +48,23 @@ impl ActionKind {
 ///
 /// Input actions arrive from the environment and are *not* task-driven;
 /// they are applied with [`Automaton::apply_input`].
-pub trait Automaton {
+///
+/// Automata are `Sync` and their state/action/task types are
+/// `Send + Sync`: an automaton is an immutable transition relation, and
+/// the layer-synchronous parallel explorer
+/// ([`crate::explore::ExploredGraph::explore_with`] with
+/// `threads > 1`) shares one automaton reference across a scoped worker
+/// pool while successor states travel back to the merging thread. Every
+/// automaton in the tree is plain data, so these bounds are satisfied
+/// automatically.
+pub trait Automaton: Sync {
     /// The state type. Orderable and hashable so that state spaces can
     /// be deduplicated and canonically sorted.
-    type State: Clone + Eq + Ord + Hash + Debug;
+    type State: Clone + Eq + Ord + Hash + Debug + Send + Sync;
     /// The action label type.
-    type Action: Clone + Eq + Debug;
+    type Action: Clone + Eq + Debug + Send + Sync;
     /// The task identifier type.
-    type Task: Clone + Eq + Ord + Hash + Debug;
+    type Task: Clone + Eq + Ord + Hash + Debug + Send + Sync;
 
     /// The start states (nonempty).
     fn initial_states(&self) -> Vec<Self::State>;

@@ -190,7 +190,10 @@ where
 impl<A, F> Automaton for Hide<A, F>
 where
     A: Automaton,
-    F: Fn(&A::Action) -> bool,
+    // `Sync` because `Automaton: Sync` (the parallel explorer shares
+    // the automaton across worker threads); predicates are stateless
+    // in practice, so the bound costs nothing.
+    F: Fn(&A::Action) -> bool + Sync,
 {
     type State = A::State;
     type Action = A::Action;

@@ -61,6 +61,11 @@ impl ExploreStats {
     }
 }
 
+/// Environment variable overriding the worker-thread count when
+/// [`ExploreOptions::threads`] is `0` (auto). CI sets this to force the
+/// whole test suite through the parallel path.
+pub const THREADS_ENV: &str = "IOA_EXPLORE_THREADS";
+
 /// Knobs for [`ExploredGraph::explore_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreOptions {
@@ -72,15 +77,48 @@ pub struct ExploreOptions {
     /// valence census (Section 3.3) walks `G(C)` this way: a stuttering
     /// step never changes the decisions reachable from a configuration.
     pub skip_self_loops: bool,
+    /// Worker threads for layer-synchronous frontier expansion.
+    ///
+    /// `1` keeps exploration on the calling thread; `n > 1` expands
+    /// each BFS layer across `n` scoped workers and merges their
+    /// batches sequentially, producing a graph **bit-identical** to the
+    /// sequential one (same ids, edges, parents, stats). `0` means
+    /// *auto*: honor the [`THREADS_ENV`] environment variable when set,
+    /// else stay sequential.
+    pub threads: usize,
 }
 
 impl ExploreOptions {
-    /// Keep everything up to `max_states`, self-loops included.
+    /// Keep everything up to `max_states`, self-loops included,
+    /// thread count auto-detected (see [`ExploreOptions::threads`]).
     #[must_use]
     pub fn with_budget(max_states: usize) -> Self {
         ExploreOptions {
             max_states,
             skip_self_loops: false,
+            threads: 0,
+        }
+    }
+
+    /// Same options with an explicit worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count this exploration will actually use:
+    /// `threads` as given, with `0` resolved through [`THREADS_ENV`]
+    /// (absent/unparsable → 1).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -134,89 +172,21 @@ impl<A: Automaton> ExploredGraph<A> {
     ///
     /// Discovery order (and hence id assignment) is deterministic: the
     /// root order, then task order within each expanded state, then the
-    /// branch order of [`Automaton::succ_all`].
+    /// branch order of [`Automaton::succ_all`]. This holds for every
+    /// thread count — with `opts.threads > 1` each BFS layer is
+    /// expanded across a scoped worker pool and the batches are merged
+    /// sequentially in exactly that order, so the resulting graph (ids,
+    /// edges, parents, stats, truncation) is bit-identical to the
+    /// sequential one. See DESIGN.md §2.1.1.
     pub fn explore_with(aut: &A, roots: Vec<A::State>, opts: ExploreOptions) -> Self {
-        let tasks = aut.tasks();
-        let mut store: StateStore<A::State> = StateStore::new();
-        let mut root_ids = Vec::with_capacity(roots.len());
-        let mut edges: Vec<Vec<Edge<A>>> = Vec::new();
-        let mut parent: Vec<Option<Discovery<A>>> = Vec::new();
-        let mut queue: VecDeque<StateId> = VecDeque::new();
-        let mut edge_count = 0usize;
-        let mut dropped_edges = 0usize;
-        let mut truncated = false;
-        let mut peak_frontier = 0usize;
-
-        for r in &roots {
-            let (id, fresh) = store.intern(r);
-            if fresh {
-                edges.push(Vec::new());
-                parent.push(None);
-                queue.push_back(id);
-            }
-            root_ids.push(id);
-        }
-
-        while let Some(id) = queue.pop_front() {
-            peak_frontier = peak_frontier.max(queue.len() + 1);
-            // Collect successors under an immutable borrow of the
-            // arena, then intern them; succ_all hands back owned
-            // states, so the expanded state itself is never recloned.
-            let succs: Vec<(A::Task, A::Action, A::State)> = {
-                let s = store.resolve(id);
-                tasks
-                    .iter()
-                    .flat_map(|t| {
-                        aut.succ_all(t, s)
-                            .into_iter()
-                            .map(move |(a, s2)| (t.clone(), a, s2))
-                    })
-                    .filter(|(_, _, s2)| !(opts.skip_self_loops && s2 == s))
-                    .collect()
-            };
-            for (t, a, s2) in succs {
-                match store.try_intern(&s2, opts.max_states) {
-                    Some((id2, fresh)) => {
-                        if fresh {
-                            edges.push(Vec::new());
-                            parent.push(Some((id, t.clone(), a.clone())));
-                            queue.push_back(id2);
-                        }
-                        edges[id.index()].push((t, a, id2));
-                        edge_count += 1;
-                    }
-                    None => {
-                        // Budget hit: the target was never admitted, so
-                        // the edge is dropped (and counted) rather than
-                        // left dangling at a node with no entry.
-                        truncated = true;
-                        dropped_edges += 1;
-                    }
-                }
-            }
-        }
-
-        let truncation = if truncated {
-            Truncation::StateBudget {
-                budget: opts.max_states,
-                dropped_edges,
-            }
+        let threads = opts.effective_threads();
+        let mut b = Builder::new(&roots);
+        if threads <= 1 {
+            b.expand_sequential(aut, opts);
         } else {
-            Truncation::Complete
-        };
-        let stats = ExploreStats {
-            states: store.len(),
-            edges: edge_count,
-            peak_frontier,
-            truncation,
-        };
-        ExploredGraph {
-            store,
-            roots: root_ids,
-            edges,
-            parent,
-            stats,
+            b.expand_layered(aut, opts, threads);
         }
+        b.finish(opts)
     }
 
     /// The arena mapping ids to states.
@@ -298,6 +268,247 @@ impl<A: Automaton> ExploredGraph<A> {
         }
         path.reverse();
         path
+    }
+}
+
+/// In-progress exploration state shared by the sequential and the
+/// layer-synchronous parallel expansion loops.
+struct Builder<A: Automaton> {
+    store: StateStore<A::State>,
+    root_ids: Vec<StateId>,
+    edges: Vec<Vec<Edge<A>>>,
+    parent: Vec<Option<Discovery<A>>>,
+    queue: VecDeque<StateId>,
+    edge_count: usize,
+    dropped_edges: usize,
+    truncated: bool,
+    peak_frontier: usize,
+}
+
+/// One successor discovered by a parallel worker, classified against
+/// the frozen arena: either a state interned in an earlier layer
+/// (probe hit — the merge loop only records the edge) or a candidate
+/// new state carried with its precomputed fx hash.
+enum Found<A: Automaton> {
+    Known(A::Task, A::Action, StateId),
+    Fresh(A::Task, A::Action, A::State, u64),
+}
+
+/// One successor of an expanded state, paired with its precomputed
+/// fx hash (so interning never re-hashes).
+type Succ<A> = (
+    <A as Automaton>::Task,
+    <A as Automaton>::Action,
+    <A as Automaton>::State,
+    u64,
+);
+
+/// Worker body: expand one source state, hashing and pre-probing each
+/// successor against the (frozen) arena off the merge thread.
+fn expand_one<A: Automaton>(
+    aut: &A,
+    tasks: &[A::Task],
+    store: &StateStore<A::State>,
+    id: StateId,
+    skip_self_loops: bool,
+) -> Vec<Found<A>> {
+    let s = store.resolve(id);
+    let mut out = Vec::new();
+    for t in tasks {
+        for (a, s2) in aut.succ_all(t, s) {
+            if skip_self_loops && &s2 == s {
+                continue;
+            }
+            let h = crate::store::fx_hash(&s2);
+            match store.get_prehashed(&s2, h) {
+                Some(id2) => out.push(Found::Known(t.clone(), a, id2)),
+                None => out.push(Found::Fresh(t.clone(), a, s2, h)),
+            }
+        }
+    }
+    out
+}
+
+impl<A: Automaton> Builder<A> {
+    fn new(roots: &[A::State]) -> Self {
+        let mut b = Builder {
+            store: StateStore::new(),
+            root_ids: Vec::with_capacity(roots.len()),
+            edges: Vec::new(),
+            parent: Vec::new(),
+            queue: VecDeque::new(),
+            edge_count: 0,
+            dropped_edges: 0,
+            truncated: false,
+            peak_frontier: 0,
+        };
+        for r in roots {
+            let (id, fresh) = b.store.intern(r);
+            if fresh {
+                b.edges.push(Vec::new());
+                b.parent.push(None);
+                b.queue.push_back(id);
+            }
+            b.root_ids.push(id);
+        }
+        b
+    }
+
+    /// Record one discovered transition `src -(t, a)-> s2` exactly as
+    /// the sequential BFS would: intern (budget-checked), extend the
+    /// parent map on first sight, drop and count the edge on budget
+    /// exhaustion. Returns the successor's id when it was freshly
+    /// admitted (the caller owns the frontier and enqueues it).
+    fn admit(
+        &mut self,
+        src: StateId,
+        t: A::Task,
+        a: A::Action,
+        s2: A::State,
+        hash: u64,
+        cap: usize,
+    ) -> Option<StateId> {
+        match self.store.try_intern_prehashed(s2, hash, cap) {
+            Some((id2, fresh)) => {
+                if fresh {
+                    self.edges.push(Vec::new());
+                    self.parent.push(Some((src, t.clone(), a.clone())));
+                }
+                self.edges[src.index()].push((t, a, id2));
+                self.edge_count += 1;
+                fresh.then_some(id2)
+            }
+            None => {
+                // Budget hit: the target was never admitted, so the
+                // edge is dropped (and counted) rather than left
+                // dangling at a node with no entry.
+                self.truncated = true;
+                self.dropped_edges += 1;
+                None
+            }
+        }
+    }
+
+    /// The single-threaded BFS loop: one state popped, expanded and
+    /// merged at a time.
+    fn expand_sequential(&mut self, aut: &A, opts: ExploreOptions) {
+        let tasks = aut.tasks();
+        while let Some(id) = self.queue.pop_front() {
+            self.peak_frontier = self.peak_frontier.max(self.queue.len() + 1);
+            // Collect successors under an immutable borrow of the
+            // arena, then intern them; succ_all hands back owned
+            // states, so the expanded state itself is never recloned.
+            let succs: Vec<Succ<A>> = {
+                let s = self.store.resolve(id);
+                tasks
+                    .iter()
+                    .flat_map(|t| {
+                        aut.succ_all(t, s)
+                            .into_iter()
+                            .map(move |(a, s2)| (t.clone(), a, s2))
+                    })
+                    .filter(|(_, _, s2)| !(opts.skip_self_loops && s2 == s))
+                    .map(|(t, a, s2)| {
+                        let h = crate::store::fx_hash(&s2);
+                        (t, a, s2, h)
+                    })
+                    .collect()
+            };
+            for (t, a, s2, h) in succs {
+                if let Some(id2) = self.admit(id, t, a, s2, h, opts.max_states) {
+                    self.queue.push_back(id2);
+                }
+            }
+        }
+    }
+
+    /// The layer-synchronous parallel loop: each BFS layer is expanded
+    /// across `threads` scoped workers against the frozen arena, then
+    /// the batches are merged sequentially in (source order, task
+    /// order, branch order) — the exact order the sequential loop
+    /// discovers transitions in, so ids, edges, parents, peak frontier
+    /// and truncation come out bit-identical.
+    fn expand_layered(&mut self, aut: &A, opts: ExploreOptions, threads: usize) {
+        let tasks = aut.tasks();
+        let mut layer: Vec<StateId> = self.queue.drain(..).collect();
+        while !layer.is_empty() {
+            let chunk = layer.len().div_ceil(threads).max(1);
+            // Phase 1 (parallel): expand every source of the layer.
+            // The arena is only read here; workers hash and pre-probe
+            // each successor so the merge does no hashing and no
+            // equality checks for previously-interned states.
+            let store = &self.store;
+            let tasks_ref = &tasks;
+            let batches: Vec<Vec<Vec<Found<A>>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = layer
+                    .chunks(chunk)
+                    .map(|ids| {
+                        scope.spawn(move || {
+                            ids.iter()
+                                .map(|&id| {
+                                    expand_one(aut, tasks_ref, store, id, opts.skip_self_loops)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("explore worker panicked"))
+                    .collect()
+            });
+            // Phase 2 (sequential): merge in discovery order. The
+            // virtual queue of the sequential BFS holds the rest of
+            // this layer plus the next layer discovered so far; peak
+            // tracking mirrors its `queue.len() + 1` at pop time.
+            let mut next: Vec<StateId> = Vec::new();
+            let layer_len = layer.len();
+            let mut sources = layer.iter().copied();
+            for (expanded, per_source) in batches.into_iter().flatten().enumerate() {
+                let src = sources.next().expect("one batch per source");
+                self.peak_frontier = self
+                    .peak_frontier
+                    .max(layer_len - expanded - 1 + next.len() + 1);
+                for found in per_source {
+                    match found {
+                        Found::Known(t, a, id2) => {
+                            self.edges[src.index()].push((t, a, id2));
+                            self.edge_count += 1;
+                        }
+                        Found::Fresh(t, a, s2, h) => {
+                            if let Some(id2) = self.admit(src, t, a, s2, h, opts.max_states) {
+                                next.push(id2);
+                            }
+                        }
+                    }
+                }
+            }
+            layer = next;
+        }
+    }
+
+    fn finish(self, opts: ExploreOptions) -> ExploredGraph<A> {
+        let truncation = if self.truncated {
+            Truncation::StateBudget {
+                budget: opts.max_states,
+                dropped_edges: self.dropped_edges,
+            }
+        } else {
+            Truncation::Complete
+        };
+        let stats = ExploreStats {
+            states: self.store.len(),
+            edges: self.edge_count,
+            peak_frontier: self.peak_frontier,
+            truncation,
+        };
+        ExploredGraph {
+            store: self.store,
+            roots: self.root_ids,
+            edges: self.edges,
+            parent: self.parent,
+            stats,
+        }
     }
 }
 
@@ -586,6 +797,7 @@ mod tests {
             ExploreOptions {
                 max_states: 100,
                 skip_self_loops: false,
+                threads: 0,
             },
         );
         let skipped = ExploredGraph::explore_with(
@@ -594,6 +806,7 @@ mod tests {
             ExploreOptions {
                 max_states: 100,
                 skip_self_loops: true,
+                threads: 0,
             },
         );
         assert_eq!(full.len(), skipped.len());

@@ -233,6 +233,69 @@ impl<S: Hash + Eq + Clone> StateStore<S> {
         Some((id, true))
     }
 
+    /// [`StateStore::intern`] with the hash supplied by the caller and
+    /// the state passed by value (moved into the arena on first sight,
+    /// no clone).
+    ///
+    /// This is the fast path of the parallel explorer: workers hash
+    /// candidate successors off the interner's thread, and the merge
+    /// loop inserts them without re-hashing. `hash` **must** equal
+    /// `fx_hash(&state)`; this is debug-asserted.
+    pub fn intern_prehashed(&mut self, state: S, hash: u64) -> (StateId, bool) {
+        debug_assert_eq!(hash, fx_hash(&state), "prehashed value must match fx_hash");
+        let bucket = self.buckets.entry(hash).or_default();
+        for &id in bucket.iter() {
+            if self.states[id.index()] == state {
+                return (id, false);
+            }
+        }
+        let id = StateId::from_index(self.states.len());
+        self.states.push(state);
+        bucket.push(id);
+        (id, true)
+    }
+
+    /// [`StateStore::try_intern`] with the hash supplied by the caller
+    /// and the state passed by value. Returns `None` (dropping the
+    /// state) when it is fresh but the arena already holds `cap`
+    /// states. `hash` **must** equal `fx_hash(&state)`.
+    pub fn try_intern_prehashed(
+        &mut self,
+        state: S,
+        hash: u64,
+        cap: usize,
+    ) -> Option<(StateId, bool)> {
+        debug_assert_eq!(hash, fx_hash(&state), "prehashed value must match fx_hash");
+        let bucket = self.buckets.entry(hash).or_default();
+        for &id in bucket.iter() {
+            if self.states[id.index()] == state {
+                return Some((id, false));
+            }
+        }
+        if self.states.len() >= cap {
+            return None;
+        }
+        let id = StateId::from_index(self.states.len());
+        self.states.push(state);
+        bucket.push(id);
+        Some((id, true))
+    }
+
+    /// Look up the id of an already-interned state with a
+    /// caller-supplied hash, without inserting. Shared-read safe: the
+    /// parallel explorer's workers probe the frozen arena through this
+    /// while the merge thread is idle. `hash` **must** equal
+    /// `fx_hash(state)`.
+    #[must_use]
+    pub fn get_prehashed(&self, state: &S, hash: u64) -> Option<StateId> {
+        debug_assert_eq!(hash, fx_hash(state), "prehashed value must match fx_hash");
+        let bucket = self.buckets.get(&hash)?;
+        bucket
+            .iter()
+            .copied()
+            .find(|id| &self.states[id.index()] == state)
+    }
+
     /// Look up the id of an already-interned state without inserting.
     #[must_use]
     pub fn get(&self, state: &S) -> Option<StateId> {
@@ -359,6 +422,25 @@ mod tests {
         assert_eq!(st.try_intern(&3u64, 2), None);
         assert_eq!(st.try_intern(&1u64, 2), Some((StateId(0), false)));
         assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn prehashed_paths_agree_with_the_hashing_paths() {
+        let mut a = StateStore::new();
+        let mut b = StateStore::new();
+        for i in (0..64u64).chain(0..32) {
+            let expected = a.try_intern(&i, 48);
+            let got = b.try_intern_prehashed(i, fx_hash(&i), 48);
+            assert_eq!(got, expected, "state {i}");
+        }
+        assert_eq!(a.len(), b.len());
+        for i in 0..64u64 {
+            assert_eq!(b.get_prehashed(&i, fx_hash(&i)), a.get(&i));
+        }
+        let (id, fresh) = b.intern_prehashed(99, fx_hash(&99u64));
+        assert!(fresh);
+        assert_eq!(*b.resolve(id), 99);
+        assert_eq!(b.intern_prehashed(99, fx_hash(&99u64)), (id, false));
     }
 
     #[test]

@@ -231,7 +231,7 @@ mod tests {
 
     /// Collects the `suspect` outputs of each process along a run.
     fn outputs(
-        run: &system::sched::FairRun<DerivedFdProcess>,
+        run: &system::sched::FairRun<system::build::CompleteSystem<DerivedFdProcess>>,
         n: usize,
     ) -> Vec<Vec<BTreeSet<ProcId>>> {
         let mut out = vec![Vec::new(); n];

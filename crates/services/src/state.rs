@@ -155,6 +155,14 @@ impl fmt::Display for SvcState {
     }
 }
 
+// Compile-time audit: the parallel explorer in `ioa` moves successor
+// system states (which embed `SvcState`s) from worker threads to the
+// merging thread and shares services across the pool.
+const _: () = {
+    const fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<SvcState>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,6 +49,20 @@ impl<PS: fmt::Debug> fmt::Display for SystemState<PS> {
     }
 }
 
+// Compile-time audit: the layer-synchronous parallel explorer shares
+// `CompleteSystem<P>` across scoped workers and sends
+// `SystemState<P::State>` values back to the merging thread, so both
+// must be `Send + Sync` for every in-tree process family. `ArcService`
+// qualifies because `Service: Send + Sync`.
+const _: () = {
+    const fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<SystemState<crate::process::direct::Phase>>();
+    is_send_sync::<CompleteSystem<crate::process::direct::DirectConsensus>>();
+    is_send_sync::<Action>();
+    is_send_sync::<Task>();
+    is_send_sync::<ArcService>();
+};
+
 /// The complete system `C` for process family `P`, `n = |I|` processes
 /// and a vector of canonical services (the paper's `K ∪ R`, with the
 /// class of each service distinguishing registers from resilient

@@ -35,9 +35,14 @@ pub enum ProcAction {
 /// is a function of the state. Inputs (`init`, responses, `fail`) are
 /// handled by dedicated transition functions; the single task's
 /// transition is [`ProcessAutomaton::step`], which must be total.
-pub trait ProcessAutomaton: Debug {
+///
+/// `Send + Sync` bounds mirror [`ioa::automaton::Automaton`]: the
+/// parallel explorer shares `CompleteSystem<P>` across worker threads
+/// and moves `SystemState<P::State>` values between them. Process
+/// families are immutable rule tables, so the bounds hold trivially.
+pub trait ProcessAutomaton: Debug + Send + Sync {
     /// The per-process state.
-    type State: Clone + Eq + Ord + Hash + Debug;
+    type State: Clone + Eq + Ord + Hash + Debug + Send + Sync;
 
     /// The start state of `P_i`.
     fn initial(&self, i: ProcId) -> Self::State;

@@ -52,10 +52,7 @@ pub enum BranchPolicy {
 }
 
 impl BranchPolicy {
-    fn pick<PS: Clone>(
-        self,
-        branches: Vec<(Action, SystemState<PS>)>,
-    ) -> Option<(Action, SystemState<PS>)> {
+    fn pick<S>(self, branches: Vec<(Action, S)>) -> Option<(Action, S)> {
         match self {
             BranchPolicy::Canonical => branches.into_iter().next(),
             BranchPolicy::PreferDummy => {
@@ -78,51 +75,68 @@ pub enum FairOutcome {
     /// in a fair cycle. The payload is the step index where the cycle
     /// begins.
     Lasso(usize),
+    /// No task was applicable: the run quiesced with budget to spare.
+    /// A quiescent finite run is fair (no task is ever again enabled),
+    /// so this is a *positive* termination verdict — distinct from
+    /// [`FairOutcome::Budget`], which is inconclusive.
+    Quiescent,
     /// The step budget ran out.
     Budget,
 }
 
 /// A completed fair run.
 #[derive(Debug)]
-pub struct FairRun<P: ProcessAutomaton> {
+pub struct FairRun<A: Automaton> {
     /// The generated execution (from the supplied start state).
-    pub exec: Execution<CompleteSystem<P>>,
+    pub exec: Execution<A>,
     /// How it ended.
     pub outcome: FairOutcome,
 }
 
-/// Drives the system round-robin from `start` under `policy`,
-/// injecting `fail_i` for each `(step, i)` in `failures` when the
-/// execution reaches that length. Stops when `stop` holds, a
-/// configuration repeats (fair lasso), or `max_steps` elapse.
-pub fn run_fair<P, F>(
-    sys: &CompleteSystem<P>,
-    start: SystemState<P::State>,
+/// Drives the automaton round-robin from `start` under `policy`,
+/// injecting `fail_i` for each `(step, i)` in `failures` just before
+/// the scheduler's step number `step`. Stops when `stop` holds, a
+/// configuration repeats (fair lasso), no task is applicable
+/// (quiescence), or `max_steps` scheduler-chosen steps elapse.
+///
+/// Step accounting: failure indices and `max_steps` both count
+/// *scheduler-chosen* task steps only. Injected `fail` inputs appear in
+/// the returned execution (so `exec.len()` can exceed `max_steps` by
+/// `failures.len()`) but consume no budget and do not shift later
+/// injection points.
+///
+/// Generic over the automaton so adversarial toys can exercise the
+/// driver; the complete system instantiates `A = CompleteSystem<P>`.
+pub fn run_fair<A, F>(
+    sys: &A,
+    start: A::State,
     policy: BranchPolicy,
     failures: &[(usize, spec::ProcId)],
     max_steps: usize,
     stop: F,
-) -> FairRun<P>
+) -> FairRun<A>
 where
-    P: ProcessAutomaton,
-    F: Fn(&SystemState<P::State>) -> bool,
+    A: Automaton<Action = Action>,
+    F: Fn(&A::State) -> bool,
 {
     let tasks = sys.tasks();
     let mut exec = Execution::new(start);
     let mut pending_failures: Vec<(usize, spec::ProcId)> = failures.to_vec();
     pending_failures.sort();
     let mut pos = 0usize;
-    let mut seen: HashMap<(SystemState<P::State>, usize), usize> = HashMap::new();
+    let mut steps = 0usize;
+    let mut seen: HashMap<(A::State, usize), usize> = HashMap::new();
     if stop(exec.last_state()) {
         return FairRun {
             exec,
             outcome: FairOutcome::Stopped,
         };
     }
-    while exec.len() < max_steps {
-        // Inject any failures scheduled at or before this point.
+    while steps < max_steps {
+        // Inject any failures scheduled at or before this scheduler
+        // step. Inputs are not steps: they consume no budget.
         while let Some(&(at, i)) = pending_failures.first() {
-            if at <= exec.len() {
+            if at <= steps {
                 exec.apply_input(sys, Action::Fail(i));
                 pending_failures.remove(0);
             } else {
@@ -156,13 +170,14 @@ where
             }
         }
         if !fired {
-            // No task applicable at all — cannot happen while processes
-            // exist (their task is always enabled), but guard anyway.
+            // Nothing is enabled and nothing ever will be (tasks only
+            // get re-enabled by steps): the run quiesced.
             return FairRun {
                 exec,
-                outcome: FairOutcome::Budget,
+                outcome: FairOutcome::Quiescent,
             };
         }
+        steps += 1;
         if stop(exec.last_state()) {
             return FairRun {
                 exec,
@@ -183,14 +198,14 @@ where
 ///
 /// This is the scheduler used to hand-drive exact interleavings in
 /// tests and to replay the γ′ fragments of the Lemma 6/7 arguments.
-pub fn run_script<P>(
-    sys: &CompleteSystem<P>,
-    start: SystemState<P::State>,
+pub fn run_script<A>(
+    sys: &A,
+    start: A::State,
     policy: BranchPolicy,
     script: &[ScriptStep],
-) -> FairRun<P>
+) -> FairRun<A>
 where
-    P: ProcessAutomaton,
+    A: Automaton<Action = Action, Task = Task>,
 {
     let mut exec = Execution::new(start);
     for item in script {
@@ -247,17 +262,17 @@ pub enum ScriptStep {
 /// in-tree [`SplitMix64`] stream, so the same seed replays the same run
 /// on every platform and toolchain (unlike `rand::StdRng`, whose
 /// algorithm is unstable across crate versions).
-pub fn run_random<P, F>(
-    sys: &CompleteSystem<P>,
-    start: SystemState<P::State>,
+pub fn run_random<A, F>(
+    sys: &A,
+    start: A::State,
     seed: u64,
     failures: &[(usize, spec::ProcId)],
     max_steps: usize,
     stop: F,
-) -> FairRun<P>
+) -> FairRun<A>
 where
-    P: ProcessAutomaton,
-    F: Fn(&SystemState<P::State>) -> bool,
+    A: Automaton<Action = Action>,
+    F: Fn(&A::State) -> bool,
 {
     run_random_with(
         sys,
@@ -269,38 +284,48 @@ where
     )
 }
 
+/// A task paired with its enabled branches at the current state — the
+/// unit the random scheduler draws from.
+type TaskBranches<'a, A> = (
+    &'a <A as Automaton>::Task,
+    Vec<(Action, <A as Automaton>::State)>,
+);
+
 /// [`run_random`] generalized over the randomness source.
 ///
 /// Always available in-tree (the `ext-rand` cargo feature only signals
 /// that a build intends to plug in an external generator); any
 /// implementor of [`ioa::rng::RandomSource`] — e.g. an adapter over a
 /// `rand::RngCore` — can drive the schedule.
-pub fn run_random_with<P, R, F>(
-    sys: &CompleteSystem<P>,
-    start: SystemState<P::State>,
+pub fn run_random_with<A, R, F>(
+    sys: &A,
+    start: A::State,
     mut rng: R,
     failures: &[(usize, spec::ProcId)],
     max_steps: usize,
     stop: F,
-) -> FairRun<P>
+) -> FairRun<A>
 where
-    P: ProcessAutomaton,
+    A: Automaton<Action = Action>,
     R: RandomSource,
-    F: Fn(&SystemState<P::State>) -> bool,
+    F: Fn(&A::State) -> bool,
 {
     let tasks = sys.tasks();
     let mut exec = Execution::new(start);
     let mut pending: Vec<(usize, spec::ProcId)> = failures.to_vec();
     pending.sort();
+    let mut steps = 0usize;
     if stop(exec.last_state()) {
         return FairRun {
             exec,
             outcome: FairOutcome::Stopped,
         };
     }
-    while exec.len() < max_steps {
+    while steps < max_steps {
+        // Failure indices count scheduler-chosen steps, exactly as in
+        // [`run_fair`]; injected inputs consume no budget.
         while let Some(&(at, i)) = pending.first() {
-            if at <= exec.len() {
+            if at <= steps {
                 exec.apply_input(sys, Action::Fail(i));
                 pending.remove(0);
             } else {
@@ -308,15 +333,26 @@ where
             }
         }
         let state = exec.last_state().clone();
-        let applicable: Vec<&Task> = tasks.iter().filter(|t| sys.applicable(t, &state)).collect();
+        // A task is only offered if it has a branch to take: an
+        // automaton whose `applicable` over-approximates `succ_all`
+        // (buggy or adversarial) degrades to quiescence instead of
+        // panicking on an empty `gen_range`.
+        let applicable: Vec<TaskBranches<'_, A>> = tasks
+            .iter()
+            .map(|t| (t, sys.succ_all(t, &state)))
+            .filter(|(_, branches)| !branches.is_empty())
+            .collect();
         if applicable.is_empty() {
             return FairRun {
                 exec,
-                outcome: FairOutcome::Budget,
+                outcome: FairOutcome::Quiescent,
             };
         }
-        let t = applicable[rng.gen_range(applicable.len())];
-        let mut branches = sys.succ_all(t, &state);
+        let (t, mut branches) = {
+            let idx = rng.gen_range(applicable.len());
+            let mut applicable = applicable;
+            applicable.swap_remove(idx)
+        };
         let pick = rng.gen_range(branches.len());
         let (action, next) = branches.swap_remove(pick);
         exec.push(Step {
@@ -324,6 +360,7 @@ where
             action,
             state: next,
         });
+        steps += 1;
         if stop(exec.last_state()) {
             return FairRun {
                 exec,
@@ -461,6 +498,127 @@ mod tests {
         );
         assert_eq!(run.exec.len(), 2, "only the two inputs produced steps");
         assert!(run.exec.last_state().failed.contains(&ProcId(1)));
+    }
+
+    /// A single-task chain `n -> n-1 -> … -> 0` that quiesces at 0:
+    /// the smallest automaton whose tasks can all become inapplicable.
+    #[derive(Debug)]
+    struct Countdown;
+
+    impl Automaton for Countdown {
+        type State = u8;
+        type Action = Action;
+        type Task = Task;
+
+        fn initial_states(&self) -> Vec<u8> {
+            vec![2]
+        }
+        fn tasks(&self) -> Vec<Task> {
+            vec![Task::Proc(ProcId(0))]
+        }
+        fn succ_all(&self, _t: &Task, s: &u8) -> Vec<(Action, u8)> {
+            if *s == 0 {
+                Vec::new()
+            } else {
+                vec![(Action::ProcStep(ProcId(0)), s - 1)]
+            }
+        }
+        fn apply_input(&self, s: &u8, a: &Action) -> Option<u8> {
+            matches!(a, Action::Fail(_)).then_some(*s)
+        }
+        fn kind(&self, a: &Action) -> ioa::automaton::ActionKind {
+            match a {
+                Action::Init(..) | Action::Fail(..) => ioa::automaton::ActionKind::Input,
+                _ => ioa::automaton::ActionKind::Internal,
+            }
+        }
+    }
+
+    /// An adversarial automaton whose `applicable` over-approximates
+    /// `succ_all`: it claims its task is enabled but offers no branch.
+    #[derive(Debug)]
+    struct Liar;
+
+    impl Automaton for Liar {
+        type State = u8;
+        type Action = Action;
+        type Task = Task;
+
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn tasks(&self) -> Vec<Task> {
+            vec![Task::Proc(ProcId(0))]
+        }
+        fn succ_all(&self, _t: &Task, _s: &u8) -> Vec<(Action, u8)> {
+            Vec::new()
+        }
+        fn applicable(&self, _t: &Task, _s: &u8) -> bool {
+            true // the lie
+        }
+        fn apply_input(&self, _s: &u8, _a: &Action) -> Option<u8> {
+            None
+        }
+        fn kind(&self, _a: &Action) -> ioa::automaton::ActionKind {
+            ioa::automaton::ActionKind::Internal
+        }
+    }
+
+    #[test]
+    fn quiescence_is_not_reported_as_budget() {
+        // Regression: both drivers used to answer Budget when no task
+        // was applicable, conflating "fairly terminated" with "gave up".
+        let run = run_fair(&Countdown, 2, BranchPolicy::Canonical, &[], 100, |_| false);
+        assert_eq!(run.outcome, FairOutcome::Quiescent);
+        assert_eq!(run.exec.len(), 2, "the chain ran to its end");
+        let run = run_random(&Countdown, 2, 7, &[], 100, |_| false);
+        assert_eq!(run.outcome, FairOutcome::Quiescent);
+        assert_eq!(run.exec.len(), 2);
+    }
+
+    #[test]
+    fn lying_applicable_degrades_to_quiescent() {
+        // Regression: run_random trusted `applicable` and then called
+        // gen_range(branches.len()) on the empty branch list — a panic.
+        let run = run_random(&Liar, 0, 7, &[], 10, |_| false);
+        assert_eq!(run.outcome, FairOutcome::Quiescent);
+        assert!(run.exec.is_empty());
+    }
+
+    #[test]
+    fn failure_injections_do_not_consume_budget_or_shift() {
+        // Regression: injected fail inputs used to count against
+        // max_steps and to advance the injection clock, so
+        // [(0, p1), (1, p2)] fired back-to-back before any task step
+        // and the budget silently shrank by the number of failures.
+        let sys = direct(3, 2);
+        let a = InputAssignment::monotone(3, 1);
+        let s = initialize(&sys, &a);
+        let failures = [(0, ProcId(1)), (1, ProcId(2))];
+        let run = run_fair(&sys, s, BranchPolicy::Canonical, &failures, 3, |_| false);
+        assert_eq!(run.outcome, FairOutcome::Budget);
+        let steps = run.exec.steps();
+        assert_eq!(steps[0].action, Action::Fail(ProcId(1)), "fail at step 0");
+        assert!(steps[1].task.is_some(), "a scheduler step separates them");
+        assert_eq!(steps[2].action, Action::Fail(ProcId(2)), "fail at step 1");
+        let chosen = steps.iter().filter(|st| st.task.is_some()).count();
+        assert_eq!(chosen, 3, "the full budget went to scheduler steps");
+        assert_eq!(run.exec.len(), 5, "both inputs are still in the trace");
+    }
+
+    #[test]
+    fn random_failure_injection_uses_scheduler_step_indices() {
+        let sys = direct(3, 2);
+        let a = InputAssignment::monotone(3, 1);
+        let s = initialize(&sys, &a);
+        let failures = [(0, ProcId(1)), (1, ProcId(2))];
+        let run = run_random(&sys, s, 42, &failures, 3, |_| false);
+        assert_eq!(run.outcome, FairOutcome::Budget);
+        let steps = run.exec.steps();
+        assert_eq!(steps[0].action, Action::Fail(ProcId(1)));
+        assert!(steps[1].task.is_some());
+        assert_eq!(steps[2].action, Action::Fail(ProcId(2)));
+        assert_eq!(steps.iter().filter(|st| st.task.is_some()).count(), 3);
     }
 
     #[test]
