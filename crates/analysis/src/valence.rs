@@ -16,11 +16,12 @@
 //! the `G(C)` census, the witness safety scan — shares this one graph
 //! instead of re-hashing and re-cloning full `SystemState`s.
 
-use ioa::explore::{ExploreOptions, ExploredGraph};
-use ioa::store::StateId;
+use ioa::explore::{ExploreOptions, ExploreStats, ExploredGraph};
+use ioa::store::{fx_hash, StateId, StateStore};
 use spec::Val;
 use std::collections::{BTreeSet, VecDeque};
 use system::build::{CompleteSystem, SystemState};
+use system::packed::PackedSystem;
 use system::process::ProcessAutomaton;
 use system::{Action, Task};
 
@@ -97,10 +98,23 @@ impl std::error::Error for Truncated {}
 ///
 /// Self-loop transitions are skipped at exploration time: a stuttering
 /// step never changes the decisions reachable from a configuration.
+///
+/// The graph is *explored* over the component-interned representation
+/// ([`PackedSystem`], DESIGN §2.1.2) — successors there are flat
+/// id-vector copies instead of deep `BTreeMap` clones — and the packed
+/// states are decoded back into [`SystemState`]s in id order once
+/// exploration finishes, so every downstream consumer keeps the deep
+/// view. Ids, edges, parents and stats are bit-identical to exploring
+/// the deep representation directly (pinned by the differential tests).
 #[derive(Debug)]
 pub struct ValenceMap<P: ProcessAutomaton> {
-    graph: ExploredGraph<CompleteSystem<P>>,
+    store: StateStore<SystemState<P::State>>,
     root: StateId,
+    /// `edges[id] = [(task, action, successor)]` in task order.
+    edges: Vec<Vec<(Task, Action, StateId)>>,
+    /// BFS tree: the step that first discovered each non-root state.
+    parent: Vec<Option<(StateId, Task, Action)>>,
+    stats: ExploreStats,
     /// `decided[id]` = the decision values reachable from `id`.
     decided: Vec<BTreeSet<Val>>,
     /// `valence[id]`, precomputed from `decided` — the census becomes a
@@ -140,9 +154,14 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         max_states: usize,
         threads: usize,
     ) -> Result<Self, Truncated> {
+        // Explore over the packed representation: successors are flat
+        // component-id copies, and each distinct component state pays
+        // its deep hash/clone exactly once in the sub-arenas.
+        let packed = PackedSystem::new(sys);
+        let packed_root = packed.encode(&root);
         let graph = ExploredGraph::explore_with(
-            sys,
-            vec![root],
+            &packed,
+            vec![packed_root],
             ExploreOptions {
                 max_states,
                 skip_self_loops: true,
@@ -154,21 +173,36 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
                 states_explored: graph.len(),
             });
         }
-        let root = graph.roots()[0];
-        let n = graph.len();
+        let parts = graph.into_parts();
+
+        // Decode each packed state back into the deep representation,
+        // in id order: interning in insertion order reproduces the
+        // packed ids exactly (the encoding is injective, so every
+        // decode is fresh), and the edge/parent tables carry over
+        // verbatim.
+        let mut store = StateStore::with_capacity(parts.store.len());
+        for ps in parts.store.states() {
+            let s = packed.decode(ps);
+            let h = fx_hash(&s);
+            let (_, fresh) = store.intern_prehashed(s, h);
+            debug_assert!(fresh, "packed states decode injectively");
+        }
+        let root = parts.roots[0];
+        let edges = parts.edges;
+        let n = store.len();
 
         // Backward fixpoint: decided(s) = own decisions ∪ ⋃ decided(s').
         let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
-        for id in graph.ids() {
-            for (_, _, s2) in graph.successors(id) {
+        for id in store.ids() {
+            for (_, _, s2) in &edges[id.index()] {
                 preds[s2.index()].push(id);
             }
         }
-        let mut decided: Vec<BTreeSet<Val>> = graph
+        let mut decided: Vec<BTreeSet<Val>> = store
             .ids()
-            .map(|id| sys.decided_values(graph.resolve(id)))
+            .map(|id| sys.decided_values(store.resolve(id)))
             .collect();
-        let mut work: VecDeque<StateId> = graph.ids().collect();
+        let mut work: VecDeque<StateId> = store.ids().collect();
         while let Some(s) = work.pop_front() {
             let vals = decided[s.index()].clone();
             if vals.is_empty() {
@@ -186,21 +220,19 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
 
         let valence = decided.iter().map(classify).collect();
         Ok(ValenceMap {
-            graph,
+            store,
             root,
+            edges,
+            parent: parts.parent,
+            stats: parts.stats,
             decided,
             valence,
         })
     }
 
-    /// The shared interned graph — `G(C)` over dense ids.
-    pub fn graph(&self) -> &ExploredGraph<CompleteSystem<P>> {
-        &self.graph
-    }
-
     /// The root state the map was built from.
     pub fn root(&self) -> &SystemState<P::State> {
-        self.graph.resolve(self.root)
+        self.store.resolve(self.root)
     }
 
     /// The root's id.
@@ -210,28 +242,42 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
 
     /// The number of reachable states.
     pub fn state_count(&self) -> usize {
-        self.graph.len()
+        self.store.len()
+    }
+
+    /// All ids in discovery (BFS) order.
+    pub fn ids(&self) -> impl Iterator<Item = StateId> {
+        self.store.ids()
+    }
+
+    /// Exploration census: states, edges, peak frontier, truncation.
+    pub fn stats(&self) -> &ExploreStats {
+        &self.stats
+    }
+
+    /// The BFS-tree step that first discovered `id` (`None` for roots).
+    pub fn discovered_by(&self, id: StateId) -> Option<&(StateId, Task, Action)> {
+        self.parent[id.index()].as_ref()
     }
 
     /// Whether `s` is in the explored space.
     pub fn contains(&self, s: &SystemState<P::State>) -> bool {
-        self.graph.contains(s)
+        self.store.get(s).is_some()
     }
 
     /// The id of `s` within the explored space, if present.
     pub fn id_of(&self, s: &SystemState<P::State>) -> Option<StateId> {
-        self.graph.id_of(s)
+        self.store.get(s)
     }
 
     /// Resolve an id back to its state.
     #[inline]
     pub fn resolve(&self, id: StateId) -> &SystemState<P::State> {
-        self.graph.resolve(id)
+        self.store.resolve(id)
     }
 
     fn require_id(&self, s: &SystemState<P::State>) -> StateId {
-        self.graph
-            .id_of(s)
+        self.id_of(s)
             .unwrap_or_else(|| panic!("state not in the explored space"))
     }
 
@@ -275,7 +321,7 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     /// (self-loops excluded).
     #[inline]
     pub fn successors(&self, id: StateId) -> &[(Task, Action, StateId)] {
-        self.graph.successors(id)
+        &self.edges[id.index()]
     }
 
     /// The deterministic successor of `s` under task `t` within the
@@ -288,12 +334,11 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     /// explored space both answer `None`, so the successor is always
     /// safe to feed back into [`ValenceMap::valence`].
     pub fn apply(&self, t: &Task, s: &SystemState<P::State>) -> Option<SystemState<P::State>> {
-        let id = self.graph.id_of(s)?;
-        self.graph
-            .successors(id)
+        let id = self.id_of(s)?;
+        self.successors(id)
             .iter()
             .find(|(t2, _, _)| t2 == t)
-            .map(|(_, _, s2)| self.graph.resolve(*s2).clone())
+            .map(|(_, _, s2)| self.store.resolve(*s2).clone())
     }
 }
 
@@ -375,7 +420,7 @@ mod tests {
         let sys = direct(2, 1);
         let s = initialize(&sys, &InputAssignment::monotone(2, 2));
         let map = ValenceMap::build(&sys, s.clone(), 100_000).unwrap();
-        for id in map.graph().ids() {
+        for id in map.ids() {
             let own = sys.decided_values(map.resolve(id));
             if !own.is_empty() {
                 assert!(map.reachable_decisions_id(id).is_superset(&own));
@@ -390,7 +435,7 @@ mod tests {
         let map = ValenceMap::build(&sys, s.clone(), 100_000).unwrap();
         assert_eq!(map.root(), &s);
         assert_eq!(map.id_of(&s), Some(map.root_id()));
-        for id in map.graph().ids() {
+        for id in map.ids() {
             let st = map.resolve(id).clone();
             assert_eq!(map.valence(&st), map.valence_id(id));
             assert_eq!(map.reachable_decisions(&st), map.reachable_decisions_id(id));
@@ -408,7 +453,6 @@ mod tests {
         let s = initialize(&sys, &InputAssignment::monotone(2, 1));
         let map = ValenceMap::build(&sys, s, 100_000).unwrap();
         let terminal = map
-            .graph()
             .ids()
             .find(|&id| map.successors(id).is_empty())
             .expect("a fully decided state has no progress edges");

@@ -213,8 +213,7 @@ fn safety_scan<P: ProcessAutomaton>(
     assignment: &InputAssignment,
     map: &ValenceMap<P>,
 ) -> Option<SafetyViolation> {
-    map.graph()
-        .ids()
+    map.ids()
         .find_map(|id| check_safety(sys, map.resolve(id), assignment))
 }
 

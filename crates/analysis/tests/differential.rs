@@ -179,16 +179,19 @@ fn assert_maps_bit_identical<P: system::process::ProcessAutomaton>(
     b: &ValenceMap<P>,
     ctx: &str,
 ) {
-    let (ga, gb) = (a.graph(), b.graph());
-    assert_eq!(ga.stats(), gb.stats(), "stats differ: {ctx}");
-    assert_eq!(ga.roots(), gb.roots(), "roots differ: {ctx}");
-    assert_eq!(ga.len(), gb.len(), "state count differs: {ctx}");
-    for id in ga.ids() {
-        assert_eq!(ga.resolve(id), gb.resolve(id), "state {id:?}: {ctx}");
-        assert_eq!(ga.successors(id), gb.successors(id), "edges {id:?}: {ctx}");
+    assert_eq!(a.stats(), b.stats(), "stats differ: {ctx}");
+    assert_eq!(a.root_id(), b.root_id(), "roots differ: {ctx}");
+    assert_eq!(
+        a.state_count(),
+        b.state_count(),
+        "state count differs: {ctx}"
+    );
+    for id in a.ids() {
+        assert_eq!(a.resolve(id), b.resolve(id), "state {id:?}: {ctx}");
+        assert_eq!(a.successors(id), b.successors(id), "edges {id:?}: {ctx}");
         assert_eq!(
-            ga.discovered_by(id),
-            gb.discovered_by(id),
+            a.discovered_by(id),
+            b.discovered_by(id),
             "parent {id:?}: {ctx}"
         );
         assert_eq!(a.valence_id(id), b.valence_id(id), "valence {id:?}: {ctx}");
@@ -198,6 +201,76 @@ fn assert_maps_bit_identical<P: system::process::ProcessAutomaton>(
             "decided {id:?}: {ctx}"
         );
     }
+}
+
+/// The component-interned explorer ([`system::packed::PackedSystem`])
+/// must reproduce the deep-clone explorer's graph bit for bit — same
+/// `StateId` assignment, states (after decoding), edge lists, BFS-tree
+/// parents and stats — on all three paper substrates, at every thread
+/// count, both exhaustively and under tight truncation budgets.
+#[test]
+fn packed_exploration_matches_deep_exploration_bit_for_bit() {
+    use ioa::explore::{ExploreOptions, ExploredGraph};
+    use system::packed::PackedSystem;
+
+    fn check_at<P: system::process::ProcessAutomaton>(
+        name: &str,
+        sys: &CompleteSystem<P>,
+        root: &SystemState<P::State>,
+        cap: usize,
+    ) {
+        for threads in [1, 2, 4] {
+            let opts = ExploreOptions {
+                max_states: cap,
+                skip_self_loops: true,
+                threads,
+            };
+            let deep = ExploredGraph::explore_with(sys, vec![root.clone()], opts);
+            let packed = PackedSystem::new(sys);
+            let packed_root = packed.encode(root);
+            let pk = ExploredGraph::explore_with(&packed, vec![packed_root], opts);
+            let ctx = format!("{name} cap={cap} threads={threads}");
+            assert_eq!(deep.stats(), pk.stats(), "stats differ: {ctx}");
+            assert_eq!(deep.roots(), pk.roots(), "roots differ: {ctx}");
+            for id in deep.ids() {
+                assert_eq!(
+                    deep.resolve(id),
+                    &packed.decode(pk.resolve(id)),
+                    "state {id:?}: {ctx}"
+                );
+                assert_eq!(
+                    deep.successors(id),
+                    pk.successors(id),
+                    "edges {id:?}: {ctx}"
+                );
+                assert_eq!(
+                    deep.discovered_by(id),
+                    pk.discovered_by(id),
+                    "parent {id:?}: {ctx}"
+                );
+            }
+        }
+    }
+
+    fn check<P: system::process::ProcessAutomaton>(name: &str, sys: &CompleteSystem<P>) {
+        let n = sys.process_count();
+        let root = initialize(sys, &InputAssignment::monotone(n, 1));
+        let total = ValenceMap::build(sys, root.clone(), 1_000_000)
+            .unwrap()
+            .state_count();
+        check_at(name, sys, &root, 1_000_000);
+        // Budgets strictly inside the reachable space: truncation must
+        // cut at the same state with the same dropped-edge census in
+        // both representations.
+        for cap in [1 + total / 7, 1 + total / 3] {
+            check_at(name, sys, &root, cap);
+        }
+    }
+
+    check("doomed-atomic(2,0)", &direct(2, 0));
+    check("doomed-atomic(3,1)", &direct(3, 1));
+    check("tob(2,0)", &protocols::doomed::doomed_oblivious(2, 0));
+    check("fd(2)", &protocols::fd_boost::build(2));
 }
 
 /// Parallel exploration at threads ∈ {2, 4} over the three paper

@@ -83,10 +83,21 @@ pub struct ExploreOptions {
     /// each BFS layer across `n` scoped workers and merges their
     /// batches sequentially, producing a graph **bit-identical** to the
     /// sequential one (same ids, edges, parents, stats). `0` means
-    /// *auto*: honor the [`THREADS_ENV`] environment variable when set,
-    /// else stay sequential.
+    /// *auto*: honor the [`THREADS_ENV`] environment variable when set
+    /// (an explicit override, taken as given), else cap at
+    /// [`std::thread::available_parallelism`] — so a 1-core host never
+    /// pays thread orchestration. Layers narrower than
+    /// [`SPAWN_LAYER_THRESHOLD`] are always expanded inline regardless
+    /// of the thread count.
     pub threads: usize,
 }
+
+/// BFS layers narrower than this are expanded inline on the calling
+/// thread even when `threads > 1`: spawning scoped workers for a
+/// handful of states costs more than expanding them. The resulting
+/// graph is bit-identical either way (the inline path mirrors the
+/// sequential merge order exactly), so this is purely a latency knob.
+pub const SPAWN_LAYER_THRESHOLD: usize = 64;
 
 impl ExploreOptions {
     /// Keep everything up to `max_states`, self-loops included,
@@ -108,8 +119,10 @@ impl ExploreOptions {
     }
 
     /// The worker count this exploration will actually use:
-    /// `threads` as given, with `0` resolved through [`THREADS_ENV`]
-    /// (absent/unparsable → 1).
+    /// `threads` as given; `0` resolved through [`THREADS_ENV`] when
+    /// set (an explicit override, used verbatim so CI can force the
+    /// parallel merge path on any host), else capped at
+    /// [`std::thread::available_parallelism`] (1 when unknown).
     #[must_use]
     pub fn effective_threads(&self) -> usize {
         match self.threads {
@@ -117,7 +130,9 @@ impl ExploreOptions {
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&n| n >= 1)
-                .unwrap_or(1),
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                }),
             n => n,
         }
     }
@@ -256,6 +271,21 @@ impl<A: Automaton> ExploredGraph<A> {
         self.parent[id.index()].as_ref()
     }
 
+    /// Decompose the graph into its owned parts — arena, roots, edge
+    /// lists, BFS tree and stats — so a caller can re-encode the states
+    /// (e.g. decode packed component ids back into concrete system
+    /// states) without cloning the adjacency structure.
+    #[must_use]
+    pub fn into_parts(self) -> GraphParts<A> {
+        GraphParts {
+            store: self.store,
+            roots: self.roots,
+            edges: self.edges,
+            parent: self.parent,
+            stats: self.stats,
+        }
+    }
+
     /// A shortest path (in the BFS tree) from some root to `id`, as
     /// `(task, action, resulting state)` steps.
     #[must_use]
@@ -269,6 +299,22 @@ impl<A: Automaton> ExploredGraph<A> {
         path.reverse();
         path
     }
+}
+
+/// The owned pieces of an [`ExploredGraph`], produced by
+/// [`ExploredGraph::into_parts`]. Ids index `edges` and `parent`
+/// exactly as they index the arena.
+pub struct GraphParts<A: Automaton> {
+    /// The arena mapping ids to states, in discovery order.
+    pub store: StateStore<A::State>,
+    /// The root ids, in the order the roots were given.
+    pub roots: Vec<StateId>,
+    /// `edges[id] = [(task, action, successor)]` in task order.
+    pub edges: Vec<Vec<Edge<A>>>,
+    /// BFS tree: the step that first discovered each non-root state.
+    pub parent: Vec<Option<Discovery<A>>>,
+    /// Exploration census: states, edges, peak frontier, truncation.
+    pub stats: ExploreStats,
 }
 
 /// In-progress exploration state shared by the sequential and the
@@ -422,69 +468,123 @@ impl<A: Automaton> Builder<A> {
         }
     }
 
-    /// The layer-synchronous parallel loop: each BFS layer is expanded
-    /// across `threads` scoped workers against the frozen arena, then
-    /// the batches are merged sequentially in (source order, task
-    /// order, branch order) — the exact order the sequential loop
-    /// discovers transitions in, so ids, edges, parents, peak frontier
-    /// and truncation come out bit-identical.
+    /// The layer-synchronous parallel loop: each wide-enough BFS layer
+    /// is expanded across `threads` scoped workers against the frozen
+    /// arena, then the batches are merged sequentially in (source
+    /// order, task order, branch order) — the exact order the
+    /// sequential loop discovers transitions in, so ids, edges,
+    /// parents, peak frontier and truncation come out bit-identical.
+    /// Layers narrower than [`SPAWN_LAYER_THRESHOLD`] fall back to
+    /// inline expansion: thread spawn/join overhead dominates on small
+    /// frontiers, and the inline path produces the same graph.
     fn expand_layered(&mut self, aut: &A, opts: ExploreOptions, threads: usize) {
         let tasks = aut.tasks();
         let mut layer: Vec<StateId> = self.queue.drain(..).collect();
         while !layer.is_empty() {
-            let chunk = layer.len().div_ceil(threads).max(1);
-            // Phase 1 (parallel): expand every source of the layer.
-            // The arena is only read here; workers hash and pre-probe
-            // each successor so the merge does no hashing and no
-            // equality checks for previously-interned states.
-            let store = &self.store;
-            let tasks_ref = &tasks;
-            let batches: Vec<Vec<Vec<Found<A>>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = layer
-                    .chunks(chunk)
-                    .map(|ids| {
-                        scope.spawn(move || {
-                            ids.iter()
-                                .map(|&id| {
-                                    expand_one(aut, tasks_ref, store, id, opts.skip_self_loops)
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("explore worker panicked"))
-                    .collect()
-            });
-            // Phase 2 (sequential): merge in discovery order. The
-            // virtual queue of the sequential BFS holds the rest of
-            // this layer plus the next layer discovered so far; peak
-            // tracking mirrors its `queue.len() + 1` at pop time.
-            let mut next: Vec<StateId> = Vec::new();
-            let layer_len = layer.len();
-            let mut sources = layer.iter().copied();
-            for (expanded, per_source) in batches.into_iter().flatten().enumerate() {
-                let src = sources.next().expect("one batch per source");
-                self.peak_frontier = self
-                    .peak_frontier
-                    .max(layer_len - expanded - 1 + next.len() + 1);
-                for found in per_source {
-                    match found {
-                        Found::Known(t, a, id2) => {
-                            self.edges[src.index()].push((t, a, id2));
-                            self.edge_count += 1;
-                        }
-                        Found::Fresh(t, a, s2, h) => {
-                            if let Some(id2) = self.admit(src, t, a, s2, h, opts.max_states) {
-                                next.push(id2);
-                            }
+            layer = if layer.len() < SPAWN_LAYER_THRESHOLD {
+                self.expand_layer_inline(aut, &tasks, opts, &layer)
+            } else {
+                self.expand_layer_parallel(aut, &tasks, opts, &layer, threads)
+            };
+        }
+    }
+
+    /// Expand one BFS layer on the calling thread, in sequential
+    /// discovery order. Probing the live arena (instead of a frozen
+    /// snapshot) is equivalent: a successor first admitted earlier in
+    /// the same layer probes as `Known`, exactly matching what
+    /// [`Builder::admit`] would have answered for a `Fresh` carrying
+    /// the same state — known states always hit, budget or not.
+    fn expand_layer_inline(
+        &mut self,
+        aut: &A,
+        tasks: &[A::Task],
+        opts: ExploreOptions,
+        layer: &[StateId],
+    ) -> Vec<StateId> {
+        let mut next: Vec<StateId> = Vec::new();
+        let layer_len = layer.len();
+        for (expanded, &src) in layer.iter().enumerate() {
+            self.peak_frontier = self
+                .peak_frontier
+                .max(layer_len - expanded - 1 + next.len() + 1);
+            let found = expand_one(aut, tasks, &self.store, src, opts.skip_self_loops);
+            for f in found {
+                match f {
+                    Found::Known(t, a, id2) => {
+                        self.edges[src.index()].push((t, a, id2));
+                        self.edge_count += 1;
+                    }
+                    Found::Fresh(t, a, s2, h) => {
+                        if let Some(id2) = self.admit(src, t, a, s2, h, opts.max_states) {
+                            next.push(id2);
                         }
                     }
                 }
             }
-            layer = next;
         }
+        next
+    }
+
+    /// Expand one BFS layer across `threads` scoped workers, then merge
+    /// sequentially.
+    fn expand_layer_parallel(
+        &mut self,
+        aut: &A,
+        tasks: &[A::Task],
+        opts: ExploreOptions,
+        layer: &[StateId],
+        threads: usize,
+    ) -> Vec<StateId> {
+        let chunk = layer.len().div_ceil(threads).max(1);
+        // Phase 1 (parallel): expand every source of the layer.
+        // The arena is only read here; workers hash and pre-probe
+        // each successor so the merge does no hashing and no
+        // equality checks for previously-interned states.
+        let store = &self.store;
+        let batches: Vec<Vec<Vec<Found<A>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = layer
+                .chunks(chunk)
+                .map(|ids| {
+                    scope.spawn(move || {
+                        ids.iter()
+                            .map(|&id| expand_one(aut, tasks, store, id, opts.skip_self_loops))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("explore worker panicked"))
+                .collect()
+        });
+        // Phase 2 (sequential): merge in discovery order. The
+        // virtual queue of the sequential BFS holds the rest of
+        // this layer plus the next layer discovered so far; peak
+        // tracking mirrors its `queue.len() + 1` at pop time.
+        let mut next: Vec<StateId> = Vec::new();
+        let layer_len = layer.len();
+        let mut sources = layer.iter().copied();
+        for (expanded, per_source) in batches.into_iter().flatten().enumerate() {
+            let src = sources.next().expect("one batch per source");
+            self.peak_frontier = self
+                .peak_frontier
+                .max(layer_len - expanded - 1 + next.len() + 1);
+            for found in per_source {
+                match found {
+                    Found::Known(t, a, id2) => {
+                        self.edges[src.index()].push((t, a, id2));
+                        self.edge_count += 1;
+                    }
+                    Found::Fresh(t, a, s2, h) => {
+                        if let Some(id2) = self.admit(src, t, a, s2, h, opts.max_states) {
+                            next.push(id2);
+                        }
+                    }
+                }
+            }
+        }
+        next
     }
 
     fn finish(self, opts: ExploreOptions) -> ExploredGraph<A> {

@@ -28,7 +28,10 @@
 //!   Section 2.1.1, clause 2) via on-the-fly subset construction.
 //! * [`store`] — the dense state-interning arena ([`store::StateStore`],
 //!   [`store::StateId`]) the exploration layer runs on: each distinct
-//!   state is hashed once and thereafter handled as a `u32` id.
+//!   state is hashed once and thereafter handled as a `u32` id. The
+//!   generic sub-arena ([`store::Interner`], [`store::CompId`]) plays
+//!   the same role for the *components* of a composed state, with the
+//!   component hash cached at intern time.
 //! * [`rng`] — in-tree deterministic SplitMix64 randomness for seeded
 //!   schedule drivers; keeps the build hermetic (no `rand` dependency).
 //!
@@ -58,4 +61,4 @@ pub mod toy;
 
 pub use automaton::{ActionKind, Automaton};
 pub use execution::{Execution, Step};
-pub use store::{StateId, StateStore};
+pub use store::{CompId, Interner, StateId, StateStore};

@@ -337,6 +337,150 @@ impl<S: Hash + Eq + Clone> StateStore<S> {
     }
 }
 
+/// A dense identifier for an interned *component* (one process state,
+/// one service state) inside an [`Interner`] sub-arena.
+///
+/// Component ids are deliberately distinct from [`StateId`]s: a system
+/// state is a flat vector of `CompId`s, and the composed-state arena
+/// hands out `StateId`s over those vectors. Both are `u32`-dense and
+/// handed out in first-sight order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(u32);
+
+impl CompId {
+    /// The id's position in first-sight order, usable as a `Vec` index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct an id from an index previously obtained via
+    /// [`CompId::index`]. The caller is responsible for the index
+    /// having come from the same interner.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> CompId {
+        CompId(u32::try_from(index).expect("CompId index exceeds u32::MAX"))
+    }
+}
+
+/// An append-only sub-arena interning the *components* of composed
+/// system states: process states, service states, register states,
+/// failure-detector histories.
+///
+/// Each distinct component value is stored (and fx-hashed) exactly
+/// once, at first sight; thereafter it is handled as a dense [`CompId`]
+/// and its hash is served from the [`Interner::hash_of`] cache, never
+/// recomputed. A composed state then becomes a flat `Vec<u32>` of
+/// component ids — cloning it is a memcpy, equality a slice compare,
+/// hashing a few words — while every untouched component is shared by
+/// id across all system states that contain it.
+#[derive(Debug, Clone)]
+pub struct Interner<T> {
+    items: Vec<T>,
+    /// `hashes[id] = fx_hash(items[id])`, filled at intern time.
+    hashes: Vec<u64>,
+    buckets: HashMap<u64, Vec<CompId>, BuildFxHasher>,
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            items: Vec::new(),
+            hashes: Vec::new(),
+            buckets: HashMap::default(),
+        }
+    }
+}
+
+impl<T: Hash + Eq> Interner<T> {
+    /// Create an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct components interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the interner is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Intern `value` by move, returning its id and whether it was
+    /// fresh. The value is hashed exactly once; on a repeat sighting it
+    /// is dropped and the existing id returned.
+    ///
+    /// # Panics
+    /// Panics if the arena already holds `u32::MAX as usize + 1`
+    /// components.
+    pub fn intern(&mut self, value: T) -> (CompId, bool) {
+        let h = fx_hash(&value);
+        let bucket = self.buckets.entry(h).or_default();
+        for &id in bucket.iter() {
+            if self.items[id.index()] == value {
+                return (id, false);
+            }
+        }
+        let id = CompId::from_index(self.items.len());
+        self.items.push(value);
+        self.hashes.push(h);
+        bucket.push(id);
+        (id, true)
+    }
+
+    /// Look up the id of an already-interned component without
+    /// inserting.
+    #[must_use]
+    pub fn get(&self, value: &T) -> Option<CompId> {
+        let h = fx_hash(value);
+        let bucket = self.buckets.get(&h)?;
+        bucket
+            .iter()
+            .copied()
+            .find(|id| &self.items[id.index()] == value)
+    }
+
+    /// Resolve an id back to its component. O(1) array access; the
+    /// returned reference is stable for the interner's lifetime.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    #[inline]
+    #[must_use]
+    pub fn resolve(&self, id: CompId) -> &T {
+        &self.items[id.index()]
+    }
+
+    /// The fx hash of component `id`, cached at intern time — the hash
+    /// of a component is computed exactly once for its lifetime.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    #[inline]
+    #[must_use]
+    pub fn hash_of(&self, id: CompId) -> u64 {
+        self.hashes[id.index()]
+    }
+
+    /// Iterate all interned components in id (first-sight) order.
+    pub fn iter(&self) -> impl Iterator<Item = (CompId, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (CompId(i as u32), v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +591,57 @@ mod tests {
     fn fx_hash_is_deterministic() {
         assert_eq!(fx_hash(&(1u64, 2u64)), fx_hash(&(1u64, 2u64)));
         assert_ne!(fx_hash(&1u64), fx_hash(&2u64));
+    }
+
+    #[test]
+    fn interner_is_idempotent_and_dense() {
+        let mut it: Interner<String> = Interner::new();
+        let (a, fresh_a) = it.intern("alpha".to_string());
+        let (b, fresh_b) = it.intern("beta".to_string());
+        let (a2, fresh_a2) = it.intern("alpha".to_string());
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(a), "alpha");
+        assert_eq!(it.get(&"beta".to_string()), Some(b));
+        assert_eq!(it.get(&"gamma".to_string()), None);
+    }
+
+    #[test]
+    fn interner_caches_hashes_at_intern_time() {
+        let mut it: Interner<u64> = Interner::new();
+        for i in 0..50u64 {
+            let (id, _) = it.intern(i);
+            assert_eq!(it.hash_of(id), fx_hash(&i));
+        }
+        let ids: Vec<usize> = it.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interner_survives_degenerate_hash_collisions() {
+        #[derive(PartialEq, Eq, Debug)]
+        struct AllCollide(u32);
+        impl Hash for AllCollide {
+            fn hash<H: Hasher>(&self, state: &mut H) {
+                state.write_u64(7);
+            }
+        }
+        let mut it = Interner::new();
+        let (a, _) = it.intern(AllCollide(1));
+        let (b, _) = it.intern(AllCollide(2));
+        assert_ne!(a, b);
+        assert_eq!(it.intern(AllCollide(1)), (a, false));
+        assert_eq!(it.hash_of(a), it.hash_of(b));
+        assert_eq!(*it.resolve(b), AllCollide(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn comp_id_from_index_guards_u32_overflow() {
+        let _ = CompId::from_index(u32::MAX as usize + 1);
     }
 }

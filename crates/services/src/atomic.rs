@@ -136,18 +136,24 @@ impl Service for CanonicalAtomicObject {
         // Fig. 1, perform_{i,k}: precondition inv_buffer(i) nonempty;
         // effect: (resp, val) := any element of δ((head, val));
         // resp_buffer(i) := append(resp_buffer(i), resp).
-        let Some((inv, popped)) = st.pop_invocation(i) else {
+        // The head invocation is read by reference so each branch pays
+        // exactly one deep state clone.
+        let Some(inv) = st.peek_invocation(i) else {
             return Vec::new();
         };
         self.typ
-            .delta(&inv, &st.val)
+            .delta(inv, &st.val)
             .into_iter()
             .map(|(resp, v2)| {
-                let mut st2 = popped.clone();
+                let mut st2 = st.clone();
+                st2.inv_buf
+                    .get_mut(&i)
+                    .expect("peeked endpoint has a buffer")
+                    .pop_front();
                 st2.val = v2;
                 st2.resp_buf
                     .get_mut(&i)
-                    .expect("popped state keeps endpoint buffers")
+                    .expect("endpoints keep response buffers")
                     .push_back(resp);
                 st2
             })

@@ -121,14 +121,21 @@ impl Service for CanonicalGeneralService {
 
     fn perform_all(&self, i: ProcId, st: &SvcState) -> Vec<SvcState> {
         // Fig. 8, perform: δ1 sees the current failed set.
-        let Some((inv, popped)) = st.pop_invocation(i) else {
+        // The head invocation is read by reference so each branch pays
+        // exactly one deep state clone.
+        let Some(inv) = st.peek_invocation(i) else {
             return Vec::new();
         };
         self.typ
-            .delta1(&inv, i, &st.val, &st.failed)
+            .delta1(inv, i, &st.val, &st.failed)
             .into_iter()
             .map(|(map, v2)| {
-                let mut st2 = popped.with_responses(&map);
+                let mut st2 = st.clone();
+                st2.inv_buf
+                    .get_mut(&i)
+                    .expect("peeked endpoint has a buffer")
+                    .pop_front();
+                st2.push_responses(&map);
                 st2.val = v2;
                 st2
             })

@@ -124,14 +124,21 @@ impl Service for CanonicalObliviousService {
         // Fig. 4, perform_{i,k}: pop the head of inv_buffer(i), pick
         // (B, v') ∈ δ1(head, i, val), set val := v' and append B(j) to
         // every resp_buffer(j).
-        let Some((inv, popped)) = st.pop_invocation(i) else {
+        // The head invocation is read by reference so each branch pays
+        // exactly one deep state clone.
+        let Some(inv) = st.peek_invocation(i) else {
             return Vec::new();
         };
         self.typ
-            .delta1(&inv, i, &st.val)
+            .delta1(inv, i, &st.val)
             .into_iter()
             .map(|(map, v2)| {
-                let mut st2 = popped.with_responses(&map);
+                let mut st2 = st.clone();
+                st2.inv_buf
+                    .get_mut(&i)
+                    .expect("peeked endpoint has a buffer")
+                    .pop_front();
+                st2.push_responses(&map);
                 st2.val = v2;
                 st2
             })

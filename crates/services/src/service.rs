@@ -104,6 +104,23 @@ pub trait Service: fmt::Debug + Send + Sync {
     /// global task the service declares (δ2 is a total relation).
     fn compute_all(&self, g: &GlobalTaskId, st: &SvcState) -> Vec<SvcState>;
 
+    /// Whether [`Service::perform_all`] would return a nonempty vector,
+    /// without materializing any successor.
+    ///
+    /// Sound because the `perform_all` contract says "empty iff
+    /// `inv_buffer(i)` is empty": the canonical automata's δ1 is a
+    /// total relation on pending invocations, so enablement is exactly
+    /// buffer non-emptiness.
+    fn perform_enabled(&self, i: ProcId, st: &SvcState) -> bool {
+        !st.inv_buffer(i).is_empty()
+    }
+
+    /// Whether popping `resp_buffer(i)` (the real `b_{i}` output) is
+    /// enabled, without cloning the state.
+    fn output_enabled(&self, i: ProcId, st: &SvcState) -> bool {
+        !st.resp_buffer(i).is_empty()
+    }
+
     /// Precondition of `dummy_perform_i` and `dummy_output_i` (Fig. 1):
     /// `i ∈ failed ∨ |failed| > f`.
     fn dummy_perform_enabled(&self, i: ProcId, st: &SvcState) -> bool {

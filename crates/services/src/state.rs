@@ -7,13 +7,46 @@ use spec::{Inv, ProcId, Resp, Val};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
+/// Thread-local census of deep [`SvcState`] clones.
+///
+/// Every `SvcState::clone()` is a deep copy of the buffer trees, which
+/// is exactly the per-successor cost the component-interned
+/// representation is designed to avoid. The counter lets benchmarks and
+/// regression tests quantify that cost instead of guessing: reset it,
+/// run a workload, read it back. Thread-local, so parallel exploration
+/// workers count independently — sum across threads if needed, or run
+/// the measured workload single-threaded.
+pub mod clones {
+    use std::cell::Cell;
+
+    thread_local! {
+        static DEEP_CLONES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Deep `SvcState` clones performed by this thread since the last
+    /// [`reset`].
+    #[must_use]
+    pub fn count() -> u64 {
+        DEEP_CLONES.with(Cell::get)
+    }
+
+    /// Zero this thread's clone counter.
+    pub fn reset() {
+        DEEP_CLONES.with(|c| c.set(0));
+    }
+
+    pub(super) fn bump() {
+        DEEP_CLONES.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// The state of a canonical service automaton.
 ///
 /// `buffer(i)_c` in the paper denotes the pair
 /// `⟨inv_buffer(i)_c, resp_buffer(i)_c⟩`; [`SvcState::buffer`] returns
 /// exactly that pair, which is what the j-similarity definition of
 /// Section 3.5 compares.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SvcState {
     /// The current value `val ∈ V`.
     pub val: Val,
@@ -23,6 +56,20 @@ pub struct SvcState {
     pub resp_buf: BTreeMap<ProcId, VecDeque<Resp>>,
     /// The endpoints whose `fail_i` input has arrived.
     pub failed: BTreeSet<ProcId>,
+}
+
+// Manual impl so every deep copy of the buffer trees is counted; see
+// [`clones`].
+impl Clone for SvcState {
+    fn clone(&self) -> Self {
+        clones::bump();
+        SvcState {
+            val: self.val.clone(),
+            inv_buf: self.inv_buf.clone(),
+            resp_buf: self.resp_buf.clone(),
+            failed: self.failed.clone(),
+        }
+    }
 }
 
 impl SvcState {
@@ -81,16 +128,30 @@ impl SvcState {
         st
     }
 
-    /// Pops the head of `inv_buffer(i)`, if any.
+    /// Pops the head of `inv_buffer(i)`, if any. The emptiness check
+    /// happens before the deep copy, so a `None` answer is free.
     pub fn pop_invocation(&self, i: ProcId) -> Option<(Inv, SvcState)> {
+        self.inv_buf.get(&i)?.front()?;
         let mut st = self.clone();
         let inv = st.inv_buf.get_mut(&i)?.pop_front()?;
         Some((inv, st))
     }
 
+    /// The head of `inv_buffer(i)` without copying anything, if any.
+    ///
+    /// Lets a service enumerate `perform` branches from the pending
+    /// invocation by reference and clone the state once per branch,
+    /// instead of cloning once to pop and again per branch.
+    #[must_use]
+    pub fn peek_invocation(&self, i: ProcId) -> Option<&Inv> {
+        self.inv_buf.get(&i)?.front()
+    }
+
     /// Pops the head of `resp_buffer(i)`, if any — the effect of the
-    /// response output action `b_{i,k}`.
+    /// response output action `b_{i,k}`. The emptiness check happens
+    /// before the deep copy, so a `None` answer is free.
     pub fn pop_response(&self, i: ProcId) -> Option<(Resp, SvcState)> {
+        self.resp_buf.get(&i)?.front()?;
         let mut st = self.clone();
         let resp = st.resp_buf.get_mut(&i)?.pop_front()?;
         Some((resp, st))
@@ -104,14 +165,24 @@ impl SvcState {
     /// service definition and panic.
     pub fn with_responses(&self, map: &ResponseMap) -> SvcState {
         let mut st = self.clone();
+        st.push_responses(map);
+        st
+    }
+
+    /// Appends every response of `map` to the corresponding response
+    /// buffer in place — the single-clone counterpart of
+    /// [`SvcState::with_responses`].
+    ///
+    /// Responses addressed to non-endpoints are a type error in the
+    /// service definition and panic.
+    pub fn push_responses(&mut self, map: &ResponseMap) {
         for (i, resps) in map.iter() {
-            let buf = st
+            let buf = self
                 .resp_buf
                 .get_mut(&i)
                 .unwrap_or_else(|| panic!("response addressed to non-endpoint {i}"));
             buf.extend(resps.iter().cloned());
         }
-        st
     }
 
     /// Returns a copy with endpoint `i` marked failed — the effect of

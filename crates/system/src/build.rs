@@ -18,13 +18,44 @@ use spec::{ProcId, SvcId, Val};
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// Thread-local census of deep [`SystemState`] clones.
+///
+/// Every `SystemState::clone()` deep-copies one state per process and
+/// per service plus the failed set — the dominating per-successor cost
+/// the component-interned representation ([`crate::packed`]) avoids.
+/// Reset, run a workload, read back; thread-local, so parallel
+/// exploration workers count independently.
+pub mod clones {
+    use std::cell::Cell;
+
+    thread_local! {
+        static DEEP_CLONES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Deep `SystemState` clones performed by this thread since the
+    /// last [`reset`].
+    #[must_use]
+    pub fn count() -> u64 {
+        DEEP_CLONES.with(Cell::get)
+    }
+
+    /// Zero this thread's clone counter.
+    pub fn reset() {
+        DEEP_CLONES.with(|c| c.set(0));
+    }
+
+    pub(super) fn bump() {
+        DEEP_CLONES.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// A global state of the complete system: one state per process, one
 /// per service, plus the global failed set.
 ///
 /// The failed set is also mirrored into each service's own `failed`
 /// variable (that is how the canonical automata of Figs. 1/4/8 track
 /// it); the global copy makes predicates over the whole system cheap.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SystemState<PS> {
     /// Process states, indexed by `ProcId`.
     pub procs: Vec<PS>,
@@ -32,6 +63,66 @@ pub struct SystemState<PS> {
     pub services: Vec<SvcState>,
     /// Processes whose `fail_i` input has occurred.
     pub failed: BTreeSet<ProcId>,
+}
+
+// Manual impl so every deep copy of the component vectors is counted;
+// see [`clones`].
+impl<PS: Clone> Clone for SystemState<PS> {
+    fn clone(&self) -> Self {
+        clones::bump();
+        SystemState {
+            procs: self.procs.clone(),
+            services: self.services.clone(),
+            failed: self.failed.clone(),
+        }
+    }
+}
+
+/// How one transition changes a system state, relative to its source:
+/// at most one process slot and one service slot are touched, and
+/// dummies touch nothing. This is the crux of the component-interned
+/// representation — a successor is its source plus a `Delta`, so the
+/// packed automaton rebuilds only the touched component(s) while the
+/// deep automaton clones and patches.
+#[derive(Debug)]
+pub(crate) enum Delta<PS> {
+    /// The action changes no state (failed-process steps, dummies).
+    Stutter,
+    /// Process `i` moves to a new local state.
+    Proc(ProcId, PS),
+    /// Service `c` moves to a new service state.
+    Svc(SvcId, SvcState),
+    /// An invoke or respond touches one process and one service.
+    ProcSvc(ProcId, PS, SvcId, SvcState),
+}
+
+/// Read-only access to the components of a system state, however the
+/// state is materialized — deep ([`SystemState`]) or packed by
+/// component id ([`crate::packed::PackedState`]). The single transition
+/// enumeration [`CompleteSystem::succ_effects`] is written against this
+/// view, which is what guarantees the two representations expose
+/// bit-identical transition structure.
+pub(crate) trait StateView<PS> {
+    /// Process `i`'s local state.
+    fn proc(&self, i: ProcId) -> &PS;
+    /// Service `c`'s state.
+    fn svc(&self, c: SvcId) -> &SvcState;
+    /// Whether `fail_i` has occurred.
+    fn is_failed(&self, i: ProcId) -> bool;
+}
+
+impl<PS> StateView<PS> for SystemState<PS> {
+    fn proc(&self, i: ProcId) -> &PS {
+        &self.procs[i.0]
+    }
+
+    fn svc(&self, c: SvcId) -> &SvcState {
+        &self.services[c.0]
+    }
+
+    fn is_failed(&self, i: ProcId) -> bool {
+        self.failed.contains(&i)
+    }
 }
 
 impl<PS: fmt::Debug> fmt::Display for SystemState<PS> {
@@ -181,39 +272,143 @@ impl<P: ProcessAutomaton> CompleteSystem<P> {
             .expect("init is always an input")
     }
 
-    /// The transition of the single process task of `P_i` from `s`.
-    fn proc_step(&self, i: ProcId, s: &SystemState<P::State>) -> (Action, SystemState<P::State>) {
-        if s.failed.contains(&i) {
+    /// The transition of the single process task of `P_i`, as a delta
+    /// against the viewed state.
+    fn proc_effect<V: StateView<P::State>>(&self, i: ProcId, v: &V) -> (Action, Delta<P::State>) {
+        if v.is_failed(i) {
             // Failed processes keep a dummy action enabled but never an
             // output (Section 2.2.1).
-            return (Action::ProcStep(i), s.clone());
+            return (Action::ProcStep(i), Delta::Stutter);
         }
-        let (act, pst2) = self.procs.step(i, &s.procs[i.0]);
-        let mut s2 = s.clone();
-        s2.procs[i.0] = pst2;
+        let (act, pst2) = self.procs.step(i, v.proc(i));
         match act {
-            ProcAction::Skip => (Action::ProcStep(i), s2),
-            ProcAction::Decide(v) => {
+            ProcAction::Skip => (Action::ProcStep(i), Delta::Proc(i, pst2)),
+            ProcAction::Decide(val) => {
                 debug_assert_eq!(
-                    self.procs.decision(&s2.procs[i.0]),
-                    Some(v.clone()),
+                    self.procs.decision(&pst2),
+                    Some(val.clone()),
                     "decide(v) must record v in the process state (Section 2.2.1)"
                 );
-                (Action::Decide(i, v), s2)
+                (Action::Decide(i, val), Delta::Proc(i, pst2))
             }
-            ProcAction::Output(r) => (Action::Output(i, r), s2),
+            ProcAction::Output(r) => (Action::Output(i, r), Delta::Proc(i, pst2)),
             ProcAction::Invoke(c, inv) => {
                 let svc = self
                     .services
                     .get(c.0)
                     .unwrap_or_else(|| panic!("process {i} invoked unknown service {c}"));
                 let st2 = svc
-                    .enqueue_invocation(i, &inv, &s.services[c.0])
+                    .enqueue_invocation(i, &inv, v.svc(c))
                     .unwrap_or_else(|| {
                         panic!("process {i} issued invalid invocation {inv:?} on {c}")
                     });
-                s2.services[c.0] = st2;
-                (Action::Invoke(i, c, inv), s2)
+                (Action::Invoke(i, c, inv), Delta::ProcSvc(i, pst2, c, st2))
+            }
+        }
+    }
+
+    /// All transitions of task `t` from the viewed state, as
+    /// `(action, delta)` pairs — the single branch enumeration shared
+    /// by the deep automaton ([`Automaton::succ_all`] below) and the
+    /// packed one ([`crate::packed::PackedSystem`]). Branch order is
+    /// the canonical order the explorer's determinism contract depends
+    /// on: real branches in the service's δ order, then the dummy.
+    pub(crate) fn succ_effects<V: StateView<P::State>>(
+        &self,
+        t: &Task,
+        v: &V,
+    ) -> Vec<(Action, Delta<P::State>)> {
+        match t {
+            Task::Proc(i) => vec![self.proc_effect(*i, v)],
+            Task::Perform(c, i) => {
+                let svc = &self.services[c.0];
+                let st = v.svc(*c);
+                let mut out: Vec<(Action, Delta<P::State>)> = svc
+                    .perform_all(*i, st)
+                    .into_iter()
+                    .map(|st2| (Action::Perform(*c, *i), Delta::Svc(*c, st2)))
+                    .collect();
+                if svc.dummy_perform_enabled(*i, st) {
+                    out.push((Action::DummyPerform(*c, *i), Delta::Stutter));
+                }
+                out
+            }
+            Task::Output(c, i) => {
+                let svc = &self.services[c.0];
+                let st = v.svc(*c);
+                let mut out = Vec::new();
+                if let Some((resp, st2)) = svc.pop_response(*i, st) {
+                    // The response is simultaneously an input to P_i
+                    // (inputs are always enabled, even after failure).
+                    let p2 = self.procs.on_response(*i, v.proc(*i), *c, &resp);
+                    out.push((
+                        Action::Respond(*c, *i, resp),
+                        Delta::ProcSvc(*i, p2, *c, st2),
+                    ));
+                }
+                if svc.dummy_output_enabled(*i, st) {
+                    out.push((Action::DummyOutput(*c, *i), Delta::Stutter));
+                }
+                out
+            }
+            Task::Compute(c, g) => {
+                let svc = &self.services[c.0];
+                let st = v.svc(*c);
+                let mut out: Vec<(Action, Delta<P::State>)> = svc
+                    .compute_all(g, st)
+                    .into_iter()
+                    .map(|st2| (Action::Compute(*c, g.clone()), Delta::Svc(*c, st2)))
+                    .collect();
+                if svc.dummy_compute_enabled(st) {
+                    out.push((Action::DummyCompute(*c, g.clone()), Delta::Stutter));
+                }
+                out
+            }
+        }
+    }
+
+    /// Materializes a delta against a deep state: one clone, then patch
+    /// the touched slot(s).
+    fn apply_delta(&self, s: &SystemState<P::State>, d: Delta<P::State>) -> SystemState<P::State> {
+        let mut s2 = s.clone();
+        match d {
+            Delta::Stutter => {}
+            Delta::Proc(i, p) => s2.procs[i.0] = p,
+            Delta::Svc(c, st) => s2.services[c.0] = st,
+            Delta::ProcSvc(i, p, c, st) => {
+                s2.procs[i.0] = p;
+                s2.services[c.0] = st;
+            }
+        }
+        s2
+    }
+
+    /// Exact task enablement without materializing any successor.
+    ///
+    /// This must agree with `!succ_all(t, s).is_empty()` on every
+    /// state — not merely over-approximate it — because the schedulers
+    /// use it to build candidate sets whose size feeds the RNG stream
+    /// of reproducible random runs. The case analysis:
+    ///
+    /// * `Proc` tasks always have exactly one branch (a failed process
+    ///   stutters);
+    /// * `Perform`/`Output` are enabled iff the relevant buffer is
+    ///   nonempty (the documented [`services::Service`] contract) or
+    ///   the dummy precondition holds;
+    /// * `Compute` is total: δ2 is a total relation for every global
+    ///   task the service declares.
+    pub(crate) fn applicable_view<V: StateView<P::State>>(&self, t: &Task, v: &V) -> bool {
+        match t {
+            Task::Proc(_) | Task::Compute(..) => true,
+            Task::Perform(c, i) => {
+                let svc = &self.services[c.0];
+                let st = v.svc(*c);
+                svc.perform_enabled(*i, st) || svc.dummy_perform_enabled(*i, st)
+            }
+            Task::Output(c, i) => {
+                let svc = &self.services[c.0];
+                let st = v.svc(*c);
+                svc.output_enabled(*i, st) || svc.dummy_output_enabled(*i, st)
             }
         }
     }
@@ -266,60 +461,17 @@ impl<P: ProcessAutomaton> Automaton for CompleteSystem<P> {
     }
 
     fn succ_all(&self, t: &Task, s: &Self::State) -> Vec<(Action, Self::State)> {
-        match t {
-            Task::Proc(i) => vec![self.proc_step(*i, s)],
-            Task::Perform(c, i) => {
-                let svc = &self.services[c.0];
-                let st = &s.services[c.0];
-                let mut out: Vec<(Action, Self::State)> = svc
-                    .perform_all(*i, st)
-                    .into_iter()
-                    .map(|st2| {
-                        let mut s2 = s.clone();
-                        s2.services[c.0] = st2;
-                        (Action::Perform(*c, *i), s2)
-                    })
-                    .collect();
-                if svc.dummy_perform_enabled(*i, st) {
-                    out.push((Action::DummyPerform(*c, *i), s.clone()));
-                }
-                out
-            }
-            Task::Output(c, i) => {
-                let svc = &self.services[c.0];
-                let st = &s.services[c.0];
-                let mut out = Vec::new();
-                if let Some((resp, st2)) = svc.pop_response(*i, st) {
-                    let mut s2 = s.clone();
-                    s2.services[c.0] = st2;
-                    // The response is simultaneously an input to P_i
-                    // (inputs are always enabled, even after failure).
-                    s2.procs[i.0] = self.procs.on_response(*i, &s.procs[i.0], *c, &resp);
-                    out.push((Action::Respond(*c, *i, resp), s2));
-                }
-                if svc.dummy_output_enabled(*i, st) {
-                    out.push((Action::DummyOutput(*c, *i), s.clone()));
-                }
-                out
-            }
-            Task::Compute(c, g) => {
-                let svc = &self.services[c.0];
-                let st = &s.services[c.0];
-                let mut out: Vec<(Action, Self::State)> = svc
-                    .compute_all(g, st)
-                    .into_iter()
-                    .map(|st2| {
-                        let mut s2 = s.clone();
-                        s2.services[c.0] = st2;
-                        (Action::Compute(*c, g.clone()), s2)
-                    })
-                    .collect();
-                if svc.dummy_compute_enabled(st) {
-                    out.push((Action::DummyCompute(*c, g.clone()), s.clone()));
-                }
-                out
-            }
-        }
+        // One shared branch enumeration (succ_effects), then each delta
+        // is materialized with exactly one deep clone.
+        self.succ_effects(t, s)
+            .into_iter()
+            .map(|(a, d)| (a, self.apply_delta(s, d)))
+            .collect()
+    }
+
+    fn applicable(&self, t: &Task, s: &Self::State) -> bool {
+        // Exact, allocation-free enablement — see `applicable_view`.
+        self.applicable_view(t, s)
     }
 
     fn apply_input(&self, s: &Self::State, a: &Action) -> Option<Self::State> {

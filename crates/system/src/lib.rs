@@ -39,10 +39,12 @@
 pub mod action;
 pub mod build;
 pub mod consensus;
+pub mod packed;
 pub mod pretty;
 pub mod process;
 pub mod sched;
 
 pub use action::{Action, Participant, Task};
 pub use build::{CompleteSystem, SystemState};
+pub use packed::{PackedState, PackedSystem};
 pub use process::{ProcAction, ProcessAutomaton};

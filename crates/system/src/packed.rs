@@ -1,0 +1,400 @@
+//! Component-interned system states: the packed counterpart of
+//! [`SystemState`] used by the exploration passes.
+//!
+//! A [`PackedState`] is a flat vector of dense component ids — one
+//! [`CompId`] per process, one per service, plus the failed set as a
+//! bitmask — with each distinct component state interned once in a
+//! per-component sub-arena ([`Interner`]). Cloning a packed state is a
+//! small `u32` copy, equality is a slice compare, and hashing touches a
+//! few machine words instead of walking the `BTreeMap` buffer trees of
+//! every service. Successor generation rebuilds **only the touched
+//! component**: [`CompleteSystem::succ_effects`] already reports each
+//! transition as a delta touching at most one process slot and one
+//! service slot, so the packed automaton interns the (at most two)
+//! fresh components and patches their id slots.
+//!
+//! # Bit-identical exploration
+//!
+//! [`PackedSystem`] implements [`Automaton`] directly, so the generic
+//! explorer runs on it unchanged. The decoded graph is bit-identical
+//! to exploring the deep representation because
+//!
+//! 1. the component-id encoding is injective *within a run*: two packed
+//!    states are equal iff the decoded [`SystemState`]s are equal, and
+//! 2. [`ioa::explore`] assigns [`ioa::StateId`]s in deterministic BFS
+//!    discovery order — root order, then task order, then branch order
+//!    — which depends only on the logical transition structure, never
+//!    on the numeric values of the component ids.
+//!
+//! Concurrent workers may therefore intern fresh components in any
+//! interleaving (comp ids are *not* deterministic across runs) without
+//! perturbing the explored graph; the differential tests in `analysis`
+//! pin this down across thread counts and truncation budgets.
+
+use crate::action::{Action, Task};
+use crate::build::{CompleteSystem, Delta, StateView, SystemState};
+use crate::process::ProcessAutomaton;
+use ioa::automaton::{ActionKind, Automaton};
+use ioa::store::{CompId, Interner};
+use services::SvcState;
+use spec::{ProcId, SvcId};
+use std::collections::BTreeSet;
+use std::sync::{RwLock, RwLockReadGuard};
+
+/// A system state packed as component ids.
+///
+/// Layout: `comps[0..n]` are process component ids, `comps[n..n+m]` are
+/// service component ids, and `comps[n+m]` is the failed-set bitmask
+/// (bit `i` set iff `fail_i` has occurred). The ids index the
+/// sub-arenas of the [`PackedSystem`] that produced the state; packed
+/// states from different `PackedSystem` instances are not comparable.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PackedState {
+    comps: Box<[u32]>,
+}
+
+impl PackedState {
+    /// The raw component-id slots (processes, then services, then the
+    /// failed bitmask) — exposed for size accounting and diagnostics.
+    #[must_use]
+    pub fn comps(&self) -> &[u32] {
+        &self.comps
+    }
+}
+
+/// The component-interned view of a [`CompleteSystem`]: the same
+/// transition structure, over [`PackedState`]s.
+///
+/// The two sub-arenas grow monotonically behind [`RwLock`]s —
+/// transition enumeration takes read locks, interning fresh components
+/// takes write locks (always `procs` before `svcs`). The explorer's
+/// scoped workers share one `PackedSystem` across threads.
+#[derive(Debug)]
+pub struct PackedSystem<'s, P: ProcessAutomaton> {
+    sys: &'s CompleteSystem<P>,
+    n: usize,
+    m: usize,
+    procs: RwLock<Interner<P::State>>,
+    svcs: RwLock<Interner<SvcState>>,
+}
+
+/// A [`StateView`] over a packed state: holds read guards on both
+/// sub-arenas and resolves component ids on demand.
+struct PackedView<'a, PS> {
+    procs: RwLockReadGuard<'a, Interner<PS>>,
+    svcs: RwLockReadGuard<'a, Interner<SvcState>>,
+    comps: &'a [u32],
+    n: usize,
+}
+
+impl<PS: std::hash::Hash + Eq> StateView<PS> for PackedView<'_, PS> {
+    fn proc(&self, i: ProcId) -> &PS {
+        self.procs
+            .resolve(CompId::from_index(self.comps[i.0] as usize))
+    }
+
+    fn svc(&self, c: SvcId) -> &SvcState {
+        self.svcs
+            .resolve(CompId::from_index(self.comps[self.n + c.0] as usize))
+    }
+
+    fn is_failed(&self, i: ProcId) -> bool {
+        let mask = self.comps[self.comps.len() - 1];
+        (mask >> i.0) & 1 == 1
+    }
+}
+
+impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
+    /// Wraps `sys` with fresh (empty) component sub-arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has more than 32 processes (the failed set
+    /// is packed as a `u32` bitmask — far beyond the exhaustively
+    /// explorable range anyway).
+    pub fn new(sys: &'s CompleteSystem<P>) -> Self {
+        let n = sys.process_count();
+        let m = sys.services().len();
+        assert!(
+            n <= 32,
+            "packed failed-set bitmask supports at most 32 processes, got {n}"
+        );
+        PackedSystem {
+            sys,
+            n,
+            m,
+            procs: RwLock::new(Interner::new()),
+            svcs: RwLock::new(Interner::new()),
+        }
+    }
+
+    /// The underlying deep system.
+    #[must_use]
+    pub fn system(&self) -> &'s CompleteSystem<P> {
+        self.sys
+    }
+
+    /// Number of distinct process components interned so far.
+    #[must_use]
+    pub fn proc_components(&self) -> usize {
+        self.procs.read().expect("interner lock poisoned").len()
+    }
+
+    /// Number of distinct service components interned so far.
+    #[must_use]
+    pub fn svc_components(&self) -> usize {
+        self.svcs.read().expect("interner lock poisoned").len()
+    }
+
+    fn view<'a>(&'a self, ps: &'a PackedState) -> PackedView<'a, P::State> {
+        PackedView {
+            procs: self.procs.read().expect("interner lock poisoned"),
+            svcs: self.svcs.read().expect("interner lock poisoned"),
+            comps: &ps.comps,
+            n: self.n,
+        }
+    }
+
+    /// Packs a deep state, interning every component.
+    pub fn encode(&self, s: &SystemState<P::State>) -> PackedState {
+        assert_eq!(s.procs.len(), self.n, "state has wrong process count");
+        assert_eq!(s.services.len(), self.m, "state has wrong service count");
+        let mut procs = self.procs.write().expect("interner lock poisoned");
+        let mut svcs = self.svcs.write().expect("interner lock poisoned");
+        let mut comps = Vec::with_capacity(self.n + self.m + 1);
+        for p in &s.procs {
+            comps.push(id_bits(procs.intern(p.clone()).0));
+        }
+        for st in &s.services {
+            comps.push(id_bits(svcs.intern(st.clone()).0));
+        }
+        let mut mask = 0u32;
+        for i in &s.failed {
+            assert!(i.0 < 32, "failed process {i} outside bitmask range");
+            mask |= 1 << i.0;
+        }
+        comps.push(mask);
+        PackedState {
+            comps: comps.into_boxed_slice(),
+        }
+    }
+
+    /// Unpacks back into the deep representation.
+    pub fn decode(&self, ps: &PackedState) -> SystemState<P::State> {
+        let procs = self.procs.read().expect("interner lock poisoned");
+        let svcs = self.svcs.read().expect("interner lock poisoned");
+        let mask = ps.comps[self.n + self.m];
+        SystemState {
+            procs: (0..self.n)
+                .map(|i| {
+                    procs
+                        .resolve(CompId::from_index(ps.comps[i] as usize))
+                        .clone()
+                })
+                .collect(),
+            services: (0..self.m)
+                .map(|c| {
+                    svcs.resolve(CompId::from_index(ps.comps[self.n + c] as usize))
+                        .clone()
+                })
+                .collect(),
+            failed: (0..32u32)
+                .filter(|i| (mask >> i) & 1 == 1)
+                .map(|i| ProcId(i as usize))
+                .collect::<BTreeSet<_>>(),
+        }
+    }
+}
+
+/// The stored `u32` of a component id.
+fn id_bits(id: CompId) -> u32 {
+    u32::try_from(id.index()).expect("component ids fit in u32 by construction")
+}
+
+impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
+    type State = PackedState;
+    type Action = Action;
+    type Task = Task;
+
+    fn initial_states(&self) -> Vec<PackedState> {
+        self.sys
+            .initial_states()
+            .iter()
+            .map(|s| self.encode(s))
+            .collect()
+    }
+
+    fn tasks(&self) -> Vec<Task> {
+        self.sys.tasks()
+    }
+
+    fn succ_all(&self, t: &Task, ps: &PackedState) -> Vec<(Action, PackedState)> {
+        // Enumerate under read guards, then drop them before taking the
+        // write locks to intern whatever components the deltas touched.
+        let effects = {
+            let view = self.view(ps);
+            self.sys.succ_effects(t, &view)
+        };
+        if effects.is_empty() {
+            return Vec::new();
+        }
+        let mut procs = self.procs.write().expect("interner lock poisoned");
+        let mut svcs = self.svcs.write().expect("interner lock poisoned");
+        effects
+            .into_iter()
+            .map(|(a, d)| {
+                let mut comps = ps.comps.clone();
+                match d {
+                    Delta::Stutter => {}
+                    Delta::Proc(i, p) => comps[i.0] = id_bits(procs.intern(p).0),
+                    Delta::Svc(c, st) => comps[self.n + c.0] = id_bits(svcs.intern(st).0),
+                    Delta::ProcSvc(i, p, c, st) => {
+                        comps[i.0] = id_bits(procs.intern(p).0);
+                        comps[self.n + c.0] = id_bits(svcs.intern(st).0);
+                    }
+                }
+                (a, PackedState { comps })
+            })
+            .collect()
+    }
+
+    fn applicable(&self, t: &Task, ps: &PackedState) -> bool {
+        let view = self.view(ps);
+        self.sys.applicable_view(t, &view)
+    }
+
+    fn apply_input(&self, ps: &PackedState, a: &Action) -> Option<PackedState> {
+        // Inputs (init/fail) are applied outside the hot exploration
+        // loop; round-tripping through the deep representation keeps
+        // the semantics in one place.
+        let s2 = self.sys.apply_input(&self.decode(ps), a)?;
+        Some(self.encode(&s2))
+    }
+
+    fn kind(&self, a: &Action) -> ActionKind {
+        self.sys.kind(a)
+    }
+}
+
+// Compile-time audit: the parallel explorer shares the packed system
+// across scoped workers.
+const _: () = {
+    const fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<PackedState>();
+    is_send_sync::<PackedSystem<'_, crate::process::direct::DirectConsensus>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::direct::DirectConsensus;
+    use services::atomic::CanonicalAtomicObject;
+    use spec::seq::BinaryConsensus;
+    use spec::Val;
+    use std::sync::Arc;
+
+    fn direct_system(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+        let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+        CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    }
+
+    /// Drive both representations through the same input prefix.
+    fn paired_state(
+        sys: &CompleteSystem<DirectConsensus>,
+        packed: &PackedSystem<'_, DirectConsensus>,
+    ) -> (
+        SystemState<<DirectConsensus as ProcessAutomaton>::State>,
+        PackedState,
+    ) {
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(0));
+        s = sys.init(&s, ProcId(1), Val::Int(1));
+        let ps = packed.encode(&s);
+        (s, ps)
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let sys = direct_system(3, 1);
+        let packed = PackedSystem::new(&sys);
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(2), Val::Int(1));
+        let s = sys.fail(&s, ProcId(0));
+        let ps = packed.encode(&s);
+        assert_eq!(packed.decode(&ps), s);
+        // Re-encoding the same state reuses every component id.
+        assert_eq!(packed.encode(&s), ps);
+    }
+
+    #[test]
+    fn packed_successors_decode_to_deep_successors() {
+        let sys = direct_system(2, 0);
+        let packed = PackedSystem::new(&sys);
+        let (s, ps) = paired_state(&sys, &packed);
+        for t in sys.tasks() {
+            let deep = sys.succ_all(&t, &s);
+            let pk = packed.succ_all(&t, &ps);
+            assert_eq!(deep.len(), pk.len(), "branch count for {t:?}");
+            for ((a1, s2), (a2, ps2)) in deep.iter().zip(&pk) {
+                assert_eq!(a1, a2, "action order for {t:?}");
+                assert_eq!(s2, &packed.decode(ps2), "successor for {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_applicable_matches_deep_enablement() {
+        let sys = direct_system(2, 0);
+        let packed = PackedSystem::new(&sys);
+        let (s, ps) = paired_state(&sys, &packed);
+        for t in sys.tasks() {
+            assert_eq!(
+                packed.applicable(&t, &ps),
+                !sys.succ_all(&t, &s).is_empty(),
+                "enablement for {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn successors_share_untouched_components() {
+        let sys = direct_system(3, 1);
+        let packed = PackedSystem::new(&sys);
+        let s = sys.single_initial_state();
+        let s = sys.init(&s, ProcId(0), Val::Int(1));
+        let ps = packed.encode(&s);
+        // P0's invoke touches P0's slot and the object's slot; P1, P2
+        // and the mask must be shared verbatim.
+        let (_, ps2) = packed
+            .succ_all(&Task::Proc(ProcId(0)), &ps)
+            .into_iter()
+            .next()
+            .expect("invoke branch");
+        assert_ne!(ps.comps()[0], ps2.comps()[0]);
+        assert_eq!(ps.comps()[1], ps2.comps()[1]);
+        assert_eq!(ps.comps()[2], ps2.comps()[2]);
+        assert_eq!(ps.comps()[4], ps2.comps()[4]);
+    }
+
+    #[test]
+    fn fail_input_sets_mask_bit() {
+        let sys = direct_system(2, 1);
+        let packed = PackedSystem::new(&sys);
+        let ps = packed.encode(&sys.single_initial_state());
+        let ps2 = packed
+            .apply_input(&ps, &Action::Fail(ProcId(1)))
+            .expect("fail is an input");
+        assert_eq!(ps2.comps()[3] & 0b10, 0b10);
+        assert!(packed.decode(&ps2).failed.contains(&ProcId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 processes")]
+    fn rejects_unpackable_process_counts() {
+        let endpoints: Vec<ProcId> = (0..33).map(ProcId).collect();
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, 32);
+        let sys = CompleteSystem::new(DirectConsensus::new(SvcId(0)), 33, vec![Arc::new(obj)]);
+        let _ = PackedSystem::new(&sys);
+    }
+}

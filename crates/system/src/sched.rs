@@ -153,10 +153,16 @@ where
             }
             seen.insert(config, exec.len());
         }
-        // One round-robin offer.
+        // One round-robin offer. The cheap `applicable` check prunes
+        // disabled tasks without materializing their (empty) successor
+        // vectors; an automaton whose `applicable` over-approximates
+        // still falls through to the empty-pick `continue` below.
         let mut fired = false;
         for off in 0..tasks.len() {
             let t = &tasks[(pos + off) % tasks.len()];
+            if !sys.applicable(t, exec.last_state()) {
+                continue;
+            }
             let branches = sys.succ_all(t, exec.last_state());
             if let Some((action, state)) = policy.pick(branches) {
                 exec.push(Step {
@@ -284,13 +290,6 @@ where
     )
 }
 
-/// A task paired with its enabled branches at the current state — the
-/// unit the random scheduler draws from.
-type TaskBranches<'a, A> = (
-    &'a <A as Automaton>::Task,
-    Vec<(Action, <A as Automaton>::State)>,
-);
-
 /// [`run_random`] generalized over the randomness source.
 ///
 /// Always available in-tree (the `ext-rand` cargo feature only signals
@@ -333,33 +332,39 @@ where
             }
         }
         let state = exec.last_state().clone();
-        // A task is only offered if it has a branch to take: an
-        // automaton whose `applicable` over-approximates `succ_all`
-        // (buggy or adversarial) degrades to quiescence instead of
-        // panicking on an empty `gen_range`.
-        let applicable: Vec<TaskBranches<'_, A>> = tasks
-            .iter()
-            .map(|t| (t, sys.succ_all(t, &state)))
-            .filter(|(_, branches)| !branches.is_empty())
-            .collect();
-        if applicable.is_empty() {
-            return FairRun {
-                exec,
-                outcome: FairOutcome::Quiescent,
-            };
+        // Candidate tasks come from the cheap `applicable` predicate,
+        // so only the drawn task materializes its successor vector. For
+        // exact `applicable` implementations the candidate set (and
+        // hence the RNG stream) is identical to filtering on nonempty
+        // `succ_all`; an automaton whose `applicable` over-approximates
+        // (buggy or adversarial) yields an empty branch list for the
+        // drawn task, which is evicted and redrawn — degrading to
+        // quiescence instead of panicking on an empty `gen_range`.
+        let mut candidates: Vec<&A::Task> =
+            tasks.iter().filter(|t| sys.applicable(t, &state)).collect();
+        loop {
+            if candidates.is_empty() {
+                return FairRun {
+                    exec,
+                    outcome: FairOutcome::Quiescent,
+                };
+            }
+            let idx = rng.gen_range(candidates.len());
+            let t = candidates[idx];
+            let mut branches = sys.succ_all(t, &state);
+            if branches.is_empty() {
+                candidates.swap_remove(idx);
+                continue;
+            }
+            let pick = rng.gen_range(branches.len());
+            let (action, next) = branches.swap_remove(pick);
+            exec.push(Step {
+                task: Some(t.clone()),
+                action,
+                state: next,
+            });
+            break;
         }
-        let (t, mut branches) = {
-            let idx = rng.gen_range(applicable.len());
-            let mut applicable = applicable;
-            applicable.swap_remove(idx)
-        };
-        let pick = rng.gen_range(branches.len());
-        let (action, next) = branches.swap_remove(pick);
-        exec.push(Step {
-            task: Some(t.clone()),
-            action,
-            state: next,
-        });
         steps += 1;
         if stop(exec.last_state()) {
             return FairRun {

@@ -1,0 +1,94 @@
+//! Clone-count regression tests for the component-interned successor
+//! path.
+//!
+//! The representation contract: generating a successor rebuilds only
+//! the touched component. On the packed path ([`PackedSystem`]) that
+//! means a `succ_all` call deep-clones at most one service component
+//! per returned successor (the δ branch's single state clone) and never
+//! deep-clones a whole [`system::SystemState`]. The thread-local
+//! counters in `services::state::clones` and `system::build::clones`
+//! make this checkable; if either bound regresses, successor generation
+//! has re-grown a hidden deep copy.
+
+use ioa::automaton::Automaton;
+use services::atomic::CanonicalAtomicObject;
+use spec::seq::BinaryConsensus;
+use spec::{ProcId, SvcId};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use system::consensus::InputAssignment;
+use system::packed::PackedSystem;
+use system::process::direct::DirectConsensus;
+use system::sched::initialize;
+use system::CompleteSystem;
+
+/// The n = 3 doomed-atomic substrate (replicated from `protocols`,
+/// which this crate cannot depend on).
+fn direct(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
+    let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
+    let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
+    CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+}
+
+#[test]
+fn packed_successors_never_clone_more_than_one_component() {
+    let sys = direct(3, 1);
+    let packed = PackedSystem::new(&sys);
+    let root = packed.encode(&initialize(&sys, &InputAssignment::monotone(3, 1)));
+    let tasks = sys.tasks();
+
+    // Walk the whole reachable packed space, checking every succ_all
+    // call's clone deltas.
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::from([root]);
+    let mut states = 0usize;
+    let mut edges = 0usize;
+    while let Some(ps) = queue.pop_front() {
+        if !seen.insert(ps.clone()) {
+            continue;
+        }
+        states += 1;
+        for t in &tasks {
+            services::state::clones::reset();
+            system::build::clones::reset();
+            let succ = packed.succ_all(t, &ps);
+            let svc_clones = services::state::clones::count();
+            let sys_clones = system::build::clones::count();
+            assert_eq!(
+                sys_clones, 0,
+                "packed succ_all({t:?}) deep-cloned a whole SystemState"
+            );
+            assert!(
+                svc_clones <= succ.len() as u64,
+                "packed succ_all({t:?}) cloned {svc_clones} service components \
+                 for {} successors — more than one per successor",
+                succ.len()
+            );
+            edges += succ.len();
+            for (_, ps2) in succ {
+                if !seen.contains(&ps2) {
+                    queue.push_back(ps2);
+                }
+            }
+        }
+    }
+    assert!(states > 100, "walked a nontrivial space ({states} states)");
+    assert!(edges > states, "substrate has branching ({edges} edges)");
+}
+
+#[test]
+fn deep_successors_pay_one_system_clone_per_branch() {
+    // The deep path's invariant (what apply_delta guarantees): exactly
+    // one SystemState clone per returned successor, never more.
+    let sys = direct(3, 1);
+    let s = initialize(&sys, &InputAssignment::monotone(3, 1));
+    for t in sys.tasks() {
+        system::build::clones::reset();
+        let succ = sys.succ_all(&t, &s);
+        assert_eq!(
+            system::build::clones::count(),
+            succ.len() as u64,
+            "deep succ_all({t:?}) should clone exactly once per successor"
+        );
+    }
+}
