@@ -74,12 +74,39 @@ pub enum HookOutcome<P: ProcessAutomaton> {
     },
 }
 
+/// Reusable scratch for [`bfs_in_map`]: the Fig. 3 construction runs
+/// one BFS per iteration over the same graph, so the visited bitmap,
+/// parent table and queue are allocated once per [`find_hook`] call
+/// and wiped (an `O(n)` `fill`, no reallocation) between searches.
+struct BfsScratch {
+    seen: Vec<bool>,
+    parent: Vec<Option<(StateId, Task)>>,
+    queue: VecDeque<StateId>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        BfsScratch {
+            seen: vec![false; n],
+            parent: vec![None; n],
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.seen.fill(false);
+        self.parent.fill(None);
+        self.queue.clear();
+    }
+}
+
 /// Breadth-first search within the valence map's interned graph from
 /// `from`, following only edges whose task differs from `banned` (when
 /// given), for the first state satisfying `pred`. Returns the
 /// `(task, state id)` path.
 fn bfs_in_map<P, F>(
     map: &ValenceMap<P>,
+    scratch: &mut BfsScratch,
     from: StateId,
     banned: Option<&Task>,
     pred: F,
@@ -91,11 +118,14 @@ where
     if pred(from) {
         return Some((Vec::new(), from));
     }
-    let n = map.state_count();
-    let mut seen = vec![false; n];
+    scratch.reset();
+    let BfsScratch {
+        seen,
+        parent,
+        queue,
+    } = scratch;
     seen[from.index()] = true;
-    let mut parent: Vec<Option<(StateId, Task)>> = vec![None; n];
-    let mut queue: VecDeque<StateId> = VecDeque::from([from]);
+    queue.push_back(from);
     while let Some(s) = queue.pop_front() {
         for (t, _, s2) in map.successors(s) {
             if banned == Some(t) || seen[s2.index()] {
@@ -144,6 +174,7 @@ pub fn find_hook<P: ProcessAutomaton>(
     let mut cur: StateId = map.root_id();
     let mut cur_tasks: Vec<Task> = Vec::new();
     let mut rr = 0usize;
+    let mut scratch = BfsScratch::new(map.state_count());
 
     for iteration in 0..max_iterations {
         // The next applicable task in round-robin order. Process tasks
@@ -164,7 +195,7 @@ pub fn find_hook<P: ProcessAutomaton>(
         // Seek a descendant α' (reachable without executing e) with
         // e(α') bivalent. e(α') is itself in the graph: it is reachable
         // from α' by the task e (or equals α', for a self-loop).
-        let target = bfs_in_map(map, cur, Some(&e), |id| {
+        let target = bfs_in_map(map, &mut scratch, cur, Some(&e), |id| {
             match sys.succ_det(&e, map.resolve(id)) {
                 Some((_, t)) => map.valence(&t) == Valence::Bivalent,
                 None => false,
@@ -187,7 +218,7 @@ pub fn find_hook<P: ProcessAutomaton>(
             None => {
                 // Construction terminated: e(α') is univalent for every
                 // e-free descendant α' of cur. Extract the hook.
-                return extract_hook(sys, map, cur, cur_tasks, e);
+                return extract_hook(sys, map, &mut scratch, cur, cur_tasks, e);
             }
         }
     }
@@ -204,6 +235,7 @@ pub fn find_hook<P: ProcessAutomaton>(
 fn extract_hook<P: ProcessAutomaton>(
     sys: &CompleteSystem<P>,
     map: &ValenceMap<P>,
+    scratch: &mut BfsScratch,
     cur: StateId,
     cur_tasks: Vec<Task>,
     e: Task,
@@ -226,7 +258,7 @@ fn extract_hook<P: ProcessAutomaton>(
 
     // A descendant of α in which some process decides v̄ — exists
     // because α is bivalent.
-    let (path, _) = bfs_in_map(map, cur, None, |id| {
+    let (path, _) = bfs_in_map(map, scratch, cur, None, |id| {
         sys.decided_values(map.resolve(id)).contains(&wanted)
     })
     .expect("bivalent states reach both decisions");

@@ -19,11 +19,13 @@ use crate::valence::{Truncated, Valence, ValenceMap};
 use spec::ProcId;
 use system::build::CompleteSystem;
 use system::consensus::InputAssignment;
+use system::packed::PackedSystem;
 use system::process::ProcessAutomaton;
 use system::sched::initialize;
 
 /// The outcome of the Lemma 4 walk.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // the ValenceMap IS the payload of interest
 pub enum InitOutcome<P: ProcessAutomaton> {
     /// A bivalent initialization `α_b` (with its explored valence map)
     /// — the launch pad for the hook construction.
@@ -89,11 +91,17 @@ pub fn find_bivalent_init_with<P: ProcessAutomaton>(
     threads: usize,
 ) -> Result<InitOutcome<P>, Truncated> {
     let n = sys.process_count();
+    // One shared packed system for the whole walk: the monotone
+    // initializations reach heavily overlapping state spaces, so after
+    // the α_0 sweep warms the component sub-arenas and the
+    // transition-effect cache, the remaining n explorations run almost
+    // entirely out of the cache.
+    let packed = PackedSystem::new(sys);
     let mut valences: Vec<Valence> = Vec::with_capacity(n + 1);
     for ones in 0..=n {
         let assignment = InputAssignment::monotone(n, ones);
         let root = initialize(sys, &assignment);
-        let map = ValenceMap::build_with(sys, root.clone(), max_states, threads)?;
+        let map = ValenceMap::build_in(sys, &packed, root.clone(), max_states, threads)?;
         let v = map.valence(&root);
         match v {
             Valence::Bivalent => {

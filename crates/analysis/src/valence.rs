@@ -18,6 +18,7 @@
 
 use ioa::explore::{ExploreOptions, ExploreStats, ExploredGraph};
 use ioa::store::{fx_hash, StateId, StateStore};
+use ioa::Csr;
 use spec::Val;
 use std::collections::{BTreeSet, VecDeque};
 use system::build::{CompleteSystem, SystemState};
@@ -110,8 +111,17 @@ impl std::error::Error for Truncated {}
 pub struct ValenceMap<P: ProcessAutomaton> {
     store: StateStore<SystemState<P::State>>,
     root: StateId,
-    /// `edges[id] = [(task, action, successor)]` in task order.
-    edges: Vec<Vec<(Task, Action, StateId)>>,
+    /// Flat CSR adjacency: row `id` holds the `(task, action,
+    /// successor)` transitions out of `id`, in task order. One
+    /// contiguous edge arena instead of a `Vec` per state, so the
+    /// census scan, the hook BFS and the witness safety sweep walk
+    /// contiguous memory.
+    edges: Csr<(Task, Action, StateId)>,
+    /// Reverse CSR: row `id` holds the predecessors of `id`, one entry
+    /// per forward edge, in `(source, position)` order. Drives the
+    /// backward valence fixpoint and is exposed via
+    /// [`ValenceMap::predecessors`].
+    preds: Csr<StateId>,
     /// BFS tree: the step that first discovered each non-root state.
     parent: Vec<Option<(StateId, Task, Action)>>,
     stats: ExploreStats,
@@ -158,9 +168,31 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         // component-id copies, and each distinct component state pays
         // its deep hash/clone exactly once in the sub-arenas.
         let packed = PackedSystem::new(sys);
+        Self::build_in(sys, &packed, root, max_states, threads)
+    }
+
+    /// [`ValenceMap::build_with`] over a caller-provided
+    /// [`PackedSystem`]. The packed system's component sub-arenas and
+    /// transition-effect cache persist across calls, so building
+    /// several maps of the *same* system (the Lemma 4 walk builds
+    /// `n + 1`) pays each distinct component transition once globally
+    /// instead of once per map — after the first build the rest run
+    /// almost entirely out of the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Truncated`] if the reachable space exceeds
+    /// `max_states` — all valence answers would be unsound.
+    pub fn build_in(
+        sys: &CompleteSystem<P>,
+        packed: &PackedSystem<'_, P>,
+        root: SystemState<P::State>,
+        max_states: usize,
+        threads: usize,
+    ) -> Result<Self, Truncated> {
         let packed_root = packed.encode(&root);
         let graph = ExploredGraph::explore_with(
-            &packed,
+            packed,
             vec![packed_root],
             ExploreOptions {
                 max_states,
@@ -189,26 +221,28 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         }
         let root = parts.roots[0];
         let edges = parts.edges;
-        let n = store.len();
+
+        // Reverse CSR: one counting-sort transpose of the flat edge
+        // arena (no per-state `Vec` allocations).
+        let preds: Csr<StateId> =
+            edges.reversed(|e| e.2.index(), |src, _| StateId::from_index(src));
 
         // Backward fixpoint: decided(s) = own decisions ∪ ⋃ decided(s').
-        let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
-        for id in store.ids() {
-            for (_, _, s2) in &edges[id.index()] {
-                preds[s2.index()].push(id);
-            }
-        }
+        // Seeded only at the deciding states and propagated over the
+        // reverse edges — states that reach no decision are never
+        // enqueued. (Set union is confluent, so the fixpoint is the
+        // same as seeding every state; only the wasted work differs.)
         let mut decided: Vec<BTreeSet<Val>> = store
             .ids()
             .map(|id| sys.decided_values(store.resolve(id)))
             .collect();
-        let mut work: VecDeque<StateId> = store.ids().collect();
+        let mut work: VecDeque<StateId> = store
+            .ids()
+            .filter(|id| !decided[id.index()].is_empty())
+            .collect();
         while let Some(s) = work.pop_front() {
             let vals = decided[s.index()].clone();
-            if vals.is_empty() {
-                continue;
-            }
-            for p in &preds[s.index()] {
+            for p in preds.row(s.index()) {
                 let entry = &mut decided[p.index()];
                 let before = entry.len();
                 entry.extend(vals.iter().cloned());
@@ -223,6 +257,7 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
             store,
             root,
             edges,
+            preds,
             parent: parts.parent,
             stats: parts.stats,
             decided,
@@ -318,10 +353,18 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     }
 
     /// The `(task, action, successor)` edges out of `id` in `G(C)`
-    /// (self-loops excluded).
+    /// (self-loops excluded) — a slice of the contiguous CSR arena.
     #[inline]
     pub fn successors(&self, id: StateId) -> &[(Task, Action, StateId)] {
-        &self.edges[id.index()]
+        self.edges.row(id.index())
+    }
+
+    /// The predecessors of `id` in `G(C)`: one entry per incoming
+    /// edge, in `(source id, edge position)` order. Sources with
+    /// parallel edges to `id` appear once per edge.
+    #[inline]
+    pub fn predecessors(&self, id: StateId) -> &[StateId] {
+        self.preds.row(id.index())
     }
 
     /// The deterministic successor of `s` under task `t` within the

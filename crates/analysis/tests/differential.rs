@@ -350,6 +350,160 @@ fn parallel_truncation_is_bit_identical_on_paper_substrates() {
     check("fd(2)", &protocols::fd_boost::build(2));
 }
 
+/// The transition-effect cache (DESIGN §2.1.3) must be invisible in
+/// the produced graph: exploring with `PackedSystem::new` (cached) and
+/// `PackedSystem::new_uncached` (the PR 3 reference path) must yield
+/// the same ids, states, edge rows, BFS-tree parents and stats on all
+/// three paper substrates, at every thread count, both exhaustively
+/// and under tight truncation budgets. Only the `cache` census field
+/// may differ — present on the cached run, absent on the reference.
+#[test]
+fn cached_exploration_matches_uncached_bit_for_bit() {
+    use ioa::explore::{ExploreOptions, ExploredGraph};
+    use system::packed::PackedSystem;
+
+    fn check_at<P: system::process::ProcessAutomaton>(
+        name: &str,
+        sys: &CompleteSystem<P>,
+        root: &SystemState<P::State>,
+        cap: usize,
+    ) {
+        for threads in [1, 2, 4] {
+            let opts = ExploreOptions {
+                max_states: cap,
+                skip_self_loops: true,
+                threads,
+            };
+            let reference = PackedSystem::new_uncached(sys);
+            let ref_root = reference.encode(root);
+            let base = ExploredGraph::explore_with(&reference, vec![ref_root], opts);
+            let cached = PackedSystem::new(sys);
+            let cached_root = cached.encode(root);
+            let ck = ExploredGraph::explore_with(&cached, vec![cached_root], opts);
+            let ctx = format!("{name} cap={cap} threads={threads}");
+            assert_eq!(base.stats(), ck.stats(), "stats differ: {ctx}");
+            assert_eq!(base.stats().cache, None, "uncached run reported stats");
+            let cs = ck
+                .stats()
+                .cache
+                .unwrap_or_else(|| panic!("cached run reported no cache census: {ctx}"));
+            assert!(cs.lookups() > 0, "cache never consulted: {ctx}");
+            assert_eq!(base.roots(), ck.roots(), "roots differ: {ctx}");
+            for id in base.ids() {
+                assert_eq!(
+                    &cached.decode(ck.resolve(id)),
+                    &reference.decode(base.resolve(id)),
+                    "state {id:?}: {ctx}"
+                );
+                assert_eq!(
+                    base.successors(id),
+                    ck.successors(id),
+                    "edges {id:?}: {ctx}"
+                );
+                assert_eq!(
+                    base.discovered_by(id),
+                    ck.discovered_by(id),
+                    "parent {id:?}: {ctx}"
+                );
+            }
+        }
+    }
+
+    fn check<P: system::process::ProcessAutomaton>(name: &str, sys: &CompleteSystem<P>) {
+        let n = sys.process_count();
+        let root = initialize(sys, &InputAssignment::monotone(n, 1));
+        let total = ValenceMap::build(sys, root.clone(), 1_000_000)
+            .unwrap()
+            .state_count();
+        check_at(name, sys, &root, 1_000_000);
+        for cap in [1 + total / 7, 1 + total / 3] {
+            check_at(name, sys, &root, cap);
+        }
+    }
+
+    check("doomed-atomic(2,0)", &direct(2, 0));
+    check("doomed-atomic(3,1)", &direct(3, 1));
+    check("tob(2,0)", &protocols::doomed::doomed_oblivious(2, 0));
+    check("fd(2)", &protocols::fd_boost::build(2));
+}
+
+/// The CSR edge arena must hold exactly the adjacency the transition
+/// function defines: row `id` = the non-self-loop `(task, action,
+/// successor)` triples of `succ_all`, in task order — and the reverse
+/// CSR must be its exact transpose, predecessors listed in
+/// `(source id, edge position)` order.
+#[test]
+fn csr_rows_match_direct_succ_all_and_reverse_is_the_transpose() {
+    for (name, sys) in [
+        ("doomed-atomic(2,0)", direct(2, 0)),
+        ("doomed-atomic(3,1)", direct(3, 1)),
+    ] {
+        let n = sys.process_count();
+        let root = initialize(&sys, &InputAssignment::monotone(n, 1));
+        let map = ValenceMap::build(&sys, root, 1_000_000).unwrap();
+        let tasks = sys.tasks();
+
+        let mut naive_preds: Vec<Vec<ioa::StateId>> = vec![Vec::new(); map.state_count()];
+        for id in map.ids() {
+            // Forward row: recompute from the transition function.
+            let mut expect = Vec::new();
+            let s = map.resolve(id).clone();
+            for t in &tasks {
+                for (a, s2) in sys.succ_all(t, &s) {
+                    if s2 != s {
+                        let id2 = map.id_of(&s2).expect("successors are explored");
+                        expect.push((t.clone(), a, id2));
+                    }
+                }
+            }
+            assert_eq!(map.successors(id), expect.as_slice(), "{name} row {id:?}");
+            for (_, _, id2) in map.successors(id) {
+                naive_preds[id2.index()].push(id);
+            }
+        }
+        // Reverse rows: scanning sources in id order and pushing per
+        // edge reproduces (source, position) order exactly.
+        for id in map.ids() {
+            assert_eq!(
+                map.predecessors(id),
+                naive_preds[id.index()].as_slice(),
+                "{name} reverse row {id:?}"
+            );
+        }
+    }
+}
+
+/// The Fig. 3 hook construction must be indifferent to cache state:
+/// a map built on a cold shared [`PackedSystem`], one built on the
+/// same system warmed by a previous build, and one built uncached all
+/// yield the same hook, corner for corner.
+#[test]
+fn hook_is_identical_on_cold_warm_and_uncached_maps() {
+    use system::packed::PackedSystem;
+    let sys = direct(2, 0);
+    let root = initialize(&sys, &InputAssignment::monotone(2, 1));
+
+    let shared = PackedSystem::new(&sys);
+    let cold = ValenceMap::build_in(&sys, &shared, root.clone(), 1_000_000, 1).unwrap();
+    let warm = ValenceMap::build_in(&sys, &shared, root.clone(), 1_000_000, 1).unwrap();
+    assert_maps_bit_identical(&cold, &warm, "cold vs warm");
+    let warm_cache = warm.stats().cache.expect("cached run");
+    assert!(
+        warm_cache.hit_rate() >= 0.9,
+        "warm build hit rate {:.4} below floor",
+        warm_cache.hit_rate()
+    );
+
+    let reference = PackedSystem::new_uncached(&sys);
+    let uncached = ValenceMap::build_in(&sys, &reference, root, 1_000_000, 1).unwrap();
+    assert_maps_bit_identical(&warm, &uncached, "warm vs uncached");
+
+    let h_warm = find_hook(&sys, &warm, 10_000);
+    let h_uncached = find_hook(&sys, &uncached, 10_000);
+    assert_eq!(format!("{h_warm:?}"), format!("{h_uncached:?}"));
+    assert!(matches!(h_warm, HookOutcome::Hook(_)));
+}
+
 /// The Theorem 2 proof object — bivalent initialization, hook, Lemma 8
 /// similarity, Lemma 6/7 refutation run — must be identical whether
 /// the valence maps underneath were explored sequentially or in

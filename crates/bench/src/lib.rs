@@ -67,12 +67,19 @@ pub mod harness {
     use std::time::Instant;
 
     /// Timing result of one labeled benchmark: raw per-run samples in
-    /// nanoseconds, in measurement order.
+    /// nanoseconds, in measurement order, plus optional workload
+    /// annotations attached via [`Group::annotate_last`].
     #[derive(Debug, Clone)]
     pub struct Measurement {
         pub group: String,
         pub label: String,
         pub samples_ns: Vec<u128>,
+        /// States processed per run — turns the median into a
+        /// throughput (`states_per_sec`) in the JSON report.
+        pub states: Option<u64>,
+        /// Transition-effect cache hit rate observed during the timed
+        /// runs, when the measured automaton exposes one.
+        pub hit_rate: Option<f64>,
     }
 
     impl Measurement {
@@ -92,6 +99,15 @@ pub mod harness {
         #[must_use]
         pub fn max_ns(&self) -> u128 {
             *self.samples_ns.iter().max().expect("non-empty samples")
+        }
+
+        /// Median throughput in states per second, when the workload
+        /// size was annotated.
+        #[must_use]
+        pub fn states_per_sec(&self) -> Option<f64> {
+            let states = self.states? as f64;
+            let median = self.median_ns() as f64;
+            (median > 0.0).then(|| states * 1e9 / median)
         }
     }
 
@@ -115,21 +131,28 @@ pub mod harness {
     pub struct Group {
         name: String,
         sample_size: usize,
+        warmup: usize,
         results: Vec<Measurement>,
     }
 
     impl Group {
         /// Create a group. Sample count defaults to 10, overridable
-        /// with the `BENCH_SAMPLES` environment variable.
+        /// with the `BENCH_SAMPLES` environment variable; warm-up
+        /// iterations default to 1, overridable with `BENCH_WARMUP`.
         #[must_use]
         pub fn new(name: &str) -> Group {
             let sample_size = std::env::var("BENCH_SAMPLES")
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(10);
+            let warmup = std::env::var("BENCH_WARMUP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
             Group {
                 name: name.to_string(),
                 sample_size,
+                warmup,
                 results: Vec::new(),
             }
         }
@@ -140,10 +163,20 @@ pub mod harness {
             self.sample_size = n;
         }
 
-        /// Run `f` once as warm-up, then `sample_size` timed times,
-        /// recording wall-clock nanoseconds per run.
+        /// Override the number of untimed warm-up iterations run
+        /// before sampling starts. Benches that measure steady-state
+        /// behavior (warm caches) raise this; `0` measures the very
+        /// first run, cold.
+        pub fn warmup(&mut self, n: usize) {
+            self.warmup = n;
+        }
+
+        /// Run `f` untimed `warmup` times, then `sample_size` timed
+        /// times, recording wall-clock nanoseconds per run.
         pub fn bench<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) {
-            black_box(f());
+            for _ in 0..self.warmup {
+                black_box(f());
+            }
             let mut samples_ns = Vec::with_capacity(self.sample_size);
             for _ in 0..self.sample_size {
                 let t0 = Instant::now();
@@ -154,6 +187,8 @@ pub mod harness {
                 group: self.name.clone(),
                 label: label.to_string(),
                 samples_ns,
+                states: None,
+                hit_rate: None,
             };
             eprintln!(
                 "{}/{}: median {} (min {}, max {}, {} samples)",
@@ -165,6 +200,29 @@ pub mod harness {
                 m.samples_ns.len()
             );
             self.results.push(m);
+        }
+
+        /// Attach workload annotations to the most recent
+        /// [`Group::bench`] call: how many states one run processes
+        /// (turning its median into a throughput) and the cache hit
+        /// rate observed while sampling. Call right after `bench`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no benchmark has run in this group yet.
+        pub fn annotate_last(&mut self, states: Option<u64>, hit_rate: Option<f64>) {
+            let m = self
+                .results
+                .last_mut()
+                .expect("annotate_last follows a bench call");
+            m.states = states;
+            m.hit_rate = hit_rate;
+            if let Some(r) = hit_rate {
+                eprintln!("{}/{}: hit rate {r:.4}", m.group, m.label);
+            }
+            if let Some(sps) = m.states_per_sec() {
+                eprintln!("{}/{}: {sps:.0} states/sec", m.group, m.label);
+            }
         }
 
         /// Finish the group. If `BENCH_JSON_OUT` names a directory,
@@ -186,6 +244,8 @@ pub mod harness {
                         min_ns: m.min_ns(),
                         max_ns: m.max_ns(),
                         samples: m.samples_ns.len(),
+                        states_per_sec: m.states_per_sec(),
+                        hit_rate: m.hit_rate,
                     })
                     .collect();
                 let path = format!("{dir}/{}.json", self.name);
@@ -210,7 +270,7 @@ pub mod json {
     //! name plus an array of measurement rows.
 
     /// One benchmark measurement row.
-    #[derive(Debug, Clone, PartialEq, Eq)]
+    #[derive(Debug, Clone, PartialEq)]
     pub struct Row {
         pub bench: String,
         pub scale: String,
@@ -221,6 +281,17 @@ pub mod json {
         pub min_ns: u128,
         pub max_ns: u128,
         pub samples: usize,
+        /// Median exploration throughput; `null` when the bench did
+        /// not annotate its workload size.
+        pub states_per_sec: Option<f64>,
+        /// Transition-effect cache hit rate during sampling; `null`
+        /// when the measured automaton has no cache.
+        pub hit_rate: Option<f64>,
+    }
+
+    /// Render an optional float as a JSON number or `null`.
+    fn opt_f64(v: Option<f64>, decimals: usize) -> String {
+        v.map_or_else(|| "null".to_string(), |x| format!("{x:.decimals$}"))
     }
 
     /// Escape a string for inclusion in a JSON string literal.
@@ -253,7 +324,8 @@ pub mod json {
         for (i, r) in rows.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"bench\": \"{}\", \"scale\": \"{}\", \"variant\": \"{}\", \
-                 \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+                 \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}, \
+                 \"states_per_sec\": {}, \"hit_rate\": {}}}{}\n",
                 escape(&r.bench),
                 escape(&r.scale),
                 escape(&r.variant),
@@ -261,6 +333,8 @@ pub mod json {
                 r.min_ns,
                 r.max_ns,
                 r.samples,
+                opt_f64(r.states_per_sec, 1),
+                opt_f64(r.hit_rate, 4),
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
@@ -284,32 +358,56 @@ mod tests {
             group: "g".into(),
             label: "l".into(),
             samples_ns: vec![5, 1, 9, 3, 7],
+            states: None,
+            hit_rate: None,
         };
         assert_eq!(m.median_ns(), 5);
         assert_eq!(m.min_ns(), 1);
         assert_eq!(m.max_ns(), 9);
+        assert_eq!(m.states_per_sec(), None);
         let even = harness::Measurement {
             group: "g".into(),
             label: "l".into(),
             samples_ns: vec![4, 2, 8, 6],
+            states: Some(8),
+            hit_rate: Some(0.95),
         };
         assert_eq!(even.median_ns(), 4, "lower middle for even counts");
+        // 8 states in a 4 ns median = 2e9 states/sec.
+        assert_eq!(even.states_per_sec(), Some(2e9));
     }
 
     #[test]
     fn json_report_shape_and_escaping() {
-        let rows = vec![json::Row {
-            bench: "e2_hook_search".into(),
-            scale: "n=3,f=1".into(),
-            variant: "before".into(),
-            median_ns: 123,
-            min_ns: 100,
-            max_ns: 150,
-            samples: 10,
-        }];
+        let rows = vec![
+            json::Row {
+                bench: "e2_hook_search".into(),
+                scale: "n=3,f=1".into(),
+                variant: "before".into(),
+                median_ns: 123,
+                min_ns: 100,
+                max_ns: 150,
+                samples: 10,
+                states_per_sec: None,
+                hit_rate: None,
+            },
+            json::Row {
+                bench: "e15_effect_cache".into(),
+                scale: "n=3,f=1".into(),
+                variant: "warm".into(),
+                median_ns: 200,
+                min_ns: 190,
+                max_ns: 220,
+                samples: 10,
+                states_per_sec: Some(1234.56),
+                hit_rate: Some(0.987_654),
+            },
+        ];
         let doc = json::report("explore-core", &rows);
         assert!(doc.contains("\"experiment\": \"explore-core\""));
         assert!(doc.contains("\"median_ns\": 123"));
+        assert!(doc.contains("\"states_per_sec\": null, \"hit_rate\": null"));
+        assert!(doc.contains("\"states_per_sec\": 1234.6, \"hit_rate\": 0.9877"));
         assert!(doc.ends_with("}\n"));
         assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }

@@ -31,6 +31,53 @@ impl ActionKind {
     }
 }
 
+/// Hit/miss counters of an automaton-internal transition cache (see
+/// [`Automaton::cache_stats`]).
+///
+/// Counters are cumulative over the automaton's lifetime; use
+/// [`CacheStats::since`] to scope them to one workload. A *hit* is a
+/// successor expansion served entirely from cached, already-interned
+/// effects; a *miss* is an expansion that had to evaluate at least one
+/// transition effect from scratch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Expansions fully served from the cache.
+    pub hits: u64,
+    /// Expansions that evaluated at least one effect from scratch.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total expansions that consulted the cache.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (`0.0` when there were
+    /// no lookups).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counters accumulated since `earlier` was snapshotted — how a
+    /// caller scopes the cumulative counters to one exploration.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
 /// A task-structured I/O automaton.
 ///
 /// The locally controlled actions are partitioned into *tasks*
@@ -104,6 +151,15 @@ pub trait Automaton: Sync {
             .into_iter()
             .filter(|t| self.applicable(t, s))
             .collect()
+    }
+
+    /// Cumulative hit/miss counters of an automaton-internal transition
+    /// cache, if the implementation keeps one (`None` means "no cache",
+    /// the default). The explorer snapshots this around each run and
+    /// reports the per-exploration delta in
+    /// [`ExploreStats::cache`](crate::explore::ExploreStats::cache).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
     }
 }
 

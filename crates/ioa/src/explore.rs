@@ -16,7 +16,8 @@
 //! graph never contains an edge to a state that has no node entry, so
 //! every consumer may index edges blindly.
 
-use crate::automaton::Automaton;
+use crate::automaton::{Automaton, CacheStats};
+use crate::csr::Csr;
 use crate::store::{StateId, StateStore};
 use std::collections::VecDeque;
 
@@ -40,7 +41,7 @@ pub enum Truncation {
 }
 
 /// Census of a finished exploration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExploreStats {
     /// Distinct states interned (= nodes in the graph).
     pub states: usize,
@@ -51,7 +52,27 @@ pub struct ExploreStats {
     pub peak_frontier: usize,
     /// Whether the graph is exact or budget-truncated.
     pub truncation: Truncation,
+    /// Hit/miss counters of the automaton's transition-effect cache
+    /// over this exploration ([`Automaton::cache_stats`] delta), or
+    /// `None` for automata without one.
+    pub cache: Option<CacheStats>,
 }
+
+// `cache` is a measurement of *how* the graph was produced, not part of
+// the graph's identity: the deep and the packed system automata explore
+// bit-identical graphs while only the packed one reports cache
+// counters. Equality therefore compares the census fields only, so the
+// differential suites can keep asserting `deep.stats() == packed.stats()`.
+impl PartialEq for ExploreStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.states == other.states
+            && self.edges == other.edges
+            && self.peak_frontier == other.peak_frontier
+            && self.truncation == other.truncation
+    }
+}
+
+impl Eq for ExploreStats {}
 
 impl ExploreStats {
     /// Whether any part of the reachable space was cut off.
@@ -157,9 +178,10 @@ pub type Discovery<A> = (StateId, <A as Automaton>::Task, <A as Automaton>::Acti
 pub struct ExploredGraph<A: Automaton> {
     store: StateStore<A::State>,
     roots: Vec<StateId>,
-    /// `edges[id] = [(task, action, successor)]` in task order — the
-    /// retained transitions out of each interned state.
-    edges: Vec<Vec<Edge<A>>>,
+    /// Flat CSR adjacency: row `id` holds the retained
+    /// `(task, action, successor)` transitions out of state `id`, in
+    /// task order. One contiguous edge array for the whole graph.
+    edges: Csr<Edge<A>>,
     /// BFS tree: for each non-root state, the (predecessor, task,
     /// action) that first discovered it.
     parent: Vec<Option<Discovery<A>>>,
@@ -194,6 +216,10 @@ impl<A: Automaton> ExploredGraph<A> {
     /// edges, parents, stats, truncation) is bit-identical to the
     /// sequential one. See DESIGN.md §2.1.1.
     pub fn explore_with(aut: &A, roots: Vec<A::State>, opts: ExploreOptions) -> Self {
+        // Snapshot the automaton's cache counters so the reported delta
+        // covers exactly this exploration, even when a warm automaton
+        // (e.g. a shared `PackedSystem`) is explored repeatedly.
+        let cache_before = aut.cache_stats();
         let threads = opts.effective_threads();
         let mut b = Builder::new(&roots);
         if threads <= 1 {
@@ -201,7 +227,11 @@ impl<A: Automaton> ExploredGraph<A> {
         } else {
             b.expand_layered(aut, opts, threads);
         }
-        b.finish(opts)
+        let mut g = b.finish(opts);
+        g.stats.cache = aut
+            .cache_stats()
+            .map(|after| cache_before.map_or(after, |before| after.since(&before)));
+        g
     }
 
     /// The arena mapping ids to states.
@@ -257,7 +287,7 @@ impl<A: Automaton> ExploredGraph<A> {
     #[inline]
     #[must_use]
     pub fn successors(&self, id: StateId) -> &[(A::Task, A::Action, StateId)] {
-        &self.edges[id.index()]
+        self.edges.row(id.index())
     }
 
     /// All ids in discovery (BFS) order.
@@ -309,8 +339,9 @@ pub struct GraphParts<A: Automaton> {
     pub store: StateStore<A::State>,
     /// The root ids, in the order the roots were given.
     pub roots: Vec<StateId>,
-    /// `edges[id] = [(task, action, successor)]` in task order.
-    pub edges: Vec<Vec<Edge<A>>>,
+    /// Flat CSR adjacency: row `id` holds the `(task, action,
+    /// successor)` transitions out of state `id`, in task order.
+    pub edges: Csr<Edge<A>>,
     /// BFS tree: the step that first discovered each non-root state.
     pub parent: Vec<Option<Discovery<A>>>,
     /// Exploration census: states, edges, peak frontier, truncation.
@@ -322,7 +353,13 @@ pub struct GraphParts<A: Automaton> {
 struct Builder<A: Automaton> {
     store: StateStore<A::State>,
     root_ids: Vec<StateId>,
-    edges: Vec<Vec<Edge<A>>>,
+    /// CSR adjacency under construction. Sources are expanded in
+    /// strictly increasing id order (BFS pops a monotone queue; the
+    /// layered merge walks each layer in id order), so the open CSR row
+    /// is always the row of the source currently being expanded, and
+    /// closing it after the source's last successor lays rows out in id
+    /// order with no repacking pass.
+    edges: Csr<Edge<A>>,
     parent: Vec<Option<Discovery<A>>>,
     queue: VecDeque<StateId>,
     edge_count: usize,
@@ -380,7 +417,7 @@ impl<A: Automaton> Builder<A> {
         let mut b = Builder {
             store: StateStore::new(),
             root_ids: Vec::with_capacity(roots.len()),
-            edges: Vec::new(),
+            edges: Csr::new(),
             parent: Vec::new(),
             queue: VecDeque::new(),
             edge_count: 0,
@@ -391,7 +428,6 @@ impl<A: Automaton> Builder<A> {
         for r in roots {
             let (id, fresh) = b.store.intern(r);
             if fresh {
-                b.edges.push(Vec::new());
                 b.parent.push(None);
                 b.queue.push_back(id);
             }
@@ -417,10 +453,10 @@ impl<A: Automaton> Builder<A> {
         match self.store.try_intern_prehashed(s2, hash, cap) {
             Some((id2, fresh)) => {
                 if fresh {
-                    self.edges.push(Vec::new());
                     self.parent.push(Some((src, t.clone(), a.clone())));
                 }
-                self.edges[src.index()].push((t, a, id2));
+                // The open CSR row is src's row by the edges invariant.
+                self.edges.push((t, a, id2));
                 self.edge_count += 1;
                 fresh.then_some(id2)
             }
@@ -465,6 +501,7 @@ impl<A: Automaton> Builder<A> {
                     self.queue.push_back(id2);
                 }
             }
+            self.edges.close_row();
         }
     }
 
@@ -512,7 +549,7 @@ impl<A: Automaton> Builder<A> {
             for f in found {
                 match f {
                     Found::Known(t, a, id2) => {
-                        self.edges[src.index()].push((t, a, id2));
+                        self.edges.push((t, a, id2));
                         self.edge_count += 1;
                     }
                     Found::Fresh(t, a, s2, h) => {
@@ -522,6 +559,7 @@ impl<A: Automaton> Builder<A> {
                     }
                 }
             }
+            self.edges.close_row();
         }
         next
     }
@@ -573,7 +611,7 @@ impl<A: Automaton> Builder<A> {
             for found in per_source {
                 match found {
                     Found::Known(t, a, id2) => {
-                        self.edges[src.index()].push((t, a, id2));
+                        self.edges.push((t, a, id2));
                         self.edge_count += 1;
                     }
                     Found::Fresh(t, a, s2, h) => {
@@ -583,11 +621,15 @@ impl<A: Automaton> Builder<A> {
                     }
                 }
             }
+            self.edges.close_row();
         }
         next
     }
 
     fn finish(self, opts: ExploreOptions) -> ExploredGraph<A> {
+        // Every interned state was expanded exactly once, so the CSR
+        // has exactly one (closed) row per state.
+        debug_assert_eq!(self.edges.rows(), self.store.len());
         let truncation = if self.truncated {
             Truncation::StateBudget {
                 budget: opts.max_states,
@@ -601,6 +643,7 @@ impl<A: Automaton> Builder<A> {
             edges: self.edge_count,
             peak_frontier: self.peak_frontier,
             truncation,
+            cache: None,
         };
         ExploredGraph {
             store: self.store,
@@ -612,8 +655,92 @@ impl<A: Automaton> Builder<A> {
     }
 }
 
+/// The set of states reachable from a set of roots, kept as the
+/// exploration's interned arena — no state is re-cloned or re-hashed to
+/// answer membership and iteration queries.
+///
+/// This is the id-based replacement for the legacy [`ReachResult`]
+/// state-set view: `contains` probes the arena's hash table,
+/// [`Reached::states`] hands back the arena slice in discovery order,
+/// and [`Reached::into_states`] moves the states out for the rare
+/// caller that truly needs owned values.
+#[derive(Debug, Clone)]
+pub struct Reached<S> {
+    store: StateStore<S>,
+    truncated: bool,
+}
+
+impl<S: std::hash::Hash + Eq + Clone> Reached<S> {
+    /// Number of distinct reachable states found within the budget.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether nothing was reached (only possible with no roots).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// True if the `max_states` budget stopped the search early.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Whether `state` was reached within the budget.
+    #[must_use]
+    pub fn contains(&self, state: &S) -> bool {
+        self.store.get(state).is_some()
+    }
+
+    /// The reachable states in discovery order, borrowed from the arena.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        self.store.states()
+    }
+
+    /// The underlying arena, for id-based lookups.
+    #[must_use]
+    pub fn store(&self) -> &StateStore<S> {
+        &self.store
+    }
+
+    /// Move the states out of the arena (discovery order, no cloning).
+    #[must_use]
+    pub fn into_states(self) -> Vec<S> {
+        self.store.into_states()
+    }
+}
+
+/// Breadth-first reachability from a set of roots, stopping after
+/// `max_states` distinct states, answered over the exploration's own
+/// arena — zero state clones.
+///
+/// ```
+/// use ioa::automaton::Automaton;
+/// use ioa::explore::reach;
+/// use ioa::toy::ParityCounter;
+///
+/// let c = ParityCounter::new(3);
+/// let r = reach(&c, c.initial_states(), 100);
+/// assert_eq!(r.len(), 4); // 0, 1, 2, 3
+/// assert!(r.contains(&3));
+/// assert!(!r.truncated());
+/// ```
+pub fn reach<A: Automaton>(aut: &A, roots: Vec<A::State>, max_states: usize) -> Reached<A::State> {
+    let g = ExploredGraph::explore(aut, roots, max_states);
+    let truncated = g.stats().truncated();
+    Reached {
+        store: g.into_parts().store,
+        truncated,
+    }
+}
+
 /// The set of states reachable from `roots` (legacy state-set view of
-/// an exploration).
+/// an exploration). Prefer [`Reached`], which answers the same queries
+/// without materializing a second copy of every state.
 #[derive(Debug, Clone)]
 pub struct ReachResult<S> {
     /// Every reachable state found within the budget.
@@ -625,8 +752,9 @@ pub struct ReachResult<S> {
 /// Breadth-first reachability from a set of roots, stopping after
 /// `max_states` distinct states.
 ///
-/// A thin wrapper over [`ExploredGraph::explore`] that forgets the
-/// graph structure and hands back the plain state set.
+/// A thin wrapper over [`reach`] that rekeys the arena into an owned
+/// `HashSet` (states are *moved*, not cloned). Callers that only need
+/// membership, counting or iteration should use [`reach`] directly.
 ///
 /// ```
 /// use ioa::automaton::Automaton;
@@ -643,10 +771,11 @@ pub fn reachable_states<A: Automaton>(
     roots: Vec<A::State>,
     max_states: usize,
 ) -> ReachResult<A::State> {
-    let g = ExploredGraph::explore(aut, roots, max_states);
+    let r = reach(aut, roots, max_states);
+    let truncated = r.truncated();
     ReachResult {
-        states: g.store().states().iter().cloned().collect(),
-        truncated: g.stats().truncated(),
+        states: r.into_states().into_iter().collect(),
+        truncated,
     }
 }
 

@@ -50,6 +50,7 @@
 
 pub mod automaton;
 pub mod compose;
+pub mod csr;
 pub mod execution;
 pub mod explore;
 pub mod fairness;
@@ -59,6 +60,7 @@ pub mod rng;
 pub mod store;
 pub mod toy;
 
-pub use automaton::{ActionKind, Automaton};
+pub use automaton::{ActionKind, Automaton, CacheStats};
+pub use csr::Csr;
 pub use execution::{Execution, Step};
 pub use store::{CompId, Interner, StateId, StateStore};

@@ -166,7 +166,7 @@ impl<A: Automaton> Automaton for Composite<A> {
 mod tests {
     use super::*;
     use crate::compose::Compose;
-    use crate::explore::reachable_states;
+    use crate::explore::reach;
     use crate::toy::{ChanAction, Channel};
 
     #[test]
@@ -200,9 +200,9 @@ mod tests {
         let sb = bin
             .apply_input(&bin.initial_states().remove(0), &ChanAction::Send(1))
             .unwrap();
-        let rn = reachable_states(&nary, vec![sn], 1000);
-        let rb = reachable_states(&bin, vec![sb], 1000);
-        assert_eq!(rn.states.len(), rb.states.len());
+        let rn = reach(&nary, vec![sn], 1000);
+        let rb = reach(&bin, vec![sb], 1000);
+        assert_eq!(rn.len(), rb.len());
     }
 
     #[test]

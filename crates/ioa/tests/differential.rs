@@ -11,7 +11,8 @@
 
 use ioa::automaton::{ActionKind, Automaton};
 use ioa::explore::{
-    build_graph, reachable_states, search, ExploreOptions, ExploredGraph, SearchOutcome, Truncation,
+    build_graph, reach, reachable_states, search, ExploreOptions, ExploredGraph, SearchOutcome,
+    Truncation,
 };
 use ioa::rng::{RandomSource, SplitMix64};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -138,6 +139,11 @@ fn reachable_states_matches_the_naive_reference() {
         assert_eq!(ours.states, naive, "{aut:?}");
         assert_eq!(ours.truncated, naive_trunc);
         assert!(!ours.truncated);
+        // The id-based variant answers identically without cloning.
+        let borrowed = reach(&aut, vec![0], 10_000);
+        assert_eq!(borrowed.len(), naive.len());
+        assert!(naive.iter().all(|s| borrowed.contains(s)));
+        assert_eq!(borrowed.truncated(), naive_trunc);
         // Tight budget: both keep exactly the first `cap` states in
         // BFS discovery order, so the kept sets also agree.
         let cap = 1 + g.gen_range(naive.len());

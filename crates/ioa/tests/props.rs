@@ -8,7 +8,7 @@
 
 use ioa::automaton::{ActionKind, Automaton};
 use ioa::execution::Execution;
-use ioa::explore::{reachable_states, search, SearchOutcome};
+use ioa::explore::{reach, search, SearchOutcome};
 use ioa::fairness::{is_fair_finite, lasso_is_fair, run_round_robin, RunOutcome};
 use ioa::rng::{RandomSource, SplitMix64};
 use ioa::toy::{ChanAction, Channel, ParityCounter};
@@ -115,11 +115,11 @@ fn search_found_implies_reachable_and_exhausted_implies_not() {
     for _ in 0..64 {
         let aut = random_table(&mut g, 8, 3);
         let target = g.gen_range(8);
-        let reach = reachable_states(&aut, vec![0], 10_000);
-        assert!(!reach.truncated);
+        let reach = reach(&aut, vec![0], 10_000);
+        assert!(!reach.truncated());
         match search(&aut, &0, |s| *s == target, 10_000) {
             SearchOutcome::Found(path) => {
-                assert!(reach.states.contains(&target));
+                assert!(reach.contains(&target));
                 // Path endpoints line up.
                 if let Some((_, _, last)) = path.last() {
                     assert_eq!(*last, target);
@@ -128,7 +128,7 @@ fn search_found_implies_reachable_and_exhausted_implies_not() {
                 }
             }
             SearchOutcome::Exhausted => {
-                assert!(!reach.states.contains(&target));
+                assert!(!reach.contains(&target));
             }
             SearchOutcome::Truncated => panic!("budget was ample"),
         }

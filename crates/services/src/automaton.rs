@@ -168,7 +168,7 @@ impl Automaton for ServiceAutomaton {
 mod tests {
     use super::*;
     use crate::atomic::CanonicalAtomicObject;
-    use ioa::explore::reachable_states;
+    use ioa::explore::reach;
     use ioa::fairness::{run_round_robin, RunOutcome};
     use spec::seq::BinaryConsensus;
     use std::sync::Arc;
@@ -257,8 +257,8 @@ mod tests {
                 )
                 .unwrap();
         }
-        let reach = reachable_states(&aut, vec![s], 10_000);
-        assert!(!reach.truncated);
-        assert!(reach.states.len() > 1);
+        let reach = reach(&aut, vec![s], 10_000);
+        assert!(!reach.truncated());
+        assert!(reach.len() > 1);
     }
 }

@@ -14,7 +14,7 @@ use crate::action::{Action, Participant, Task};
 use crate::process::{ProcAction, ProcessAutomaton};
 use ioa::automaton::{ActionKind, Automaton};
 use services::{ArcService, SvcState};
-use spec::{ProcId, SvcId, Val};
+use spec::{Inv, ProcId, SvcId, Val};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -94,6 +94,26 @@ pub(crate) enum Delta<PS> {
     Svc(SvcId, SvcState),
     /// An invoke or respond touches one process and one service.
     ProcSvc(ProcId, PS, SvcId, SvcState),
+}
+
+/// The outcome of a (non-failed) process's single task from one local
+/// state, *before* any service is consulted: either a purely local
+/// action with the process's next state, or an invocation that still
+/// has to be enqueued on the target service.
+///
+/// This is the factored form of [`CompleteSystem::proc_effect`] that
+/// the transition-effect cache keys on the process component alone —
+/// an `Invoke` outcome is combined with a separately-cached service
+/// enqueue ([`CompleteSystem::enqueue_effect`]), so neither half is
+/// re-evaluated once seen.
+#[derive(Debug)]
+pub(crate) enum ProcStep<PS> {
+    /// A local action (`ProcStep`/`Decide`/`Output`) moving the process
+    /// to the carried state; no service is touched.
+    Local(Action, PS),
+    /// An invocation of the named service: the invocation to enqueue
+    /// plus the process's next state.
+    Invoke(SvcId, Inv, PS),
 }
 
 /// Read-only access to the components of a system state, however the
@@ -272,6 +292,43 @@ impl<P: ProcessAutomaton> CompleteSystem<P> {
             .expect("init is always an input")
     }
 
+    /// The process-local half of `P_i`'s single task from local state
+    /// `pst`: what the process does, before any service is consulted.
+    /// Depends on `pst` alone, which is what lets the effect cache key
+    /// it on the process component id.
+    pub(crate) fn proc_step(&self, i: ProcId, pst: &P::State) -> ProcStep<P::State> {
+        let (act, pst2) = self.procs.step(i, pst);
+        match act {
+            ProcAction::Skip => ProcStep::Local(Action::ProcStep(i), pst2),
+            ProcAction::Decide(val) => {
+                debug_assert_eq!(
+                    self.procs.decision(&pst2),
+                    Some(val.clone()),
+                    "decide(v) must record v in the process state (Section 2.2.1)"
+                );
+                ProcStep::Local(Action::Decide(i, val), pst2)
+            }
+            ProcAction::Output(r) => ProcStep::Local(Action::Output(i, r), pst2),
+            ProcAction::Invoke(c, inv) => {
+                assert!(
+                    c.0 < self.services.len(),
+                    "process {i} invoked unknown service {c}"
+                );
+                ProcStep::Invoke(c, inv, pst2)
+            }
+        }
+    }
+
+    /// The service half of an invocation: enqueue `inv` from `P_i` on
+    /// service `c` in service state `st`. Depends on `(inv, st)` alone
+    /// — the effect cache keys it on the service component id (the
+    /// invocation being determined by the cached process step).
+    pub(crate) fn enqueue_effect(&self, i: ProcId, c: SvcId, inv: &Inv, st: &SvcState) -> SvcState {
+        self.services[c.0]
+            .enqueue_invocation(i, inv, st)
+            .unwrap_or_else(|| panic!("process {i} issued invalid invocation {inv:?} on {c}"))
+    }
+
     /// The transition of the single process task of `P_i`, as a delta
     /// against the viewed state.
     fn proc_effect<V: StateView<P::State>>(&self, i: ProcId, v: &V) -> (Action, Delta<P::State>) {
@@ -280,28 +337,10 @@ impl<P: ProcessAutomaton> CompleteSystem<P> {
             // output (Section 2.2.1).
             return (Action::ProcStep(i), Delta::Stutter);
         }
-        let (act, pst2) = self.procs.step(i, v.proc(i));
-        match act {
-            ProcAction::Skip => (Action::ProcStep(i), Delta::Proc(i, pst2)),
-            ProcAction::Decide(val) => {
-                debug_assert_eq!(
-                    self.procs.decision(&pst2),
-                    Some(val.clone()),
-                    "decide(v) must record v in the process state (Section 2.2.1)"
-                );
-                (Action::Decide(i, val), Delta::Proc(i, pst2))
-            }
-            ProcAction::Output(r) => (Action::Output(i, r), Delta::Proc(i, pst2)),
-            ProcAction::Invoke(c, inv) => {
-                let svc = self
-                    .services
-                    .get(c.0)
-                    .unwrap_or_else(|| panic!("process {i} invoked unknown service {c}"));
-                let st2 = svc
-                    .enqueue_invocation(i, &inv, v.svc(c))
-                    .unwrap_or_else(|| {
-                        panic!("process {i} issued invalid invocation {inv:?} on {c}")
-                    });
+        match self.proc_step(i, v.proc(i)) {
+            ProcStep::Local(a, pst2) => (a, Delta::Proc(i, pst2)),
+            ProcStep::Invoke(c, inv, pst2) => {
+                let st2 = self.enqueue_effect(i, c, &inv, v.svc(c));
                 (Action::Invoke(i, c, inv), Delta::ProcSvc(i, pst2, c, st2))
             }
         }

@@ -39,6 +39,7 @@
 pub mod action;
 pub mod build;
 pub mod consensus;
+mod effect_cache;
 pub mod packed;
 pub mod pretty;
 pub mod process;

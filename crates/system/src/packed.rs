@@ -32,12 +32,13 @@
 //! pin this down across thread counts and truncation budgets.
 
 use crate::action::{Action, Task};
-use crate::build::{CompleteSystem, Delta, StateView, SystemState};
+use crate::build::{CompleteSystem, Delta, ProcStep, StateView, SystemState};
+use crate::effect_cache::{BranchEntry, EffectCache, PopEntry, ProcStepEntry};
 use crate::process::ProcessAutomaton;
-use ioa::automaton::{ActionKind, Automaton};
+use ioa::automaton::{ActionKind, Automaton, CacheStats};
 use ioa::store::{CompId, Interner};
 use services::SvcState;
-use spec::{ProcId, SvcId};
+use spec::{Inv, ProcId, Resp, SvcId};
 use std::collections::BTreeSet;
 use std::sync::{RwLock, RwLockReadGuard};
 
@@ -60,6 +61,23 @@ impl PackedState {
     pub fn comps(&self) -> &[u32] {
         &self.comps
     }
+
+    /// A copy with `slot` replaced by `id` — the id-splice a cached
+    /// successor expansion reduces to.
+    fn splice1(&self, slot: usize, id: u32) -> PackedState {
+        let mut comps = self.comps.clone();
+        comps[slot] = id;
+        PackedState { comps }
+    }
+
+    /// A copy with two slots replaced (invoke/respond transitions touch
+    /// one process and one service slot).
+    fn splice2(&self, s1: usize, id1: u32, s2: usize, id2: u32) -> PackedState {
+        let mut comps = self.comps.clone();
+        comps[s1] = id1;
+        comps[s2] = id2;
+        PackedState { comps }
+    }
 }
 
 /// The component-interned view of a [`CompleteSystem`]: the same
@@ -76,6 +94,10 @@ pub struct PackedSystem<'s, P: ProcessAutomaton> {
     m: usize,
     procs: RwLock<Interner<P::State>>,
     svcs: RwLock<Interner<SvcState>>,
+    /// The transition-effect cache (see [`crate::effect_cache`]).
+    /// `None` disables memoization — the reference path the
+    /// differential suite compares against.
+    cache: Option<EffectCache>,
 }
 
 /// A [`StateView`] over a packed state: holds read guards on both
@@ -105,7 +127,8 @@ impl<PS: std::hash::Hash + Eq> StateView<PS> for PackedView<'_, PS> {
 }
 
 impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
-    /// Wraps `sys` with fresh (empty) component sub-arenas.
+    /// Wraps `sys` with fresh (empty) component sub-arenas and the
+    /// transition-effect cache enabled.
     ///
     /// # Panics
     ///
@@ -113,6 +136,26 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
     /// is packed as a `u32` bitmask — far beyond the exhaustively
     /// explorable range anyway).
     pub fn new(sys: &'s CompleteSystem<P>) -> Self {
+        let mut p = Self::new_uncached(sys);
+        let globals = sys.services().iter().enumerate().flat_map(|(c, svc)| {
+            svc.global_tasks()
+                .into_iter()
+                .map(move |g| (SvcId(c), g))
+                .collect::<Vec<_>>()
+        });
+        p.cache = Some(EffectCache::new(p.n, p.m, globals));
+        p
+    }
+
+    /// Like [`PackedSystem::new`] but with effect memoization disabled:
+    /// every `succ_all` re-runs `succ_effects`. This is the PR 3
+    /// reference path the differential suite compares the cache
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has more than 32 processes.
+    pub fn new_uncached(sys: &'s CompleteSystem<P>) -> Self {
         let n = sys.process_count();
         let m = sys.services().len();
         assert!(
@@ -125,7 +168,14 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
             m,
             procs: RwLock::new(Interner::new()),
             svcs: RwLock::new(Interner::new()),
+            cache: None,
         }
+    }
+
+    /// Whether the transition-effect cache is enabled.
+    #[must_use]
+    pub fn cached(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// The underlying deep system.
@@ -179,6 +229,264 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         }
     }
 
+    // ----- cached successor expansion --------------------------------
+    //
+    // Each helper below resolves exactly the component(s) its key names
+    // under a short-lived read guard, computes the effect through the
+    // same `CompleteSystem` entry points `succ_effects` uses
+    // (`proc_step`, `enqueue_effect`, the `Service` methods,
+    // `on_response`), interns the results, and publishes the entry.
+    // Guards are never nested across arenas and never held across a
+    // cache-table lock, so the lock order is trivially acyclic.
+
+    fn miss_step(&self, cache: &EffectCache, i: ProcId, pc: u32) -> ProcStepEntry {
+        let step = {
+            let procs = self.procs.read().expect("interner lock poisoned");
+            self.sys
+                .proc_step(i, procs.resolve(CompId::from_index(pc as usize)))
+        };
+        let entry = match step {
+            ProcStep::Local(a, pst2) => {
+                let mut procs = self.procs.write().expect("interner lock poisoned");
+                ProcStepEntry::Local(a, id_bits(procs.intern(pst2).0))
+            }
+            ProcStep::Invoke(c, inv, pst2) => {
+                let mut procs = self.procs.write().expect("interner lock poisoned");
+                ProcStepEntry::Invoke(c, inv, id_bits(procs.intern(pst2).0))
+            }
+        };
+        cache.step_put(i, pc, entry.clone());
+        entry
+    }
+
+    fn miss_enqueue(
+        &self,
+        cache: &EffectCache,
+        i: ProcId,
+        pc: u32,
+        c: SvcId,
+        inv: &Inv,
+        sc: u32,
+    ) -> u32 {
+        let st2 = {
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            self.sys
+                .enqueue_effect(i, c, inv, svcs.resolve(CompId::from_index(sc as usize)))
+        };
+        let sc2 = id_bits(
+            self.svcs
+                .write()
+                .expect("interner lock poisoned")
+                .intern(st2)
+                .0,
+        );
+        cache.enqueue_put(i, pc, sc, sc2);
+        sc2
+    }
+
+    fn miss_perform(&self, cache: &EffectCache, c: SvcId, i: ProcId, sc: u32) -> BranchEntry {
+        let svc = &self.sys.services()[c.0];
+        let (branches, dummy) = {
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            let st = svcs.resolve(CompId::from_index(sc as usize));
+            (svc.perform_all(i, st), svc.dummy_perform_enabled(i, st))
+        };
+        let mut w = self.svcs.write().expect("interner lock poisoned");
+        let real: Box<[u32]> = branches
+            .into_iter()
+            .map(|st2| id_bits(w.intern(st2).0))
+            .collect();
+        drop(w);
+        let entry = BranchEntry { real, dummy };
+        cache.perform_put(c, i, sc, entry.clone());
+        entry
+    }
+
+    fn miss_compute(
+        &self,
+        cache: &EffectCache,
+        c: SvcId,
+        g: &spec::GlobalTaskId,
+        sc: u32,
+    ) -> BranchEntry {
+        let svc = &self.sys.services()[c.0];
+        let (branches, dummy) = {
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            let st = svcs.resolve(CompId::from_index(sc as usize));
+            (svc.compute_all(g, st), svc.dummy_compute_enabled(st))
+        };
+        let mut w = self.svcs.write().expect("interner lock poisoned");
+        let real: Box<[u32]> = branches
+            .into_iter()
+            .map(|st2| id_bits(w.intern(st2).0))
+            .collect();
+        drop(w);
+        let entry = BranchEntry { real, dummy };
+        cache.compute_put(c, g, sc, entry.clone());
+        entry
+    }
+
+    fn miss_pop(&self, cache: &EffectCache, c: SvcId, i: ProcId, sc: u32) -> PopEntry {
+        let svc = &self.sys.services()[c.0];
+        let (popped, dummy) = {
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            let st = svcs.resolve(CompId::from_index(sc as usize));
+            (svc.pop_response(i, st), svc.dummy_output_enabled(i, st))
+        };
+        let resp = popped.map(|(r, st2)| {
+            let sc2 = id_bits(
+                self.svcs
+                    .write()
+                    .expect("interner lock poisoned")
+                    .intern(st2)
+                    .0,
+            );
+            (r, sc2)
+        });
+        let entry = PopEntry { resp, dummy };
+        cache.pop_put(c, i, sc, entry.clone());
+        entry
+    }
+
+    fn miss_on_resp(
+        &self,
+        cache: &EffectCache,
+        c: SvcId,
+        i: ProcId,
+        sc: u32,
+        pc: u32,
+        resp: &Resp,
+    ) -> u32 {
+        let p2 = {
+            let procs = self.procs.read().expect("interner lock poisoned");
+            self.sys.process_automaton().on_response(
+                i,
+                procs.resolve(CompId::from_index(pc as usize)),
+                c,
+                resp,
+            )
+        };
+        let pc2 = id_bits(
+            self.procs
+                .write()
+                .expect("interner lock poisoned")
+                .intern(p2)
+                .0,
+        );
+        cache.on_resp_put(c, i, sc, pc, pc2);
+        pc2
+    }
+
+    /// `Task::Proc(i)` through the cache: failed processes stutter
+    /// inline (no effect to memoize); live ones look up the step
+    /// outcome by proc comp, and an `Invoke` additionally looks up the
+    /// enqueue by `(proc comp, svc comp)`.
+    fn proc_cached(
+        &self,
+        cache: &EffectCache,
+        i: ProcId,
+        ps: &PackedState,
+        hit: &mut bool,
+    ) -> Vec<(Action, PackedState)> {
+        let mask = ps.comps[self.n + self.m];
+        if (mask >> i.0) & 1 == 1 {
+            return vec![(Action::ProcStep(i), ps.clone())];
+        }
+        let pc = ps.comps[i.0];
+        let entry = cache.step_get(i, pc).unwrap_or_else(|| {
+            *hit = false;
+            self.miss_step(cache, i, pc)
+        });
+        match entry {
+            ProcStepEntry::Local(a, pc2) => vec![(a, ps.splice1(i.0, pc2))],
+            ProcStepEntry::Invoke(c, inv, pc2) => {
+                let slot = self.n + c.0;
+                let sc = ps.comps[slot];
+                let sc2 = cache.enqueue_get(i, pc, sc).unwrap_or_else(|| {
+                    *hit = false;
+                    self.miss_enqueue(cache, i, pc, c, &inv, sc)
+                });
+                vec![(Action::Invoke(i, c, inv), ps.splice2(i.0, pc2, slot, sc2))]
+            }
+        }
+    }
+
+    /// Successor expansion through the effect cache. Branch order is
+    /// the canonical `succ_effects` order (real branches in δ order,
+    /// then the dummy), so the explored graph is bit-identical to the
+    /// uncached path — see the `effect_cache` module docs for why.
+    fn succ_cached(
+        &self,
+        cache: &EffectCache,
+        t: &Task,
+        ps: &PackedState,
+    ) -> Vec<(Action, PackedState)> {
+        let mut hit = true;
+        let out = match t {
+            Task::Proc(i) => self.proc_cached(cache, *i, ps, &mut hit),
+            Task::Perform(c, i) => {
+                let slot = self.n + c.0;
+                let sc = ps.comps[slot];
+                let br = cache.perform_get(*c, *i, sc).unwrap_or_else(|| {
+                    hit = false;
+                    self.miss_perform(cache, *c, *i, sc)
+                });
+                let mut out: Vec<(Action, PackedState)> = br
+                    .real
+                    .iter()
+                    .map(|&sc2| (Action::Perform(*c, *i), ps.splice1(slot, sc2)))
+                    .collect();
+                if br.dummy {
+                    out.push((Action::DummyPerform(*c, *i), ps.clone()));
+                }
+                out
+            }
+            Task::Output(c, i) => {
+                let slot = self.n + c.0;
+                let sc = ps.comps[slot];
+                let pop = cache.pop_get(*c, *i, sc).unwrap_or_else(|| {
+                    hit = false;
+                    self.miss_pop(cache, *c, *i, sc)
+                });
+                let mut out = Vec::new();
+                if let Some((resp, sc2)) = pop.resp {
+                    let pc = ps.comps[i.0];
+                    let pc2 = cache.on_resp_get(*c, *i, sc, pc).unwrap_or_else(|| {
+                        hit = false;
+                        self.miss_on_resp(cache, *c, *i, sc, pc, &resp)
+                    });
+                    out.push((
+                        Action::Respond(*c, *i, resp),
+                        ps.splice2(i.0, pc2, slot, sc2),
+                    ));
+                }
+                if pop.dummy {
+                    out.push((Action::DummyOutput(*c, *i), ps.clone()));
+                }
+                out
+            }
+            Task::Compute(c, g) => {
+                let slot = self.n + c.0;
+                let sc = ps.comps[slot];
+                let br = cache.compute_get(*c, g, sc).unwrap_or_else(|| {
+                    hit = false;
+                    self.miss_compute(cache, *c, g, sc)
+                });
+                let mut out: Vec<(Action, PackedState)> = br
+                    .real
+                    .iter()
+                    .map(|&sc2| (Action::Compute(*c, g.clone()), ps.splice1(slot, sc2)))
+                    .collect();
+                if br.dummy {
+                    out.push((Action::DummyCompute(*c, g.clone()), ps.clone()));
+                }
+                out
+            }
+        };
+        cache.record(hit);
+        out
+    }
+
     /// Unpacks back into the deep representation.
     pub fn decode(&self, ps: &PackedState) -> SystemState<P::State> {
         let procs = self.procs.read().expect("interner lock poisoned");
@@ -229,8 +537,12 @@ impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
     }
 
     fn succ_all(&self, t: &Task, ps: &PackedState) -> Vec<(Action, PackedState)> {
-        // Enumerate under read guards, then drop them before taking the
-        // write locks to intern whatever components the deltas touched.
+        if let Some(cache) = &self.cache {
+            return self.succ_cached(cache, t, ps);
+        }
+        // Uncached reference path: enumerate under read guards, then
+        // drop them before taking the write locks to intern whatever
+        // components the deltas touched.
         let effects = {
             let view = self.view(ps);
             self.sys.succ_effects(t, &view)
@@ -273,6 +585,10 @@ impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
 
     fn kind(&self, a: &Action) -> ActionKind {
         self.sys.kind(a)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(EffectCache::stats)
     }
 }
 
