@@ -20,7 +20,7 @@ use ioa::explore::{ExploreOptions, ExploreStats, ExploredGraph};
 use ioa::store::{fx_hash, StateId, StateStore};
 use ioa::Csr;
 use spec::Val;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 use system::build::{CompleteSystem, SystemState};
 use system::packed::PackedSystem;
 use system::process::ProcessAutomaton;
@@ -228,29 +228,49 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
             edges.reversed(|e| e.2.index(), |src, _| StateId::from_index(src));
 
         // Backward fixpoint: decided(s) = own decisions ∪ ⋃ decided(s').
-        // Seeded only at the deciding states and propagated over the
-        // reverse edges — states that reach no decision are never
-        // enqueued. (Set union is confluent, so the fixpoint is the
-        // same as seeding every state; only the wasted work differs.)
-        let mut decided: Vec<BTreeSet<Val>> = store
+        // The sweep runs on the shared bit-lane union engine
+        // (`ioa::fixpoint::backward_union`, the same machinery the
+        // property evaluator batches its backward analyses on): the
+        // small universe of decision values is interned into bit
+        // lanes, each state's mask is seeded with its own decisions,
+        // and the fixpoint propagates whole masks over the reverse
+        // edges. Set union is confluent, so the result is identical to
+        // the former per-`BTreeSet` worklist, element for element.
+        let own: Vec<BTreeSet<Val>> = store
             .ids()
             .map(|id| sys.decided_values(store.resolve(id)))
             .collect();
-        let mut work: VecDeque<StateId> = store
-            .ids()
-            .filter(|id| !decided[id.index()].is_empty())
+        let universe: Vec<Val> = own
+            .iter()
+            .flat_map(|d| d.iter().cloned())
+            .collect::<BTreeSet<Val>>()
+            .into_iter()
             .collect();
-        while let Some(s) = work.pop_front() {
-            let vals = decided[s.index()].clone();
-            for p in preds.row(s.index()) {
-                let entry = &mut decided[p.index()];
-                let before = entry.len();
-                entry.extend(vals.iter().cloned());
-                if entry.len() > before {
-                    work.push_back(*p);
-                }
-            }
-        }
+        assert!(
+            universe.len() <= ioa::fixpoint::MAX_LANES,
+            "decision-value universe exceeds {} bit lanes",
+            ioa::fixpoint::MAX_LANES
+        );
+        let mut masks: Vec<u64> = own
+            .iter()
+            .map(|d| {
+                d.iter().fold(0u64, |m, v| {
+                    m | 1 << universe.binary_search(v).expect("value interned")
+                })
+            })
+            .collect();
+        ioa::fixpoint::backward_union(&preds, &mut masks);
+        let decided: Vec<BTreeSet<Val>> = masks
+            .iter()
+            .map(|m| {
+                universe
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| m & (1 << j) != 0)
+                    .map(|(_, v)| v.clone())
+                    .collect()
+            })
+            .collect();
 
         let valence = decided.iter().map(classify).collect();
         Ok(ValenceMap {

@@ -23,6 +23,7 @@
 
 use crate::hook::{find_hook, Hook, HookOutcome};
 use crate::init::{find_bivalent_init_with, InitOutcome};
+use crate::prop;
 use crate::similarity::{
     analyze_hook, refute_adjacent_pair, refute_similar_pair, HookSimilarity, Refutation,
 };
@@ -205,16 +206,25 @@ impl From<Truncated> for WitnessError {
 
 /// Scans every state of `map` for an agreement/validity violation.
 ///
-/// The map's interned graph *is* the reachable space (every id was
-/// discovered from the root), so the scan is a linear walk over ids —
-/// no re-traversal, no state-keyed seen-set.
+/// Expressed as the invariant `always(safe)` over the explored graph
+/// and evaluated by [`crate::prop`]: the counterexample witness ends
+/// at the first violating id in discovery order — exactly the state
+/// the legacy linear id-scan returned — and `check_safety` on that
+/// state re-derives the violation payload.
 fn safety_scan<P: ProcessAutomaton>(
     sys: &CompleteSystem<P>,
     assignment: &InputAssignment,
     map: &ValenceMap<P>,
 ) -> Option<SafetyViolation> {
-    map.ids()
-        .find_map(|id| check_safety(sys, map.resolve(id), assignment))
+    let graph = prop::SystemGraph::new(sys, map);
+    let invariant = prop::Prop::always(prop::atoms::safe(assignment.clone()));
+    match prop::evaluate(&graph, &invariant).witness {
+        Some(prop::Witness::Path(path)) => {
+            let bad = *path.last().expect("counterexample paths are non-empty");
+            check_safety(sys, map.resolve(bad), assignment)
+        }
+        _ => None,
+    }
 }
 
 /// Runs the full pipeline against `sys`, which claims to solve

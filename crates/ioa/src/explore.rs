@@ -659,8 +659,8 @@ impl<A: Automaton> Builder<A> {
 /// exploration's interned arena — no state is re-cloned or re-hashed to
 /// answer membership and iteration queries.
 ///
-/// This is the id-based replacement for the legacy [`ReachResult`]
-/// state-set view: `contains` probes the arena's hash table,
+/// This is the id-based replacement for the legacy `ReachResult`
+/// state-set view (removed): `contains` probes the arena's hash table,
 /// [`Reached::states`] hands back the arena slice in discovery order,
 /// and [`Reached::into_states`] moves the states out for the rare
 /// caller that truly needs owned values.
@@ -734,47 +734,6 @@ pub fn reach<A: Automaton>(aut: &A, roots: Vec<A::State>, max_states: usize) -> 
     let truncated = g.stats().truncated();
     Reached {
         store: g.into_parts().store,
-        truncated,
-    }
-}
-
-/// The set of states reachable from `roots` (legacy state-set view of
-/// an exploration). Prefer [`Reached`], which answers the same queries
-/// without materializing a second copy of every state.
-#[derive(Debug, Clone)]
-pub struct ReachResult<S> {
-    /// Every reachable state found within the budget.
-    pub states: std::collections::HashSet<S>,
-    /// True if the `max_states` budget stopped the search early.
-    pub truncated: bool,
-}
-
-/// Breadth-first reachability from a set of roots, stopping after
-/// `max_states` distinct states.
-///
-/// A thin wrapper over [`reach`] that rekeys the arena into an owned
-/// `HashSet` (states are *moved*, not cloned). Callers that only need
-/// membership, counting or iteration should use [`reach`] directly.
-///
-/// ```
-/// use ioa::automaton::Automaton;
-/// use ioa::explore::reachable_states;
-/// use ioa::toy::ParityCounter;
-///
-/// let c = ParityCounter::new(3);
-/// let r = reachable_states(&c, c.initial_states(), 100);
-/// assert_eq!(r.states.len(), 4); // 0, 1, 2, 3
-/// assert!(!r.truncated);
-/// ```
-pub fn reachable_states<A: Automaton>(
-    aut: &A,
-    roots: Vec<A::State>,
-    max_states: usize,
-) -> ReachResult<A::State> {
-    let r = reach(aut, roots, max_states);
-    let truncated = r.truncated();
-    ReachResult {
-        states: r.into_states().into_iter().collect(),
         truncated,
     }
 }
@@ -913,17 +872,17 @@ mod tests {
     #[test]
     fn reachability_reaches_the_bound() {
         let c = ParityCounter::new(5);
-        let r = reachable_states(&c, c.initial_states(), 100);
-        assert_eq!(r.states.len(), 6);
-        assert!(!r.truncated);
+        let r = reach(&c, c.initial_states(), 100);
+        assert_eq!(r.len(), 6);
+        assert!(!r.truncated());
     }
 
     #[test]
     fn truncation_is_reported() {
         let c = ParityCounter::new(100);
-        let r = reachable_states(&c, c.initial_states(), 10);
-        assert_eq!(r.states.len(), 10);
-        assert!(r.truncated);
+        let r = reach(&c, c.initial_states(), 10);
+        assert_eq!(r.len(), 10);
+        assert!(r.truncated());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   graph materialization over task-generated transitions; this is what
 //!   makes valence ("does any extension decide 0?") decidable for the
 //!   finite systems the `analysis` crate studies.
+//! * [`fixpoint`] — bit-lane backward fixpoints (union / universal)
+//!   over reverse-CSR adjacency: the shared engine behind the valence
+//!   map's decided sets and the property evaluator's `eventually`
+//!   analysis in the `analysis` crate.
 //! * [`fairness`] — fair-execution checking and the deterministic
 //!   round-robin scheduler, whose infinite runs are fair by
 //!   construction and whose finite-state lassos witness fair
@@ -40,11 +44,11 @@
 //! ```
 //! use ioa::automaton::{ActionKind, Automaton};
 //! use ioa::toy::Channel;
-//! use ioa::explore::reachable_states;
+//! use ioa::explore::reach;
 //!
 //! let ch = Channel::new(&[1, 2]);
-//! let reach = reachable_states(&ch, ch.initial_states(), 100);
-//! assert!(!reach.truncated);
+//! let r = reach(&ch, ch.initial_states(), 100);
+//! assert!(!r.truncated());
 //! # let _ = ActionKind::Input;
 //! ```
 
@@ -54,6 +58,7 @@ pub mod csr;
 pub mod execution;
 pub mod explore;
 pub mod fairness;
+pub mod fixpoint;
 pub mod nary;
 pub mod refine;
 pub mod rng;

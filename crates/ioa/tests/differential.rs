@@ -11,8 +11,7 @@
 
 use ioa::automaton::{ActionKind, Automaton};
 use ioa::explore::{
-    build_graph, reach, reachable_states, search, ExploreOptions, ExploredGraph, SearchOutcome,
-    Truncation,
+    build_graph, reach, search, ExploreOptions, ExploredGraph, SearchOutcome, Truncation,
 };
 use ioa::rng::{RandomSource, SplitMix64};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -129,28 +128,25 @@ fn naive_distance<A: Automaton>(
 }
 
 #[test]
-fn reachable_states_matches_the_naive_reference() {
+fn reach_matches_the_naive_reference() {
     let mut g = SplitMix64::seed_from_u64(0xd1ff_0001);
     for _ in 0..48 {
         let aut = random_branching(&mut g, 10, 3);
         // Ample budget: exact equality, no truncation.
         let (naive, naive_trunc) = naive_reachable(&aut, vec![0], 10_000);
-        let ours = reachable_states(&aut, vec![0], 10_000);
-        assert_eq!(ours.states, naive, "{aut:?}");
-        assert_eq!(ours.truncated, naive_trunc);
-        assert!(!ours.truncated);
-        // The id-based variant answers identically without cloning.
-        let borrowed = reach(&aut, vec![0], 10_000);
-        assert_eq!(borrowed.len(), naive.len());
-        assert!(naive.iter().all(|s| borrowed.contains(s)));
-        assert_eq!(borrowed.truncated(), naive_trunc);
+        let ours = reach(&aut, vec![0], 10_000);
+        assert_eq!(ours.len(), naive.len(), "{aut:?}");
+        assert!(naive.iter().all(|s| ours.contains(s)), "{aut:?}");
+        assert_eq!(ours.truncated(), naive_trunc);
+        assert!(!ours.truncated());
         // Tight budget: both keep exactly the first `cap` states in
         // BFS discovery order, so the kept sets also agree.
         let cap = 1 + g.gen_range(naive.len());
         let (naive_t, naive_t_trunc) = naive_reachable(&aut, vec![0], cap);
-        let ours_t = reachable_states(&aut, vec![0], cap);
-        assert_eq!(ours_t.states, naive_t, "cap={cap} {aut:?}");
-        assert_eq!(ours_t.truncated, naive_t_trunc, "cap={cap} {aut:?}");
+        let ours_t = reach(&aut, vec![0], cap);
+        let kept: HashSet<usize> = ours_t.states().iter().copied().collect();
+        assert_eq!(kept, naive_t, "cap={cap} {aut:?}");
+        assert_eq!(ours_t.truncated(), naive_t_trunc, "cap={cap} {aut:?}");
     }
 }
 

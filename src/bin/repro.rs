@@ -1,11 +1,27 @@
 //! `repro` — command-line driver for the reproduction.
 //!
 //! ```text
-//! repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F]
-//! repro certify --construction set-boost|fd-boost|tas [--n N]
-//! repro hook    [--n N] [--f F] [--dot FILE]
-//! repro census  [--n N] [--f F]
+//! repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T]
+//! repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]
+//! repro hook    [--n N] [--f F] [--dot FILE] [--threads T]
+//! repro census  [--n N] [--f F] [--threads T]
+//! repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F]
+//!                  [--ones K] [--threads T]
 //! ```
+//!
+//! `check` evaluates a `;`-separated list of temporal properties over
+//! the explored failure-free graph `G(C)` of the chosen doomed
+//! candidate, using the fused batch evaluator (one forward and at most
+//! one backward CSR pass for the whole list). Atoms: `bivalent`,
+//! `univalent`, `zero_valent`, `one_valent`, `undecided`, `decided`,
+//! `decided(v)`, `proc_decided(i)`, `safe`, `no_failures`, `failed(i)`,
+//! `quiescent`; operators: `now`, `always`/`ag`/`invariant`,
+//! `exists_path`/`ef`, `eventually`/`af`, `fair_eventually`/`af_fair`,
+//! `leads_to`, and `!`, `&`, `|` with C-like precedence. Exit code: 0
+//! if every property holds, 1 if any fails, 2 if any is unknown.
+//!
+//! `--threads` sets the exploration worker count (0 = auto); every
+//! result is bit-identical across thread counts.
 //!
 //! Examples:
 //!
@@ -13,20 +29,29 @@
 //! cargo run --bin repro -- witness --class oblivious --n 3 --f 1
 //! cargo run --bin repro -- hook --n 2 --f 0 --dot /tmp/hook.dot
 //! cargo run --bin repro -- certify --construction fd-boost --n 3
+//! cargo run --bin repro -- check 'always(safe); ef(decided(0)) & ef(decided(1))' \
+//!     --class atomic --n 2 --f 0
 //! ```
 
 use analysis::graph::{census, to_dot};
 use analysis::hook::{find_hook, HookOutcome};
-use analysis::init::{find_bivalent_init, InitOutcome};
+use analysis::init::{find_bivalent_init_with, InitOutcome};
+use analysis::prop::{evaluate_batch, parse_props, system_vocab, SystemGraph, Verdict, Witness};
 use analysis::resilience::{all_assignments, all_binary_assignments, certify, CertifyConfig};
+use analysis::valence::ValenceMap;
 use analysis::witness::{find_witness, Bounds};
 use protocols::set_boost::SetBoostParams;
 use resilience_boosting::prelude::*;
 use std::process::ExitCode;
+use system::consensus::InputAssignment;
+use system::process::ProcessAutomaton;
+use system::sched::initialize;
 
-/// Minimal flag parser: `--key value` pairs after the subcommand.
+/// Minimal argument parser: a subcommand, then positional operands and
+/// `--key value` flag pairs in any order.
 struct Args {
     cmd: String,
+    positional: Vec<String>,
     flags: Vec<(String, String)>,
 }
 
@@ -35,15 +60,24 @@ impl Args {
         let mut it = std::env::args().skip(1);
         let cmd = it.next()?;
         let rest: Vec<String> = it.collect();
+        let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut i = 0;
         while i < rest.len() {
-            let key = rest.get(i)?.strip_prefix("--")?.to_string();
-            let value = rest.get(i + 1)?.clone();
-            flags.push((key, value));
-            i += 2;
+            if let Some(key) = rest[i].strip_prefix("--") {
+                let value = rest.get(i + 1)?.clone();
+                flags.push((key.to_string(), value));
+                i += 2;
+            } else {
+                positional.push(rest[i].clone());
+                i += 1;
+            }
         }
-        Some(Args { cmd, flags })
+        Some(Args {
+            cmd,
+            positional,
+            flags,
+        })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -61,15 +95,30 @@ impl Args {
             })
             .unwrap_or(default)
     }
+
+    /// The exploration worker-thread count (`0` = auto).
+    fn threads(&self) -> usize {
+        self.usize_or("threads", 0)
+    }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage:\n  repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F]\n  \
-         repro certify --construction set-boost|fd-boost|tas [--n N]\n  \
-         repro hook [--n N] [--f F] [--dot FILE]\n  \
-         repro census [--n N] [--f F]"
+        "usage:\n  \
+         repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T]\n  \
+         repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]\n  \
+         repro hook [--n N] [--f F] [--dot FILE] [--threads T]\n  \
+         repro census [--n N] [--f F] [--threads T]\n  \
+         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T]\n\
+         \n\
+         check evaluates ';'-separated properties over the explored graph, e.g.\n  \
+         repro check 'always(safe); ef(decided(0)) & ef(decided(1))' --class atomic --n 2 --f 0\n\
+         atoms: bivalent univalent zero_valent one_valent undecided decided decided(v)\n        \
+         proc_decided(i) safe no_failures failed(i) quiescent\n\
+         operators: now always|ag|invariant exists_path|ef eventually|af\n           \
+         fair_eventually|af_fair leads_to  and ! & | with C-like precedence\n\
+         exit codes: 0 all hold, 1 some property fails, 2 some verdict unknown"
     );
     std::process::exit(2)
 }
@@ -78,6 +127,10 @@ fn witness_cmd(args: &Args) -> ExitCode {
     let n = args.usize_or("n", 2);
     let f = args.usize_or("f", 0);
     let class = args.get("class").unwrap_or("atomic");
+    let bounds = Bounds {
+        threads: args.threads(),
+        ..Bounds::default()
+    };
     println!(
         "candidate: class={class}, n={n}, f={f} — claiming ({})-resilient consensus",
         f + 1
@@ -85,26 +138,26 @@ fn witness_cmd(args: &Args) -> ExitCode {
     let headline = match class {
         "atomic" => {
             let sys = protocols::doomed::doomed_atomic(n, f);
-            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+            find_witness(&sys, f, bounds).map(|w| w.headline())
         }
         "registers" => {
             let sys = protocols::doomed::doomed_atomic_with_registers(n, f);
-            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+            find_witness(&sys, f, bounds).map(|w| w.headline())
         }
         "oblivious" => {
             let sys = protocols::doomed::doomed_oblivious(n, f);
-            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+            find_witness(&sys, f, bounds).map(|w| w.headline())
         }
         "general" => {
             let sys = protocols::doomed::doomed_general(n, f);
-            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+            find_witness(&sys, f, bounds).map(|w| w.headline())
         }
         "tas" => {
             if n != 2 {
                 die("--class tas only supports --n 2");
             }
             let sys = protocols::tas_consensus::build(f);
-            find_witness(&sys, f, Bounds::default()).map(|w| w.headline())
+            find_witness(&sys, f, bounds).map(|w| w.headline())
         }
         other => die(&format!("unknown class {other:?}")),
     };
@@ -180,7 +233,8 @@ fn hook_cmd(args: &Args) -> ExitCode {
     let f = args.usize_or("f", 0);
     let sys = protocols::doomed::doomed_atomic(n, f);
     let InitOutcome::Bivalent { assignment, map } =
-        find_bivalent_init(&sys, 2_000_000).unwrap_or_else(|e| die(&e.to_string()))
+        find_bivalent_init_with(&sys, 2_000_000, args.threads())
+            .unwrap_or_else(|e| die(&e.to_string()))
     else {
         die("no bivalent initialization (try the witness command)")
     };
@@ -217,7 +271,7 @@ fn census_cmd(args: &Args) -> ExitCode {
     let n = args.usize_or("n", 3);
     let f = args.usize_or("f", 1);
     let sys = protocols::doomed::doomed_atomic(n, f);
-    match find_bivalent_init(&sys, 2_000_000) {
+    match find_bivalent_init_with(&sys, 2_000_000, args.threads()) {
         Ok(InitOutcome::Bivalent { assignment, map }) => {
             println!("valence landscape of G(C) from {assignment}:");
             println!("  {}", census(&map));
@@ -231,6 +285,113 @@ fn census_cmd(args: &Args) -> ExitCode {
     }
 }
 
+/// Evaluates the parsed property batch over one candidate's `G(C)` and
+/// prints verdicts plus replayable witnesses.
+fn check_on<P: ProcessAutomaton>(
+    sys: &system::build::CompleteSystem<P>,
+    ones: usize,
+    threads: usize,
+    expr: &str,
+) -> ExitCode {
+    let n = sys.process_count();
+    let assignment = InputAssignment::monotone(n, ones);
+    let root = initialize(sys, &assignment);
+    let map = ValenceMap::build_with(sys, root, 2_000_000, threads)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let graph = SystemGraph::new(sys, &map);
+    let vocab = system_vocab::<P>(assignment.clone());
+    let props = parse_props(expr, &vocab).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "G(C) from {assignment}: {} states, {} properties",
+        map.state_count(),
+        props.len()
+    );
+    let report = evaluate_batch(&graph, &props);
+    println!(
+        "passes: {} forward, {} backward (fused)",
+        report.passes.forward, report.passes.backward
+    );
+    let mut worst = Verdict::Holds;
+    for (p, ev) in props.iter().zip(&report.results) {
+        let tag = match ev.verdict {
+            Verdict::Holds => "HOLDS  ",
+            Verdict::Fails => "FAILS  ",
+            Verdict::Unknown => "UNKNOWN",
+        };
+        println!("{tag} {p}");
+        if let Some(reason) = &ev.reason {
+            println!("        ({reason})");
+        }
+        match &ev.witness {
+            Some(Witness::Path(path)) => {
+                let tasks = graph.tasks_along(path);
+                println!(
+                    "        path: {} states from the root, tasks: {}",
+                    path.len(),
+                    tasks
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" · ")
+                );
+            }
+            Some(Witness::Lasso { path, cycle_start }) => {
+                println!(
+                    "        lasso: {} states, cycle re-enters at step {}",
+                    path.len(),
+                    cycle_start
+                );
+            }
+            Some(Witness::Trace { offending, .. }) => {
+                println!("        offending trace action: {offending}");
+            }
+            None => {}
+        }
+        worst = worst.and(ev.verdict);
+    }
+    match worst {
+        Verdict::Holds => ExitCode::SUCCESS,
+        Verdict::Fails => ExitCode::FAILURE,
+        Verdict::Unknown => ExitCode::from(2),
+    }
+}
+
+fn check_cmd(args: &Args) -> ExitCode {
+    let Some(expr) = args.positional.first() else {
+        die("check wants a property expression, e.g. repro check 'always(safe)' --class atomic")
+    };
+    let n = args.usize_or("n", 2);
+    let f = args.usize_or("f", 0);
+    let ones = args.usize_or("ones", 1);
+    if ones > n {
+        die("--ones must be at most --n");
+    }
+    let threads = args.threads();
+    let class = args.get("class").unwrap_or("atomic");
+    match class {
+        "atomic" => check_on(&protocols::doomed::doomed_atomic(n, f), ones, threads, expr),
+        "registers" => check_on(
+            &protocols::doomed::doomed_atomic_with_registers(n, f),
+            ones,
+            threads,
+            expr,
+        ),
+        "oblivious" => check_on(
+            &protocols::doomed::doomed_oblivious(n, f),
+            ones,
+            threads,
+            expr,
+        ),
+        "general" => check_on(
+            &protocols::doomed::doomed_general(n, f),
+            ones,
+            threads,
+            expr,
+        ),
+        other => die(&format!("unknown class {other:?}")),
+    }
+}
+
 fn main() -> ExitCode {
     let Some(args) = Args::parse() else {
         die("missing subcommand");
@@ -240,6 +401,7 @@ fn main() -> ExitCode {
         "certify" => certify_cmd(&args),
         "hook" => hook_cmd(&args),
         "census" => census_cmd(&args),
+        "check" => check_cmd(&args),
         other => die(&format!("unknown command {other:?}")),
     }
 }

@@ -63,48 +63,52 @@ fn direct_system_implements_the_canonical_consensus_object_n2() {
     assert_eq!(verdict, Inclusion::Holds);
 }
 
+/// Decides its own input immediately — violates atomicity. (Used by
+/// the checker-sanity test and its DSL restatement below.)
+#[derive(Clone, Debug)]
+struct Selfish;
+
+impl system::process::ProcessAutomaton for Selfish {
+    type State = (Option<Val>, Option<Val>); // (input, decision)
+
+    fn initial(&self, _i: ProcId) -> Self::State {
+        (None, None)
+    }
+    fn on_init(&self, _i: ProcId, st: &Self::State, v: &Val) -> Self::State {
+        match st {
+            (None, d) => (Some(v.clone()), d.clone()),
+            other => other.clone(),
+        }
+    }
+    fn on_response(
+        &self,
+        _i: ProcId,
+        st: &Self::State,
+        _c: spec::SvcId,
+        _r: &spec::seq_type::Resp,
+    ) -> Self::State {
+        st.clone()
+    }
+    fn step(&self, _i: ProcId, st: &Self::State) -> (system::process::ProcAction, Self::State) {
+        match st {
+            (Some(v), None) => (
+                system::process::ProcAction::Decide(v.clone()),
+                (Some(v.clone()), Some(v.clone())),
+            ),
+            other => (system::process::ProcAction::Skip, other.clone()),
+        }
+    }
+    fn decision(&self, st: &Self::State) -> Option<Val> {
+        st.1.clone()
+    }
+}
+
 #[test]
 fn a_disagreeing_implementation_is_caught() {
     // Sanity for the checker itself: a "consensus" where each process
     // decides its own input is NOT atomic — the canonical object can
     // never emit two different decisions.
-    use spec::seq_type::Resp;
-    use spec::SvcId;
     use system::build::CompleteSystem;
-    use system::process::{ProcAction, ProcessAutomaton};
-
-    /// Decides its own input immediately — violates atomicity.
-    #[derive(Clone, Debug)]
-    struct Selfish;
-
-    impl ProcessAutomaton for Selfish {
-        type State = (Option<Val>, Option<Val>); // (input, decision)
-
-        fn initial(&self, _i: ProcId) -> Self::State {
-            (None, None)
-        }
-        fn on_init(&self, _i: ProcId, st: &Self::State, v: &Val) -> Self::State {
-            match st {
-                (None, d) => (Some(v.clone()), d.clone()),
-                other => other.clone(),
-            }
-        }
-        fn on_response(&self, _i: ProcId, st: &Self::State, _c: SvcId, _r: &Resp) -> Self::State {
-            st.clone()
-        }
-        fn step(&self, _i: ProcId, st: &Self::State) -> (ProcAction, Self::State) {
-            match st {
-                (Some(v), None) => (
-                    ProcAction::Decide(v.clone()),
-                    (Some(v.clone()), Some(v.clone())),
-                ),
-                other => (ProcAction::Skip, other.clone()),
-            }
-        }
-        fn decision(&self, st: &Self::State) -> Option<Val> {
-            st.1.clone()
-        }
-    }
 
     // No services at all: the degenerate composition still type-checks
     // with an empty service vector.
@@ -138,4 +142,98 @@ fn tob_consensus_is_also_atomic_for_consensus_traces() {
     ];
     let verdict = check_trace_inclusion(&imp, &spec_obj, external, &inputs, 2, 3_000_000);
     assert_eq!(verdict, Inclusion::Holds);
+}
+
+#[test]
+fn trace_inclusion_as_a_dsl_refinement_property() {
+    // The same two verdicts, phrased as `Prop::refines` — the DSL's
+    // finite-trace refinement operator wrapping the exhaustive
+    // checker. Refinement runs outside the graph passes (it drives
+    // schedules, not `G(C)`), so any substrate works; a one-state
+    // graph keeps it honest about not touching the CSR counters.
+    use analysis::prop::{evaluate, refinement_outcome, Prop, Verdict, Witness};
+    use ioa::automaton::{ActionKind, Automaton};
+    use ioa::explore::{ExploreOptions, ExploredGraph};
+
+    /// A single-state, transition-free automaton.
+    #[derive(Clone, Debug)]
+    struct Unit;
+    impl Automaton for Unit {
+        type State = ();
+        type Action = ();
+        type Task = ();
+        fn initial_states(&self) -> Vec<()> {
+            vec![()]
+        }
+        fn tasks(&self) -> Vec<()> {
+            Vec::new()
+        }
+        fn succ_all(&self, _t: &(), _s: &()) -> Vec<((), ())> {
+            Vec::new()
+        }
+        fn apply_input(&self, _s: &(), _a: &()) -> Option<()> {
+            None
+        }
+        fn kind(&self, _a: &()) -> ActionKind {
+            ActionKind::Internal
+        }
+    }
+    let g = ExploredGraph::explore_with(
+        &Unit,
+        vec![()],
+        ExploreOptions {
+            max_states: 2,
+            skip_self_loops: false,
+            threads: 1,
+        },
+    );
+
+    // Positive: the direct system refines the canonical object.
+    let imp = doomed_atomic(2, 1);
+    let spec_obj = canonical_consensus(2, 1);
+    let inputs = vec![
+        Action::Init(ProcId(0), Val::Int(0)),
+        Action::Init(ProcId(0), Val::Int(1)),
+        Action::Init(ProcId(1), Val::Int(0)),
+        Action::Init(ProcId(1), Val::Int(1)),
+        Action::Fail(ProcId(0)),
+        Action::Fail(ProcId(1)),
+    ];
+    let holds = Prop::refines("direct ⊑ canonical", || {
+        refinement_outcome(check_trace_inclusion(
+            &imp, &spec_obj, external, &inputs, 3, 3_000_000,
+        ))
+    });
+    assert_eq!(evaluate(&g, &holds).verdict, Verdict::Holds);
+
+    // Negative: Selfish violates atomicity, and the DSL surfaces the
+    // checker's counterexample as a trace witness ending in the
+    // conflicting decide.
+    let selfish = system::build::CompleteSystem::new(Selfish, 2, Vec::new());
+    let spec_obj = canonical_consensus(2, 1);
+    let bad_inputs = vec![
+        Action::Init(ProcId(0), Val::Int(0)),
+        Action::Init(ProcId(1), Val::Int(1)),
+    ];
+    let fails = Prop::refines("selfish ⊑ canonical", || {
+        refinement_outcome(check_trace_inclusion(
+            &selfish,
+            &spec_obj,
+            external,
+            &bad_inputs,
+            2,
+            1_000_000,
+        ))
+    });
+    let ev = evaluate(&g, &fails);
+    assert_eq!(ev.verdict, Verdict::Fails);
+    match ev.witness {
+        Some(Witness::Trace { offending, .. }) => {
+            assert!(
+                offending.contains("Respond"),
+                "the offending action is the conflicting decide, got {offending}"
+            );
+        }
+        other => panic!("expected a trace witness, got {other:?}"),
+    }
 }

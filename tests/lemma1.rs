@@ -65,6 +65,43 @@ fn lemma1_holds_for_atomic_object_systems() {
 }
 
 #[test]
+fn lemma1_as_a_dsl_invariant_over_the_explored_graph() {
+    // The same stability fact, restated exhaustively as a property of
+    // `G(C)` instead of sampled schedules: for every task `e`, the
+    // invariant "if `e` is applicable here, it stays applicable across
+    // every outgoing step that is not `e` itself" holds at every
+    // reachable state. The atom inspects the graph context (successor
+    // edges carry the fired task), so one `always(...)` per task
+    // covers every failure-free execution at once.
+    use analysis::prop::{evaluate_batch, Atom, Prop, SystemGraph, Verdict};
+    use analysis::valence::ValenceMap;
+
+    let sys = doomed_atomic(2, 0);
+    let root = initialize(&sys, &InputAssignment::monotone(2, 1));
+    let map = ValenceMap::build(&sys, root, 2_000_000).unwrap();
+    let graph = SystemGraph::new(&sys, &map);
+
+    let props: Vec<Prop<'_, SystemGraph<'_, _>>> =
+        sys.tasks()
+            .into_iter()
+            .map(|e| {
+                let name = format!("stable({e})");
+                Prop::always(Atom::new(name, move |g: &SystemGraph<'_, _>, id| {
+                    !g.sys().applicable(&e, g.map().resolve(id))
+                        || g.map().successors(id).iter().all(|(t, _, s2)| {
+                            *t == e || g.sys().applicable(&e, g.map().resolve(*s2))
+                        })
+                }))
+            })
+            .collect();
+    let report = evaluate_batch(&graph, &props);
+    assert_eq!(report.passes.forward, 1, "one scan decides every task");
+    for (p, ev) in props.iter().zip(&report.results) {
+        assert_eq!(ev.verdict, Verdict::Holds, "Lemma 1 violated for {p}");
+    }
+}
+
+#[test]
 fn lemma1_holds_for_failure_oblivious_systems() {
     let sys = doomed_oblivious(3, 1);
     drive_and_check(&sys, &InputAssignment::monotone(3, 2));

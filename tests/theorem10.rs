@@ -71,6 +71,51 @@ fn theorem10_n3_f1() {
 }
 
 #[test]
+fn theorem10_no_bivalent_initialization_as_dsl_properties() {
+    // The rotating-coordinator candidate is coordinator-deterministic
+    // failure-free, so *every* monotone initialization α_0 … α_n is
+    // univalent — the fact that routes the pipeline through Lemma 4's
+    // adjacent-pair argument. Restated in the DSL: bivalence is
+    // `ef(decided(0)) & ef(decided(1))`, so its negation must hold at
+    // every α_k, and the legacy classification must agree with the
+    // `zero_valent`/`one_valent` atoms at the root.
+    use analysis::prop::{
+        atoms, evaluate, evaluate_batch, parse_props, system_vocab, Prop, SystemGraph, Verdict,
+    };
+    use analysis::valence::{Valence, ValenceMap};
+
+    let sys = doomed_general(2, 0);
+    for ones in 0..=2 {
+        let assignment = InputAssignment::monotone(2, ones);
+        let root = initialize(&sys, &assignment);
+        let map = ValenceMap::build(&sys, root, 2_000_000).unwrap();
+        let graph = SystemGraph::new(&sys, &map);
+        let vocab = system_vocab::<_>(assignment);
+        let props = parse_props(
+            "!(ef(decided(0)) & ef(decided(1))); now(univalent); always(safe)",
+            &vocab,
+        )
+        .unwrap();
+        let report = evaluate_batch(&graph, &props);
+        assert!(
+            report.results.iter().all(|e| e.verdict == Verdict::Holds),
+            "ones={ones}: {:?}",
+            report.results
+        );
+        // The valence atoms and the legacy map agree on which side.
+        let legacy = map.valence_id(map.root_id());
+        assert!(
+            matches!(legacy, Valence::Zero | Valence::One),
+            "ones={ones}"
+        );
+        let zero = evaluate(&graph, &Prop::now(atoms::zero_valent()));
+        let one = evaluate(&graph, &Prop::now(atoms::one_valent()));
+        assert_eq!(zero.verdict == Verdict::Holds, legacy == Valence::Zero);
+        assert_eq!(one.verdict == Verdict::Holds, legacy == Valence::One);
+    }
+}
+
+#[test]
 fn section_6_3_pairwise_fds_escape_the_theorem() {
     // The EXACT same protocol wired to pairwise 1-resilient detectors
     // (arbitrary connection pattern) survives the same adversary: the

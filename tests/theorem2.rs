@@ -84,6 +84,47 @@ fn theorem2_witness_is_reproducible() {
 }
 
 #[test]
+fn theorem2_proof_obligations_as_dsl_properties() {
+    // The model-checked facts the Theorem 2 pipeline rests on,
+    // restated in the textual property DSL and pinned against the
+    // legacy valence queries on the same graph:
+    //
+    // * failure-free safety: `always(safe)`;
+    // * bivalence of the monotone initialization the proof picks:
+    //   both decisions reachable, i.e. `ef(decided(0)) & ef(decided(1))`;
+    // * the valence atoms agree with `ValenceMap::valence_id`.
+    use analysis::prop::{evaluate_batch, parse_props, system_vocab, SystemGraph, Verdict};
+    use analysis::valence::{Valence, ValenceMap};
+    use system::consensus::InputAssignment;
+    use system::sched::initialize;
+
+    for (sys, n) in [(doomed_atomic(2, 0), 2), (doomed_atomic(3, 1), 3)] {
+        let assignment = InputAssignment::monotone(n, 1);
+        let root = initialize(&sys, &assignment);
+        let map = ValenceMap::build(&sys, root, 2_000_000).unwrap();
+        let graph = SystemGraph::new(&sys, &map);
+        let vocab = system_vocab::<_>(assignment);
+        let props = parse_props(
+            "always(safe); ef(decided(0)) & ef(decided(1)); now(bivalent); \
+             ef(zero_valent); ef(one_valent)",
+            &vocab,
+        )
+        .unwrap();
+        let report = evaluate_batch(&graph, &props);
+        assert!(
+            report.results.iter().all(|e| e.verdict == Verdict::Holds),
+            "n={n}: {:?}",
+            report.results
+        );
+        // `now(bivalent)` and the legacy classification agree — and so
+        // does its DSL definition via double reachability.
+        assert_eq!(map.valence_id(map.root_id()), Valence::Bivalent);
+        assert_eq!(report.passes.forward, 1);
+        assert!(report.passes.backward <= 1);
+    }
+}
+
+#[test]
 fn hook_similarity_matches_the_lemma8_case_analysis() {
     use analysis::hook::{find_hook, HookOutcome};
     use analysis::init::{find_bivalent_init, InitOutcome};

@@ -37,6 +37,39 @@ fn theorem9_n3_f1_tob() {
 }
 
 #[test]
+fn theorem9_proof_obligations_as_dsl_properties() {
+    // The TOB candidate's model-checked facts, as textual DSL
+    // properties over `G(C)` (the Theorem 2 restatement, on the
+    // failure-oblivious substrate): failure-free safety holds, the
+    // mixed monotone initialization is bivalent (both decisions
+    // reachable), and each univalent class is reachable from it.
+    use analysis::prop::{evaluate_batch, parse_props, system_vocab, SystemGraph, Verdict};
+    use analysis::valence::{Valence, ValenceMap};
+    use system::consensus::InputAssignment;
+    use system::sched::initialize;
+
+    let sys = doomed_oblivious(2, 0);
+    let assignment = InputAssignment::monotone(2, 1);
+    let root = initialize(&sys, &assignment);
+    let map = ValenceMap::build(&sys, root, 2_000_000).unwrap();
+    let graph = SystemGraph::new(&sys, &map);
+    let vocab = system_vocab::<_>(assignment);
+    let props = parse_props(
+        "always(safe); ef(decided(0)) & ef(decided(1)); now(bivalent); \
+         ef(zero_valent); ef(one_valent); !ef(failed(0))",
+        &vocab,
+    )
+    .unwrap();
+    let report = evaluate_batch(&graph, &props);
+    assert!(
+        report.results.iter().all(|e| e.verdict == Verdict::Holds),
+        "{:?}",
+        report.results
+    );
+    assert_eq!(map.valence_id(map.root_id()), Valence::Bivalent);
+}
+
+#[test]
 fn tob_hook_can_pivot_on_the_service() {
     // For the TOB-based candidate the pivotal component is the service
     // itself (its compute task orders the messages): the hook's task e
