@@ -78,6 +78,15 @@ pub fn census<P: ProcessAutomaton>(map: &ValenceMap<P>) -> Census {
     c
 }
 
+/// Escapes a string for inclusion inside a double-quoted DOT string
+/// literal: backslashes first (so escapes are not double-escaped),
+/// then quotes. Without this, any `Val::Sym`/`Inv` debug text or named
+/// global task containing `"` or `\` produces syntactically invalid
+/// DOT.
+fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 fn color(v: Valence) -> &'static str {
     match v {
         Valence::Zero => "#7eb6ff",      // blue: committed to 0
@@ -143,9 +152,9 @@ pub fn to_dot<P: ProcessAutomaton>(
         };
         let _ = writeln!(
             out,
-            "  n{idx} [fillcolor=\"{}\", tooltip=\"{:?}\"{extra}];",
+            "  n{idx} [fillcolor=\"{}\", tooltip=\"{}\"{extra}];",
             color(v),
-            v
+            escape_dot(&format!("{:?}: {:?}", v, map.resolve(*s))),
         );
     }
     for s in &ids {
@@ -163,7 +172,11 @@ pub fn to_dot<P: ProcessAutomaton>(
                 } else {
                     ""
                 };
-                let _ = writeln!(out, "  n{from} -> n{to} [label=\"{t}\"{style}];");
+                let _ = writeln!(
+                    out,
+                    "  n{from} -> n{to} [label=\"{}\"{style}];",
+                    escape_dot(&t.to_string())
+                );
             }
         }
     }
@@ -217,6 +230,34 @@ mod tests {
         assert!(dot.contains("color=red"), "hook must be highlighted");
         assert!(dot.contains("->"), "edges must be present");
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quote_bearing_values() {
+        // Direct-system states hold `Inv`/`Val` payloads whose debug
+        // text contains `"` (e.g. `Inv("init", Int(0))`), which flows
+        // into node tooltips; a quote-bearing `Val::Sym` must survive
+        // too. Every quoted attribute in the output must stay balanced
+        // once escapes are accounted for.
+        assert_eq!(escape_dot(r#"Sym("bot")"#), r#"Sym(\"bot\")"#);
+        assert_eq!(escape_dot(r"a\b"), r"a\\b");
+
+        let sys = direct(2, 0);
+        let InitOutcome::Bivalent { map, .. } = find_bivalent_init(&sys, 1_000_000).unwrap() else {
+            panic!()
+        };
+        let dot = to_dot(&map, map.root(), 2, None);
+        assert!(
+            dot.contains("\\\""),
+            "state tooltips carry quote-bearing debug text, which must be escaped"
+        );
+        for line in dot.lines() {
+            // Strip escape pairs; what remains must hold an even
+            // number of quotes (matched attribute delimiters).
+            let stripped = line.replace("\\\\", "").replace("\\\"", "");
+            let quotes = stripped.matches('"').count();
+            assert_eq!(quotes % 2, 0, "unbalanced quotes in DOT line: {line}");
+        }
     }
 
     #[test]

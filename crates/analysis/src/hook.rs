@@ -21,7 +21,7 @@
 use crate::valence::{Valence, ValenceMap};
 use ioa::automaton::Automaton;
 use ioa::store::StateId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use system::build::{CompleteSystem, SystemState};
 use system::process::ProcessAutomaton;
 use system::Task;
@@ -170,6 +170,15 @@ pub fn find_hook<P: ProcessAutomaton>(
         Valence::Bivalent,
         "the Fig. 3 construction starts from a bivalent initialization"
     );
+    if map.symmetric() {
+        // Quotient edges lead to orbit *representatives*, so a path in
+        // the interned graph is not an execution: each hop's task label
+        // would need conjugating by that hop's canonicalizing
+        // permutation, and the banned-task filter below would ban the
+        // wrong concrete task. Walk the concrete transition system
+        // instead, using the quotient map purely as a valence oracle.
+        return find_hook_concrete(sys, map, max_iterations);
+    }
     let tasks = sys.tasks();
     let mut cur: StateId = map.root_id();
     let mut cur_tasks: Vec<Task> = Vec::new();
@@ -293,6 +302,194 @@ fn extract_hook<P: ProcessAutomaton>(
         let next_val = map.valence(&next_state);
         if prev_val == v && next_val == vbar {
             // Hook found at σ_{m−1}: e flips valence across edge e_{m−1}.
+            let e_prime = labels[m - 1].clone();
+            let mut alpha_tasks = cur_tasks;
+            alpha_tasks.extend(labels[..m - 1].iter().cloned());
+            return HookOutcome::Hook(Hook {
+                alpha_tasks,
+                alpha: sigma[m - 1].clone(),
+                e,
+                e_prime,
+                s0: prev_state,
+                s_prime: sigma[m].clone(),
+                s1: next_state,
+                v,
+            });
+        }
+        prev_state = next_state;
+        prev_val = next_val;
+    }
+    unreachable!("a valence flip must occur at or before the first e-edge (Lemma 5 case analysis)")
+}
+
+/// Breadth-first search over *concrete* system states from `from`,
+/// following only edges whose task differs from `banned` (when given)
+/// and skipping self-loops, for the first state satisfying `pred`.
+/// Returns the `(task, state)` path. Used for symmetry-quotient maps,
+/// where [`bfs_in_map`]'s interned edges do not correspond to concrete
+/// executions.
+fn bfs_concrete<P, F>(
+    sys: &CompleteSystem<P>,
+    tasks: &[Task],
+    from: &SystemState<P::State>,
+    banned: Option<&Task>,
+    pred: F,
+) -> Option<Vec<(Task, SystemState<P::State>)>>
+where
+    P: ProcessAutomaton,
+    F: Fn(&SystemState<P::State>) -> bool,
+{
+    if pred(from) {
+        return Some(Vec::new());
+    }
+    // Nodes are kept in discovery order; `seen` maps a state to its
+    // node index so parents can be chased for path reconstruction.
+    type Node<S> = (SystemState<S>, Option<(usize, Task)>);
+    let mut nodes: Vec<Node<P::State>> = vec![(from.clone(), None)];
+    let mut seen: HashMap<SystemState<P::State>, usize> = HashMap::new();
+    seen.insert(from.clone(), 0);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    while let Some(idx) = queue.pop_front() {
+        for t in tasks {
+            if banned == Some(t) {
+                continue;
+            }
+            let succs = sys.succ_all(t, &nodes[idx].0);
+            for (_, s2) in succs {
+                if s2 == nodes[idx].0 || seen.contains_key(&s2) {
+                    continue;
+                }
+                let next = nodes.len();
+                seen.insert(s2.clone(), next);
+                nodes.push((s2, Some((idx, t.clone()))));
+                if pred(&nodes[next].0) {
+                    let mut path = Vec::new();
+                    let mut cur = next;
+                    while let Some((prev, task)) = nodes[cur].1.clone() {
+                        path.push((task, nodes[cur].0.clone()));
+                        cur = prev;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// The Fig. 3 construction over the *concrete* transition system,
+/// consulting the symmetry-quotient `map` only as a valence oracle
+/// (its lookups canonicalize, so any concrete reachable state
+/// resolves). The hook it returns is fully concrete: `alpha_tasks`
+/// replays verbatim from the root, no permutation lifting needed.
+fn find_hook_concrete<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    map: &ValenceMap<P>,
+    max_iterations: usize,
+) -> HookOutcome<P> {
+    let tasks = sys.tasks();
+    let mut cur: SystemState<P::State> = map.root().clone();
+    let mut cur_tasks: Vec<Task> = Vec::new();
+    let mut rr = 0usize;
+
+    for _iteration in 0..max_iterations {
+        let e = {
+            let mut chosen = None;
+            for off in 0..tasks.len() {
+                let t = &tasks[(rr + off) % tasks.len()];
+                if sys.applicable(t, &cur) {
+                    rr = (rr + off + 1) % tasks.len();
+                    chosen = Some(t.clone());
+                    break;
+                }
+            }
+            chosen.expect("process tasks are always applicable")
+        };
+
+        let target = bfs_concrete(sys, &tasks, &cur, Some(&e), |s| match sys.succ_det(&e, s) {
+            Some((_, t)) => map.valence(&t) == Valence::Bivalent,
+            None => false,
+        });
+
+        match target {
+            Some(path) => {
+                let found = path.last().map_or_else(|| cur.clone(), |(_, s)| s.clone());
+                cur_tasks.extend(path.into_iter().map(|(t, _)| t));
+                let (_, after_e) = sys
+                    .succ_det(&e, &found)
+                    .expect("e was applicable at the found state");
+                cur_tasks.push(e);
+                cur = after_e;
+            }
+            None => {
+                return extract_hook_concrete(sys, map, &tasks, cur, cur_tasks, e);
+            }
+        }
+    }
+    HookOutcome::EndlessBivalence {
+        iterations: max_iterations,
+        state: cur,
+    }
+}
+
+/// Concrete-state mirror of [`extract_hook`]: the same Lemma 5 flip
+/// scan, but over a concrete decision path so every corner state and
+/// task label of the returned hook belongs to one genuine execution.
+fn extract_hook_concrete<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    map: &ValenceMap<P>,
+    tasks: &[Task],
+    cur_state: SystemState<P::State>,
+    cur_tasks: Vec<Task>,
+    e: Task,
+) -> HookOutcome<P> {
+    let (_, e_cur) = sys
+        .succ_det(&e, &cur_state)
+        .expect("the construction only terminates on an applicable task");
+    let v = map.valence(&e_cur);
+    let vbar = match v {
+        Valence::Zero | Valence::One => v.opposite(),
+        Valence::Bivalent => {
+            unreachable!("construction terminated, so e(α) is univalent")
+        }
+        Valence::Undecided => {
+            return HookOutcome::UndecidedRegion { state: e_cur };
+        }
+    };
+    let wanted = vbar.decided_value().expect("vbar is univalent");
+
+    let path = bfs_concrete(sys, tasks, &cur_state, None, |s| {
+        sys.decided_values(s).contains(&wanted)
+    })
+    .expect("bivalent states reach both decisions");
+
+    let mut sigma: Vec<SystemState<P::State>> = vec![cur_state];
+    let mut labels: Vec<Task> = Vec::new();
+    for (t, s) in path {
+        sigma.push(s);
+        labels.push(t);
+    }
+    let first_e = labels.iter().position(|t| *t == e).unwrap_or(labels.len());
+    let upper = first_e.min(labels.len());
+    let t_of = |m: usize| -> SystemState<P::State> {
+        if m == first_e && first_e < labels.len() {
+            sigma[m + 1].clone()
+        } else {
+            sys.succ_det(&e, &sigma[m])
+                .expect("e is applicable at e-free path prefixes (Lemma 1)")
+                .1
+        }
+    };
+
+    let mut prev_state = e_cur;
+    let mut prev_val = v;
+    for m in 1..=upper {
+        let next_state = t_of(m);
+        let next_val = map.valence(&next_state);
+        if prev_val == v && next_val == vbar {
             let e_prime = labels[m - 1].clone();
             let mut alpha_tasks = cur_tasks;
             alpha_tasks.extend(labels[..m - 1].iter().cloned());

@@ -16,6 +16,7 @@
 //! input differs).
 
 use crate::valence::{Truncated, Valence, ValenceMap};
+use ioa::canon::SymmetryMode;
 use spec::ProcId;
 use system::build::CompleteSystem;
 use system::consensus::InputAssignment;
@@ -90,13 +91,33 @@ pub fn find_bivalent_init_with<P: ProcessAutomaton>(
     max_states: usize,
     threads: usize,
 ) -> Result<InitOutcome<P>, Truncated> {
+    find_bivalent_init_sym(sys, max_states, threads, SymmetryMode::from_env())
+}
+
+/// [`find_bivalent_init_with`] with an explicit [`SymmetryMode`]
+/// instead of the `SYMMETRY` environment default. Under
+/// [`SymmetryMode::Full`] the valence maps are symmetry quotients;
+/// the classification of each `α_j` is unchanged (valence is an
+/// orbit invariant), and the returned map answers concrete-state
+/// lookups by canonicalizing.
+///
+/// # Errors
+///
+/// Returns [`Truncated`] if some initialization's reachable space
+/// exceeds `max_states`.
+pub fn find_bivalent_init_sym<P: ProcessAutomaton>(
+    sys: &CompleteSystem<P>,
+    max_states: usize,
+    threads: usize,
+    symmetry: SymmetryMode,
+) -> Result<InitOutcome<P>, Truncated> {
     let n = sys.process_count();
     // One shared packed system for the whole walk: the monotone
     // initializations reach heavily overlapping state spaces, so after
     // the α_0 sweep warms the component sub-arenas and the
     // transition-effect cache, the remaining n explorations run almost
     // entirely out of the cache.
-    let packed = PackedSystem::new(sys);
+    let packed = PackedSystem::with_symmetry(sys, symmetry);
     let mut valences: Vec<Valence> = Vec::with_capacity(n + 1);
     for ones in 0..=n {
         let assignment = InputAssignment::monotone(n, ones);

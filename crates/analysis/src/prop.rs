@@ -33,6 +33,7 @@
 
 use crate::valence::{Valence, ValenceMap};
 use ioa::automaton::Automaton;
+use ioa::canon::Perm;
 use ioa::csr::Csr;
 use ioa::explore::ExploredGraph;
 use ioa::fixpoint;
@@ -43,6 +44,7 @@ use std::fmt;
 use std::rc::Rc;
 use system::build::{CompleteSystem, SystemState};
 use system::consensus::{check_safety, InputAssignment};
+use system::packed::{canonical_system_state_with, permute_system_state, permute_task};
 use system::process::ProcessAutomaton;
 use system::Task;
 
@@ -175,6 +177,78 @@ impl<'a, P: ProcessAutomaton> SystemGraph<'a, P> {
                     .expect("witness path ids must be adjacent in G(C)")
             })
             .collect()
+    }
+
+    /// Lifts a witness path of graph ids to a concrete execution: the
+    /// states visited (starting at the root) and the tasks fired
+    /// between them, replayable via
+    /// [`CompleteSystem::succ_all`](system::build::CompleteSystem).
+    ///
+    /// Over a full (non-quotient) map this resolves the ids and reads
+    /// the edge labels with [`Self::tasks_along`]. Over a symmetry
+    /// quotient, every non-root id is an orbit *representative* and
+    /// each edge's task label is relative to that representative, so
+    /// the quotient path is not itself an execution. The lift walks
+    /// the path tracking the accumulated canonicalizing permutation
+    /// `τ` (invariant: `τ · concrete = representative`), conjugates
+    /// each edge task back through `τ⁻¹`, and steps the concrete
+    /// system, picking the successor whose canonical image matches the
+    /// path; each step composes the new canonicalizing permutation
+    /// onto `τ`. Orbit-invariant atoms (valence, decisions, safety,
+    /// failure counts) therefore hold along the lifted execution
+    /// exactly as they did on the quotient path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive ids are not adjacent in the graph.
+    pub fn lift_path(&self, path: &[StateId]) -> (Vec<SystemState<P::State>>, Vec<Task>) {
+        let Some(perms) = self.map.perms() else {
+            let states = path
+                .iter()
+                .map(|id| self.map.resolve(*id).clone())
+                .collect();
+            return (states, self.tasks_along(path));
+        };
+        let mut states: Vec<SystemState<P::State>> = Vec::with_capacity(path.len());
+        let mut tasks: Vec<Task> = Vec::with_capacity(path.len().saturating_sub(1));
+        let Some(first) = path.first() else {
+            return (states, tasks);
+        };
+        // Roots are interned raw (never canonicalized), so the walk
+        // starts concrete with τ = identity.
+        let mut concrete = self.map.resolve(*first).clone();
+        let mut tau = Perm::identity(self.sys.process_count());
+        states.push(concrete.clone());
+        for w in path.windows(2) {
+            let rep_task = self
+                .map
+                .successors(w[0])
+                .iter()
+                .find(|(_, _, s2)| *s2 == w[1])
+                .map(|(t, _, _)| t.clone())
+                .expect("witness path ids must be adjacent in G(C)");
+            let concrete_task = permute_task(&tau.inverse(), &rep_task);
+            let next_rep = self.map.resolve(w[1]);
+            // Among the concrete successors, take the one whose orbit
+            // representative continues the quotient path (equivariance
+            // guarantees at least one exists; task nondeterminism can
+            // offer several concrete candidates).
+            let (next, sigma) = self
+                .sys
+                .succ_all(&concrete_task, &concrete)
+                .into_iter()
+                .find_map(|(_, cand)| {
+                    let lifted = permute_system_state(&tau, &cand);
+                    let (rep, sigma) = canonical_system_state_with(perms, &lifted);
+                    (&rep == next_rep).then_some((cand, sigma))
+                })
+                .expect("a concrete successor must continue the quotient path");
+            tau = sigma.compose(&tau);
+            tasks.push(concrete_task);
+            concrete = next;
+            states.push(concrete.clone());
+        }
+        (states, tasks)
     }
 }
 
@@ -602,6 +676,21 @@ pub fn evaluate<'g, G: PropGraph>(g: &G, p: &Prop<'g, G>) -> Evaluation {
 /// Evaluates a batch of properties over one graph with fused passes:
 /// one forward scan (all atoms, all properties) and at most one
 /// backward fixpoint (all `eventually`/`leads_to` lanes at once).
+///
+/// # Symmetry quotients
+///
+/// When the graph is a [`SystemGraph`] over a symmetry-reduced
+/// [`ValenceMap`], every state is an orbit representative and the
+/// verdicts are *quotient-aware*: they hold for the full concrete
+/// graph provided the properties' atoms are orbit-invariant. Nearly
+/// all of [`atoms`]' vocabulary is (valence, decidedness, safety and
+/// failure-count predicates depend only on value sets and cardinals,
+/// never on which process holds which role); the exception is the
+/// process-specific `failed(i)`, which distinguishes states within an
+/// orbit and must only be used on full (non-quotient) maps. Witness
+/// paths live in the quotient; lift them back to concrete, replayable
+/// executions with [`SystemGraph::lift_path`] before handing them to
+/// `replay`.
 pub fn evaluate_batch<'g, G: PropGraph>(g: &G, props: &[Prop<'g, G>]) -> BatchReport {
     let mut engine = Engine::prepare(g, props);
     let results = props.iter().map(|p| engine.eval(p)).collect();

@@ -16,13 +16,14 @@
 //! the `G(C)` census, the witness safety scan — shares this one graph
 //! instead of re-hashing and re-cloning full `SystemState`s.
 
+use ioa::canon::{Perm, SymmetryMode};
 use ioa::explore::{ExploreOptions, ExploreStats, ExploredGraph};
 use ioa::store::{fx_hash, StateId, StateStore};
 use ioa::Csr;
 use spec::Val;
 use std::collections::BTreeSet;
 use system::build::{CompleteSystem, SystemState};
-use system::packed::PackedSystem;
+use system::packed::{canonical_system_state, PackedSystem};
 use system::process::ProcessAutomaton;
 use system::{Action, Task};
 
@@ -130,6 +131,11 @@ pub struct ValenceMap<P: ProcessAutomaton> {
     /// `valence[id]`, precomputed from `decided` — the census becomes a
     /// flat array scan.
     valence: Vec<Valence>,
+    /// The symmetry group the explored graph was quotiented by
+    /// (`None` when exploration ran concretely). When present, every
+    /// non-root state in the map is an orbit representative, and
+    /// lookups canonicalize their argument on a raw miss.
+    perms: Option<Vec<Perm>>,
 }
 
 impl<P: ProcessAutomaton> ValenceMap<P> {
@@ -171,6 +177,27 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         Self::build_in(sys, &packed, root, max_states, threads)
     }
 
+    /// [`ValenceMap::build_with`] with an explicit symmetry mode:
+    /// under [`SymmetryMode::Full`] (and a symmetric system) the
+    /// reachable graph is the orbit quotient — every successor is
+    /// canonicalized to its orbit representative before interning, so
+    /// the map holds one state per orbit plus the raw root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Truncated`] if the reachable space exceeds
+    /// `max_states` — all valence answers would be unsound.
+    pub fn build_with_symmetry(
+        sys: &CompleteSystem<P>,
+        root: SystemState<P::State>,
+        max_states: usize,
+        threads: usize,
+        symmetry: SymmetryMode,
+    ) -> Result<Self, Truncated> {
+        let packed = PackedSystem::with_symmetry(sys, symmetry);
+        Self::build_in(sys, &packed, root, max_states, threads)
+    }
+
     /// [`ValenceMap::build_with`] over a caller-provided
     /// [`PackedSystem`]. The packed system's component sub-arenas and
     /// transition-effect cache persist across calls, so building
@@ -198,6 +225,9 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
                 max_states,
                 skip_self_loops: true,
                 threads,
+                // Quotient exactly when the packed system's orbit
+                // canonicalizer is active; roots stay raw either way.
+                symmetry: packed.symmetry_mode(),
             },
         );
         if graph.stats().truncated() {
@@ -282,6 +312,7 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
             stats: parts.stats,
             decided,
             valence,
+            perms: packed.symmetry_perms().map(<[Perm]>::to_vec),
         })
     }
 
@@ -315,14 +346,32 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         self.parent[id.index()].as_ref()
     }
 
-    /// Whether `s` is in the explored space.
-    pub fn contains(&self, s: &SystemState<P::State>) -> bool {
-        self.store.get(s).is_some()
+    /// Whether the map is an orbit quotient (built under
+    /// [`SymmetryMode::Full`] over a symmetric system).
+    pub fn symmetric(&self) -> bool {
+        self.perms.is_some()
     }
 
-    /// The id of `s` within the explored space, if present.
+    /// The symmetry group the quotient was taken by, when any.
+    pub fn perms(&self) -> Option<&[Perm]> {
+        self.perms.as_deref()
+    }
+
+    /// Whether `s` (or, in a quotient map, any state in its orbit) is
+    /// in the explored space.
+    pub fn contains(&self, s: &SystemState<P::State>) -> bool {
+        self.id_of(s).is_some()
+    }
+
+    /// The id of `s` within the explored space, if present. In a
+    /// quotient map the raw lookup (which covers the non-canonical
+    /// root) falls back to the orbit representative, so any concrete
+    /// state whose orbit was explored resolves.
     pub fn id_of(&self, s: &SystemState<P::State>) -> Option<StateId> {
-        self.store.get(s)
+        self.store.get(s).or_else(|| {
+            let perms = self.perms.as_ref()?;
+            self.store.get(&canonical_system_state(perms, s))
+        })
     }
 
     /// Resolve an id back to its state.
@@ -396,6 +445,13 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     /// stutter, pruned at exploration time) and a state outside the
     /// explored space both answer `None`, so the successor is always
     /// safe to feed back into [`ValenceMap::valence`].
+    ///
+    /// In a quotient map the returned successor is the *orbit
+    /// representative* of the concrete successor — and when `s` itself
+    /// resolved via its representative, the edge followed is the
+    /// representative's. Callers that need a concrete (per-path) walk,
+    /// like the hook search, must step with the system's own
+    /// transition function and use the map only as a valence oracle.
     pub fn apply(&self, t: &Task, s: &SystemState<P::State>) -> Option<SystemState<P::State>> {
         let id = self.id_of(s)?;
         self.successors(id)
@@ -474,6 +530,48 @@ mod tests {
         let sys = direct(2, 0);
         let s = initialize(&sys, &InputAssignment::monotone(2, 1));
         assert!(ValenceMap::build(&sys, s, 3).is_err());
+    }
+
+    #[test]
+    fn cache_stats_are_scoped_per_exploration() {
+        // Regression: per-exploration cache stats used to be derived by
+        // subtracting snapshots of the shared `PackedSystem`'s
+        // cumulative counters, which drifts as soon as one packed
+        // system serves several explorations (the `build_in` warm-walk
+        // pattern). Each exploration now accounts through its own
+        // scoped sink, so back-to-back and interleaved builds must
+        // report exactly their own lookups.
+        let sys = direct(2, 0);
+        let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Off);
+        let root_a = initialize(&sys, &InputAssignment::monotone(2, 1));
+        let root_b = initialize(&sys, &InputAssignment::monotone(2, 0));
+
+        let a1 = ValenceMap::build_in(&sys, &packed, root_a.clone(), 100_000, 1).unwrap();
+        let c_a1 = a1.stats().cache.expect("packed builds track cache stats");
+        assert!(c_a1.lookups() > 0);
+        assert!(c_a1.misses > 0, "cold cache must record misses");
+
+        // Interleave a different root, then rebuild the first: the
+        // rebuild runs fully warm and its scoped stats must show the
+        // same lookup count as the cold run, now all hits — regardless
+        // of the α_0 exploration in between.
+        let b = ValenceMap::build_in(&sys, &packed, root_b, 100_000, 1).unwrap();
+        let c_b = b.stats().cache.expect("cache stats present");
+        let a2 = ValenceMap::build_in(&sys, &packed, root_a, 100_000, 1).unwrap();
+        let c_a2 = a2.stats().cache.expect("cache stats present");
+
+        assert_eq!(
+            c_a2.lookups(),
+            c_a1.lookups(),
+            "same exploration, same expansions, same lookups"
+        );
+        assert_eq!(c_a2.misses, 0, "warm rebuild must be all hits");
+        assert_eq!(c_a2.hits, c_a1.lookups());
+        // The interleaved exploration's stats belong to it alone: its
+        // lookups reflect its own (smaller, unanimous-root) space, not
+        // a drifted window over the shared counters.
+        assert_eq!(c_b.lookups(), c_b.hits + c_b.misses);
+        assert!(c_b.lookups() < c_a1.lookups() + c_a2.lookups());
     }
 
     #[test]

@@ -22,13 +22,14 @@
 //! paper's three service classes.
 
 use crate::hook::{find_hook, Hook, HookOutcome};
-use crate::init::{find_bivalent_init_with, InitOutcome};
+use crate::init::{find_bivalent_init_sym, InitOutcome};
 use crate::prop;
 use crate::similarity::{
     analyze_hook, refute_adjacent_pair, refute_similar_pair, HookSimilarity, Refutation,
 };
 use crate::valence::{Truncated, ValenceMap};
 use ioa::automaton::Automaton;
+use ioa::canon::SymmetryMode;
 use spec::ProcId;
 use system::build::{CompleteSystem, SystemState};
 use system::consensus::{check_safety, InputAssignment, SafetyViolation};
@@ -48,6 +49,13 @@ pub struct Bounds {
     /// [`ioa::explore::ExploreOptions::threads`]). The witness is
     /// bit-identical for every count.
     pub threads: usize,
+    /// Symmetry reduction for the valence maps (see
+    /// [`ioa::canon::SymmetryMode`]). Under [`SymmetryMode::Full`] on
+    /// an id-symmetric candidate the maps are orbit quotients — same
+    /// theorem verdicts, far fewer interned states — and every
+    /// returned witness is still a concrete, replayable execution.
+    /// Defaults to the `SYMMETRY` environment variable.
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for Bounds {
@@ -57,6 +65,7 @@ impl Default for Bounds {
             max_hook_iterations: 20_000,
             max_run_steps: 500_000,
             threads: 0,
+            symmetry: SymmetryMode::from_env(),
         }
     }
 }
@@ -66,6 +75,14 @@ impl Bounds {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// The same bounds with an explicit symmetry mode (overriding the
+    /// `SYMMETRY` environment default).
+    #[must_use]
+    pub fn with_symmetry(mut self, symmetry: SymmetryMode) -> Self {
+        self.symmetry = symmetry;
         self
     }
 }
@@ -251,7 +268,13 @@ pub fn find_witness<P: ProcessAutomaton>(
     for ones in 0..=n {
         let assignment = InputAssignment::monotone(n, ones);
         let root = initialize(sys, &assignment);
-        let map = ValenceMap::build_with(sys, root, bounds.max_states, bounds.threads)?;
+        let map = ValenceMap::build_with_symmetry(
+            sys,
+            root,
+            bounds.max_states,
+            bounds.threads,
+            bounds.symmetry,
+        )?;
         if let Some(violation) = safety_scan(sys, &assignment, &map) {
             return Ok(ImpossibilityWitness::Safety {
                 assignment,
@@ -261,7 +284,7 @@ pub fn find_witness<P: ProcessAutomaton>(
     }
 
     // Stage 2: Lemma 4.
-    match find_bivalent_init_with(sys, bounds.max_states, bounds.threads)? {
+    match find_bivalent_init_sym(sys, bounds.max_states, bounds.threads, bounds.symmetry)? {
         InitOutcome::Bivalent { assignment, map } => {
             // Stage 3: Lemma 5 / Fig. 3.
             match find_hook(sys, &map, bounds.max_hook_iterations) {
@@ -331,7 +354,13 @@ pub fn find_witness<P: ProcessAutomaton>(
         }
         InitOutcome::ValidityBroken { assignment, .. } => {
             let root = initialize(sys, &assignment);
-            let map = ValenceMap::build_with(sys, root, bounds.max_states, bounds.threads)?;
+            let map = ValenceMap::build_with_symmetry(
+                sys,
+                root,
+                bounds.max_states,
+                bounds.threads,
+                bounds.symmetry,
+            )?;
             let violation = safety_scan(sys, &assignment, &map).ok_or_else(|| {
                 WitnessError::Inconclusive(
                     "valence says validity broken but no state violates it".into(),

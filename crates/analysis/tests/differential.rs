@@ -224,9 +224,10 @@ fn packed_exploration_matches_deep_exploration_bit_for_bit() {
                 max_states: cap,
                 skip_self_loops: true,
                 threads,
+                symmetry: ioa::SymmetryMode::Off,
             };
             let deep = ExploredGraph::explore_with(sys, vec![root.clone()], opts);
-            let packed = PackedSystem::new(sys);
+            let packed = PackedSystem::with_symmetry(sys, ioa::SymmetryMode::Off);
             let packed_root = packed.encode(root);
             let pk = ExploredGraph::explore_with(&packed, vec![packed_root], opts);
             let ctx = format!("{name} cap={cap} threads={threads}");
@@ -317,6 +318,7 @@ fn parallel_truncation_is_bit_identical_on_paper_substrates() {
                 max_states: cap,
                 skip_self_loops: true,
                 threads: 1,
+                symmetry: ioa::SymmetryMode::Off,
             };
             let seq = ExploredGraph::explore_with(sys, vec![root.clone()], opts);
             assert!(seq.stats().truncated(), "{name} cap={cap} not tight");
@@ -373,11 +375,12 @@ fn cached_exploration_matches_uncached_bit_for_bit() {
                 max_states: cap,
                 skip_self_loops: true,
                 threads,
+                symmetry: ioa::SymmetryMode::Off,
             };
             let reference = PackedSystem::new_uncached(sys);
             let ref_root = reference.encode(root);
             let base = ExploredGraph::explore_with(&reference, vec![ref_root], opts);
-            let cached = PackedSystem::new(sys);
+            let cached = PackedSystem::with_symmetry(sys, ioa::SymmetryMode::Off);
             let cached_root = cached.encode(root);
             let ck = ExploredGraph::explore_with(&cached, vec![cached_root], opts);
             let ctx = format!("{name} cap={cap} threads={threads}");

@@ -52,6 +52,7 @@ fn explore(limit: usize, budget: usize) -> ExploredGraph<Counter> {
             max_states: budget,
             skip_self_loops: false,
             threads: 1,
+            symmetry: ioa::SymmetryMode::Off,
         },
     )
 }
@@ -70,6 +71,7 @@ fn empty_graph_every_universal_holds_every_existential_fails() {
             max_states: 10,
             skip_self_loops: false,
             threads: 1,
+            symmetry: ioa::SymmetryMode::Off,
         },
     );
     assert_eq!(g.len(), 0);

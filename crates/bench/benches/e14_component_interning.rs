@@ -32,6 +32,7 @@ fn main() {
         max_states: 5_000_000,
         skip_self_loops: true,
         threads: 1,
+        symmetry: ioa::SymmetryMode::Off,
     };
     for (label, sys, _f) in bench_scales() {
         let n = sys.process_count();

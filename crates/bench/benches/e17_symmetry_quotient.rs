@@ -1,0 +1,46 @@
+//! E17 — symmetry-reduced exploration (orbit quotient).
+//!
+//! Regenerates: the `ValenceMap` build cost of the doomed-atomic
+//! substrate with the `system::packed` orbit canonicalizer off
+//! (`full_*` rows — the exact reachable graph) and on (`quotient_*`
+//! rows — one interned state per process-permutation orbit, DESIGN
+//! §2.1.4). Every row is annotated with the interned state count, so
+//! the JSON carries the reduction factor alongside the wall-clock.
+//!
+//! Unlike the E13–E15 sweeps, `n = 4` is *not* gated behind
+//! `BENCH_FULL`: the quotient is what makes that scale routine
+//! (976 → 188 states from the mixed root), and landing the n=4 row is
+//! the point of the experiment.
+
+use analysis::valence::ValenceMap;
+use bench_suite::harness::Group;
+use ioa::SymmetryMode;
+use protocols::doomed::doomed_atomic;
+use std::hint::black_box;
+use system::consensus::InputAssignment;
+use system::sched::initialize;
+
+fn main() {
+    let mut group = Group::new("e17_symmetry_quotient");
+    for (n, f) in [(2usize, 0usize), (3, 1), (4, 2)] {
+        let sys = doomed_atomic(n, f);
+        let root = initialize(&sys, &InputAssignment::monotone(n, 1));
+        for (variant, mode) in [
+            ("full", SymmetryMode::Off),
+            ("quotient", SymmetryMode::Full),
+        ] {
+            let states = ValenceMap::build_with_symmetry(&sys, root.clone(), 5_000_000, 1, mode)
+                .expect("doomed-atomic scales fit comfortably")
+                .state_count() as u64;
+            group.bench(&format!("{variant}_n={n},f={f}"), || {
+                let map = ValenceMap::build_with_symmetry(&sys, root.clone(), 5_000_000, 1, mode)
+                    .expect("doomed-atomic scales fit comfortably");
+                assert_eq!(map.state_count() as u64, states, "state count drifted");
+                black_box(map.state_count())
+            });
+            group.annotate_last(Some(states), None);
+            eprintln!("[E17] {variant} n={n},f={f}: {states} interned states");
+        }
+    }
+    group.finish();
+}

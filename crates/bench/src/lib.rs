@@ -216,8 +216,11 @@ pub mod harness {
                 .last_mut()
                 .expect("annotate_last follows a bench call");
             m.states = states;
-            m.hit_rate = hit_rate;
-            if let Some(r) = hit_rate {
+            // A non-finite rate means the measurement window was empty
+            // (e.g. warm-up absorbed every cache lookup): that is "no
+            // data", not a rate — record nothing.
+            m.hit_rate = hit_rate.filter(|r| r.is_finite());
+            if let Some(r) = m.hit_rate {
                 eprintln!("{}/{}: hit rate {r:.4}", m.group, m.label);
             }
             if let Some(sps) = m.states_per_sec() {
@@ -289,9 +292,15 @@ pub mod json {
         pub hit_rate: Option<f64>,
     }
 
-    /// Render an optional float as a JSON number or `null`.
+    /// Render an optional float as a JSON number or `null`. Non-finite
+    /// values (the `NaN` of a rate over an empty window, the `inf` of
+    /// a throughput over a sub-ns sample) have no JSON representation
+    /// and would corrupt the document — they render as `null` too.
     fn opt_f64(v: Option<f64>, decimals: usize) -> String {
-        v.map_or_else(|| "null".to_string(), |x| format!("{x:.decimals$}"))
+        match v {
+            Some(x) if x.is_finite() => format!("{x:.decimals$}"),
+            _ => "null".to_string(),
+        }
     }
 
     /// Escape a string for inclusion in a JSON string literal.
@@ -410,5 +419,40 @@ mod tests {
         assert!(doc.contains("\"states_per_sec\": 1234.6, \"hit_rate\": 0.9877"));
         assert!(doc.ends_with("}\n"));
         assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn non_finite_annotations_emit_null() {
+        // A NaN hit rate (empty measurement window) or an infinite
+        // throughput (sub-ns sample) must render as JSON `null`, never
+        // as the invalid tokens `NaN`/`inf`.
+        let rows = vec![json::Row {
+            bench: "b".into(),
+            scale: "s".into(),
+            variant: "v".into(),
+            median_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            samples: 1,
+            states_per_sec: Some(f64::INFINITY),
+            hit_rate: Some(f64::NAN),
+        }];
+        let doc = json::report("degenerate", &rows);
+        assert!(doc.contains("\"states_per_sec\": null, \"hit_rate\": null"));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+    }
+
+    #[test]
+    fn sub_ns_medians_have_no_throughput() {
+        // A 0 ns median (the clock cannot resolve the run) must not
+        // produce an infinite states/sec figure.
+        let m = harness::Measurement {
+            group: "g".into(),
+            label: "l".into(),
+            samples_ns: vec![0, 0, 0],
+            states: Some(100),
+            hit_rate: None,
+        };
+        assert_eq!(m.states_per_sec(), None);
     }
 }

@@ -155,11 +155,47 @@ pub trait Automaton: Sync {
 
     /// Cumulative hit/miss counters of an automaton-internal transition
     /// cache, if the implementation keeps one (`None` means "no cache",
-    /// the default). The explorer snapshots this around each run and
-    /// reports the per-exploration delta in
-    /// [`ExploreStats::cache`](crate::explore::ExploreStats::cache).
+    /// the default). Cumulative counters are shared by every workload
+    /// that touches the automaton; per-exploration accounting instead
+    /// flows through the scoped sink of [`Automaton::succ_counted`]
+    /// into [`ExploreStats::cache`](crate::explore::ExploreStats::cache).
     fn cache_stats(&self) -> Option<CacheStats> {
         None
+    }
+
+    /// [`Automaton::succ_all`] with a scoped cache-accounting sink: an
+    /// implementation that keeps a transition cache adds this call's
+    /// hit/miss outcome to `stats` *in addition to* its cumulative
+    /// counters. The explorer owns one sink per exploration, so
+    /// concurrent or interleaved workloads on a shared automaton can no
+    /// longer contaminate each other's [`CacheStats`] (snapshot
+    /// subtraction of the cumulative counters cannot distinguish them).
+    ///
+    /// The default ignores the sink and delegates to `succ_all`.
+    fn succ_counted(
+        &self,
+        t: &Self::Task,
+        s: &Self::State,
+        stats: &mut CacheStats,
+    ) -> Vec<(Self::Action, Self::State)> {
+        let _ = stats;
+        self.succ_all(t, s)
+    }
+
+    /// The canonical orbit representative of `s` under the automaton's
+    /// declared symmetry group — a pure, idempotent function with
+    /// `canonical(s)` reachability-equivalent to `s` (the automaton
+    /// must guarantee `succ(π·s) = π·succ(s)` for the group it
+    /// declares). The identity by default: automata without declared
+    /// symmetry explore the concrete space even under
+    /// [`SymmetryMode::Full`](crate::canon::SymmetryMode::Full).
+    ///
+    /// The explorer applies this to every successor (never to roots)
+    /// when [`ExploreOptions::symmetry`](crate::explore::ExploreOptions::symmetry)
+    /// is `Full`, so equal-orbit states intern to one
+    /// [`StateId`](crate::store::StateId).
+    fn canonical(&self, s: Self::State) -> Self::State {
+        s
     }
 }
 

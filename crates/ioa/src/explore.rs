@@ -17,6 +17,7 @@
 //! every consumer may index edges blindly.
 
 use crate::automaton::{Automaton, CacheStats};
+use crate::canon::SymmetryMode;
 use crate::csr::Csr;
 use crate::store::{StateId, StateStore};
 use std::collections::VecDeque;
@@ -53,8 +54,11 @@ pub struct ExploreStats {
     /// Whether the graph is exact or budget-truncated.
     pub truncation: Truncation,
     /// Hit/miss counters of the automaton's transition-effect cache
-    /// over this exploration ([`Automaton::cache_stats`] delta), or
-    /// `None` for automata without one.
+    /// over this exploration, or `None` for automata without one.
+    /// Accounted through the scoped sink of
+    /// [`Automaton::succ_counted`], so the numbers cover exactly this
+    /// exploration's expansions even when other workloads share the
+    /// automaton (and its cumulative counters) concurrently.
     pub cache: Option<CacheStats>,
 }
 
@@ -111,6 +115,18 @@ pub struct ExploreOptions {
     /// [`SPAWN_LAYER_THRESHOLD`] are always expanded inline regardless
     /// of the thread count.
     pub threads: usize,
+    /// Whether successors are canonicalized to orbit representatives
+    /// via [`Automaton::canonical`] before interning, quotienting the
+    /// graph by the automaton's declared symmetry group.
+    ///
+    /// Roots are never canonicalized — they anchor concrete
+    /// initializations (input assignments, replayable task prefixes) —
+    /// so a quotient graph holds the given roots plus canonical
+    /// representatives. With `skip_self_loops`, *orbit* stutters
+    /// (successors canonicalizing back onto their source) are dropped
+    /// along with concrete ones. For automata whose `canonical` is the
+    /// identity (the default), `Full` explores the same graph as `Off`.
+    pub symmetry: SymmetryMode,
 }
 
 /// BFS layers narrower than this are expanded inline on the calling
@@ -129,6 +145,7 @@ impl ExploreOptions {
             max_states,
             skip_self_loops: false,
             threads: 0,
+            symmetry: SymmetryMode::Off,
         }
     }
 
@@ -136,6 +153,13 @@ impl ExploreOptions {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Same options with an explicit symmetry mode.
+    #[must_use]
+    pub fn with_symmetry(mut self, symmetry: SymmetryMode) -> Self {
+        self.symmetry = symmetry;
         self
     }
 
@@ -216,10 +240,15 @@ impl<A: Automaton> ExploredGraph<A> {
     /// edges, parents, stats, truncation) is bit-identical to the
     /// sequential one. See DESIGN.md §2.1.1.
     pub fn explore_with(aut: &A, roots: Vec<A::State>, opts: ExploreOptions) -> Self {
-        // Snapshot the automaton's cache counters so the reported delta
-        // covers exactly this exploration, even when a warm automaton
-        // (e.g. a shared `PackedSystem`) is explored repeatedly.
-        let cache_before = aut.cache_stats();
+        // Cache accounting is scoped: every expansion goes through
+        // `succ_counted` with this exploration's own sink, so the
+        // reported numbers cover exactly this run. (The previous
+        // snapshot-subtract over the automaton's *cumulative* counters
+        // drifted when a shared warm automaton — e.g. one
+        // `PackedSystem` across the Lemma 4 walk — served several
+        // interleaved workloads: their lookups all landed in whichever
+        // exploration happened to snapshot around them.)
+        let track_cache = aut.cache_stats().is_some();
         let threads = opts.effective_threads();
         let mut b = Builder::new(&roots);
         if threads <= 1 {
@@ -227,10 +256,9 @@ impl<A: Automaton> ExploredGraph<A> {
         } else {
             b.expand_layered(aut, opts, threads);
         }
+        let scoped = b.cache;
         let mut g = b.finish(opts);
-        g.stats.cache = aut
-            .cache_stats()
-            .map(|after| cache_before.map_or(after, |before| after.since(&before)));
+        g.stats.cache = track_cache.then_some(scoped);
         g
     }
 
@@ -366,6 +394,10 @@ struct Builder<A: Automaton> {
     dropped_edges: usize,
     truncated: bool,
     peak_frontier: usize,
+    /// Scoped cache accounting for this exploration only (fed by the
+    /// [`Automaton::succ_counted`] sink; parallel workers accumulate
+    /// privately and are summed at merge time).
+    cache: CacheStats,
 }
 
 /// One successor discovered by a parallel worker, classified against
@@ -388,18 +420,30 @@ type Succ<A> = (
 
 /// Worker body: expand one source state, hashing and pre-probing each
 /// successor against the (frozen) arena off the merge thread.
+///
+/// Under [`SymmetryMode::Full`] each successor is canonicalized to its
+/// orbit representative before hashing/probing, with a two-stage
+/// self-loop check: concrete stutters (`s2 == s`) are dropped before
+/// canonicalization, and *orbit* stutters (`canonical(s2) == s`, the
+/// successor permuting back onto its canonical source) after it.
 fn expand_one<A: Automaton>(
     aut: &A,
     tasks: &[A::Task],
     store: &StateStore<A::State>,
     id: StateId,
-    skip_self_loops: bool,
+    opts: ExploreOptions,
+    cache: &mut CacheStats,
 ) -> Vec<Found<A>> {
     let s = store.resolve(id);
+    let canon = opts.symmetry.is_full();
     let mut out = Vec::new();
     for t in tasks {
-        for (a, s2) in aut.succ_all(t, s) {
-            if skip_self_loops && &s2 == s {
+        for (a, s2) in aut.succ_counted(t, s, cache) {
+            if opts.skip_self_loops && &s2 == s {
+                continue;
+            }
+            let s2 = if canon { aut.canonical(s2) } else { s2 };
+            if canon && opts.skip_self_loops && &s2 == s {
                 continue;
             }
             let h = crate::store::fx_hash(&s2);
@@ -424,6 +468,7 @@ impl<A: Automaton> Builder<A> {
             dropped_edges: 0,
             truncated: false,
             peak_frontier: 0,
+            cache: CacheStats::default(),
         };
         for r in roots {
             let (id, fresh) = b.store.intern(r);
@@ -475,27 +520,34 @@ impl<A: Automaton> Builder<A> {
     /// merged at a time.
     fn expand_sequential(&mut self, aut: &A, opts: ExploreOptions) {
         let tasks = aut.tasks();
+        let canon = opts.symmetry.is_full();
         while let Some(id) = self.queue.pop_front() {
             self.peak_frontier = self.peak_frontier.max(self.queue.len() + 1);
             // Collect successors under an immutable borrow of the
             // arena, then intern them; succ_all hands back owned
             // states, so the expanded state itself is never recloned.
+            // (The cache sink is copied out and written back around the
+            // borrow: CacheStats is Copy.)
+            let mut cache = self.cache;
             let succs: Vec<Succ<A>> = {
                 let s = self.store.resolve(id);
-                tasks
-                    .iter()
-                    .flat_map(|t| {
-                        aut.succ_all(t, s)
-                            .into_iter()
-                            .map(move |(a, s2)| (t.clone(), a, s2))
-                    })
-                    .filter(|(_, _, s2)| !(opts.skip_self_loops && s2 == s))
-                    .map(|(t, a, s2)| {
+                let mut v = Vec::new();
+                for t in &tasks {
+                    for (a, s2) in aut.succ_counted(t, s, &mut cache) {
+                        if opts.skip_self_loops && &s2 == s {
+                            continue;
+                        }
+                        let s2 = if canon { aut.canonical(s2) } else { s2 };
+                        if canon && opts.skip_self_loops && &s2 == s {
+                            continue;
+                        }
                         let h = crate::store::fx_hash(&s2);
-                        (t, a, s2, h)
-                    })
-                    .collect()
+                        v.push((t.clone(), a, s2, h));
+                    }
+                }
+                v
             };
+            self.cache = cache;
             for (t, a, s2, h) in succs {
                 if let Some(id2) = self.admit(id, t, a, s2, h, opts.max_states) {
                     self.queue.push_back(id2);
@@ -545,7 +597,9 @@ impl<A: Automaton> Builder<A> {
             self.peak_frontier = self
                 .peak_frontier
                 .max(layer_len - expanded - 1 + next.len() + 1);
-            let found = expand_one(aut, tasks, &self.store, src, opts.skip_self_loops);
+            let mut cache = self.cache;
+            let found = expand_one(aut, tasks, &self.store, src, opts, &mut cache);
+            self.cache = cache;
             for f in found {
                 match f {
                     Found::Known(t, a, id2) => {
@@ -580,14 +634,20 @@ impl<A: Automaton> Builder<A> {
         // each successor so the merge does no hashing and no
         // equality checks for previously-interned states.
         let store = &self.store;
-        let batches: Vec<Vec<Vec<Found<A>>>> = std::thread::scope(|scope| {
+        let batches: Vec<(Vec<Vec<Found<A>>>, CacheStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = layer
                 .chunks(chunk)
                 .map(|ids| {
                     scope.spawn(move || {
-                        ids.iter()
-                            .map(|&id| expand_one(aut, tasks, store, id, opts.skip_self_loops))
-                            .collect()
+                        // Each worker accumulates cache hits/misses
+                        // privately; the merge sums them, so the scoped
+                        // totals are exact at every thread count.
+                        let mut cache = CacheStats::default();
+                        let found: Vec<Vec<Found<A>>> = ids
+                            .iter()
+                            .map(|&id| expand_one(aut, tasks, store, id, opts, &mut cache))
+                            .collect();
+                        (found, cache)
                     })
                 })
                 .collect();
@@ -600,10 +660,16 @@ impl<A: Automaton> Builder<A> {
         // virtual queue of the sequential BFS holds the rest of
         // this layer plus the next layer discovered so far; peak
         // tracking mirrors its `queue.len() + 1` at pop time.
+        let mut per_source_batches: Vec<Vec<Found<A>>> = Vec::with_capacity(layer.len());
+        for (found, cache) in batches {
+            self.cache.hits += cache.hits;
+            self.cache.misses += cache.misses;
+            per_source_batches.extend(found);
+        }
         let mut next: Vec<StateId> = Vec::new();
         let layer_len = layer.len();
         let mut sources = layer.iter().copied();
-        for (expanded, per_source) in batches.into_iter().flatten().enumerate() {
+        for (expanded, per_source) in per_source_batches.into_iter().enumerate() {
             let src = sources.next().expect("one batch per source");
             self.peak_frontier = self
                 .peak_frontier
@@ -986,6 +1052,7 @@ mod tests {
                 max_states: 100,
                 skip_self_loops: false,
                 threads: 0,
+                symmetry: SymmetryMode::Off,
             },
         );
         let skipped = ExploredGraph::explore_with(
@@ -995,6 +1062,7 @@ mod tests {
                 max_states: 100,
                 skip_self_loops: true,
                 threads: 0,
+                symmetry: SymmetryMode::Off,
             },
         );
         assert_eq!(full.len(), skipped.len());

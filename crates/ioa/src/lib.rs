@@ -36,6 +36,11 @@
 //!   generic sub-arena ([`store::Interner`], [`store::CompId`]) plays
 //!   the same role for the *components* of a composed state, with the
 //!   component hash cached at intern time.
+//! * [`canon`] — symmetry-reduction primitives: the [`canon::Perm`]
+//!   permutation algebra and the [`canon::SymmetryMode`] knob threaded
+//!   through [`explore::ExploreOptions`]; the explorer canonicalizes
+//!   successors via [`automaton::Automaton::canonical`] so equal-orbit
+//!   states intern to one id.
 //! * [`rng`] — in-tree deterministic SplitMix64 randomness for seeded
 //!   schedule drivers; keeps the build hermetic (no `rand` dependency).
 //!
@@ -53,6 +58,7 @@
 //! ```
 
 pub mod automaton;
+pub mod canon;
 pub mod compose;
 pub mod csr;
 pub mod execution;
@@ -66,6 +72,7 @@ pub mod store;
 pub mod toy;
 
 pub use automaton::{ActionKind, Automaton, CacheStats};
+pub use canon::{Perm, SymmetryMode};
 pub use csr::Csr;
 pub use execution::{Execution, Step};
 pub use store::{CompId, Interner, StateId, StateStore};

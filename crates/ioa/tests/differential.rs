@@ -241,6 +241,7 @@ fn parallel_explore_is_bit_identical_to_sequential() {
                     max_states: cap,
                     skip_self_loops: skip,
                     threads: 1,
+                    symmetry: ioa::SymmetryMode::Off,
                 };
                 let seq = ExploredGraph::explore_with(&aut, vec![0], opts);
                 for threads in [2, 4] {
@@ -266,6 +267,7 @@ fn parallel_explore_handles_more_workers_than_frontier_states() {
         max_states: 100,
         skip_self_loops: false,
         threads: 1,
+        symmetry: ioa::SymmetryMode::Off,
     };
     let seq = ExploredGraph::explore_with(&aut, vec![0], opts);
     let par = ExploredGraph::explore_with(&aut, vec![0], opts.with_threads(8));

@@ -163,6 +163,13 @@ impl Service for CanonicalAtomicObject {
     fn compute_all(&self, g: &GlobalTaskId, _st: &SvcState) -> Vec<SvcState> {
         panic!("atomic objects have no compute steps, got task {g:?}")
     }
+
+    fn endpoint_symmetric(&self) -> bool {
+        // The Fig. 1 automaton treats every endpoint uniformly (FIFO
+        // buffers indexed by i, identical dummies), so its symmetry is
+        // exactly that of the underlying sequential type.
+        self.typ.proc_oblivious()
+    }
 }
 
 #[cfg(test)]

@@ -171,6 +171,19 @@ pub trait Service: fmt::Debug + Send + Sync {
             st.clone()
         }
     }
+
+    /// Whether the service is *endpoint-symmetric*: relabeling endpoint
+    /// `i` as `π(i)` in a state (all per-endpoint buffers and the failed
+    /// set) commutes with every transition, because the underlying
+    /// sequential type never bakes a `ProcId` into values or branches on
+    /// the identity of the invoker. The `system::packed` orbit
+    /// canonicalizer requires this of every service before it quotients
+    /// by process-id permutation. Defaults to `false` — an explicit
+    /// opt-in, like `ProcessAutomaton::id_symmetric` on the process
+    /// side.
+    fn endpoint_symmetric(&self) -> bool {
+        false
+    }
 }
 
 /// A shared, dynamically typed canonical service.

@@ -86,6 +86,12 @@ impl SeqType for BinaryConsensus {
             None => vec![(BinaryConsensus::decide(v), Val::set([Val::Int(v)]))],
         }
     }
+
+    fn proc_oblivious(&self) -> bool {
+        // Values are sets of ints, invocations/responses carry ints —
+        // no process identity anywhere.
+        true
+    }
 }
 
 #[cfg(test)]

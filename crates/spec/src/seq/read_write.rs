@@ -114,6 +114,12 @@ impl SeqType for ReadWrite {
             _ => panic!("not a read/write invocation: {inv:?}"),
         }
     }
+
+    fn proc_oblivious(&self) -> bool {
+        // Register contents are plain domain values; reads and writes
+        // never mention the invoker.
+        true
+    }
 }
 
 #[cfg(test)]

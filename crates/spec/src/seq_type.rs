@@ -163,6 +163,18 @@ pub trait SeqType: fmt::Debug + Send + Sync {
             .unwrap_or_else(|| panic!("δ not total for {inv:?} at {val:?} in {}", self.name()))
     }
 
+    /// Whether the type is *process-oblivious*: no value in `V`, no
+    /// invocation and no response ever embeds a `ProcId`, so relabeling
+    /// the processes of a system leaves every `δ` outcome untouched.
+    /// Canonical services built over a process-oblivious type are
+    /// endpoint-symmetric, which the `system::packed` orbit
+    /// canonicalizer requires before quotienting by process-id
+    /// permutation. Defaults to `false`; value-only types (binary
+    /// consensus, read/write registers) opt in.
+    fn proc_oblivious(&self) -> bool {
+        false
+    }
+
     /// Whether the type is deterministic: `|V0| = 1` and `δ` is a mapping
     /// over the reachable values.
     ///

@@ -36,10 +36,13 @@ use crate::build::{CompleteSystem, Delta, ProcStep, StateView, SystemState};
 use crate::effect_cache::{BranchEntry, EffectCache, PopEntry, ProcStepEntry};
 use crate::process::ProcessAutomaton;
 use ioa::automaton::{ActionKind, Automaton, CacheStats};
-use ioa::store::{CompId, Interner};
+use ioa::canon::{Perm, SymmetryMode};
+use ioa::store::{fx_hash, CompId, Interner};
 use services::SvcState;
 use spec::{Inv, ProcId, Resp, SvcId};
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
+use std::hash::Hash;
 use std::sync::{RwLock, RwLockReadGuard};
 
 /// A system state packed as component ids.
@@ -98,6 +101,30 @@ pub struct PackedSystem<'s, P: ProcessAutomaton> {
     /// `None` disables memoization — the reference path the
     /// differential suite compares against.
     cache: Option<EffectCache>,
+    /// Orbit-canonicalization state (`None` when the system is not
+    /// symmetric or the mode is [`SymmetryMode::Off`]).
+    symmetry: Option<Symmetry>,
+}
+
+/// The process-id symmetry group of a symmetric system, with the lazy
+/// per-permutation service-component remap tables.
+///
+/// Permuting process ids in a packed state is cheap on the process
+/// block — an id-symmetric family (see
+/// [`ProcessAutomaton::id_symmetric`]) keeps per-process state contents
+/// `ProcId`-free, so `π` only *moves slots* — but a service component
+/// embeds per-endpoint buffers and a failed set keyed by `ProcId`, so
+/// its image under `π` is a different component. `svc_maps[k][sc]`
+/// memoizes the interned id of `π_k` applied to service component `sc`;
+/// entries are filled on demand, and since interning is idempotent a
+/// racing fill writes the identical id.
+#[derive(Debug)]
+struct Symmetry {
+    /// All `n!` permutations, identity first (`Perm::all` order).
+    perms: Vec<Perm>,
+    /// `svc_maps[k][sc]` = id of `π_k · resolve(sc)`; index 0 (the
+    /// identity) is present but never consulted.
+    svc_maps: Vec<RwLock<Vec<Option<u32>>>>,
 }
 
 /// A [`StateView`] over a packed state: holds read guards on both
@@ -128,7 +155,10 @@ impl<PS: std::hash::Hash + Eq> StateView<PS> for PackedView<'_, PS> {
 
 impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
     /// Wraps `sys` with fresh (empty) component sub-arenas and the
-    /// transition-effect cache enabled.
+    /// transition-effect cache enabled. The symmetry mode defaults from
+    /// the `SYMMETRY` environment variable (see
+    /// [`SymmetryMode::from_env`]); use [`PackedSystem::with_symmetry`]
+    /// to pin it explicitly.
     ///
     /// # Panics
     ///
@@ -136,6 +166,22 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
     /// is packed as a `u32` bitmask — far beyond the exhaustively
     /// explorable range anyway).
     pub fn new(sys: &'s CompleteSystem<P>) -> Self {
+        Self::with_symmetry(sys, SymmetryMode::from_env())
+    }
+
+    /// [`PackedSystem::new`] with an explicit symmetry mode. Under
+    /// [`SymmetryMode::Full`] the canonicalizer activates only when the
+    /// system actually *is* process-id symmetric — an id-symmetric
+    /// process family and endpoint-symmetric services whose endpoint
+    /// set is exactly all `n` processes (see
+    /// [`PackedSystem::symmetric_system`]); otherwise
+    /// [`PackedSystem::canonical_with_perm`] degenerates to the
+    /// identity and exploration is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has more than 32 processes.
+    pub fn with_symmetry(sys: &'s CompleteSystem<P>, mode: SymmetryMode) -> Self {
         let mut p = Self::new_uncached(sys);
         let globals = sys.services().iter().enumerate().flat_map(|(c, svc)| {
             svc.global_tasks()
@@ -144,7 +190,30 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 .collect::<Vec<_>>()
         });
         p.cache = Some(EffectCache::new(p.n, p.m, globals));
+        if mode.is_full() && Self::symmetric_system(sys) {
+            let perms = Perm::all(p.n);
+            let svc_maps = (0..perms.len()).map(|_| RwLock::new(Vec::new())).collect();
+            p.symmetry = Some(Symmetry { perms, svc_maps });
+        }
         p
+    }
+
+    /// Whether `sys` satisfies the orbit canonicalizer's symmetry
+    /// contract: at least two processes, an id-symmetric process family
+    /// ([`ProcessAutomaton::id_symmetric`]), and every service both
+    /// endpoint-symmetric ([`services::Service::endpoint_symmetric`])
+    /// and connected to *all* `n` processes (a proper-subset endpoint
+    /// set would make `π` move an endpoint out of `J`).
+    #[must_use]
+    pub fn symmetric_system(sys: &CompleteSystem<P>) -> bool {
+        let n = sys.process_count();
+        n >= 2
+            && sys.process_automaton().id_symmetric()
+            && sys.services().iter().all(|svc| {
+                svc.endpoint_symmetric()
+                    && svc.endpoints().len() == n
+                    && svc.endpoints().iter().enumerate().all(|(k, p)| p.0 == k)
+            })
     }
 
     /// Like [`PackedSystem::new`] but with effect memoization disabled:
@@ -169,7 +238,29 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
             procs: RwLock::new(Interner::new()),
             svcs: RwLock::new(Interner::new()),
             cache: None,
+            symmetry: None,
         }
+    }
+
+    /// The effective symmetry mode: [`SymmetryMode::Full`] iff the
+    /// orbit canonicalizer is active (requested *and* the system is
+    /// symmetric). Exploration options should take their `symmetry`
+    /// from here so asymmetric systems never pay canonicalization
+    /// overhead.
+    #[must_use]
+    pub fn symmetry_mode(&self) -> SymmetryMode {
+        if self.symmetry.is_some() {
+            SymmetryMode::Full
+        } else {
+            SymmetryMode::Off
+        }
+    }
+
+    /// The symmetry group the canonicalizer quotients by, when active:
+    /// all `n!` process-id permutations, identity first.
+    #[must_use]
+    pub fn symmetry_perms(&self) -> Option<&[Perm]> {
+        self.symmetry.as_ref().map(|s| s.perms.as_slice())
     }
 
     /// Whether the transition-effect cache is enabled.
@@ -229,6 +320,103 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         }
     }
 
+    // ----- orbit canonicalization ------------------------------------
+
+    /// The interned id of `π_k` applied to service component `sc`,
+    /// memoized per `(k, sc)`. Takes the memo read lock, then (on a
+    /// miss) the service-arena read guard to resolve, the write guard
+    /// to intern, and finally the memo write lock — never two guards at
+    /// once, so the lock order stays trivially acyclic.
+    fn svc_remap(&self, k: usize, sc: u32) -> u32 {
+        let sym = self.symmetry.as_ref().expect("symmetry enabled");
+        if let Some(&Some(v)) = sym.svc_maps[k]
+            .read()
+            .expect("svc remap lock poisoned")
+            .get(sc as usize)
+        {
+            return v;
+        }
+        let permuted = {
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            permute_svc_state(&sym.perms[k], svcs.resolve(CompId::from_index(sc as usize)))
+        };
+        let sc2 = id_bits(
+            self.svcs
+                .write()
+                .expect("interner lock poisoned")
+                .intern(permuted)
+                .0,
+        );
+        let mut memo = sym.svc_maps[k].write().expect("svc remap lock poisoned");
+        if memo.len() <= sc as usize {
+            memo.resize(sc as usize + 1, None);
+        }
+        // Racing writers store the identical id (interning is
+        // idempotent within a run).
+        memo[sc as usize] = Some(sc2);
+        sc2
+    }
+
+    /// The canonical orbit representative of `ps` together with the
+    /// permutation `σ` that produced it (`σ · ps = rep`; the identity
+    /// when `ps` is already canonical or the canonicalizer is
+    /// inactive).
+    ///
+    /// The representative is the slot-wise minimum over all `n!`
+    /// candidates, comparing process slots first, then service slots,
+    /// then the failed bitmask numerically; each slot compares by the
+    /// component's cached fx hash with the component value's `Ord` as
+    /// tie-break. The order is a fixed function of component *values*
+    /// (never of arena ids, which differ across runs), so canonical
+    /// representatives are bit-stable across runs and thread counts.
+    /// The deep mirror [`canonical_system_state_with`] uses the same
+    /// order, keeping the two representations in lockstep.
+    #[must_use]
+    pub fn canonical_with_perm(&self, ps: &PackedState) -> (PackedState, Perm) {
+        let Some(sym) = &self.symmetry else {
+            return (ps.clone(), Perm::identity(self.n));
+        };
+        let mask = ps.comps[self.n + self.m];
+        // Phase 1: materialize every non-identity candidate. svc_remap
+        // may take the service arena's write lock, so no read guard may
+        // be held here.
+        let mut candidates: Vec<Box<[u32]>> = Vec::with_capacity(sym.perms.len() - 1);
+        for (k, p) in sym.perms.iter().enumerate().skip(1) {
+            let mut comps = ps.comps.clone();
+            for i in 0..self.n {
+                comps[p.apply(i)] = ps.comps[i];
+            }
+            for c in 0..self.m {
+                comps[self.n + c] = self.svc_remap(k, ps.comps[self.n + c]);
+            }
+            comps[self.n + self.m] = p.permute_mask(mask);
+            candidates.push(comps);
+        }
+        // Phase 2: pick the minimum under short-lived read guards.
+        let best_k = {
+            let procs = self.procs.read().expect("interner lock poisoned");
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            let mut best_k = 0usize;
+            for k in 1..sym.perms.len() {
+                let best = if best_k == 0 {
+                    &ps.comps
+                } else {
+                    &candidates[best_k - 1]
+                };
+                if cmp_slots(&procs, &svcs, self.n, &candidates[k - 1], best) == Ordering::Less {
+                    best_k = k;
+                }
+            }
+            best_k
+        };
+        if best_k == 0 {
+            (ps.clone(), Perm::identity(self.n))
+        } else {
+            let comps = candidates.swap_remove(best_k - 1);
+            (PackedState { comps }, sym.perms[best_k].clone())
+        }
+    }
+
     // ----- cached successor expansion --------------------------------
     //
     // Each helper below resolves exactly the component(s) its key names
@@ -256,6 +444,23 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
             }
         };
         cache.step_put(i, pc, entry.clone());
+        // Remap-on-publish: the same effect holds for every permuted
+        // process id (the family is id-symmetric), so warm hits survive
+        // canonicalization — a successor permuted into canonical form
+        // looks its effects up under the permuted keys.
+        if let Some(sym) = &self.symmetry {
+            for p in sym.perms.iter().skip(1) {
+                let e2 = match &entry {
+                    ProcStepEntry::Local(a, pc2) => {
+                        ProcStepEntry::Local(permute_action(p, a), *pc2)
+                    }
+                    ProcStepEntry::Invoke(c, inv, pc2) => {
+                        ProcStepEntry::Invoke(*c, inv.clone(), *pc2)
+                    }
+                };
+                cache.step_put(ProcId(p.apply(i.0)), pc, e2);
+            }
+        }
         entry
     }
 
@@ -281,6 +486,12 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 .0,
         );
         cache.enqueue_put(i, pc, sc, sc2);
+        if let Some(sym) = &self.symmetry {
+            for k in 1..sym.perms.len() {
+                let i2 = ProcId(sym.perms[k].apply(i.0));
+                cache.enqueue_put(i2, pc, self.svc_remap(k, sc), self.svc_remap(k, sc2));
+            }
+        }
         sc2
     }
 
@@ -299,6 +510,17 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         drop(w);
         let entry = BranchEntry { real, dummy };
         cache.perform_put(c, i, sc, entry.clone());
+        if let Some(sym) = &self.symmetry {
+            for k in 1..sym.perms.len() {
+                let i2 = ProcId(sym.perms[k].apply(i.0));
+                let real: Box<[u32]> = entry.real.iter().map(|&s2| self.svc_remap(k, s2)).collect();
+                let e2 = BranchEntry {
+                    real,
+                    dummy: entry.dummy,
+                };
+                cache.perform_put(c, i2, self.svc_remap(k, sc), e2);
+            }
+        }
         entry
     }
 
@@ -323,6 +545,16 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         drop(w);
         let entry = BranchEntry { real, dummy };
         cache.compute_put(c, g, sc, entry.clone());
+        if let Some(sym) = &self.symmetry {
+            for k in 1..sym.perms.len() {
+                let real: Box<[u32]> = entry.real.iter().map(|&s2| self.svc_remap(k, s2)).collect();
+                let e2 = BranchEntry {
+                    real,
+                    dummy: entry.dummy,
+                };
+                cache.compute_put(c, g, self.svc_remap(k, sc), e2);
+            }
+        }
         entry
     }
 
@@ -345,6 +577,20 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         });
         let entry = PopEntry { resp, dummy };
         cache.pop_put(c, i, sc, entry.clone());
+        if let Some(sym) = &self.symmetry {
+            for k in 1..sym.perms.len() {
+                let i2 = ProcId(sym.perms[k].apply(i.0));
+                let resp = entry
+                    .resp
+                    .as_ref()
+                    .map(|(r, s2)| (r.clone(), self.svc_remap(k, *s2)));
+                let e2 = PopEntry {
+                    resp,
+                    dummy: entry.dummy,
+                };
+                cache.pop_put(c, i2, self.svc_remap(k, sc), e2);
+            }
+        }
         entry
     }
 
@@ -374,6 +620,12 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 .0,
         );
         cache.on_resp_put(c, i, sc, pc, pc2);
+        if let Some(sym) = &self.symmetry {
+            for k in 1..sym.perms.len() {
+                let i2 = ProcId(sym.perms[k].apply(i.0));
+                cache.on_resp_put(c, i2, self.svc_remap(k, sc), pc, pc2);
+            }
+        }
         pc2
     }
 
@@ -420,7 +672,7 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         cache: &EffectCache,
         t: &Task,
         ps: &PackedState,
-    ) -> Vec<(Action, PackedState)> {
+    ) -> (Vec<(Action, PackedState)>, bool) {
         let mut hit = true;
         let out = match t {
             Task::Proc(i) => self.proc_cached(cache, *i, ps, &mut hit),
@@ -483,8 +735,7 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 out
             }
         };
-        cache.record(hit);
-        out
+        (out, hit)
     }
 
     /// Unpacks back into the deep representation.
@@ -519,6 +770,185 @@ fn id_bits(id: CompId) -> u32 {
     u32::try_from(id.index()).expect("component ids fit in u32 by construction")
 }
 
+/// Slot-wise candidate comparison over packed comp-id vectors:
+/// processes, then services (each by `(cached hash, value)`), then the
+/// failed bitmask numerically. Equal ids short-circuit — within one
+/// arena, equal ids iff equal values.
+fn cmp_slots<PS: Hash + Eq + Ord>(
+    procs: &Interner<PS>,
+    svcs: &Interner<SvcState>,
+    n: usize,
+    a: &[u32],
+    b: &[u32],
+) -> Ordering {
+    let last = a.len() - 1;
+    for slot in 0..last {
+        if a[slot] == b[slot] {
+            continue;
+        }
+        let (x, y) = (
+            CompId::from_index(a[slot] as usize),
+            CompId::from_index(b[slot] as usize),
+        );
+        let ord = if slot < n {
+            procs
+                .hash_of(x)
+                .cmp(&procs.hash_of(y))
+                .then_with(|| procs.resolve(x).cmp(procs.resolve(y)))
+        } else {
+            svcs.hash_of(x)
+                .cmp(&svcs.hash_of(y))
+                .then_with(|| svcs.resolve(x).cmp(svcs.resolve(y)))
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a[last].cmp(&b[last])
+}
+
+/// `π` applied to a service state: per-endpoint buffers and the failed
+/// set move to the permuted endpoints; the value is untouched (the
+/// symmetry gate guarantees the sequential type is process-oblivious).
+///
+/// Builds the image field by field instead of going through
+/// `SvcState::clone`, so the deep-clone census
+/// ([`services::state::clones`]) keeps counting only semantic
+/// successor clones.
+#[must_use]
+pub fn permute_svc_state(p: &Perm, st: &SvcState) -> SvcState {
+    let pi = |i: &ProcId| ProcId(p.apply(i.0));
+    SvcState {
+        val: st.val.clone(),
+        inv_buf: st.inv_buf.iter().map(|(i, q)| (pi(i), q.clone())).collect(),
+        resp_buf: st
+            .resp_buf
+            .iter()
+            .map(|(i, q)| (pi(i), q.clone()))
+            .collect(),
+        failed: st.failed.iter().map(pi).collect(),
+    }
+}
+
+/// `π` applied to an action label: every `ProcId` field is remapped,
+/// services stay put (the group permutes processes only).
+#[must_use]
+pub fn permute_action(p: &Perm, a: &Action) -> Action {
+    let pi = |i: ProcId| ProcId(p.apply(i.0));
+    match a {
+        Action::Init(i, v) => Action::Init(pi(*i), v.clone()),
+        Action::Fail(i) => Action::Fail(pi(*i)),
+        Action::Decide(i, v) => Action::Decide(pi(*i), v.clone()),
+        Action::Output(i, r) => Action::Output(pi(*i), r.clone()),
+        Action::Invoke(i, c, inv) => Action::Invoke(pi(*i), *c, inv.clone()),
+        Action::ProcStep(i) => Action::ProcStep(pi(*i)),
+        Action::Perform(c, i) => Action::Perform(*c, pi(*i)),
+        Action::Respond(c, i, r) => Action::Respond(*c, pi(*i), r.clone()),
+        Action::Compute(c, g) => Action::Compute(*c, g.clone()),
+        Action::DummyPerform(c, i) => Action::DummyPerform(*c, pi(*i)),
+        Action::DummyOutput(c, i) => Action::DummyOutput(*c, pi(*i)),
+        Action::DummyCompute(c, g) => Action::DummyCompute(*c, g.clone()),
+    }
+}
+
+/// `π` applied to a task: process and endpoint tasks move with their
+/// process, compute tasks are fixed points.
+#[must_use]
+pub fn permute_task(p: &Perm, t: &Task) -> Task {
+    let pi = |i: ProcId| ProcId(p.apply(i.0));
+    match t {
+        Task::Proc(i) => Task::Proc(pi(*i)),
+        Task::Perform(c, i) => Task::Perform(*c, pi(*i)),
+        Task::Output(c, i) => Task::Output(*c, pi(*i)),
+        Task::Compute(c, g) => Task::Compute(*c, g.clone()),
+    }
+}
+
+/// `π` applied to a deep system state: process states move to permuted
+/// slots (their contents are `ProcId`-free for id-symmetric families),
+/// service states are remapped endpoint-wise, and the failed set is
+/// relabeled.
+#[must_use]
+pub fn permute_system_state<PS: Clone>(p: &Perm, s: &SystemState<PS>) -> SystemState<PS> {
+    let mut procs = s.procs.clone();
+    for (i, st) in s.procs.iter().enumerate() {
+        procs[p.apply(i)] = st.clone();
+    }
+    SystemState {
+        procs,
+        services: s
+            .services
+            .iter()
+            .map(|st| permute_svc_state(p, st))
+            .collect(),
+        failed: s.failed.iter().map(|i| ProcId(p.apply(i.0))).collect(),
+    }
+}
+
+/// The failed set as the packed `u32` bitmask — the representation the
+/// canonical order compares, which (deliberately) disagrees with the
+/// `BTreeSet` lexicographic order: `{P1}` (mask 2) precedes
+/// `{P0, P2}` (mask 5).
+fn failed_mask(failed: &BTreeSet<ProcId>) -> u32 {
+    failed.iter().fold(0u32, |m, i| m | 1 << i.0)
+}
+
+/// The deep mirror of the packed candidate order: processes, then
+/// services (each slot by `(fx hash, value)`), then failed-set masks
+/// numerically.
+fn cmp_deep<PS: Hash + Ord>(a: &SystemState<PS>, b: &SystemState<PS>) -> Ordering {
+    for (x, y) in a.procs.iter().zip(&b.procs) {
+        let ord = fx_hash(x).cmp(&fx_hash(y)).then_with(|| x.cmp(y));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    for (x, y) in a.services.iter().zip(&b.services) {
+        let ord = fx_hash(x).cmp(&fx_hash(y)).then_with(|| x.cmp(y));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    failed_mask(&a.failed).cmp(&failed_mask(&b.failed))
+}
+
+/// The canonical orbit representative of a deep system state under
+/// `perms`, with the permutation that produced it (`σ · s = rep`).
+///
+/// Chooses by exactly the order [`PackedSystem::canonical_with_perm`]
+/// uses — [`Interner::hash_of`] caches precisely `fx_hash` of the
+/// component value — so the deep and packed canonicalizers always
+/// agree (pinned by the differential tests).
+#[must_use]
+pub fn canonical_system_state_with<PS: Clone + Hash + Ord>(
+    perms: &[Perm],
+    s: &SystemState<PS>,
+) -> (SystemState<PS>, Perm) {
+    let n = s.procs.len();
+    let mut best = s.clone();
+    let mut best_perm = Perm::identity(n);
+    for p in perms {
+        if p.is_identity() {
+            continue;
+        }
+        let cand = permute_system_state(p, s);
+        if cmp_deep(&cand, &best) == Ordering::Less {
+            best = cand;
+            best_perm = p.clone();
+        }
+    }
+    (best, best_perm)
+}
+
+/// [`canonical_system_state_with`] without the permutation.
+#[must_use]
+pub fn canonical_system_state<PS: Clone + Hash + Ord>(
+    perms: &[Perm],
+    s: &SystemState<PS>,
+) -> SystemState<PS> {
+    canonical_system_state_with(perms, s).0
+}
+
 impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
     type State = PackedState;
     type Action = Action;
@@ -538,7 +968,9 @@ impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
 
     fn succ_all(&self, t: &Task, ps: &PackedState) -> Vec<(Action, PackedState)> {
         if let Some(cache) = &self.cache {
-            return self.succ_cached(cache, t, ps);
+            let (out, hit) = self.succ_cached(cache, t, ps);
+            cache.record(hit);
+            return out;
         }
         // Uncached reference path: enumerate under read guards, then
         // drop them before taking the write locks to intern whatever
@@ -589,6 +1021,33 @@ impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(EffectCache::stats)
+    }
+
+    fn succ_counted(
+        &self,
+        t: &Task,
+        s: &PackedState,
+        stats: &mut CacheStats,
+    ) -> Vec<(Action, PackedState)> {
+        if let Some(cache) = &self.cache {
+            let (out, hit) = self.succ_cached(cache, t, s);
+            cache.record(hit);
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            out
+        } else {
+            self.succ_all(t, s)
+        }
+    }
+
+    fn canonical(&self, s: PackedState) -> PackedState {
+        if self.symmetry.is_none() {
+            return s;
+        }
+        self.canonical_with_perm(&s).0
     }
 }
 
@@ -703,6 +1162,98 @@ mod tests {
             .expect("fail is an input");
         assert_eq!(ps2.comps()[3] & 0b10, 0b10);
         assert!(packed.decode(&ps2).failed.contains(&ProcId(1)));
+    }
+
+    #[test]
+    fn symmetry_gate_accepts_direct_consensus_only_when_asked() {
+        let sys = direct_system(3, 1);
+        assert!(PackedSystem::symmetric_system(&sys));
+        let full = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
+        assert_eq!(full.symmetry_mode(), SymmetryMode::Full);
+        assert_eq!(full.symmetry_perms().expect("active").len(), 6);
+        let off = PackedSystem::with_symmetry(&sys, SymmetryMode::Off);
+        assert_eq!(off.symmetry_mode(), SymmetryMode::Off);
+        assert!(off.symmetry_perms().is_none());
+    }
+
+    #[test]
+    fn gate_rejects_partial_endpoint_sets() {
+        // Object only on {P0, P1} of a 3-process system: a permutation
+        // moving P2 into the endpoint set would be unsound.
+        let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), [ProcId(0), ProcId(1)], 0);
+        let sys = CompleteSystem::new(DirectConsensus::new(SvcId(0)), 3, vec![Arc::new(obj)]);
+        assert!(!PackedSystem::symmetric_system(&sys));
+        let p = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
+        assert_eq!(p.symmetry_mode(), SymmetryMode::Off);
+    }
+
+    #[test]
+    fn canonicalization_collapses_orbits_and_matches_the_deep_mirror() {
+        let sys = direct_system(3, 1);
+        let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
+        let perms: Vec<Perm> = packed.symmetry_perms().expect("active").to_vec();
+        // A state with asymmetric content: distinct inputs, one
+        // failure, and a pending invocation in the object.
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(1));
+        s = sys.init(&s, ProcId(1), Val::Int(0));
+        s = sys.fail(&s, ProcId(2));
+        let (_, s) = sys
+            .succ_all(&Task::Proc(ProcId(0)), &s)
+            .into_iter()
+            .next()
+            .expect("invoke step");
+        let deep_rep = canonical_system_state(&perms, &s);
+        for p in &perms {
+            let s2 = permute_system_state(p, &s);
+            let (rep, sigma) = packed.canonical_with_perm(&packed.encode(&s2));
+            // Every orbit member canonicalizes to the same packed rep,
+            // which decodes to the deep mirror's rep.
+            assert_eq!(packed.decode(&rep), deep_rep, "perm {p:?}");
+            // The returned σ really maps the input to the rep.
+            assert_eq!(permute_system_state(&sigma, &s2), deep_rep);
+            // Idempotence.
+            let (rep2, sigma2) = packed.canonical_with_perm(&rep);
+            assert_eq!(rep2, rep);
+            assert!(sigma2.is_identity());
+        }
+        // Deep mirror agrees with itself under permutation too.
+        for p in &perms {
+            let s2 = permute_system_state(p, &s);
+            let (rep, sigma) = canonical_system_state_with(&perms, &s2);
+            assert_eq!(rep, deep_rep);
+            assert_eq!(permute_system_state(&sigma, &s2), deep_rep);
+        }
+    }
+
+    #[test]
+    fn canonicalized_successors_are_equivariant() {
+        // succ(π·s) = π·succ(s): expanding any orbit member and
+        // canonicalizing the successors yields the same successor set.
+        let sys = direct_system(3, 1);
+        let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
+        let perms: Vec<Perm> = packed.symmetry_perms().expect("active").to_vec();
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(1));
+        s = sys.init(&s, ProcId(1), Val::Int(0));
+        let base: Vec<_> = sys
+            .tasks()
+            .iter()
+            .flat_map(|t| packed.succ_all(t, &packed.encode(&s)))
+            .map(|(_, ps2)| packed.decode(&packed.canonical(ps2)))
+            .collect();
+        for p in &perms {
+            let s2 = permute_system_state(p, &s);
+            let moved: Vec<_> = sys
+                .tasks()
+                .iter()
+                .flat_map(|t| packed.succ_all(t, &packed.encode(&s2)))
+                .map(|(_, ps2)| packed.decode(&packed.canonical(ps2)))
+                .collect();
+            let a: std::collections::BTreeSet<_> = base.iter().collect();
+            let b: std::collections::BTreeSet<_> = moved.iter().collect();
+            assert_eq!(a, b, "perm {p:?}");
+        }
     }
 
     #[test]

@@ -61,6 +61,19 @@ pub trait ProcessAutomaton: Debug + Send + Sync {
     /// The decision recorded in the state, if `P_i` has decided
     /// (the Section 2.2.1 technicality).
     fn decision(&self, st: &Self::State) -> Option<Val>;
+
+    /// Whether the family is *id-symmetric*: `initial`, `on_init`,
+    /// `on_response`, `step` and `decision` are the same function for
+    /// every `i` (the `ProcId` argument may only flow into action
+    /// *labels*, never into state contents or control flow). When true,
+    /// permuting process ids permutes system states without rewriting
+    /// per-process state contents, which is what the
+    /// `system::packed` orbit canonicalizer relies on. Defaults to
+    /// `false` — symmetry is a per-family opt-in contract, not an
+    /// inferred property.
+    fn id_symmetric(&self) -> bool {
+        false
+    }
 }
 
 pub mod direct {
@@ -162,6 +175,13 @@ pub mod direct {
                 Phase::Decided(v) => Some(v.clone()),
                 _ => None,
             }
+        }
+
+        fn id_symmetric(&self) -> bool {
+            // Every method above ignores `i` except for action labels:
+            // all processes run the same phase machine over the same
+            // shared object.
+            true
         }
     }
 }

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T]
+//!               [--symmetry full|off]
 //! repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]
-//! repro hook    [--n N] [--f F] [--dot FILE] [--threads T]
-//! repro census  [--n N] [--f F] [--threads T]
+//! repro hook    [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off]
+//! repro census  [--n N] [--f F] [--threads T] [--symmetry full|off]
 //! repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F]
-//!                  [--ones K] [--threads T]
+//!                  [--ones K] [--threads T] [--symmetry full|off]
 //! ```
 //!
 //! `check` evaluates a `;`-separated list of temporal properties over
@@ -23,6 +24,13 @@
 //! `--threads` sets the exploration worker count (0 = auto); every
 //! result is bit-identical across thread counts.
 //!
+//! `--symmetry full` explores the process-permutation quotient of
+//! `G(C)` (orbit canonicalization) — same theorem verdicts and census
+//! classifications with far fewer interned states on id-symmetric
+//! candidates; falls back to the full graph on candidates that are
+//! not. Defaults to the `SYMMETRY` environment variable (`full` to
+//! enable), else off.
+//!
 //! Examples:
 //!
 //! ```sh
@@ -35,11 +43,12 @@
 
 use analysis::graph::{census, to_dot};
 use analysis::hook::{find_hook, HookOutcome};
-use analysis::init::{find_bivalent_init_with, InitOutcome};
+use analysis::init::{find_bivalent_init_sym, InitOutcome};
 use analysis::prop::{evaluate_batch, parse_props, system_vocab, SystemGraph, Verdict, Witness};
 use analysis::resilience::{all_assignments, all_binary_assignments, certify, CertifyConfig};
 use analysis::valence::ValenceMap;
 use analysis::witness::{find_witness, Bounds};
+use ioa::canon::SymmetryMode;
 use protocols::set_boost::SetBoostParams;
 use resilience_boosting::prelude::*;
 use std::process::ExitCode;
@@ -100,17 +109,36 @@ impl Args {
     fn threads(&self) -> usize {
         self.usize_or("threads", 0)
     }
+
+    /// The symmetry mode (`--symmetry full|off`, default from the
+    /// `SYMMETRY` environment variable).
+    fn symmetry(&self) -> SymmetryMode {
+        match self.get("symmetry") {
+            None => SymmetryMode::from_env(),
+            Some("full") => SymmetryMode::Full,
+            Some("off") => SymmetryMode::Off,
+            Some(other) => die(&format!("--symmetry wants full|off, got {other:?}")),
+        }
+    }
+}
+
+/// A clean diagnostic exit for *user-input* errors where the usage
+/// dump would drown the message (bad property expressions, unknown
+/// atoms): one line on stderr, exit code 2 ("unknown"), no usage.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage:\n  \
-         repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T]\n  \
+         repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T] [--symmetry full|off]\n  \
          repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]\n  \
-         repro hook [--n N] [--f F] [--dot FILE] [--threads T]\n  \
-         repro census [--n N] [--f F] [--threads T]\n  \
-         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T]\n\
+         repro hook [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off]\n  \
+         repro census [--n N] [--f F] [--threads T] [--symmetry full|off]\n  \
+         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T] [--symmetry full|off]\n\
          \n\
          check evaluates ';'-separated properties over the explored graph, e.g.\n  \
          repro check 'always(safe); ef(decided(0)) & ef(decided(1))' --class atomic --n 2 --f 0\n\
@@ -129,6 +157,7 @@ fn witness_cmd(args: &Args) -> ExitCode {
     let class = args.get("class").unwrap_or("atomic");
     let bounds = Bounds {
         threads: args.threads(),
+        symmetry: args.symmetry(),
         ..Bounds::default()
     };
     println!(
@@ -233,7 +262,7 @@ fn hook_cmd(args: &Args) -> ExitCode {
     let f = args.usize_or("f", 0);
     let sys = protocols::doomed::doomed_atomic(n, f);
     let InitOutcome::Bivalent { assignment, map } =
-        find_bivalent_init_with(&sys, 2_000_000, args.threads())
+        find_bivalent_init_sym(&sys, 2_000_000, args.threads(), args.symmetry())
             .unwrap_or_else(|e| die(&e.to_string()))
     else {
         die("no bivalent initialization (try the witness command)")
@@ -271,7 +300,7 @@ fn census_cmd(args: &Args) -> ExitCode {
     let n = args.usize_or("n", 3);
     let f = args.usize_or("f", 1);
     let sys = protocols::doomed::doomed_atomic(n, f);
-    match find_bivalent_init_with(&sys, 2_000_000, args.threads()) {
+    match find_bivalent_init_sym(&sys, 2_000_000, args.threads(), args.symmetry()) {
         Ok(InitOutcome::Bivalent { assignment, map }) => {
             println!("valence landscape of G(C) from {assignment}:");
             println!("  {}", census(&map));
@@ -291,16 +320,19 @@ fn check_on<P: ProcessAutomaton>(
     sys: &system::build::CompleteSystem<P>,
     ones: usize,
     threads: usize,
+    symmetry: SymmetryMode,
     expr: &str,
 ) -> ExitCode {
     let n = sys.process_count();
     let assignment = InputAssignment::monotone(n, ones);
     let root = initialize(sys, &assignment);
-    let map = ValenceMap::build_with(sys, root, 2_000_000, threads)
-        .unwrap_or_else(|e| die(&e.to_string()));
+    let map = ValenceMap::build_with_symmetry(sys, root, 2_000_000, threads, symmetry)
+        .unwrap_or_else(|e| fail(&e.to_string()));
     let graph = SystemGraph::new(sys, &map);
     let vocab = system_vocab::<P>(assignment.clone());
-    let props = parse_props(expr, &vocab).unwrap_or_else(|e| die(&e.to_string()));
+    // Bad expressions and unknown atoms are user input, not pipeline
+    // failures: report the parse error alone and exit 2 (unknown).
+    let props = parse_props(expr, &vocab).unwrap_or_else(|e| fail(&e.to_string()));
     println!(
         "G(C) from {assignment}: {} states, {} properties",
         map.state_count(),
@@ -324,7 +356,11 @@ fn check_on<P: ProcessAutomaton>(
         }
         match &ev.witness {
             Some(Witness::Path(path)) => {
-                let tasks = graph.tasks_along(path);
+                // Under a symmetry quotient the raw path is not an
+                // execution; lift_path conjugates each edge task back
+                // to a concrete, replayable sequence (identity on full
+                // maps).
+                let (_, tasks) = graph.lift_path(path);
                 println!(
                     "        path: {} states from the root, tasks: {}",
                     path.len(),
@@ -367,25 +403,35 @@ fn check_cmd(args: &Args) -> ExitCode {
         die("--ones must be at most --n");
     }
     let threads = args.threads();
+    let symmetry = args.symmetry();
     let class = args.get("class").unwrap_or("atomic");
     match class {
-        "atomic" => check_on(&protocols::doomed::doomed_atomic(n, f), ones, threads, expr),
+        "atomic" => check_on(
+            &protocols::doomed::doomed_atomic(n, f),
+            ones,
+            threads,
+            symmetry,
+            expr,
+        ),
         "registers" => check_on(
             &protocols::doomed::doomed_atomic_with_registers(n, f),
             ones,
             threads,
+            symmetry,
             expr,
         ),
         "oblivious" => check_on(
             &protocols::doomed::doomed_oblivious(n, f),
             ones,
             threads,
+            symmetry,
             expr,
         ),
         "general" => check_on(
             &protocols::doomed::doomed_general(n, f),
             ones,
             threads,
+            symmetry,
             expr,
         ),
         other => die(&format!("unknown class {other:?}")),

@@ -185,6 +185,7 @@ fn trace_inclusion_as_a_dsl_refinement_property() {
             max_states: 2,
             skip_self_loops: false,
             threads: 1,
+            symmetry: ioa::SymmetryMode::Off,
         },
     );
 

@@ -78,7 +78,12 @@ fn lemma1_as_a_dsl_invariant_over_the_explored_graph() {
 
     let sys = doomed_atomic(2, 0);
     let root = initialize(&sys, &InputAssignment::monotone(2, 1));
-    let map = ValenceMap::build(&sys, root, 2_000_000).unwrap();
+    // Pinned to the full graph: `stable(e)` names a *specific* task,
+    // which is not orbit-invariant (quotient edges carry
+    // representative-relative labels), so this property lives outside
+    // the symmetry quotient's sound fragment — like `failed(i)`.
+    let map =
+        ValenceMap::build_with_symmetry(&sys, root, 2_000_000, 0, ioa::SymmetryMode::Off).unwrap();
     let graph = SystemGraph::new(&sys, &map);
 
     let props: Vec<Prop<'_, SystemGraph<'_, _>>> =

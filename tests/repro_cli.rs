@@ -1,0 +1,120 @@
+//! Regression tests for the `repro` binary's argument/parse layer.
+//!
+//! Drives the compiled binary (`CARGO_BIN_EXE_repro`) end to end:
+//! property parse errors and unknown atoms must produce a clean
+//! one-line `error: …` diagnostic on stderr and exit code 2
+//! ("unknown") — not the full usage dump, and not a panic — while
+//! well-formed invocations keep their documented exit codes. The
+//! `--symmetry` flag must accept `full`/`off` and produce the same
+//! verdicts either way on an id-symmetric candidate.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env_remove("SYMMETRY")
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn parse_error_exits_2_with_clean_message() {
+    // Unbalanced parenthesis: a parse error in the property DSL.
+    let out = repro(&[
+        "check",
+        "always(safe",
+        "--class",
+        "atomic",
+        "--n",
+        "2",
+        "--f",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "parse errors are 'unknown'");
+    let err = stderr_of(&out);
+    assert!(
+        err.starts_with("error: "),
+        "clean one-line diagnostic, got: {err:?}"
+    );
+    assert!(
+        !err.contains("usage:"),
+        "parse errors must not dump usage: {err:?}"
+    );
+}
+
+#[test]
+fn unknown_atom_exits_2_with_clean_message() {
+    let out = repro(&[
+        "check",
+        "always(no_such_atom)",
+        "--class",
+        "atomic",
+        "--n",
+        "2",
+        "--f",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "unknown atoms are 'unknown'");
+    let err = stderr_of(&out);
+    assert!(err.starts_with("error: "), "got: {err:?}");
+    assert!(!err.contains("usage:"), "got: {err:?}");
+}
+
+#[test]
+fn bad_flag_value_still_gets_usage() {
+    // Genuine argument misuse (not a property-DSL problem) keeps the
+    // usage dump so the user sees the command grammar.
+    let out = repro(&["check", "always(safe)", "--symmetry", "sideways"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("--symmetry"), "got: {err:?}");
+    assert!(err.contains("usage:"), "got: {err:?}");
+}
+
+#[test]
+fn holding_properties_exit_0_under_both_symmetry_modes() {
+    for mode in ["off", "full"] {
+        let out = repro(&[
+            "check",
+            "always(safe); ef(decided(0)) & ef(decided(1))",
+            "--class",
+            "atomic",
+            "--n",
+            "2",
+            "--f",
+            "0",
+            "--symmetry",
+            mode,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "mode {mode}: {}",
+            stderr_of(&out)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains("HOLDS"), "mode {mode}: {stdout}");
+        assert!(!stdout.contains("FAILS"), "mode {mode}: {stdout}");
+    }
+}
+
+#[test]
+fn failing_property_exits_1() {
+    // A mixed (bivalent) initialization is not univalent at the root.
+    let out = repro(&[
+        "check",
+        "now(univalent)",
+        "--class",
+        "atomic",
+        "--n",
+        "2",
+        "--f",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+}
