@@ -1,0 +1,405 @@
+//! Pinned graph isomorphism — the differential oracle for the
+//! work-stealing explorer (DESIGN.md §2.1.5).
+//!
+//! The layer-synchronous parallel explorer promises *bit identity*
+//! with the sequential BFS: same ids, same edge array, same parents.
+//! The work-stealing frontier deliberately gives that up — discovery
+//! interleaving is scheduling-dependent — and promises isomorphism
+//! instead: the same state *set*, the same edge *relation* modulo the
+//! id permutation, the same per-state annotations. This module makes
+//! that contract checkable.
+//!
+//! The isomorphism here is **pinned**, not searched: states are
+//! concrete values, so the only candidate bijection is "map each state
+//! of `a` to the state of `b` with the same value". There is no
+//! backtracking and no graph-canonization step — the check is a single
+//! linear sweep (`O(V + E)` with per-row multiset fallback), which is
+//! what lets the differential suite run it over every substrate at
+//! every thread count.
+
+use ioa::automaton::Automaton;
+use ioa::explore::{ExploredGraph, Truncation};
+use ioa::store::StateId;
+use std::fmt::Debug;
+
+use crate::valence::ValenceMap;
+use system::process::ProcessAutomaton;
+
+/// The (pinned) state bijection between two graphs: `fwd[i]` is the
+/// id in `b` of the state with id `i` in `a`.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    fwd: Vec<StateId>,
+}
+
+impl Mapping {
+    /// The image of `a`-id `id` in `b`.
+    #[inline]
+    #[must_use]
+    pub fn map(&self, id: StateId) -> StateId {
+        self.fwd[id.index()]
+    }
+
+    /// Number of mapped states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Whether the mapping is empty (two empty graphs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+}
+
+/// The value-pinned state bijection between `a` and `b`, or a
+/// description of the first state that breaks it.
+///
+/// Each state of `a` is looked up *by value* in `b`; totality plus
+/// equal cardinality already makes the map a bijection (interned
+/// states are pairwise distinct values, so distinct `a`-ids cannot
+/// share an image).
+pub fn state_bijection<A: Automaton>(
+    a: &ExploredGraph<A>,
+    b: &ExploredGraph<A>,
+) -> Result<Mapping, String> {
+    if a.len() != b.len() {
+        return Err(format!(
+            "state count mismatch: {} vs {} states",
+            a.len(),
+            b.len()
+        ));
+    }
+    let mut fwd = Vec::with_capacity(a.len());
+    for id in a.ids() {
+        match b.id_of(a.resolve(id)) {
+            Some(img) => fwd.push(img),
+            None => {
+                return Err(format!(
+                    "state {id:?} of the left graph has no value-equal state in the right graph"
+                ))
+            }
+        }
+    }
+    Ok(Mapping { fwd })
+}
+
+/// Whether row `lhs` (already mapped into `b`-ids) and row `rhs` hold
+/// the same edge multiset. Fast path: the rows agree as sequences
+/// (task order is deterministic, so they almost always do). Fallback:
+/// remove-first-match, `O(k²)` in the row length — `Action` carries no
+/// `Ord`/`Hash`, so sorting is not available.
+fn rows_match<E: PartialEq>(lhs: &[E], rhs: &[E]) -> bool {
+    if lhs.len() != rhs.len() {
+        return false;
+    }
+    if lhs == rhs {
+        return true;
+    }
+    let mut pool: Vec<&E> = rhs.iter().collect();
+    for e in lhs {
+        match pool.iter().position(|r| *r == e) {
+            Some(p) => {
+                pool.swap_remove(p);
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Checks that `m` carries `a`'s edge relation exactly onto `b`'s:
+/// for every state, the mapped successor row of `a` equals `b`'s row
+/// at the image id, as a multiset of `(task, action, successor)`.
+pub fn check_edges<A: Automaton>(
+    a: &ExploredGraph<A>,
+    b: &ExploredGraph<A>,
+    m: &Mapping,
+) -> Result<(), String> {
+    for id in a.ids() {
+        let lhs: Vec<(A::Task, A::Action, StateId)> = a
+            .successors(id)
+            .iter()
+            .map(|(t, act, dst)| (t.clone(), act.clone(), m.map(*dst)))
+            .collect();
+        let rhs = b.successors(m.map(id));
+        if !rows_match(&lhs, rhs) {
+            return Err(format!(
+                "edge rows differ at state {id:?} (image {:?}): {} vs {} retained edges, or same count with different labels/targets",
+                m.map(id),
+                lhs.len(),
+                rhs.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Truncation agreement for the census: same kind, and for truncated
+/// runs the same budget. `dropped_edges` is *not* compared — how many
+/// edges point past the budget boundary depends on which states the
+/// scheduler happened to admit, exactly the freedom isomorphism mod
+/// scheduling grants.
+fn truncation_matches(x: &Truncation, y: &Truncation) -> Result<(), String> {
+    match (x, y) {
+        (Truncation::Complete, Truncation::Complete) => Ok(()),
+        (Truncation::StateBudget { budget: p, .. }, Truncation::StateBudget { budget: q, .. })
+            if p == q =>
+        {
+            Ok(())
+        }
+        _ => Err(format!("truncation census differs: {x:?} vs {y:?}")),
+    }
+}
+
+/// The full graph-isomorphism check: state bijection, root images,
+/// edge relation, and census (state count, edge count, truncation kind
+/// and budget). Returns the mapping so callers can go on to compare
+/// per-state annotations ([`annotations_match`]).
+pub fn graph_iso<A: Automaton>(
+    a: &ExploredGraph<A>,
+    b: &ExploredGraph<A>,
+) -> Result<Mapping, String> {
+    let m = state_bijection(a, b)?;
+    let roots: Vec<StateId> = a.roots().iter().map(|&r| m.map(r)).collect();
+    if roots != b.roots() {
+        return Err(format!(
+            "root images {:?} differ from right-graph roots {:?}",
+            roots,
+            b.roots()
+        ));
+    }
+    check_edges(a, b, &m)?;
+    let (sa, sb) = (a.stats(), b.stats());
+    if sa.states != sb.states || sa.edges != sb.edges {
+        return Err(format!(
+            "census differs: {} states / {} edges vs {} states / {} edges",
+            sa.states, sa.edges, sb.states, sb.edges
+        ));
+    }
+    truncation_matches(&sa.truncation, &sb.truncation)?;
+    Ok(m)
+}
+
+/// Checks that a per-state annotation table transports along `m`:
+/// `b_table[m(i)] == a_table[i]` for every state. Used for valences,
+/// census classes, witness verdict inputs — anything indexed by id.
+pub fn annotations_match<T: PartialEq + Debug>(
+    m: &Mapping,
+    a_table: &[T],
+    b_table: &[T],
+) -> Result<(), String> {
+    if a_table.len() != m.len() || b_table.len() != m.len() {
+        return Err(format!(
+            "annotation tables have {} and {} entries for {} states",
+            a_table.len(),
+            b_table.len(),
+            m.len()
+        ));
+    }
+    for (i, a_val) in a_table.iter().enumerate() {
+        let img = m.fwd[i].index();
+        if *a_val != b_table[img] {
+            return Err(format!(
+                "annotation differs at state {i} (image {img}): {:?} vs {:?}",
+                a_val, b_table[img]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`graph_iso`] for two [`ValenceMap`]s over the same system and
+/// root: state bijection by decoded value, root image, edge relation,
+/// valence transport, and census. This is the analysis-layer oracle —
+/// a work-stealing-built map must be isomorphic to the sequential one
+/// *and* classify every state identically.
+pub fn valence_map_iso<P: ProcessAutomaton>(
+    a: &ValenceMap<P>,
+    b: &ValenceMap<P>,
+) -> Result<Mapping, String> {
+    if a.state_count() != b.state_count() {
+        return Err(format!(
+            "state count mismatch: {} vs {} states",
+            a.state_count(),
+            b.state_count()
+        ));
+    }
+    let mut fwd = Vec::with_capacity(a.state_count());
+    for id in a.ids() {
+        match b.id_of(a.resolve(id)) {
+            Some(img) => fwd.push(img),
+            None => {
+                return Err(format!(
+                    "state {id:?} of the left map has no value-equal state in the right map"
+                ))
+            }
+        }
+    }
+    let m = Mapping { fwd };
+    if m.map(a.root_id()) != b.root_id() {
+        return Err(format!(
+            "root image {:?} differs from right-map root {:?}",
+            m.map(a.root_id()),
+            b.root_id()
+        ));
+    }
+    for id in a.ids() {
+        let lhs: Vec<_> = a
+            .successors(id)
+            .iter()
+            .map(|(t, act, dst)| (t.clone(), act.clone(), m.map(*dst)))
+            .collect();
+        if !rows_match(&lhs, b.successors(m.map(id))) {
+            return Err(format!("edge rows differ at state {id:?}"));
+        }
+        if a.valence_id(id) != b.valence_id(m.map(id)) {
+            return Err(format!(
+                "valence differs at state {id:?}: {:?} vs {:?}",
+                a.valence_id(id),
+                b.valence_id(m.map(id))
+            ));
+        }
+    }
+    let (sa, sb) = (a.stats(), b.stats());
+    if sa.states != sb.states || sa.edges != sb.edges {
+        return Err(format!(
+            "census differs: {} states / {} edges vs {} states / {} edges",
+            sa.states, sa.edges, sb.states, sb.edges
+        ));
+    }
+    truncation_matches(&sa.truncation, &sb.truncation)?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valence::Valence;
+    use ioa::automaton::ActionKind;
+    use ioa::explore::ExploredGraph;
+
+    /// A literal transition table over `u8` states: one tuple per
+    /// `(source, task, action, destination)` edge, enumerated in list
+    /// order — so two tables with the same edge *set* but different
+    /// list order explore (and number) the same graph differently.
+    struct TableAut {
+        edges: Vec<(u8, u8, &'static str, u8)>,
+    }
+
+    impl Automaton for TableAut {
+        type State = u8;
+        type Action = &'static str;
+        type Task = u8;
+
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn tasks(&self) -> Vec<u8> {
+            let mut ts: Vec<u8> = self.edges.iter().map(|e| e.1).collect();
+            ts.sort_unstable();
+            ts.dedup();
+            ts
+        }
+
+        fn succ_all(&self, t: &u8, s: &u8) -> Vec<(&'static str, u8)> {
+            self.edges
+                .iter()
+                .filter(|(src, task, _, _)| src == s && task == t)
+                .map(|&(_, _, a, dst)| (a, dst))
+                .collect()
+        }
+
+        fn apply_input(&self, _s: &u8, _a: &&'static str) -> Option<u8> {
+            None
+        }
+
+        fn kind(&self, _a: &&'static str) -> ActionKind {
+            ActionKind::Internal
+        }
+    }
+
+    fn explore(edges: Vec<(u8, u8, &'static str, u8)>) -> ExploredGraph<TableAut> {
+        let aut = TableAut { edges };
+        ExploredGraph::explore(&aut, vec![0], 100)
+    }
+
+    #[test]
+    fn a_hand_permuted_graph_is_accepted_with_the_value_pinned_mapping() {
+        // Same edge relation, opposite branch order: the second graph
+        // discovers state 2 before state 1, so ids 1 and 2 swap.
+        let a = explore(vec![(0, 0, "to1", 1), (0, 0, "to2", 2), (1, 1, "hop", 2)]);
+        let b = explore(vec![(0, 0, "to2", 2), (0, 0, "to1", 1), (1, 1, "hop", 2)]);
+        assert_ne!(
+            a.resolve(StateId::from_index(1)),
+            b.resolve(StateId::from_index(1)),
+            "the permutation must be nontrivial for this test to mean anything"
+        );
+        let m = graph_iso(&a, &b).expect("hand-permuted graph is isomorphic");
+        for id in a.ids() {
+            assert_eq!(b.resolve(m.map(id)), a.resolve(id));
+        }
+    }
+
+    #[test]
+    fn a_flipped_edge_is_rejected() {
+        // Same state set and edge count, but `hop` retargeted from
+        // state 2 to a self-loop on state 1.
+        let a = explore(vec![(0, 0, "to1", 1), (0, 0, "to2", 2), (1, 1, "hop", 2)]);
+        let b = explore(vec![(0, 0, "to1", 1), (0, 0, "to2", 2), (1, 1, "hop", 1)]);
+        let err = graph_iso(&a, &b).expect_err("retargeted edge must be caught");
+        assert!(err.contains("edge rows differ"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn a_missing_state_is_rejected() {
+        let a = explore(vec![(0, 0, "to1", 1), (0, 0, "to2", 2)]);
+        let b = explore(vec![(0, 0, "to1", 1)]);
+        let err = graph_iso(&a, &b).expect_err("smaller graph must be caught");
+        assert!(
+            err.contains("state count mismatch"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn relabeled_valences_are_rejected_and_transported_ones_accepted() {
+        let a = explore(vec![(0, 0, "to1", 1), (0, 0, "to2", 2)]);
+        let b = explore(vec![(0, 0, "to2", 2), (0, 0, "to1", 1)]);
+        let m = graph_iso(&a, &b).expect("isomorphic");
+        let a_val = [Valence::Bivalent, Valence::Zero, Valence::One];
+        // b's ids 1 and 2 are swapped relative to a's, so the table
+        // transported along `m` swaps those two entries.
+        let b_val = [Valence::Bivalent, Valence::One, Valence::Zero];
+        annotations_match(&m, &a_val, &b_val).expect("transported valences agree");
+        let relabeled = [Valence::Bivalent, Valence::Zero, Valence::One];
+        let err = annotations_match(&m, &a_val, &relabeled)
+            .expect_err("an untransported (relabeled) table must be caught");
+        assert!(
+            err.contains("annotation differs"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_state_edge_cases() {
+        let aut = TableAut { edges: vec![] };
+        let empty_a = ExploredGraph::explore(&aut, vec![], 100);
+        let empty_b = ExploredGraph::explore(&aut, vec![], 100);
+        let m = graph_iso(&empty_a, &empty_b).expect("two empty graphs are isomorphic");
+        assert!(m.is_empty());
+
+        let single_a = ExploredGraph::explore(&aut, vec![7], 100);
+        let single_b = ExploredGraph::explore(&aut, vec![7], 100);
+        let m = graph_iso(&single_a, &single_b).expect("two single-state graphs are isomorphic");
+        assert_eq!(m.len(), 1);
+
+        let err = graph_iso(&single_a, &empty_a).expect_err("cardinality mismatch must be caught");
+        assert!(
+            err.contains("state count mismatch"),
+            "unexpected error: {err}"
+        );
+    }
+}

@@ -52,6 +52,7 @@
 pub mod graph;
 pub mod hook;
 pub mod init;
+pub mod iso;
 pub mod prop;
 pub mod replay;
 pub mod resilience;

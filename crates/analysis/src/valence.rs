@@ -17,7 +17,7 @@
 //! instead of re-hashing and re-cloning full `SystemState`s.
 
 use ioa::canon::{Perm, SymmetryMode};
-use ioa::explore::{ExploreOptions, ExploreStats, ExploredGraph};
+use ioa::explore::{ExploreOptions, ExploreStats, ExploredGraph, FrontierMode};
 use ioa::store::{fx_hash, StateId, StateStore};
 use ioa::Csr;
 use spec::Val;
@@ -217,6 +217,28 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         max_states: usize,
         threads: usize,
     ) -> Result<Self, Truncated> {
+        Self::build_in_with(sys, packed, root, max_states, threads, FrontierMode::Auto)
+    }
+
+    /// [`ValenceMap::build_in`] with an explicit frontier discipline.
+    /// Complete explorations renumber to the identical graph under
+    /// every [`FrontierMode`], so the resulting map is bit-identical
+    /// either way; the knob exists so differential suites can pin the
+    /// work-stealing path explicitly instead of routing through the
+    /// process-global [`ioa::explore::FRONTIER_ENV`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Truncated`] if the reachable space exceeds
+    /// `max_states` — all valence answers would be unsound.
+    pub fn build_in_with(
+        sys: &CompleteSystem<P>,
+        packed: &PackedSystem<'_, P>,
+        root: SystemState<P::State>,
+        max_states: usize,
+        threads: usize,
+        frontier: FrontierMode,
+    ) -> Result<Self, Truncated> {
         let packed_root = packed.encode(&root);
         let graph = ExploredGraph::explore_with(
             packed,
@@ -228,6 +250,7 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
                 // Quotient exactly when the packed system's orbit
                 // canonicalizer is active; roots stay raw either way.
                 symmetry: packed.symmetry_mode(),
+                frontier,
             },
         );
         if graph.stats().truncated() {

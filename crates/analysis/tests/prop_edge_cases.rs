@@ -53,6 +53,7 @@ fn explore(limit: usize, budget: usize) -> ExploredGraph<Counter> {
             skip_self_loops: false,
             threads: 1,
             symmetry: ioa::SymmetryMode::Off,
+            frontier: ioa::FrontierMode::Auto,
         },
     )
 }
@@ -72,6 +73,7 @@ fn empty_graph_every_universal_holds_every_existential_fails() {
             skip_self_loops: false,
             threads: 1,
             symmetry: ioa::SymmetryMode::Off,
+            frontier: ioa::FrontierMode::Auto,
         },
     );
     assert_eq!(g.len(), 0);

@@ -28,6 +28,9 @@ fn main() {
         skip_self_loops: true,
         threads: 1,
         symmetry: ioa::SymmetryMode::Off,
+        // This bench measures the layer-synchronous path specifically
+        // (e18 covers work-stealing); pin it against the env default.
+        frontier: ioa::FrontierMode::Layered,
     };
     for (label, sys, _f) in bench_scales() {
         // Explore from the first mixed initialization α_1 — the

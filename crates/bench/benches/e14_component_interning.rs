@@ -33,6 +33,7 @@ fn main() {
         skip_self_loops: true,
         threads: 1,
         symmetry: ioa::SymmetryMode::Off,
+        frontier: ioa::FrontierMode::Layered,
     };
     for (label, sys, _f) in bench_scales() {
         let n = sys.process_count();

@@ -1,0 +1,111 @@
+//! E18 — sharded concurrent interning + work-stealing exploration.
+//!
+//! Regenerates: the wall-clock cost of the full packed `G(C)` sweep
+//! under the work-stealing frontier (DESIGN §2.1.5) at worker counts
+//! 1, 2, 4 and 8, against the sequential layer-synchronous explorer as
+//! the baseline. Each row is annotated with the interned state count,
+//! so the JSON carries states/sec alongside the wall-clock.
+//!
+//! Expected shape: the layered explorer's merge thread is a hard
+//! scaling ceiling (E13 plateaus by 4 workers); the work-stealing
+//! frontier has no barrier and no merge, so states/sec should keep
+//! climbing to 8 workers on a machine with the cores, with `n=4,f=2`
+//! (the biggest doomed-atomic sweep) showing the headline win.
+//! `threads=1` measures the pure overhead of the sharded store and the
+//! renumbering pass over the sequential path — the parity gate at the
+//! bottom pins it to the same ballpark (generous 2× bound, so a noisy
+//! single-sample CI smoke run cannot flake; the honest ratio is
+//! printed and recorded in the JSON either way).
+//!
+//! Every work-stealing run is checked against the sequential state
+//! count inside the timed closure — a diverging sweep fails the bench
+//! rather than producing a fast wrong number.
+
+use bench_suite::harness::Group;
+use ioa::explore::{ExploreOptions, ExploredGraph};
+use ioa::{FrontierMode, SymmetryMode};
+use protocols::doomed::doomed_atomic;
+use std::hint::black_box;
+use system::consensus::InputAssignment;
+use system::packed::PackedSystem;
+use system::sched::initialize;
+
+const SCALES: [(usize, usize); 2] = [(3, 1), (4, 2)];
+
+fn opts(threads: usize, frontier: FrontierMode) -> ExploreOptions {
+    ExploreOptions {
+        max_states: 5_000_000,
+        skip_self_loops: true,
+        threads,
+        symmetry: SymmetryMode::Off,
+        frontier,
+    }
+}
+
+fn main() {
+    let mut group = Group::new("e18_work_stealing");
+    for (n, f) in SCALES {
+        let sys = doomed_atomic(n, f);
+        let root = initialize(&sys, &InputAssignment::monotone(n, 1));
+        // One shared packed system per scale: the effect cache warms on
+        // the reference sweep, so every timed variant measures the
+        // explorer (intern + frontier + CSR), not effect computation.
+        let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Off);
+        let proot = packed.encode(&root);
+        let seq = ExploredGraph::explore_with(
+            &packed,
+            vec![proot.clone()],
+            opts(1, FrontierMode::Layered),
+        );
+        let states = seq.len() as u64;
+        eprintln!(
+            "[E18] n={n},f={f}: {} states, {} edges",
+            seq.len(),
+            seq.stats().edges
+        );
+        group.bench(&format!("seq_n={n},f={f}"), || {
+            black_box(ExploredGraph::explore_with(
+                &packed,
+                vec![proot.clone()],
+                opts(1, FrontierMode::Layered),
+            ))
+        });
+        group.annotate_last(Some(states), None);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench(&format!("ws_n={n},f={f},threads={threads}"), || {
+                let g = ExploredGraph::explore_with(
+                    &packed,
+                    vec![proot.clone()],
+                    opts(threads, FrontierMode::WorkSteal),
+                );
+                assert_eq!(g.len() as u64, states, "work-stealing sweep diverged");
+                black_box(g.stats().edges)
+            });
+            group.annotate_last(Some(states), None);
+        }
+    }
+    let results = group.finish();
+
+    // Parity gate (exercised by CI's bench-smoke job): one sharded
+    // worker must stay in the same ballpark as the sequential
+    // explorer. The bound is deliberately loose — smoke runs take one
+    // debug-build sample — while the printed ratio records the honest
+    // number for the perf trajectory.
+    for (n, f) in SCALES {
+        let find = |label: String| {
+            results
+                .iter()
+                .find(|m| m.label == label)
+                .expect("measurement recorded above")
+        };
+        let seq = find(format!("seq_n={n},f={f}"));
+        let ws1 = find(format!("ws_n={n},f={f},threads=1"));
+        let ratio = ws1.median_ns() as f64 / seq.median_ns().max(1) as f64;
+        eprintln!("[E18] n={n},f={f}: ws(threads=1) / seq wall-clock ratio {ratio:.3}");
+        assert!(
+            ratio < 2.0,
+            "n={n},f={f}: single-worker sharded exploration is {ratio:.2}x sequential — \
+             the work-stealing frontier regressed the uncontended path"
+        );
+    }
+}

@@ -117,6 +117,25 @@ impl<E> Csr<E> {
         (0..self.rows()).flat_map(move |r| self.row(r).iter().map(move |e| (r, e)))
     }
 
+    /// Assemble a table directly from its parts — the finalization path
+    /// of the work-stealing explorer, which computes the offset table by
+    /// prefix sum and scatters entries in parallel rather than closing
+    /// rows one at a time.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is not a monotone prefix-sum table starting
+    /// at 0 and ending at `entries.len()`.
+    #[must_use]
+    pub fn from_parts(offsets: Vec<u32>, entries: Vec<E>) -> Csr<E> {
+        assert!(
+            offsets.first() == Some(&0)
+                && offsets.last().map(|&o| o as usize) == Some(entries.len())
+                && offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be a prefix-sum table over the entries"
+        );
+        Csr { offsets, entries }
+    }
+
     /// The transposed table: entry `e` in row `r` contributes
     /// `value_of(r, &e)` to row `target_of(&e)` of the result, which has
     /// `self.rows()` rows. Within a reversed row, entries appear in

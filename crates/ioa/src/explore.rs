@@ -19,8 +19,10 @@
 use crate::automaton::{Automaton, CacheStats};
 use crate::canon::SymmetryMode;
 use crate::csr::Csr;
-use crate::store::{StateId, StateStore};
+use crate::store::{fx_hash, ShardedStore, StateId, StateStore};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Why (and whether) exploration stopped before exhausting the
 /// reachable space.
@@ -48,8 +50,18 @@ pub struct ExploreStats {
     pub states: usize,
     /// Transitions retained in the edge lists.
     pub edges: usize,
-    /// Largest BFS frontier observed (including the state being
-    /// expanded) — a proxy for the exploration's working-set width.
+    /// Peak number of *in-flight* states observed — admitted but not
+    /// yet fully expanded — a proxy for the exploration's working-set
+    /// width.
+    ///
+    /// On the sequential and layer-synchronous paths this is the
+    /// largest BFS frontier (queue plus the state being expanded),
+    /// sampled when a state is dequeued, exactly as it always was. The
+    /// work-stealing path has no layers, so the same quantity is
+    /// sampled from its atomic in-flight counter at each dequeue; with
+    /// one worker the two definitions coincide step for step, while
+    /// under concurrency the value depends on scheduling and is *not*
+    /// compared by `PartialEq` (see below).
     pub peak_frontier: usize,
     /// Whether the graph is exact or budget-truncated.
     pub truncation: Truncation,
@@ -62,16 +74,18 @@ pub struct ExploreStats {
     pub cache: Option<CacheStats>,
 }
 
-// `cache` is a measurement of *how* the graph was produced, not part of
-// the graph's identity: the deep and the packed system automata explore
-// bit-identical graphs while only the packed one reports cache
-// counters. Equality therefore compares the census fields only, so the
-// differential suites can keep asserting `deep.stats() == packed.stats()`.
+// `cache` and `peak_frontier` are measurements of *how* the graph was
+// produced, not part of the graph's identity: the deep and the packed
+// system automata explore bit-identical graphs while only the packed
+// one reports cache counters, and a work-stealing exploration of the
+// same space reports a scheduling-dependent in-flight peak. Equality
+// therefore compares the census fields only, so the differential suites
+// can keep asserting `deep.stats() == packed.stats()` across automaton
+// encodings *and* frontier strategies.
 impl PartialEq for ExploreStats {
     fn eq(&self, other: &Self) -> bool {
         self.states == other.states
             && self.edges == other.edges
-            && self.peak_frontier == other.peak_frontier
             && self.truncation == other.truncation
     }
 }
@@ -90,6 +104,56 @@ impl ExploreStats {
 /// [`ExploreOptions::threads`] is `0` (auto). CI sets this to force the
 /// whole test suite through the parallel path.
 pub const THREADS_ENV: &str = "IOA_EXPLORE_THREADS";
+
+/// Environment variable resolving [`FrontierMode::Auto`]: set it to
+/// `ws` (aliases: `worksteal`, `work-stealing`) to route every
+/// auto-mode exploration through the work-stealing frontier, anything
+/// else (or unset) for the layer-synchronous default. CI's
+/// `work-stealing` job sets this to sweep the whole suite through the
+/// sharded path.
+pub const FRONTIER_ENV: &str = "IOA_EXPLORE_FRONTIER";
+
+/// Which frontier discipline [`ExploredGraph::explore_with`] drives the
+/// BFS with (DESIGN §2.1.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontierMode {
+    /// Resolve through [`FRONTIER_ENV`] when set, else [`Layered`].
+    ///
+    /// [`Layered`]: FrontierMode::Layered
+    #[default]
+    Auto,
+    /// Layer-synchronous expansion with a sequential in-order merge:
+    /// graphs are **bit-identical** to the sequential explorer at every
+    /// thread count, including under truncation. The scaling ceiling is
+    /// the merge thread.
+    Layered,
+    /// Sharded concurrent interning + work-stealing deques: workers
+    /// intern into a [`ShardedStore`] and steal half a victim's deque
+    /// when idle, with no layer barriers. Finished graphs are
+    /// *renumbered* into BFS discovery order, so a **complete**
+    /// exploration is bit-identical to the sequential one (ids, edges,
+    /// parents); a *truncated* one admits a scheduling-dependent subset
+    /// of exactly `max_states` states and is only guaranteed sound
+    /// (every admitted state reachable, edges closed). Honored even at
+    /// `threads = 1`, where it degenerates to a deterministic FIFO BFS
+    /// identical to the sequential path.
+    WorkSteal,
+}
+
+impl FrontierMode {
+    /// The mode this exploration will actually run: `Auto` resolved
+    /// through [`FRONTIER_ENV`], explicit modes taken as given.
+    #[must_use]
+    pub fn effective(self) -> FrontierMode {
+        match self {
+            FrontierMode::Auto => match std::env::var(FRONTIER_ENV).ok().as_deref() {
+                Some("ws" | "worksteal" | "work-stealing") => FrontierMode::WorkSteal,
+                _ => FrontierMode::Layered,
+            },
+            other => other,
+        }
+    }
+}
 
 /// Knobs for [`ExploredGraph::explore_with`].
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +191,10 @@ pub struct ExploreOptions {
     /// along with concrete ones. For automata whose `canonical` is the
     /// identity (the default), `Full` explores the same graph as `Off`.
     pub symmetry: SymmetryMode,
+    /// Frontier discipline: layer-synchronous (bit-identical merge) or
+    /// sharded work-stealing (renumbered; bit-identical when complete).
+    /// See [`FrontierMode`].
+    pub frontier: FrontierMode,
 }
 
 /// BFS layers narrower than this are expanded inline on the calling
@@ -146,6 +214,7 @@ impl ExploreOptions {
             skip_self_loops: false,
             threads: 0,
             symmetry: SymmetryMode::Off,
+            frontier: FrontierMode::Auto,
         }
     }
 
@@ -153,6 +222,13 @@ impl ExploreOptions {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Same options with an explicit frontier mode.
+    #[must_use]
+    pub fn with_frontier(mut self, frontier: FrontierMode) -> Self {
+        self.frontier = frontier;
         self
     }
 
@@ -239,6 +315,12 @@ impl<A: Automaton> ExploredGraph<A> {
     /// sequentially in exactly that order, so the resulting graph (ids,
     /// edges, parents, stats, truncation) is bit-identical to the
     /// sequential one. See DESIGN.md §2.1.1.
+    ///
+    /// With [`FrontierMode::WorkSteal`] the same determinism holds for
+    /// every *complete* exploration — the post-hoc renumbering pass
+    /// reassigns exactly the sequential ids (DESIGN §2.1.5) — while a
+    /// *truncated* work-stealing run keeps a scheduling-dependent (but
+    /// exactly-budget, edge-closed) subset of the reachable graph.
     pub fn explore_with(aut: &A, roots: Vec<A::State>, opts: ExploreOptions) -> Self {
         // Cache accounting is scoped: every expansion goes through
         // `succ_counted` with this exploration's own sink, so the
@@ -250,6 +332,9 @@ impl<A: Automaton> ExploredGraph<A> {
         // exploration happened to snapshot around them.)
         let track_cache = aut.cache_stats().is_some();
         let threads = opts.effective_threads();
+        if opts.frontier.effective() == FrontierMode::WorkSteal {
+            return worksteal::explore(aut, &roots, opts, threads);
+        }
         let mut b = Builder::new(&roots);
         if threads <= 1 {
             b.expand_sequential(aut, opts);
@@ -721,6 +806,382 @@ impl<A: Automaton> Builder<A> {
     }
 }
 
+/// The sharded work-stealing frontier (DESIGN §2.1.5).
+///
+/// Workers intern successors directly into a [`ShardedStore`]
+/// (provisional `shard | local` ids, global CAS budget) and keep
+/// per-worker deques of `(provisional id, state)` items: fresh states
+/// are pushed to the owner's deque back, idle workers steal half a
+/// victim's deque from the front. There are no layer barriers;
+/// termination is an atomic in-flight counter (incremented when a state
+/// is admitted, decremented when its expansion completes) reaching zero
+/// while every deque is empty. Each worker buffers its discovered edges
+/// as per-source groups carrying provisional ids.
+///
+/// Once the frontier drains, a sequential renumbering BFS walks the
+/// buffered groups from the roots — root order, then per-source
+/// recorded edge order, which *is* (task order, branch order) — and
+/// assigns dense ids at first sight. For a **complete** exploration the
+/// per-source edge groups are a pure function of the automaton, so this
+/// renumbering reproduces exactly the sequential explorer's ids, edges
+/// and BFS-tree parents: bit-identity is recovered after the fact
+/// rather than maintained by a merge thread. A **truncated**
+/// exploration admits a scheduling-dependent subset (of exactly
+/// `max_states` states — the CAS budget is globally exact), so only
+/// soundness holds there: every admitted state is reachable via a
+/// retained edge from an admitted source (admission happens while its
+/// discoverer is mid-expansion, so an in-edge is always recorded), the
+/// graph stays edge-closed, and the renumbering therefore visits every
+/// survivor. The CSR is finalized by a counting-sort scatter over the
+/// buffered groups — parallel over disjoint row ranges when the edge
+/// mass warrants it, inline otherwise.
+mod worksteal {
+    use super::{
+        fx_hash, AtomicBool, AtomicUsize, Automaton, CacheStats, Csr, Discovery, Edge,
+        ExploreOptions, ExploreStats, ExploredGraph, Mutex, Ordering, ShardedStore, StateId,
+        Truncation, VecDeque,
+    };
+
+    /// A deque item: a freshly admitted state carried with its
+    /// provisional id, so expansion never reads the sharded store.
+    type Item<A> = (StateId, <A as Automaton>::State);
+
+    /// The edges out of one expanded source, in (task, branch) order,
+    /// with provisional target ids.
+    type Group<A> = (StateId, Vec<Edge<A>>);
+
+    /// Pop from the worker's own deque front, else steal half (front,
+    /// oldest-first) of the first non-empty victim. Never holds two
+    /// deque locks at once: stolen items are drained out of the victim
+    /// before the thief's own deque is touched.
+    fn pop_or_steal<A: Automaton>(
+        deques: &[Mutex<VecDeque<Item<A>>>],
+        w: usize,
+    ) -> Option<Item<A>> {
+        if let Some(item) = deques[w].lock().expect("deque poisoned").pop_front() {
+            return Some(item);
+        }
+        let n = deques.len();
+        for k in 1..n {
+            let v = (w + k) % n;
+            let stolen: Vec<Item<A>> = {
+                let mut victim = deques[v].lock().expect("deque poisoned");
+                let take = victim.len().div_ceil(2);
+                victim.drain(..take).collect()
+            };
+            let mut it = stolen.into_iter();
+            if let Some(first) = it.next() {
+                let rest: Vec<Item<A>> = it.collect();
+                if !rest.is_empty() {
+                    deques[w].lock().expect("deque poisoned").extend(rest);
+                }
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    pub(super) fn explore<A: Automaton>(
+        aut: &A,
+        roots: &[A::State],
+        opts: ExploreOptions,
+        threads: usize,
+    ) -> ExploredGraph<A> {
+        let track_cache = aut.cache_stats().is_some();
+        let tasks = aut.tasks();
+        let canon = opts.symmetry.is_full();
+        let workers = threads.max(1);
+        let store: ShardedStore<A::State> = ShardedStore::new(workers * 4);
+
+        // Roots are always admitted (unbounded), in the given order.
+        let mut root_provs: Vec<StateId> = Vec::with_capacity(roots.len());
+        let mut seeds: Vec<Item<A>> = Vec::new();
+        for r in roots {
+            let (prov, fresh) = store.intern_prehashed(r, fx_hash(r));
+            if fresh {
+                seeds.push((prov, r.clone()));
+            }
+            root_provs.push(prov);
+        }
+
+        let deques: Vec<Mutex<VecDeque<Item<A>>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let in_flight = AtomicUsize::new(seeds.len());
+        let peak = AtomicUsize::new(0);
+        let dropped = AtomicUsize::new(0);
+        let truncated = AtomicBool::new(false);
+        for (i, item) in seeds.into_iter().enumerate() {
+            deques[i % workers]
+                .lock()
+                .expect("deque poisoned")
+                .push_back(item);
+        }
+
+        // Expand one state: its out-edges in (task, branch) order, with
+        // every freshly admitted successor reported through `on_fresh`.
+        // Shared by the single- and multi-worker drain loops below.
+        let expand = |s: &A::State,
+                      cache: &mut CacheStats,
+                      on_fresh: &mut dyn FnMut(StateId, A::State)|
+         -> Vec<Edge<A>> {
+            let mut edges: Vec<Edge<A>> = Vec::new();
+            for t in &tasks {
+                for (a, s2) in aut.succ_counted(t, s, cache) {
+                    if opts.skip_self_loops && s2 == *s {
+                        continue;
+                    }
+                    let s2 = if canon { aut.canonical(s2) } else { s2 };
+                    if canon && opts.skip_self_loops && s2 == *s {
+                        continue;
+                    }
+                    let h = fx_hash(&s2);
+                    match store.try_intern_prehashed(&s2, h, opts.max_states) {
+                        Some((dst, fresh)) => {
+                            edges.push((t.clone(), a, dst));
+                            if fresh {
+                                on_fresh(dst, s2);
+                            }
+                        }
+                        None => {
+                            truncated.store(true, Ordering::SeqCst);
+                            dropped.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+            edges
+        };
+
+        // Phase 1: drain the frontier.
+        let results: Vec<(Vec<Group<A>>, CacheStats)> = if workers == 1 {
+            // Single-worker fast path: a plain local queue — no thread
+            // spawns, no deque locks, no shared-counter traffic (the
+            // dominant fixed costs on sub-millisecond sweeps). `peak`
+            // keeps the sequential definition: queue length + 1
+            // sampled at pop, the popped item still in flight.
+            let mut queue: VecDeque<Item<A>> =
+                std::mem::take(&mut *deques[0].lock().expect("deque poisoned"));
+            let mut groups: Vec<Group<A>> = Vec::new();
+            let mut cache = CacheStats::default();
+            let mut local_peak = 0usize;
+            while let Some((src, s)) = queue.pop_front() {
+                local_peak = local_peak.max(queue.len() + 1);
+                let edges = expand(&s, &mut cache, &mut |dst, s2| queue.push_back((dst, s2)));
+                groups.push((src, edges));
+            }
+            peak.store(local_peak, Ordering::SeqCst);
+            vec![(groups, cache)]
+        } else {
+            // Worker 0 runs inline on the calling thread; only workers
+            // 1..n are spawned.
+            let worker_loop = |w: usize| -> (Vec<Group<A>>, CacheStats) {
+                let mut groups: Vec<Group<A>> = Vec::new();
+                let mut cache = CacheStats::default();
+                loop {
+                    let Some((src, s)) = pop_or_steal::<A>(&deques, w) else {
+                        if in_flight.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    // Sample the in-flight peak at dequeue time (the
+                    // popped item still counts: it is decremented only
+                    // after expansion).
+                    peak.fetch_max(in_flight.load(Ordering::SeqCst), Ordering::SeqCst);
+                    let edges = expand(&s, &mut cache, &mut |dst, s2| {
+                        in_flight.fetch_add(1, Ordering::SeqCst);
+                        deques[w]
+                            .lock()
+                            .expect("deque poisoned")
+                            .push_back((dst, s2));
+                    });
+                    groups.push((src, edges));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                (groups, cache)
+            };
+            std::thread::scope(|scope| {
+                let worker_loop = &worker_loop;
+                let handles: Vec<_> = (1..workers)
+                    .map(|w| scope.spawn(move || worker_loop(w)))
+                    .collect();
+                let mut results = vec![worker_loop(0)];
+                results.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("work-stealing worker panicked")),
+                );
+                results
+            })
+        };
+
+        let mut cache = CacheStats::default();
+        let mut all_groups: Vec<Group<A>> = Vec::new();
+        for (groups, c) in results {
+            cache.hits += c.hits;
+            cache.misses += c.misses;
+            all_groups.extend(groups);
+        }
+
+        // Phase 2: sequential renumbering BFS over the buffered groups.
+        let n_states = store.len();
+        debug_assert_eq!(all_groups.len(), n_states, "one edge group per state");
+        let counts = store.local_counts();
+        const UNSET: u32 = u32::MAX;
+        // group_at[shard][local] = index into all_groups.
+        let mut group_at: Vec<Vec<u32>> = counts.iter().map(|&c| vec![UNSET; c]).collect();
+        for (gi, (src, _)) in all_groups.iter().enumerate() {
+            let (sh, loc) = ShardedStore::<A::State>::split(*src);
+            group_at[sh][loc] = u32::try_from(gi).expect("group index exceeds u32");
+        }
+        let mut dense_of: Vec<Vec<u32>> = counts.iter().map(|&c| vec![UNSET; c]).collect();
+        let mut order: Vec<StateId> = Vec::with_capacity(n_states);
+        let mut parent: Vec<Option<Discovery<A>>> = Vec::with_capacity(n_states);
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        let mut root_ids: Vec<StateId> = Vec::with_capacity(root_provs.len());
+        for &prov in &root_provs {
+            let (sh, loc) = ShardedStore::<A::State>::split(prov);
+            if dense_of[sh][loc] == UNSET {
+                dense_of[sh][loc] = order.len() as u32;
+                order.push(prov);
+                parent.push(None);
+                queue.push_back(prov);
+            }
+            root_ids.push(StateId::from_index(dense_of[sh][loc] as usize));
+        }
+        let mut row_counts: Vec<u32> = vec![0; n_states];
+        while let Some(prov) = queue.pop_front() {
+            let (sh, loc) = ShardedStore::<A::State>::split(prov);
+            let src_dense = dense_of[sh][loc];
+            let (_, edges) = &all_groups[group_at[sh][loc] as usize];
+            row_counts[src_dense as usize] =
+                u32::try_from(edges.len()).expect("row width exceeds u32");
+            for (t, a, dst) in edges {
+                let (dsh, dloc) = ShardedStore::<A::State>::split(*dst);
+                if dense_of[dsh][dloc] == UNSET {
+                    dense_of[dsh][dloc] = order.len() as u32;
+                    order.push(*dst);
+                    parent.push(Some((
+                        StateId::from_index(src_dense as usize),
+                        t.clone(),
+                        a.clone(),
+                    )));
+                    queue.push_back(*dst);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n_states, "every admitted state is reachable");
+
+        // Phase 3: parallel counting-sort CSR finalization. Offsets by
+        // prefix sum over the renumbered row widths, then each scatter
+        // thread owns a contiguous dense-row range (split at offset
+        // boundaries, so ranges are disjoint slices of the entry array)
+        // and writes the groups whose source falls in its range, with
+        // targets remapped provisional -> dense on the way through.
+        let edge_total: usize = all_groups.iter().map(|(_, e)| e.len()).sum();
+        assert!(
+            edge_total <= u32::MAX as usize,
+            "CSR entry count exceeds the u32 offset space"
+        );
+        let mut offsets: Vec<u32> = Vec::with_capacity(n_states + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &row_counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        // Spawning scatter threads only pays for itself on big entry
+        // arrays; small graphs (and single-worker runs) emit the rows
+        // inline, walking `order` so the entries come out already in
+        // dense row order — no slot buffer, no second pass.
+        const PARALLEL_SCATTER_MIN_EDGES: usize = 1 << 16;
+        let entries: Vec<Edge<A>> = if workers == 1 || edge_total < PARALLEL_SCATTER_MIN_EDGES {
+            let mut out: Vec<Edge<A>> = Vec::with_capacity(edge_total);
+            for &prov in &order {
+                let (sh, loc) = ShardedStore::<A::State>::split(prov);
+                let (_, edges) = &all_groups[group_at[sh][loc] as usize];
+                for (t, a, dst) in edges {
+                    let (dsh, dloc) = ShardedStore::<A::State>::split(*dst);
+                    let dense_dst = StateId::from_index(dense_of[dsh][dloc] as usize);
+                    out.push((t.clone(), a.clone(), dense_dst));
+                }
+            }
+            out
+        } else {
+            let mut entries: Vec<Option<Edge<A>>> = Vec::new();
+            entries.resize_with(edge_total, || None);
+            // Contiguous row ranges of roughly equal edge mass.
+            let target = edge_total.div_ceil(workers).max(1);
+            let mut ranges: Vec<(usize, usize)> = Vec::new();
+            let mut start = 0usize;
+            while start < n_states {
+                let mut end = start + 1;
+                while end < n_states && (offsets[end] as usize - offsets[start] as usize) < target {
+                    end += 1;
+                }
+                ranges.push((start, end));
+                start = end;
+            }
+            let (all_groups, dense_of, offsets) = (&all_groups, &dense_of, &offsets);
+            std::thread::scope(|scope| {
+                let mut rest: &mut [Option<Edge<A>>] = &mut entries;
+                let mut base = 0usize;
+                for (row_start, row_end) in ranges {
+                    let end_off = offsets[row_end] as usize;
+                    let (mine, tail) = rest.split_at_mut(end_off - base);
+                    rest = tail;
+                    let range_base = base;
+                    base = end_off;
+                    scope.spawn(move || {
+                        for (src, edges) in all_groups {
+                            let (sh, loc) = ShardedStore::<A::State>::split(*src);
+                            let row = dense_of[sh][loc] as usize;
+                            if row < row_start || row >= row_end {
+                                continue;
+                            }
+                            let row_base = offsets[row] as usize - range_base;
+                            for (k, (t, a, dst)) in edges.iter().enumerate() {
+                                let (dsh, dloc) = ShardedStore::<A::State>::split(*dst);
+                                let dense_dst = StateId::from_index(dense_of[dsh][dloc] as usize);
+                                mine[row_base + k] = Some((t.clone(), a.clone(), dense_dst));
+                            }
+                        }
+                    });
+                }
+            });
+            entries
+                .into_iter()
+                .map(|e| e.expect("every CSR slot written by the scatter pass"))
+                .collect()
+        };
+        let edges = Csr::from_parts(offsets, entries);
+
+        let truncation = if truncated.load(Ordering::SeqCst) {
+            Truncation::StateBudget {
+                budget: opts.max_states,
+                dropped_edges: dropped.load(Ordering::SeqCst),
+            }
+        } else {
+            Truncation::Complete
+        };
+        let stats = ExploreStats {
+            states: n_states,
+            edges: edge_total,
+            peak_frontier: peak.load(Ordering::SeqCst),
+            truncation,
+            cache: track_cache.then_some(cache),
+        };
+        ExploredGraph {
+            store: store.into_dense(&order),
+            roots: root_ids,
+            edges,
+            parent,
+            stats,
+        }
+    }
+}
+
 /// The set of states reachable from a set of roots, kept as the
 /// exploration's interned arena — no state is re-cloned or re-hashed to
 /// answer membership and iteration queries.
@@ -1053,6 +1514,7 @@ mod tests {
                 skip_self_loops: false,
                 threads: 0,
                 symmetry: SymmetryMode::Off,
+                frontier: FrontierMode::Auto,
             },
         );
         let skipped = ExploredGraph::explore_with(
@@ -1063,9 +1525,107 @@ mod tests {
                 skip_self_loops: true,
                 threads: 0,
                 symmetry: SymmetryMode::Off,
+                frontier: FrontierMode::Auto,
             },
         );
         assert_eq!(full.len(), skipped.len());
         assert_eq!(full.stats().edges, skipped.stats().edges);
+    }
+
+    /// Assert two graphs are bit-identical: same ids, roots, edges,
+    /// parents and census (peak_frontier deliberately excluded — it is
+    /// a scheduling measurement, not graph identity).
+    fn assert_same_graph(a: &ExploredGraph<ParityCounter>, b: &ExploredGraph<ParityCounter>) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.roots(), b.roots());
+        assert_eq!(a.stats(), b.stats());
+        for id in a.ids() {
+            assert_eq!(a.resolve(id), b.resolve(id), "state {id:?}");
+            assert_eq!(a.successors(id), b.successors(id), "edges of {id:?}");
+            assert_eq!(a.discovered_by(id), b.discovered_by(id), "parent of {id:?}");
+        }
+    }
+
+    #[test]
+    fn worksteal_complete_graph_is_bit_identical_to_sequential() {
+        let c = ParityCounter::new(40);
+        let seq = ExploredGraph::explore_with(
+            &c,
+            c.initial_states(),
+            ExploreOptions::with_budget(1000).with_threads(1),
+        );
+        for threads in [1, 2, 4] {
+            let ws = ExploredGraph::explore_with(
+                &c,
+                c.initial_states(),
+                ExploreOptions::with_budget(1000)
+                    .with_threads(threads)
+                    .with_frontier(FrontierMode::WorkSteal),
+            );
+            assert_same_graph(&seq, &ws);
+        }
+    }
+
+    #[test]
+    fn worksteal_single_worker_matches_sequential_under_truncation() {
+        // One worker pops its own FIFO deque: a deterministic BFS whose
+        // admitted set, dropped-edge count and in-flight peak coincide
+        // with the sequential loop even when the budget truncates.
+        let c = ParityCounter::new(1_000);
+        let seq = ExploredGraph::explore_with(
+            &c,
+            c.initial_states(),
+            ExploreOptions::with_budget(10).with_threads(1),
+        );
+        let ws = ExploredGraph::explore_with(
+            &c,
+            c.initial_states(),
+            ExploreOptions::with_budget(10)
+                .with_threads(1)
+                .with_frontier(FrontierMode::WorkSteal),
+        );
+        assert_same_graph(&seq, &ws);
+        assert_eq!(ws.stats().peak_frontier, seq.stats().peak_frontier);
+        assert_eq!(ws.stats().truncation, seq.stats().truncation);
+    }
+
+    #[test]
+    fn worksteal_truncation_is_sound_at_any_thread_count() {
+        let c = ParityCounter::new(1_000);
+        for threads in [2, 4] {
+            let ws = ExploredGraph::explore_with(
+                &c,
+                c.initial_states(),
+                ExploreOptions::with_budget(10)
+                    .with_threads(threads)
+                    .with_frontier(FrontierMode::WorkSteal),
+            );
+            // Exactly the budget admitted (the CAS cap is globally
+            // exact), the flag is set, and the graph stays edge-closed
+            // with every non-root carrying a parent.
+            assert_eq!(ws.len(), 10);
+            assert!(ws.stats().truncated());
+            for id in ws.ids() {
+                for (_, _, dst) in ws.successors(id) {
+                    assert!(dst.index() < ws.len(), "dangling edge to {dst:?}");
+                }
+                if !ws.roots().contains(&id) {
+                    assert!(ws.discovered_by(id).is_some(), "orphaned state {id:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worksteal_empty_roots_yield_an_empty_graph() {
+        let c = ParityCounter::new(5);
+        let ws = ExploredGraph::explore_with(
+            &c,
+            Vec::new(),
+            ExploreOptions::with_budget(10).with_frontier(FrontierMode::WorkSteal),
+        );
+        assert!(ws.is_empty());
+        assert_eq!(ws.stats().edges, 0);
+        assert!(!ws.stats().truncated());
     }
 }

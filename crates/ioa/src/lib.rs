@@ -75,4 +75,5 @@ pub use automaton::{ActionKind, Automaton, CacheStats};
 pub use canon::{Perm, SymmetryMode};
 pub use csr::Csr;
 pub use execution::{Execution, Step};
-pub use store::{CompId, Interner, StateId, StateStore};
+pub use explore::FrontierMode;
+pub use store::{CompId, Interner, ShardedStore, StateId, StateStore};

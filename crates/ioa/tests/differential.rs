@@ -206,8 +206,9 @@ fn build_graph_matches_the_naive_transition_structure() {
 
 /// Asserts that two explorations produced the same graph, bit for bit:
 /// id assignment, resolved states, edge lists (targets as raw ids),
-/// BFS-tree parents, roots and stats (including peak frontier and
-/// truncation accounting).
+/// BFS-tree parents, roots and stats (census and truncation accounting;
+/// `peak_frontier` is a scheduling measurement and not part of stats
+/// equality).
 fn assert_bit_identical<A: Automaton>(seq: &ExploredGraph<A>, par: &ExploredGraph<A>, ctx: &str) {
     assert_eq!(seq.stats(), par.stats(), "stats differ: {ctx}");
     assert_eq!(seq.roots(), par.roots(), "roots differ: {ctx}");
@@ -237,11 +238,17 @@ fn parallel_explore_is_bit_identical_to_sequential() {
         let caps = [10_000, 1 + g.gen_range(full.len())];
         for cap in caps {
             for skip in [false, true] {
+                // Pinned to the layered frontier: its contract is
+                // bit-identity at every thread count *including under
+                // truncation*, which the work-stealing path does not
+                // promise (its truncated admitted set is
+                // scheduling-dependent; see tests/ws_differential.rs).
                 let opts = ExploreOptions {
                     max_states: cap,
                     skip_self_loops: skip,
                     threads: 1,
                     symmetry: ioa::SymmetryMode::Off,
+                    frontier: ioa::FrontierMode::Layered,
                 };
                 let seq = ExploredGraph::explore_with(&aut, vec![0], opts);
                 for threads in [2, 4] {
@@ -263,11 +270,16 @@ fn parallel_explore_handles_more_workers_than_frontier_states() {
     let aut = Branching {
         table: vec![(0..8).map(|s| vec![(s + 1) % 8]).collect()],
     };
+    // Frontier left on Auto: the exploration is complete, so both the
+    // layered and the work-stealing path must reproduce the sequential
+    // graph bit for bit (the ws CI job sweeps this through the sharded
+    // frontier).
     let opts = ExploreOptions {
         max_states: 100,
         skip_self_loops: false,
         threads: 1,
         symmetry: ioa::SymmetryMode::Off,
+        frontier: ioa::FrontierMode::Auto,
     };
     let seq = ExploredGraph::explore_with(&aut, vec![0], opts);
     let par = ExploredGraph::explore_with(&aut, vec![0], opts.with_threads(8));

@@ -88,33 +88,52 @@ pub(crate) struct PopEntry {
     pub dummy: bool,
 }
 
+/// Lock stripes per table (power of two). The tables are already split
+/// per task, but the work-stealing explorer (DESIGN §2.1.5) has every
+/// worker hammering the *same* task tables concurrently; striping by
+/// key hash splits each table's lock `STRIPES` ways so publication
+/// stops serializing on one writer lock. Key→value semantics are
+/// untouched: a key always routes to the same stripe.
+const STRIPES: usize = 8;
+
 /// A slot table keyed by a dense component id: the read-mostly map for
-/// level-1 keys. Indexing by `CompId` directly (instead of hashing)
-/// makes a warm lookup one bounds check and one clone.
+/// level-1 keys, striped by the key's low bits. Indexing by `CompId`
+/// directly (instead of hashing) makes a warm lookup one bounds check
+/// and one clone; consecutive component ids land on distinct stripes.
 #[derive(Debug)]
 struct SlotTable<T> {
-    slots: RwLock<Vec<Option<T>>>,
+    stripes: Box<[RwLock<Vec<Option<T>>>]>,
 }
 
 // Manual impl: a derive would demand `T: Default` although the initial
-// slot vector is simply empty.
+// stripe vectors are simply empty.
 impl<T> Default for SlotTable<T> {
     fn default() -> Self {
         SlotTable {
-            slots: RwLock::new(Vec::new()),
+            stripes: (0..STRIPES).map(|_| RwLock::new(Vec::new())).collect(),
         }
     }
 }
 
 impl<T: Clone> SlotTable<T> {
+    #[inline]
+    fn split(key: u32) -> (usize, usize) {
+        ((key as usize) % STRIPES, (key as usize) / STRIPES)
+    }
+
     fn get(&self, key: u32) -> Option<T> {
-        let slots = self.slots.read().expect("effect cache lock poisoned");
-        slots.get(key as usize).and_then(Clone::clone)
+        let (stripe, idx) = Self::split(key);
+        let slots = self.stripes[stripe]
+            .read()
+            .expect("effect cache lock poisoned");
+        slots.get(idx).and_then(Clone::clone)
     }
 
     fn put(&self, key: u32, value: T) {
-        let mut slots = self.slots.write().expect("effect cache lock poisoned");
-        let idx = key as usize;
+        let (stripe, idx) = Self::split(key);
+        let mut slots = self.stripes[stripe]
+            .write()
+            .expect("effect cache lock poisoned");
         if slots.len() <= idx {
             slots.resize_with(idx + 1, || None);
         }
@@ -123,16 +142,34 @@ impl<T: Clone> SlotTable<T> {
     }
 }
 
+/// One stripe of a [`PairTable`]: pair key -> cached effect id.
+type PairMap = HashMap<(u32, u32), u32, BuildFxHasher>;
+
 /// A pair-keyed table for the level-2 keys (`(pc, sc)` enqueues,
-/// `(sc, pc)` response applications).
-#[derive(Debug, Default)]
+/// `(sc, pc)` response applications), striped by key hash.
+#[derive(Debug)]
 struct PairTable {
-    map: RwLock<HashMap<(u32, u32), u32, BuildFxHasher>>,
+    stripes: Box<[RwLock<PairMap>]>,
+}
+
+impl Default for PairTable {
+    fn default() -> Self {
+        PairTable {
+            stripes: (0..STRIPES)
+                .map(|_| RwLock::new(HashMap::default()))
+                .collect(),
+        }
+    }
 }
 
 impl PairTable {
+    #[inline]
+    fn stripe_of(key: (u32, u32)) -> usize {
+        (ioa::store::fx_hash(&key) as usize) & (STRIPES - 1)
+    }
+
     fn get(&self, key: (u32, u32)) -> Option<u32> {
-        self.map
+        self.stripes[Self::stripe_of(key)]
             .read()
             .expect("effect cache lock poisoned")
             .get(&key)
@@ -140,7 +177,7 @@ impl PairTable {
     }
 
     fn put(&self, key: (u32, u32), value: u32) {
-        self.map
+        self.stripes[Self::stripe_of(key)]
             .write()
             .expect("effect cache lock poisoned")
             .insert(key, value);

@@ -122,6 +122,10 @@ pub struct PackedSystem<'s, P: ProcessAutomaton> {
 struct Symmetry {
     /// All `n!` permutations, identity first (`Perm::all` order).
     perms: Vec<Perm>,
+    /// `invs[k] = perms[k]⁻¹`, precomputed so a candidate's slot `j`
+    /// can be read off as `ps.comps[π⁻¹(j)]` without materializing the
+    /// whole permuted vector.
+    invs: Vec<Perm>,
     /// `svc_maps[k][sc]` = id of `π_k · resolve(sc)`; index 0 (the
     /// identity) is present but never consulted.
     svc_maps: Vec<RwLock<Vec<Option<u32>>>>,
@@ -192,8 +196,13 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         p.cache = Some(EffectCache::new(p.n, p.m, globals));
         if mode.is_full() && Self::symmetric_system(sys) {
             let perms = Perm::all(p.n);
+            let invs = perms.iter().map(Perm::inverse).collect();
             let svc_maps = (0..perms.len()).map(|_| RwLock::new(Vec::new())).collect();
-            p.symmetry = Some(Symmetry { perms, svc_maps });
+            p.symmetry = Some(Symmetry {
+                perms,
+                invs,
+                svc_maps,
+            });
         }
         p
     }
@@ -371,50 +380,109 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
     /// representatives are bit-stable across runs and thread counts.
     /// The deep mirror [`canonical_system_state_with`] uses the same
     /// order, keeping the two representations in lockstep.
+    ///
+    /// Two shortcuts keep the common (asymmetric-state) case cheap
+    /// without changing the chosen representative:
+    ///
+    /// * **Identity-first early exit.** When the process block's slot
+    ///   keys are strictly ascending, the identity arrangement is the
+    ///   unique lexicographic minimum over every rearrangement of that
+    ///   key multiset — each non-identity candidate loses on the
+    ///   process block alone, so the `n!−1` sweep (and every
+    ///   service-component remap it would have interned) is skipped.
+    /// * **Lazy candidates.** Otherwise candidates are compared slot
+    ///   by slot against the running best without being materialized:
+    ///   candidate `k`'s process slot `j` is read off as
+    ///   `ps.comps[π_k⁻¹(j)]`, and service slots — the expensive part,
+    ///   each a memoized [`svc_remap`](Self::svc_remap) — are computed
+    ///   only for candidates that tie the entire process block.
     #[must_use]
     pub fn canonical_with_perm(&self, ps: &PackedState) -> (PackedState, Perm) {
         let Some(sym) = &self.symmetry else {
             return (ps.clone(), Perm::identity(self.n));
         };
-        let mask = ps.comps[self.n + self.m];
-        // Phase 1: materialize every non-identity candidate. svc_remap
-        // may take the service arena's write lock, so no read guard may
-        // be held here.
-        let mut candidates: Vec<Box<[u32]>> = Vec::with_capacity(sym.perms.len() - 1);
-        for (k, p) in sym.perms.iter().enumerate().skip(1) {
-            let mut comps = ps.comps.clone();
-            for i in 0..self.n {
-                comps[p.apply(i)] = ps.comps[i];
-            }
-            for c in 0..self.m {
-                comps[self.n + c] = self.svc_remap(k, ps.comps[self.n + c]);
-            }
-            comps[self.n + self.m] = p.permute_mask(mask);
-            candidates.push(comps);
-        }
-        // Phase 2: pick the minimum under short-lived read guards.
-        let best_k = {
+        {
             let procs = self.procs.read().expect("interner lock poisoned");
-            let svcs = self.svcs.read().expect("interner lock poisoned");
-            let mut best_k = 0usize;
-            for k in 1..sym.perms.len() {
-                let best = if best_k == 0 {
-                    &ps.comps
-                } else {
-                    &candidates[best_k - 1]
-                };
-                if cmp_slots(&procs, &svcs, self.n, &candidates[k - 1], best) == Ordering::Less {
-                    best_k = k;
+            if (1..self.n)
+                .all(|j| cmp_proc_slot(&procs, ps.comps[j - 1], ps.comps[j]) == Ordering::Less)
+            {
+                return (ps.clone(), Perm::identity(self.n));
+            }
+        }
+        let mut best_k = 0usize;
+        for k in 1..sym.perms.len() {
+            if self.cmp_candidates(sym, ps, k, best_k) == Ordering::Less {
+                best_k = k;
+            }
+        }
+        if best_k == 0 {
+            return (ps.clone(), Perm::identity(self.n));
+        }
+        // Materialize the winner; its service remaps are warm in the
+        // memo, so this pass is pure index juggling.
+        let p = &sym.perms[best_k];
+        let mut comps = ps.comps.clone();
+        for i in 0..self.n {
+            comps[p.apply(i)] = ps.comps[i];
+        }
+        for c in 0..self.m {
+            comps[self.n + c] = self.svc_remap(best_k, ps.comps[self.n + c]);
+        }
+        comps[self.n + self.m] = p.permute_mask(ps.comps[self.n + self.m]);
+        (PackedState { comps }, p.clone())
+    }
+
+    /// Lexicographic comparison of candidates `a` and `b` — indices
+    /// into the symmetry group, `0` meaning the identity (`ps` itself)
+    /// — under the slot order documented on
+    /// [`canonical_with_perm`](Self::canonical_with_perm), touching
+    /// only the slots needed to decide. The process block is compared
+    /// under a short-lived process-arena read guard; the guard is
+    /// dropped before any [`svc_remap`](Self::svc_remap) call, which
+    /// may take the service arena's write lock on a memo miss.
+    fn cmp_candidates(&self, sym: &Symmetry, ps: &PackedState, a: usize, b: usize) -> Ordering {
+        {
+            let procs = self.procs.read().expect("interner lock poisoned");
+            for j in 0..self.n {
+                let ord = cmp_proc_slot(
+                    &procs,
+                    ps.comps[sym.invs[a].apply(j)],
+                    ps.comps[sym.invs[b].apply(j)],
+                );
+                if ord != Ordering::Equal {
+                    return ord;
                 }
             }
-            best_k
-        };
-        if best_k == 0 {
-            (ps.clone(), Perm::identity(self.n))
-        } else {
-            let comps = candidates.swap_remove(best_k - 1);
-            (PackedState { comps }, sym.perms[best_k].clone())
         }
+        for c in 0..self.m {
+            let remap = |k: usize| {
+                if k == 0 {
+                    ps.comps[self.n + c]
+                } else {
+                    self.svc_remap(k, ps.comps[self.n + c])
+                }
+            };
+            let (x, y) = (remap(a), remap(b));
+            if x == y {
+                continue;
+            }
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            let (cx, cy) = (
+                CompId::from_index(x as usize),
+                CompId::from_index(y as usize),
+            );
+            let ord = svcs
+                .hash_of(cx)
+                .cmp(&svcs.hash_of(cy))
+                .then_with(|| svcs.resolve(cx).cmp(svcs.resolve(cy)));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        let mask = ps.comps[self.n + self.m];
+        sym.perms[a]
+            .permute_mask(mask)
+            .cmp(&sym.perms[b].permute_mask(mask))
     }
 
     // ----- cached successor expansion --------------------------------
@@ -770,41 +838,20 @@ fn id_bits(id: CompId) -> u32 {
     u32::try_from(id.index()).expect("component ids fit in u32 by construction")
 }
 
-/// Slot-wise candidate comparison over packed comp-id vectors:
-/// processes, then services (each by `(cached hash, value)`), then the
-/// failed bitmask numerically. Equal ids short-circuit — within one
-/// arena, equal ids iff equal values.
-fn cmp_slots<PS: Hash + Eq + Ord>(
-    procs: &Interner<PS>,
-    svcs: &Interner<SvcState>,
-    n: usize,
-    a: &[u32],
-    b: &[u32],
-) -> Ordering {
-    let last = a.len() - 1;
-    for slot in 0..last {
-        if a[slot] == b[slot] {
-            continue;
-        }
-        let (x, y) = (
-            CompId::from_index(a[slot] as usize),
-            CompId::from_index(b[slot] as usize),
-        );
-        let ord = if slot < n {
-            procs
-                .hash_of(x)
-                .cmp(&procs.hash_of(y))
-                .then_with(|| procs.resolve(x).cmp(procs.resolve(y)))
-        } else {
-            svcs.hash_of(x)
-                .cmp(&svcs.hash_of(y))
-                .then_with(|| svcs.resolve(x).cmp(svcs.resolve(y)))
-        };
-        if ord != Ordering::Equal {
-            return ord;
-        }
+/// One process-slot comparison by `(cached hash, value)` key. Equal
+/// ids short-circuit — within one arena, equal ids iff equal values.
+fn cmp_proc_slot<PS: Hash + Eq + Ord>(procs: &Interner<PS>, a: u32, b: u32) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
     }
-    a[last].cmp(&b[last])
+    let (x, y) = (
+        CompId::from_index(a as usize),
+        CompId::from_index(b as usize),
+    );
+    procs
+        .hash_of(x)
+        .cmp(&procs.hash_of(y))
+        .then_with(|| procs.resolve(x).cmp(procs.resolve(y)))
 }
 
 /// `π` applied to a service state: per-endpoint buffers and the failed

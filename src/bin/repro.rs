@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T]
-//!               [--symmetry full|off]
+//!               [--symmetry full|off] [--frontier layered|ws]
 //! repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]
 //! repro hook    [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off]
-//! repro census  [--n N] [--f F] [--threads T] [--symmetry full|off]
+//!               [--frontier layered|ws]
+//! repro census  [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]
 //! repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F]
-//!                  [--ones K] [--threads T] [--symmetry full|off]
+//!                  [--ones K] [--threads T] [--symmetry full|off] [--frontier layered|ws]
 //! ```
 //!
 //! `check` evaluates a `;`-separated list of temporal properties over
@@ -23,6 +24,12 @@
 //!
 //! `--threads` sets the exploration worker count (0 = auto); every
 //! result is bit-identical across thread counts.
+//!
+//! `--frontier ws` routes every exploration through the sharded
+//! work-stealing frontier (DESIGN §2.1.5) instead of the
+//! layer-synchronous default — same verdicts, censuses and property
+//! evaluations, no layer-merge scaling ceiling. Defaults to the
+//! `IOA_EXPLORE_FRONTIER` environment variable.
 //!
 //! `--symmetry full` explores the process-permutation quotient of
 //! `G(C)` (orbit canonicalization) — same theorem verdicts and census
@@ -120,6 +127,24 @@ impl Args {
             Some(other) => die(&format!("--symmetry wants full|off, got {other:?}")),
         }
     }
+
+    /// `--frontier layered|ws`: pins the exploration frontier
+    /// discipline for every exploration this invocation runs, by
+    /// setting the process-global [`ioa::explore::FRONTIER_ENV`] knob
+    /// (which `FrontierMode::Auto` consults) before any exploration
+    /// starts. Unset, the environment's own value (or the layered
+    /// default) applies. Verdicts, censuses and property evaluations
+    /// are identical either way — the flag trades the layer-merge
+    /// ceiling for work-stealing throughput.
+    fn apply_frontier(&self) {
+        match self.get("frontier") {
+            None => {}
+            Some(v @ ("layered" | "ws" | "worksteal" | "work-stealing")) => {
+                std::env::set_var(ioa::explore::FRONTIER_ENV, v);
+            }
+            Some(other) => die(&format!("--frontier wants layered|ws, got {other:?}")),
+        }
+    }
 }
 
 /// A clean diagnostic exit for *user-input* errors where the usage
@@ -134,11 +159,11 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage:\n  \
-         repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T] [--symmetry full|off]\n  \
+         repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
          repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]\n  \
-         repro hook [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off]\n  \
-         repro census [--n N] [--f F] [--threads T] [--symmetry full|off]\n  \
-         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T] [--symmetry full|off]\n\
+         repro hook [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
+         repro census [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
+         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n\
          \n\
          check evaluates ';'-separated properties over the explored graph, e.g.\n  \
          repro check 'always(safe); ef(decided(0)) & ef(decided(1))' --class atomic --n 2 --f 0\n\
@@ -442,6 +467,7 @@ fn main() -> ExitCode {
     let Some(args) = Args::parse() else {
         die("missing subcommand");
     };
+    args.apply_frontier();
     match args.cmd.as_str() {
         "witness" => witness_cmd(&args),
         "certify" => certify_cmd(&args),

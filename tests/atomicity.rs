@@ -186,6 +186,7 @@ fn trace_inclusion_as_a_dsl_refinement_property() {
             skip_self_loops: false,
             threads: 1,
             symmetry: ioa::SymmetryMode::Off,
+            frontier: ioa::FrontierMode::Auto,
         },
     );
 

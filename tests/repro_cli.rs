@@ -118,3 +118,44 @@ fn failing_property_exits_1() {
     ]);
     assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
 }
+
+#[test]
+fn check_verdicts_agree_across_frontier_disciplines() {
+    // The work-stealing frontier must be invisible at the CLI surface:
+    // same exit code and same verdict lines (the full stdout includes
+    // state counts and witness paths, which are pinned too — complete
+    // explorations renumber to the identical graph).
+    let run = |frontier: &str| {
+        repro(&[
+            "check",
+            "always(safe); ef(decided(0)) & ef(decided(1))",
+            "--class",
+            "atomic",
+            "--n",
+            "2",
+            "--f",
+            "0",
+            "--threads",
+            "4",
+            "--frontier",
+            frontier,
+        ])
+    };
+    let (layered, ws) = (run("layered"), run("ws"));
+    assert_eq!(layered.status.code(), Some(0), "{}", stderr_of(&layered));
+    assert_eq!(ws.status.code(), Some(0), "{}", stderr_of(&ws));
+    assert_eq!(
+        String::from_utf8_lossy(&layered.stdout),
+        String::from_utf8_lossy(&ws.stdout),
+        "frontier discipline leaked into the CLI output"
+    );
+}
+
+#[test]
+fn bad_frontier_value_gets_usage() {
+    let out = repro(&["check", "always(safe)", "--frontier", "sideways"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("--frontier"), "got: {err:?}");
+    assert!(err.contains("usage:"), "got: {err:?}");
+}
