@@ -112,6 +112,9 @@ pub fn find_bivalent_init_sym<P: ProcessAutomaton>(
     symmetry: SymmetryMode,
 ) -> Result<InitOutcome<P>, Truncated> {
     let n = sys.process_count();
+    // A symmetry claim the auditor rejects is not trusted: the walk
+    // degrades to concrete exploration (with a warning) instead.
+    let symmetry = crate::audit::effective_symmetry(sys, symmetry);
     // One shared packed system for the whole walk: the monotone
     // initializations reach heavily overlapping state spaces, so after
     // the α_0 sweep warms the component sub-arenas and the

@@ -26,7 +26,13 @@
 //! * [`resilience`] — the positive direction: exhaustive/randomized
 //!   certification that a system *does* solve `f`-resilient
 //!   (k-set-)consensus, used for the paper's Section 4 and Section 6.3
-//!   boosting constructions.
+//!   boosting constructions;
+//! * [`audit`] — the component-local static contract analyzer behind
+//!   `repro audit`: verifies the soundness preconditions every
+//!   optimization layer trusts (task partition, per-task determinism,
+//!   symmetry honesty, effect purity) without global state-space
+//!   exploration, and degrades quotient exploration to
+//!   `SYMMETRY=off` when a substrate's symmetry claim fails the audit.
 //!
 //! # Example
 //!
@@ -49,6 +55,11 @@
 //! assert_eq!(map.valence(&s), Valence::Bivalent);
 //! ```
 
+// The whole workspace is `unsafe`-free by policy; enforce it statically
+// so a future unsafe block needs an explicit, reviewed opt-out here.
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod graph;
 pub mod hook;
 pub mod init;

@@ -183,6 +183,13 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     /// canonicalized to its orbit representative before interning, so
     /// the map holds one state per orbit plus the raw root.
     ///
+    /// The requested mode is laundered through
+    /// [`crate::audit::effective_symmetry`] first: a substrate whose
+    /// claimed `id_symmetric`/`endpoint_symmetric` flags fail the
+    /// component-local symmetry-honesty audit is explored concretely
+    /// (with a warning on stderr) instead of being trusted — a lying
+    /// flag degrades the quotient, it cannot corrupt valence verdicts.
+    ///
     /// # Errors
     ///
     /// Returns [`Truncated`] if the reachable space exceeds
@@ -194,6 +201,7 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         threads: usize,
         symmetry: SymmetryMode,
     ) -> Result<Self, Truncated> {
+        let symmetry = crate::audit::effective_symmetry(sys, symmetry);
         let packed = PackedSystem::with_symmetry(sys, symmetry);
         Self::build_in(sys, &packed, root, max_states, threads)
     }

@@ -13,6 +13,10 @@
 //! trade-off is acceptable — the measured kernels run for milliseconds
 //! to seconds, where a median over ten samples is a stable statistic.
 
+// The whole workspace is `unsafe`-free by policy; enforce it statically
+// so a future unsafe block needs an explicit, reviewed opt-out here.
+#![forbid(unsafe_code)]
+
 use protocols::doomed::doomed_atomic;
 use system::build::CompleteSystem;
 use system::process::direct::DirectConsensus;

@@ -182,6 +182,38 @@ pub trait Automaton: Sync {
         self.succ_all(t, s)
     }
 
+    /// The structural *owner* of a locally controlled action: the one
+    /// task whose action set contains `a`, or `None` for input actions
+    /// (which belong to no task, Section 2.1.1) — an introspection hook
+    /// for static contract auditing, not used on any exploration path.
+    ///
+    /// The task-structure axiom says the locally controlled actions are
+    /// *partitioned* by the tasks, so for a well-formed automaton this
+    /// is a function; the auditor (`analysis::audit`) cross-checks it
+    /// against the actions each task actually produces and flags any
+    /// action claimed by two tasks or owned by an undeclared one.
+    ///
+    /// The default returns `None` for every action, which the auditor
+    /// reads as "no introspection surface" (rule unauditable), never as
+    /// "input": implementations that want their task partition audited
+    /// must override this alongside [`Automaton::action_vocabulary`].
+    fn action_owner(&self, a: &Self::Action) -> Option<Self::Task> {
+        let _ = a;
+        None
+    }
+
+    /// A finite, statically enumerable sample of the action signature —
+    /// the second introspection hook for contract auditing. Need not be
+    /// exhaustive (value-parameterized labels may be sampled or
+    /// omitted), but every listed action must genuinely be in the
+    /// signature, and the list should cover at least one action per
+    /// task so the partition audit can detect orphaned tasks.
+    ///
+    /// Empty by default ("no vocabulary declared").
+    fn action_vocabulary(&self) -> Vec<Self::Action> {
+        Vec::new()
+    }
+
     /// The canonical orbit representative of `s` under the automaton's
     /// declared symmetry group — a pure, idempotent function with
     /// `canonical(s)` reachability-equivalent to `s` (the automaton

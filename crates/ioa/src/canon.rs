@@ -152,12 +152,37 @@ impl Perm {
         out
     }
 
+    /// The largest `n` for which [`Perm::all`] will enumerate the
+    /// symmetric group: `8! = 40 320` permutations. Beyond that the
+    /// factorial blow-up would silently eat memory and wall-clock long
+    /// before producing anything useful, so [`Perm::all`] refuses with
+    /// a hard error instead. Callers that gate symmetry machinery on
+    /// group enumeration (e.g. `system::packed`) should check against
+    /// this bound and degrade to [`SymmetryMode::Off`] above it.
+    pub const MAX_ENUMERATED: usize = 8;
+
     /// All `n!` permutations of `0..n`, in lexicographic order of
     /// their one-line notation. The identity comes first.
     ///
     /// Deterministic by construction — quotient graphs built from this
     /// enumeration are bit-identical across runs and thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > Perm::MAX_ENUMERATED` (= 8): `9!` is already
+    /// 362 880 permutations and each orbit probe multiplies by it, so
+    /// enumeration past 8 is a factorial OOM in waiting, not a slow
+    /// path. For larger systems run with `SYMMETRY=off`, or implement
+    /// stabilizer-chain pruning first (ROADMAP item 1 names it as the
+    /// prerequisite for n ≥ 5 quotients anyway).
     pub fn all(n: usize) -> Vec<Perm> {
+        assert!(
+            n <= Self::MAX_ENUMERATED,
+            "Perm::all({n}) would materialize {n}! permutations; symmetric-group \
+             enumeration is capped at n = {} (8! = 40320). Use SYMMETRY=off for \
+             larger systems, or add stabilizer-chain pruning before raising the cap.",
+            Self::MAX_ENUMERATED
+        );
         let mut out = Vec::new();
         let mut current: Vec<u32> = (0..n as u32).collect();
         loop {
@@ -243,6 +268,22 @@ mod tests {
     #[should_panic(expected = "not a permutation")]
     fn from_map_rejects_non_permutations() {
         let _ = Perm::from_map([0, 0, 2]);
+    }
+
+    #[test]
+    fn all_enumerates_up_to_the_cap() {
+        // 8 is the documented ceiling: 8! = 40320 permutations is the
+        // largest group the enumerator will materialize.
+        let perms = Perm::all(Perm::MAX_ENUMERATED);
+        assert_eq!(perms.len(), 40_320);
+        assert!(perms[0].is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at n = 8")]
+    fn all_refuses_factorial_blowup() {
+        // Regression: this used to silently attempt 362880 allocations.
+        let _ = Perm::all(9);
     }
 
     #[test]

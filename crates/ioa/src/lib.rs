@@ -57,6 +57,10 @@
 //! # let _ = ActionKind::Input;
 //! ```
 
+// The whole workspace is `unsafe`-free by policy; enforce it statically
+// so a future unsafe block needs an explicit, reviewed opt-out here.
+#![forbid(unsafe_code)]
+
 pub mod automaton;
 pub mod canon;
 pub mod compose;

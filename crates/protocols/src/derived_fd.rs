@@ -212,7 +212,7 @@ pub fn build(n: usize) -> CompleteSystem<DerivedFdProcess> {
             fd_services.insert(id);
         }
     }
-    CompleteSystem::new(
+    let sys = CompleteSystem::new(
         DerivedFdProcess {
             n,
             reg_of,
@@ -220,7 +220,9 @@ pub fn build(n: usize) -> CompleteSystem<DerivedFdProcess> {
         },
         n,
         services,
-    )
+    );
+    crate::contract_check(&sys, "derived-fd");
+    sys
 }
 
 #[cfg(test)]

@@ -34,7 +34,9 @@ use system::process::{ProcAction, ProcessAutomaton};
 pub fn doomed_atomic(n: usize, f: usize) -> CompleteSystem<DirectConsensus> {
     let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
     let obj = CanonicalAtomicObject::new(Arc::new(BinaryConsensus), endpoints, f);
-    CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)])
+    let sys = CompleteSystem::new(DirectConsensus::new(SvcId(0)), n, vec![Arc::new(obj)]);
+    crate::contract_check(&sys, "doomed-atomic");
+    sys
 }
 
 /// The phase of a [`RegisterThenObject`] process.
@@ -142,14 +144,16 @@ pub fn doomed_atomic_with_registers(n: usize, f: usize) -> CompleteSystem<Regist
             SvcId(1 + i)
         })
         .collect();
-    CompleteSystem::new(
+    let sys = CompleteSystem::new(
         RegisterThenObject {
             object: SvcId(0),
             reg_of,
         },
         n,
         services,
-    )
+    );
+    crate::contract_check(&sys, "doomed-registers");
+    sys
 }
 
 /// The phase of a [`TobConsensus`] process.
@@ -261,7 +265,9 @@ pub fn doomed_oblivious(n: usize, f: usize) -> CompleteSystem<TobConsensus> {
     let endpoints: Vec<ProcId> = (0..n).map(ProcId).collect();
     let tob = TotallyOrderedBroadcast::new([Val::Int(0), Val::Int(1)], endpoints.iter().copied());
     let svc = CanonicalObliviousService::new(Arc::new(tob), endpoints, f);
-    CompleteSystem::new(TobConsensus { tob: SvcId(0) }, n, vec![Arc::new(svc)])
+    let sys = CompleteSystem::new(TobConsensus { tob: SvcId(0) }, n, vec![Arc::new(svc)]);
+    crate::contract_check(&sys, "doomed-tob");
+    sys
 }
 
 /// The phase of a [`MixedConsensus`] process.
@@ -410,14 +416,16 @@ pub fn doomed_mixed(n: usize, f: usize) -> CompleteSystem<MixedConsensus> {
             f,
         )),
     ];
-    CompleteSystem::new(
+    let sys = CompleteSystem::new(
         MixedConsensus {
             tob: SvcId(0),
             object: SvcId(1),
         },
         n,
         services,
-    )
+    );
+    crate::contract_check(&sys, "doomed-mixed");
+    sys
 }
 
 /// Builds the Theorem 10 candidate: the rotating-coordinator protocol
@@ -447,11 +455,13 @@ pub fn doomed_general(n: usize, f: usize) -> CompleteSystem<RotatingCoordinator>
         f,
     )));
     let fd_services: BTreeSet<SvcId> = [fd_id].into_iter().collect();
-    CompleteSystem::new(
+    let sys = CompleteSystem::new(
         RotatingCoordinator::new(n, reg_of, fd_services),
         n,
         services,
-    )
+    );
+    crate::contract_check(&sys, "doomed-fd");
+    sys
 }
 
 #[cfg(test)]

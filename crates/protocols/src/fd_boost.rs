@@ -240,11 +240,13 @@ pub fn build(n: usize) -> CompleteSystem<RotatingCoordinator> {
             fd_services.insert(id);
         }
     }
-    CompleteSystem::new(
+    let sys = CompleteSystem::new(
         RotatingCoordinator::new(n, reg_of, fd_services),
         n,
         services,
-    )
+    );
+    crate::contract_check(&sys, "fd-boost");
+    sys
 }
 
 #[cfg(test)]

@@ -164,7 +164,9 @@ pub fn build_flood_all(n: usize, f: usize) -> CompleteSystem<FloodAll> {
             pair_of.insert(id, (ProcId(i), ProcId(j)));
         }
     }
-    CompleteSystem::new(FloodAll { n, chan, pair_of }, n, services)
+    let sys = CompleteSystem::new(FloodAll { n, chan, pair_of }, n, services);
+    crate::contract_check(&sys, "flooding");
+    sys
 }
 
 #[cfg(test)]

@@ -175,7 +175,9 @@ pub fn build(params: SetBoostParams) -> CompleteSystem<GroupProcess> {
         };
         services.push(Arc::new(svc));
     }
-    CompleteSystem::new(GroupProcess::new(svc_of), params.n, services)
+    let sys = CompleteSystem::new(GroupProcess::new(svc_of), params.n, services);
+    crate::contract_check(&sys, "set-boost");
+    sys
 }
 
 #[cfg(test)]

@@ -210,7 +210,9 @@ pub fn build(n: usize, m: i64) -> CompleteSystem<SnapshotProcess> {
             )) as services::ArcService
         })
         .collect();
-    CompleteSystem::new(SnapshotProcess { n }, n, services)
+    let sys = CompleteSystem::new(SnapshotProcess { n }, n, services);
+    crate::contract_check(&sys, "snapshot");
+    sys
 }
 
 /// The canonical snapshot object this system implements (for trace

@@ -148,11 +148,13 @@ pub fn build(tas_resilience: usize) -> CompleteSystem<TasConsensus> {
             tas_resilience,
         )),
     ];
-    CompleteSystem::new(
+    let sys = CompleteSystem::new(
         TasConsensus::new([SvcId(0), SvcId(1)], SvcId(2)),
         2,
         services,
-    )
+    );
+    crate::contract_check(&sys, "test-and-set");
+    sys
 }
 
 #[cfg(test)]

@@ -208,7 +208,9 @@ pub fn build(typ: ArcSeqType, n: usize) -> CompleteSystem<UniversalProcess> {
             )) as services::ArcService
         })
         .collect();
-    CompleteSystem::new(procs, n, services)
+    let sys = CompleteSystem::new(procs, n, services);
+    crate::contract_check(&sys, "universal");
+    sys
 }
 
 /// Convenience: the canonical atomic object this system claims to

@@ -38,6 +38,10 @@
 //! assert_eq!(resp, BinaryConsensus::decide(1));
 //! ```
 
+// The whole workspace is `unsafe`-free by policy; enforce it statically
+// so a future unsafe block needs an explicit, reviewed opt-out here.
+#![forbid(unsafe_code)]
+
 pub mod atomic;
 pub mod automaton;
 pub mod general;

@@ -47,6 +47,29 @@ pub enum Action {
 }
 
 impl Action {
+    /// The task that structurally owns this action, or `None` for the
+    /// two inputs (`init`, `fail`), which belong to no task. This is
+    /// the composed system's task partition as a function: every
+    /// locally controlled label carries its component and (for
+    /// per-endpoint labels) its endpoint, so ownership is decided by
+    /// the label alone — which is exactly what lets the contract
+    /// auditor check the partition without exploring any product
+    /// state.
+    pub fn task_owner(&self) -> Option<Task> {
+        match self {
+            Action::Init(..) | Action::Fail(..) => None,
+            Action::Decide(i, _) | Action::Output(i, _) | Action::ProcStep(i) => {
+                Some(Task::Proc(*i))
+            }
+            Action::Invoke(i, _, _) => Some(Task::Proc(*i)),
+            Action::Perform(c, i) | Action::DummyPerform(c, i) => Some(Task::Perform(*c, *i)),
+            Action::Respond(c, i, _) | Action::DummyOutput(c, i) => Some(Task::Output(*c, *i)),
+            Action::Compute(c, g) | Action::DummyCompute(c, g) => {
+                Some(Task::Compute(*c, g.clone()))
+            }
+        }
+    }
+
     /// Whether this is one of the `dummy` actions the canonical
     /// services use to satisfy fairness without progress.
     pub fn is_dummy(&self) -> bool {

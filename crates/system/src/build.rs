@@ -183,6 +183,13 @@ pub struct CompleteSystem<P> {
     procs: P,
     n: usize,
     services: Vec<ArcService>,
+    /// Memo slot for the symmetry-honesty gate
+    /// (`analysis::audit::effective_symmetry`): the gate's verdict is a
+    /// pure function of the (immutable) composition, so it is computed
+    /// at most once per system instance. Lives here — not in a cache
+    /// keyed by address in `analysis` — because an address-keyed memo
+    /// would go stale when an allocation is reused.
+    symmetry_audit: std::sync::OnceLock<bool>,
 }
 
 impl<P: ProcessAutomaton> CompleteSystem<P> {
@@ -202,7 +209,19 @@ impl<P: ProcessAutomaton> CompleteSystem<P> {
                 );
             }
         }
-        CompleteSystem { procs, n, services }
+        CompleteSystem {
+            procs,
+            n,
+            services,
+            symmetry_audit: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The memo slot for the symmetry-honesty audit gate. The analysis
+    /// layer fills it on first use; `true` means the substrate's
+    /// claimed symmetry survived the audit.
+    pub fn symmetry_audit_cache(&self) -> &std::sync::OnceLock<bool> {
+        &self.symmetry_audit
     }
 
     /// The number of processes `n = |I|`.
@@ -538,6 +557,45 @@ impl<P: ProcessAutomaton> Automaton for CompleteSystem<P> {
             Action::Decide(..) | Action::Output(..) => ActionKind::Output,
             _ => ActionKind::Internal,
         }
+    }
+
+    fn action_owner(&self, a: &Action) -> Option<Task> {
+        a.task_owner()
+    }
+
+    fn action_vocabulary(&self) -> Vec<Action> {
+        // A finite sample of the composed signature: every label family
+        // whose parameters are structurally enumerable (process ids,
+        // service topology, declared invocations/global tasks, the
+        // audit input sample). Value-parameterized outputs (`decide`,
+        // responses) are omitted — the vocabulary need not be
+        // exhaustive, only genuine — but every task is covered via its
+        // dummy or step action.
+        let mut vocab = Vec::new();
+        for i in 0..self.n {
+            let i = ProcId(i);
+            vocab.push(Action::ProcStep(i));
+            vocab.push(Action::Fail(i));
+            for v in self.procs.audit_inputs() {
+                vocab.push(Action::Init(i, v));
+            }
+        }
+        for (c, svc) in self.services.iter().enumerate() {
+            let c = SvcId(c);
+            for i in svc.endpoints() {
+                for inv in svc.invocations() {
+                    vocab.push(Action::Invoke(*i, c, inv));
+                }
+                vocab.push(Action::Perform(c, *i));
+                vocab.push(Action::DummyPerform(c, *i));
+                vocab.push(Action::DummyOutput(c, *i));
+            }
+            for g in svc.global_tasks() {
+                vocab.push(Action::Compute(c, g.clone()));
+                vocab.push(Action::DummyCompute(c, g));
+            }
+        }
+        vocab
     }
 }
 

@@ -36,6 +36,10 @@
 //! let _s0: SystemState<_> = sys.single_initial_state();
 //! ```
 
+// The whole workspace is `unsafe`-free by policy; enforce it statically
+// so a future unsafe block needs an explicit, reviewed opt-out here.
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod build;
 pub mod consensus;

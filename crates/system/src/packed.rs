@@ -212,11 +212,16 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
     /// ([`ProcessAutomaton::id_symmetric`]), and every service both
     /// endpoint-symmetric ([`services::Service::endpoint_symmetric`])
     /// and connected to *all* `n` processes (a proper-subset endpoint
-    /// set would make `π` move an endpoint out of `J`).
+    /// set would make `π` move an endpoint out of `J`). Systems with
+    /// more than [`Perm::MAX_ENUMERATED`] processes are reported
+    /// asymmetric as well — the canonicalizer materializes the full
+    /// symmetric group, so past that bound the quotient degrades to
+    /// concrete exploration instead of hitting the [`Perm::all`]
+    /// factorial guard.
     #[must_use]
     pub fn symmetric_system(sys: &CompleteSystem<P>) -> bool {
         let n = sys.process_count();
-        n >= 2
+        (2..=Perm::MAX_ENUMERATED).contains(&n)
             && sys.process_automaton().id_symmetric()
             && sys.services().iter().all(|svc| {
                 svc.endpoint_symmetric()
@@ -1064,6 +1069,14 @@ impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
 
     fn kind(&self, a: &Action) -> ActionKind {
         self.sys.kind(a)
+    }
+
+    fn action_owner(&self, a: &Action) -> Option<Task> {
+        self.sys.action_owner(a)
+    }
+
+    fn action_vocabulary(&self) -> Vec<Action> {
+        self.sys.action_vocabulary()
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {

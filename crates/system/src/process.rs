@@ -74,6 +74,17 @@ pub trait ProcessAutomaton: Debug + Send + Sync {
     fn id_symmetric(&self) -> bool {
         false
     }
+
+    /// The input values the contract auditor (`analysis::audit`) feeds
+    /// to [`ProcessAutomaton::on_init`] when enumerating a family's
+    /// component-local state closure. Binary consensus inputs by
+    /// default; families over richer input domains should override
+    /// this with a small representative sample so the closure (and
+    /// with it the determinism/symmetry/purity audits) actually
+    /// exercises their init-dependent branches.
+    fn audit_inputs(&self) -> Vec<Val> {
+        vec![Val::Int(0), Val::Int(1)]
+    }
 }
 
 pub mod direct {

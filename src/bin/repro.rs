@@ -9,6 +9,10 @@
 //! repro census  [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]
 //! repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F]
 //!                  [--ones K] [--threads T] [--symmetry full|off] [--frontier layered|ws]
+//! repro audit   [--class atomic|registers|oblivious|general|mixed|tas|universal|flooding|
+//!                        snapshot|fd-boost|set-boost|derived-fd|all|
+//!                        broken-sym|broken-tasks|broken-impure]
+//!               [--n N] [--f F] [--budget STATES]
 //! ```
 //!
 //! `check` evaluates a `;`-separated list of temporal properties over
@@ -21,6 +25,20 @@
 //! `exists_path`/`ef`, `eventually`/`af`, `fair_eventually`/`af_fair`,
 //! `leads_to`, and `!`, `&`, `|` with C-like precedence. Exit code: 0
 //! if every property holds, 1 if any fails, 2 if any is unknown.
+//!
+//! `audit` runs the component-local static contract analyzer
+//! (`analysis::audit`, DESIGN §2.6) over a substrate — or, with
+//! `--class all` (the default), over every in-tree substrate — and
+//! prints one machine-readable report per substrate: a header line
+//! with the independence census, one `rule=… status=…` line per rule,
+//! and one `VIOLATION rule=… component=… counterexample="…"` line per
+//! recorded counterexample. No state-space exploration happens; the
+//! analyzer only enumerates budget-capped *component-local* closures
+//! (`--budget` caps states per component). The `broken-*` classes are
+//! the deliberately faulty fixtures from `protocols::broken`, kept
+//! in-tree so the analyzer's teeth stay testable. Exit code: 0 every
+//! audited substrate clean, 1 any violation, 2 violation-free but
+//! some rule unauditable.
 //!
 //! `--threads` sets the exploration worker count (0 = auto); every
 //! result is bit-identical across thread counts.
@@ -48,6 +66,7 @@
 //!     --class atomic --n 2 --f 0
 //! ```
 
+use analysis::audit::{audit_automaton, audit_system, AuditConfig, AuditReport};
 use analysis::graph::{census, to_dot};
 use analysis::hook::{find_hook, HookOutcome};
 use analysis::init::{find_bivalent_init_sym, InitOutcome};
@@ -163,7 +182,12 @@ fn die(msg: &str) -> ! {
          repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]\n  \
          repro hook [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
          repro census [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
-         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n\
+         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
+         repro audit [--class atomic|registers|oblivious|general|mixed|tas|universal|flooding|snapshot|fd-boost|set-boost|derived-fd|all|broken-sym|broken-tasks|broken-impure] [--n N] [--f F] [--budget STATES]\n\
+         \n\
+         audit statically checks substrate contracts (task partition, determinism,\n  \
+         symmetry honesty, effect purity) component-locally — no exploration.\n  \
+         exit codes: 0 clean, 1 violation, 2 unauditable\n\
          \n\
          check evaluates ';'-separated properties over the explored graph, e.g.\n  \
          repro check 'always(safe); ef(decided(0)) & ef(decided(1))' --class atomic --n 2 --f 0\n\
@@ -417,6 +441,134 @@ fn check_on<P: ProcessAutomaton>(
     }
 }
 
+/// Every in-tree substrate the default `audit --class all` sweep
+/// covers, with its smallest interesting parameterization.
+const AUDIT_ALL: [&str; 12] = [
+    "atomic",
+    "registers",
+    "oblivious",
+    "general",
+    "mixed",
+    "tas",
+    "universal",
+    "flooding",
+    "snapshot",
+    "fd-boost",
+    "set-boost",
+    "derived-fd",
+];
+
+/// Builds and audits one substrate class. `n`/`f` override the class's
+/// default parameterization when given (classes with structural
+/// constraints — `tas` is 2-process, `set-boost` wants `n = 4` — keep
+/// their own defaults).
+fn audit_one(class: &str, n: Option<usize>, f: Option<usize>, cfg: &AuditConfig) -> AuditReport {
+    use std::sync::Arc;
+    let n_or = |d: usize| n.unwrap_or(d);
+    let f_or = |d: usize| f.unwrap_or(d);
+    match class {
+        "atomic" => audit_system(
+            &protocols::doomed::doomed_atomic(n_or(2), f_or(0)),
+            "doomed-atomic",
+            cfg,
+        ),
+        "registers" => audit_system(
+            &protocols::doomed::doomed_atomic_with_registers(n_or(2), f_or(0)),
+            "doomed-registers",
+            cfg,
+        ),
+        "oblivious" => audit_system(
+            &protocols::doomed::doomed_oblivious(n_or(2), f_or(0)),
+            "doomed-tob",
+            cfg,
+        ),
+        "general" => audit_system(
+            &protocols::doomed::doomed_general(n_or(2), f_or(0)),
+            "doomed-fd",
+            cfg,
+        ),
+        "mixed" => audit_system(
+            &protocols::doomed::doomed_mixed(n_or(2), f_or(0)),
+            "doomed-mixed",
+            cfg,
+        ),
+        "tas" => audit_system(
+            &protocols::tas_consensus::build(f_or(1)),
+            "test-and-set",
+            cfg,
+        ),
+        "universal" => audit_system(
+            &protocols::universal::build(Arc::new(spec::seq::TestAndSet), n_or(2)),
+            "universal",
+            cfg,
+        ),
+        "flooding" => audit_system(
+            &protocols::message_passing::build_flood_all(n_or(2), f_or(1)),
+            "flooding",
+            cfg,
+        ),
+        "snapshot" => audit_system(&protocols::snapshot::build(n_or(2), 2), "snapshot", cfg),
+        "fd-boost" => audit_system(&protocols::fd_boost::build(n_or(2)), "fd-boost", cfg),
+        "set-boost" => audit_system(
+            &protocols::set_boost::build(SetBoostParams {
+                n: n_or(4),
+                k: 2,
+                k_prime: 1,
+            }),
+            "set-boost",
+            cfg,
+        ),
+        "derived-fd" => audit_system(&protocols::derived_fd::build(n_or(2)), "derived-fd", cfg),
+        "broken-sym" => audit_system(
+            &protocols::broken::lying_symmetry(n_or(2), f_or(0)),
+            "broken-sym",
+            cfg,
+        ),
+        "broken-impure" => audit_system(
+            &protocols::broken::impure_direct(n_or(2), f_or(0)),
+            "broken-impure",
+            cfg,
+        ),
+        "broken-tasks" => {
+            audit_automaton(&protocols::broken::overlapping_tasks(), "broken-tasks", cfg)
+        }
+        other => die(&format!("unknown audit class {other:?}")),
+    }
+}
+
+fn audit_cmd(args: &Args) -> ExitCode {
+    let n = args.get("n").map(|_| args.usize_or("n", 0));
+    let f = args.get("f").map(|_| args.usize_or("f", 0));
+    let cfg = AuditConfig {
+        max_component_states: args.usize_or("budget", AuditConfig::default().max_component_states),
+        ..AuditConfig::default()
+    };
+    let class = args.get("class").unwrap_or("all");
+    let reports: Vec<AuditReport> = if class == "all" {
+        AUDIT_ALL.iter().map(|c| audit_one(c, n, f, &cfg)).collect()
+    } else {
+        vec![audit_one(class, n, f, &cfg)]
+    };
+    let mut worst = 0;
+    for report in &reports {
+        print!("{report}");
+        worst = worst.max(report.exit_code());
+    }
+    let (substrates, violations) = (
+        reports.len(),
+        reports
+            .iter()
+            .map(|r| r.violations().count())
+            .sum::<usize>(),
+    );
+    println!("audited {substrates} substrate(s): {violations} violation(s) → exit {worst}");
+    match worst {
+        0 => ExitCode::SUCCESS,
+        1 => ExitCode::FAILURE,
+        _ => ExitCode::from(2),
+    }
+}
+
 fn check_cmd(args: &Args) -> ExitCode {
     let Some(expr) = args.positional.first() else {
         die("check wants a property expression, e.g. repro check 'always(safe)' --class atomic")
@@ -474,6 +626,7 @@ fn main() -> ExitCode {
         "hook" => hook_cmd(&args),
         "census" => census_cmd(&args),
         "check" => check_cmd(&args),
+        "audit" => audit_cmd(&args),
         other => die(&format!("unknown command {other:?}")),
     }
 }

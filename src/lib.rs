@@ -37,6 +37,10 @@
 //! println!("{}", witness.headline());
 //! ```
 
+// The whole workspace is `unsafe`-free by policy; enforce it statically
+// so a future unsafe block needs an explicit, reviewed opt-out here.
+#![forbid(unsafe_code)]
+
 pub use analysis;
 pub use ioa;
 pub use protocols;
