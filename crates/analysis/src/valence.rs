@@ -16,14 +16,15 @@
 //! the `G(C)` census, the witness safety scan — shares this one graph
 //! instead of re-hashing and re-cloning full `SystemState`s.
 
-use ioa::canon::{Perm, SymmetryMode};
+use ioa::automaton::Automaton;
+use ioa::canon::{SymGroup, SymmetryMode};
 use ioa::explore::{ExploreOptions, ExploreStats, ExploredGraph, FrontierMode};
 use ioa::store::{fx_hash, StateId, StateStore};
 use ioa::Csr;
-use spec::Val;
-use std::collections::BTreeSet;
+use spec::{RelabelValues, Val, ValuePerm};
+use std::collections::{BTreeSet, VecDeque};
 use system::build::{CompleteSystem, SystemState};
-use system::packed::{canonical_system_state, PackedSystem};
+use system::packed::{canonical_system_state_with, PackedSystem};
 use system::process::ProcessAutomaton;
 use system::{Action, Task};
 
@@ -135,7 +136,14 @@ pub struct ValenceMap<P: ProcessAutomaton> {
     /// (`None` when exploration ran concretely). When present, every
     /// non-root state in the map is an orbit representative, and
     /// lookups canonicalize their argument on a raw miss.
-    perms: Option<Vec<Perm>>,
+    sym: Option<SymGroup>,
+    /// `decided` with every value relabeled by [`ValuePerm::Swap`] —
+    /// present exactly when the quotient composed the value relabeling
+    /// group. A concrete state whose canonicalization swapped 0 ↔ 1
+    /// answers out of this table: if `rep = σ·ν·s` then the decisions
+    /// reachable from `s` are `ν` applied to those reachable from
+    /// `rep`.
+    decided_swapped: Option<Vec<BTreeSet<Val>>>,
 }
 
 impl<P: ProcessAutomaton> ValenceMap<P> {
@@ -268,6 +276,52 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         }
         let parts = graph.into_parts();
 
+        // Per-edge value twists, present exactly when the quotient
+        // composed the 0 ↔ 1 relabeling (`SymmetryMode::Values`). The
+        // explorer canonicalizes successors without recording which
+        // group element did it, so each edge's value component is
+        // re-derived by re-expanding every source against the now-warm
+        // effect cache in exactly the explorer's (task order, branch
+        // order) discipline, including its two-stage self-loop pruning.
+        // `twists[k] = true` for flat-arena edge `k` means the edge's
+        // concrete successor canonicalized through `ValuePerm::Swap`:
+        // if `rep' = σ·ν·s'` then the decisions reachable from the
+        // concrete successor `s'` are `ν` applied to those of `rep'`,
+        // so the backward fixpoint below must pull each edge's
+        // contribution back through its twist.
+        let twists: Option<Vec<bool>> = match packed.symmetry_group() {
+            Some(g) if g.values => {
+                let tasks = Automaton::tasks(packed);
+                let mut twists = Vec::new();
+                for (idx, ps) in parts.store.states().iter().enumerate() {
+                    let row = parts.edges.row(idx);
+                    let mut k = 0usize;
+                    for t in &tasks {
+                        for (_, s2) in Automaton::succ_all(packed, t, ps) {
+                            if &s2 == ps {
+                                continue;
+                            }
+                            let (rep, _, nu) = packed.canonical_with_sym(&s2);
+                            if &rep == ps {
+                                continue;
+                            }
+                            debug_assert_eq!(&row[k].0, t, "re-expansion must mirror the explorer");
+                            debug_assert_eq!(
+                                parts.store.get(&rep),
+                                Some(row[k].2),
+                                "re-expansion must rediscover the recorded successor"
+                            );
+                            twists.push(!nu.is_identity());
+                            k += 1;
+                        }
+                    }
+                    debug_assert_eq!(k, row.len(), "edge rows must be re-derived exactly");
+                }
+                Some(twists)
+            }
+            _ => None,
+        };
+
         // Decode each packed state back into the deep representation,
         // in id order: interning in insertion order reproduces the
         // packed ids exactly (the encoding is injective, so every
@@ -301,12 +355,18 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
             .ids()
             .map(|id| sys.decided_values(store.resolve(id)))
             .collect();
-        let universe: Vec<Val> = own
-            .iter()
-            .flat_map(|d| d.iter().cloned())
-            .collect::<BTreeSet<Val>>()
-            .into_iter()
-            .collect();
+        let mut uni: BTreeSet<Val> = own.iter().flat_map(|d| d.iter().cloned()).collect();
+        if twists.is_some() {
+            // The twisted fixpoint maps masks through ν, so the lane
+            // universe must be ν-closed (Swap is an involution: one
+            // closure pass suffices).
+            let images: Vec<Val> = uni
+                .iter()
+                .map(|v| v.relabel_values(ValuePerm::Swap))
+                .collect();
+            uni.extend(images);
+        }
+        let universe: Vec<Val> = uni.into_iter().collect();
         assert!(
             universe.len() <= ioa::fixpoint::MAX_LANES,
             "decision-value universe exceeds {} bit lanes",
@@ -320,7 +380,66 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
                 })
             })
             .collect();
-        ioa::fixpoint::backward_union(&preds, &mut masks);
+        match &twists {
+            None => ioa::fixpoint::backward_union(&preds, &mut masks),
+            Some(tw) => {
+                // ν-twisted backward fixpoint:
+                //   D(r) = own(r) ∪ ⋃_{edges e: r → r'} ν_e(D(r')).
+                // The untwisted bit-lane engine cannot express the
+                // per-edge lane permutation, so the twisted quotient
+                // runs a hand-rolled worklist over a reverse adjacency
+                // that carries each edge's twist bit. Set union is
+                // confluent and ν is a lane bijection, so the least
+                // fixpoint is reached regardless of processing order.
+                let swap_lane: Vec<usize> = universe
+                    .iter()
+                    .map(|v| {
+                        universe
+                            .binary_search(&v.relabel_values(ValuePerm::Swap))
+                            .expect("decision universe is ν-closed")
+                    })
+                    .collect();
+                let swap_mask = |m: u64| -> u64 {
+                    let mut out = 0u64;
+                    for (j, &sj) in swap_lane.iter().enumerate() {
+                        if m & (1 << j) != 0 {
+                            out |= 1 << sj;
+                        }
+                    }
+                    out
+                };
+                let n = masks.len();
+                let mut rev: Vec<Vec<(u32, bool)>> = vec![Vec::new(); n];
+                let mut k = 0usize;
+                for u in 0..n {
+                    for (_, _, v) in edges.row(u) {
+                        rev[v.index()].push((u as u32, tw[k]));
+                        k += 1;
+                    }
+                }
+                debug_assert_eq!(k, tw.len(), "one twist per flat-arena edge");
+                let mut queue: VecDeque<usize> = (0..n).collect();
+                let mut queued = vec![true; n];
+                while let Some(v) = queue.pop_front() {
+                    queued[v] = false;
+                    let m = masks[v];
+                    if m == 0 {
+                        continue;
+                    }
+                    for &(u, sw) in &rev[v] {
+                        let contrib = if sw { swap_mask(m) } else { m };
+                        let u = u as usize;
+                        if masks[u] | contrib != masks[u] {
+                            masks[u] |= contrib;
+                            if !queued[u] {
+                                queued[u] = true;
+                                queue.push_back(u);
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let decided: Vec<BTreeSet<Val>> = masks
             .iter()
             .map(|m| {
@@ -334,6 +453,16 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
             .collect();
 
         let valence = decided.iter().map(classify).collect();
+        let decided_swapped = twists.as_ref().map(|_| {
+            decided
+                .iter()
+                .map(|d| {
+                    d.iter()
+                        .map(|v| v.relabel_values(ValuePerm::Swap))
+                        .collect()
+                })
+                .collect()
+        });
         Ok(ValenceMap {
             store,
             root,
@@ -343,7 +472,8 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
             stats: parts.stats,
             decided,
             valence,
-            perms: packed.symmetry_perms().map(<[Perm]>::to_vec),
+            sym: packed.symmetry_group(),
+            decided_swapped,
         })
     }
 
@@ -372,20 +502,47 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         &self.stats
     }
 
+    /// A deterministic accounting of the retained graph arenas:
+    /// `(peak_interned_states, arena_bytes)`. The state store only ever
+    /// grows, so the final count *is* the peak. Bytes sum the inline
+    /// sizes of every retained arena — state headers, both CSR edge
+    /// arenas, the BFS tree, the valence array, the decision tables
+    /// (and their relabeled twin under a value quotient). Heap owned
+    /// *behind* component states (service buffers, deep `Val`s) is
+    /// deliberately not traversed: the figure is a stable, allocator-
+    /// independent lower bound for regression tracking, not an RSS
+    /// report.
+    #[must_use]
+    pub fn footprint(&self) -> (u64, u64) {
+        use std::mem::size_of;
+        let decided_bytes =
+            |d: &[BTreeSet<Val>]| d.iter().map(|s| s.len() * size_of::<Val>()).sum::<usize>();
+        let mut bytes = self.state_count() * size_of::<SystemState<P::State>>()
+            + self.edges.entry_count() * size_of::<(Task, Action, StateId)>()
+            + self.preds.entry_count() * size_of::<StateId>()
+            + self.parent.len() * size_of::<Option<(StateId, Task, Action)>>()
+            + self.valence.len() * size_of::<Valence>()
+            + decided_bytes(&self.decided);
+        if let Some(swapped) = &self.decided_swapped {
+            bytes += decided_bytes(swapped);
+        }
+        (self.state_count() as u64, bytes as u64)
+    }
+
     /// The BFS-tree step that first discovered `id` (`None` for roots).
     pub fn discovered_by(&self, id: StateId) -> Option<&(StateId, Task, Action)> {
         self.parent[id.index()].as_ref()
     }
 
-    /// Whether the map is an orbit quotient (built under
-    /// [`SymmetryMode::Full`] over a symmetric system).
+    /// Whether the map is an orbit quotient (built under a reducing
+    /// [`SymmetryMode`] over a symmetric system).
     pub fn symmetric(&self) -> bool {
-        self.perms.is_some()
+        self.sym.is_some()
     }
 
     /// The symmetry group the quotient was taken by, when any.
-    pub fn perms(&self) -> Option<&[Perm]> {
-        self.perms.as_deref()
+    pub fn sym(&self) -> Option<SymGroup> {
+        self.sym
     }
 
     /// Whether `s` (or, in a quotient map, any state in its orbit) is
@@ -399,10 +556,21 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
     /// root) falls back to the orbit representative, so any concrete
     /// state whose orbit was explored resolves.
     pub fn id_of(&self, s: &SystemState<P::State>) -> Option<StateId> {
-        self.store.get(s).or_else(|| {
-            let perms = self.perms.as_ref()?;
-            self.store.get(&canonical_system_state(perms, s))
-        })
+        self.lookup(s).map(|(id, _)| id)
+    }
+
+    /// Resolves `s` to its interned id plus the value twist relating
+    /// the two: `rep = σ·ν·s` for the returned `ν`, so every
+    /// value-dependent answer read off the representative must be
+    /// mapped back through `ν`. Raw hits (the non-canonical root, and
+    /// every state of a concrete map) answer with the identity.
+    fn lookup(&self, s: &SystemState<P::State>) -> Option<(StateId, ValuePerm)> {
+        if let Some(id) = self.store.get(s) {
+            return Some((id, ValuePerm::Id));
+        }
+        let group = self.sym?;
+        let (rep, _, nu) = canonical_system_state_with(group, s);
+        Some((self.store.get(&rep)?, nu))
     }
 
     /// Resolve an id back to its state.
@@ -411,19 +579,33 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         self.store.resolve(id)
     }
 
-    fn require_id(&self, s: &SystemState<P::State>) -> StateId {
-        self.id_of(s)
+    fn require(&self, s: &SystemState<P::State>) -> (StateId, ValuePerm) {
+        self.lookup(s)
             .unwrap_or_else(|| panic!("state not in the explored space"))
     }
 
     /// The decision values reachable failure-free from `s`.
+    ///
+    /// In a value-composed quotient, a state whose canonicalization
+    /// swapped 0 ↔ 1 answers out of the pre-relabeled table: the
+    /// decisions reachable from `s` are `ν` applied to those reachable
+    /// from its representative.
     ///
     /// # Panics
     ///
     /// Panics if `s` is not in the explored space (check with
     /// [`ValenceMap::contains`]).
     pub fn reachable_decisions(&self, s: &SystemState<P::State>) -> &BTreeSet<Val> {
-        self.reachable_decisions_id(self.require_id(s))
+        let (id, nu) = self.require(s);
+        if nu.is_identity() {
+            self.reachable_decisions_id(id)
+        } else {
+            let swapped = self
+                .decided_swapped
+                .as_ref()
+                .expect("swap lookups only occur in value-composed quotients");
+            &swapped[id.index()]
+        }
     }
 
     /// The decision values reachable failure-free from `id`.
@@ -432,13 +614,26 @@ impl<P: ProcessAutomaton> ValenceMap<P> {
         &self.decided[id.index()]
     }
 
-    /// The valence of `s` (Section 3.2).
+    /// The valence of `s` (Section 3.2). In a value-composed quotient
+    /// the representative's valence is mapped back through the lookup's
+    /// value twist: 0-valent and 1-valent exchange under `ν = Swap`,
+    /// bivalent and undecided are `ν`-invariant.
     ///
     /// # Panics
     ///
     /// Panics if `s` is not in the explored space.
     pub fn valence(&self, s: &SystemState<P::State>) -> Valence {
-        self.valence_id(self.require_id(s))
+        let (id, nu) = self.require(s);
+        let v = self.valence_id(id);
+        if nu.is_identity() {
+            v
+        } else {
+            match v {
+                Valence::Zero => Valence::One,
+                Valence::One => Valence::Zero,
+                other => other,
+            }
+        }
     }
 
     /// The valence of `id` (Section 3.2) — O(1) array access.

@@ -265,6 +265,12 @@ pub fn find_witness<P: ProcessAutomaton>(
     let n = sys.process_count();
 
     // Stage 1: failure-free safety over every monotone initialization.
+    // The scan checks validity against each concrete assignment — an
+    // observation the 0 ↔ 1 relabeling does *not* preserve (a rep
+    // deciding 1 may stand for a concrete state deciding 0), so the
+    // scan quotients only by the value-blind part of the requested
+    // group. Stages 2–5 are relabeling-invariant and keep the full
+    // composed quotient.
     for ones in 0..=n {
         let assignment = InputAssignment::monotone(n, ones);
         let root = initialize(sys, &assignment);
@@ -273,7 +279,7 @@ pub fn find_witness<P: ProcessAutomaton>(
             root,
             bounds.max_states,
             bounds.threads,
-            bounds.symmetry,
+            bounds.symmetry.value_blind(),
         )?;
         if let Some(violation) = safety_scan(sys, &assignment, &map) {
             return Ok(ImpossibilityWitness::Safety {

@@ -29,9 +29,10 @@ fn main() {
             ("full", SymmetryMode::Off),
             ("quotient", SymmetryMode::Full),
         ] {
-            let states = ValenceMap::build_with_symmetry(&sys, root.clone(), 5_000_000, 1, mode)
-                .expect("doomed-atomic scales fit comfortably")
-                .state_count() as u64;
+            let probe = ValenceMap::build_with_symmetry(&sys, root.clone(), 5_000_000, 1, mode)
+                .expect("doomed-atomic scales fit comfortably");
+            let (states, arena_bytes) = probe.footprint();
+            drop(probe);
             group.bench(&format!("{variant}_n={n},f={f}"), || {
                 let map = ValenceMap::build_with_symmetry(&sys, root.clone(), 5_000_000, 1, mode)
                     .expect("doomed-atomic scales fit comfortably");
@@ -39,6 +40,7 @@ fn main() {
                 black_box(map.state_count())
             });
             group.annotate_last(Some(states), None);
+            group.annotate_memory(Some(states), Some(arena_bytes));
             eprintln!("[E17] {variant} n={n},f={f}: {states} interned states");
         }
     }

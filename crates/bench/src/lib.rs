@@ -84,6 +84,12 @@ pub mod harness {
         /// Transition-effect cache hit rate observed during the timed
         /// runs, when the measured automaton exposes one.
         pub hit_rate: Option<f64>,
+        /// Peak interned-state count of the structure one run builds
+        /// (the graph store only grows, so final = peak).
+        pub peak_states: Option<u64>,
+        /// Inline arena footprint in bytes of the structure one run
+        /// builds (see `ValenceMap::footprint` for the accounting).
+        pub arena_bytes: Option<u64>,
     }
 
     impl Measurement {
@@ -193,6 +199,8 @@ pub mod harness {
                 samples_ns,
                 states: None,
                 hit_rate: None,
+                peak_states: None,
+                arena_bytes: None,
             };
             eprintln!(
                 "{}/{}: median {} (min {}, max {}, {} samples)",
@@ -232,6 +240,30 @@ pub mod harness {
             }
         }
 
+        /// Attach memory annotations to the most recent
+        /// [`Group::bench`] call: the peak interned-state count and the
+        /// inline arena byte footprint of whatever one run builds.
+        /// Rows without the annotation emit JSON `null`s, so older
+        /// benches stay valid.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no benchmark has run in this group yet.
+        pub fn annotate_memory(&mut self, peak_states: Option<u64>, arena_bytes: Option<u64>) {
+            let m = self
+                .results
+                .last_mut()
+                .expect("annotate_memory follows a bench call");
+            m.peak_states = peak_states;
+            m.arena_bytes = arena_bytes;
+            if let (Some(p), Some(b)) = (peak_states, arena_bytes) {
+                eprintln!(
+                    "{}/{}: {p} interned states, {b} arena bytes",
+                    m.group, m.label
+                );
+            }
+        }
+
         /// Finish the group. If `BENCH_JSON_OUT` names a directory,
         /// write `<dir>/<group>.json` with one row per measurement (the
         /// input the perf-trajectory files like `BENCH_explore.json`
@@ -253,6 +285,8 @@ pub mod harness {
                         samples: m.samples_ns.len(),
                         states_per_sec: m.states_per_sec(),
                         hit_rate: m.hit_rate,
+                        peak_interned_states: m.peak_states,
+                        arena_bytes: m.arena_bytes,
                     })
                     .collect();
                 let path = format!("{dir}/{}.json", self.name);
@@ -294,6 +328,17 @@ pub mod json {
         /// Transition-effect cache hit rate during sampling; `null`
         /// when the measured automaton has no cache.
         pub hit_rate: Option<f64>,
+        /// Peak interned-state count of the structure one run builds;
+        /// `null` when the bench did not annotate memory.
+        pub peak_interned_states: Option<u64>,
+        /// Inline arena byte footprint of that structure; `null` when
+        /// the bench did not annotate memory.
+        pub arena_bytes: Option<u64>,
+    }
+
+    /// Render an optional integer as a JSON number or `null`.
+    fn opt_u64(v: Option<u64>) -> String {
+        v.map_or_else(|| "null".to_string(), |x| x.to_string())
     }
 
     /// Render an optional float as a JSON number or `null`. Non-finite
@@ -338,7 +383,8 @@ pub mod json {
             out.push_str(&format!(
                 "    {{\"bench\": \"{}\", \"scale\": \"{}\", \"variant\": \"{}\", \
                  \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}, \
-                 \"states_per_sec\": {}, \"hit_rate\": {}}}{}\n",
+                 \"states_per_sec\": {}, \"hit_rate\": {}, \
+                 \"peak_interned_states\": {}, \"arena_bytes\": {}}}{}\n",
                 escape(&r.bench),
                 escape(&r.scale),
                 escape(&r.variant),
@@ -348,6 +394,8 @@ pub mod json {
                 r.samples,
                 opt_f64(r.states_per_sec, 1),
                 opt_f64(r.hit_rate, 4),
+                opt_u64(r.peak_interned_states),
+                opt_u64(r.arena_bytes),
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
@@ -373,6 +421,8 @@ mod tests {
             samples_ns: vec![5, 1, 9, 3, 7],
             states: None,
             hit_rate: None,
+            peak_states: None,
+            arena_bytes: None,
         };
         assert_eq!(m.median_ns(), 5);
         assert_eq!(m.min_ns(), 1);
@@ -384,6 +434,8 @@ mod tests {
             samples_ns: vec![4, 2, 8, 6],
             states: Some(8),
             hit_rate: Some(0.95),
+            peak_states: Some(8),
+            arena_bytes: Some(1024),
         };
         assert_eq!(even.median_ns(), 4, "lower middle for even counts");
         // 8 states in a 4 ns median = 2e9 states/sec.
@@ -403,6 +455,8 @@ mod tests {
                 samples: 10,
                 states_per_sec: None,
                 hit_rate: None,
+                peak_interned_states: None,
+                arena_bytes: None,
             },
             json::Row {
                 bench: "e15_effect_cache".into(),
@@ -414,13 +468,17 @@ mod tests {
                 samples: 10,
                 states_per_sec: Some(1234.56),
                 hit_rate: Some(0.987_654),
+                peak_interned_states: Some(83),
+                arena_bytes: Some(16_384),
             },
         ];
         let doc = json::report("explore-core", &rows);
         assert!(doc.contains("\"experiment\": \"explore-core\""));
         assert!(doc.contains("\"median_ns\": 123"));
         assert!(doc.contains("\"states_per_sec\": null, \"hit_rate\": null"));
+        assert!(doc.contains("\"peak_interned_states\": null, \"arena_bytes\": null"));
         assert!(doc.contains("\"states_per_sec\": 1234.6, \"hit_rate\": 0.9877"));
+        assert!(doc.contains("\"peak_interned_states\": 83, \"arena_bytes\": 16384"));
         assert!(doc.ends_with("}\n"));
         assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
@@ -440,6 +498,8 @@ mod tests {
             samples: 1,
             states_per_sec: Some(f64::INFINITY),
             hit_rate: Some(f64::NAN),
+            peak_interned_states: None,
+            arena_bytes: None,
         }];
         let doc = json::report("degenerate", &rows);
         assert!(doc.contains("\"states_per_sec\": null, \"hit_rate\": null"));
@@ -456,6 +516,8 @@ mod tests {
             samples_ns: vec![0, 0, 0],
             states: Some(100),
             hit_rate: None,
+            peak_states: None,
+            arena_bytes: None,
         };
         assert_eq!(m.states_per_sec(), None);
     }

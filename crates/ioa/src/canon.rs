@@ -27,14 +27,22 @@ pub const SYMMETRY_ENV: &str = "SYMMETRY";
 ///
 /// `Full` asks every layer (explorer, packed system, valence map,
 /// witness pipeline) to canonicalize successor states to orbit
-/// representatives; `Off` (the default) explores the concrete space.
-/// Automata that declare no symmetry treat `Full` as a no-op, so the
-/// mode is always safe to enable.
+/// representatives under process-id permutation (`S_n`); `Values`
+/// additionally composes the consensus-value relabeling group
+/// (`S_n × S_vals`, the 0 ↔ 1 swap); `Off` (the default) explores the
+/// concrete space. Automata that declare no (or less) symmetry treat
+/// the stronger modes as the strongest one they support, so every mode
+/// is always safe to enable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SymmetryMode {
     /// Canonicalize every interned successor to its orbit
-    /// representative.
+    /// representative under process-id permutation.
     Full,
+    /// Canonicalize under the composed `S_n × S_vals` group: process-id
+    /// permutation plus the 0 ↔ 1 consensus-value relabeling (gated on
+    /// the substrate's `value_symmetric` contracts; degrades to
+    /// [`SymmetryMode::Full`] behavior when they are absent).
+    Values,
     /// Explore the concrete (non-quotiented) state space.
     #[default]
     Off,
@@ -42,19 +50,68 @@ pub enum SymmetryMode {
 
 impl SymmetryMode {
     /// Reads the mode from the `SYMMETRY` environment variable:
-    /// `full` (case-insensitive) enables the quotient, anything else —
-    /// including unset — is [`SymmetryMode::Off`].
+    /// `full` or `values` (case-insensitive) enable the corresponding
+    /// quotient, anything else — including unset — is
+    /// [`SymmetryMode::Off`].
     pub fn from_env() -> SymmetryMode {
         match env::var(SYMMETRY_ENV) {
             Ok(v) if v.eq_ignore_ascii_case("full") => SymmetryMode::Full,
+            Ok(v) if v.eq_ignore_ascii_case("values") => SymmetryMode::Values,
             _ => SymmetryMode::Off,
         }
     }
 
-    /// Whether the quotient is enabled.
-    pub fn is_full(self) -> bool {
-        matches!(self, SymmetryMode::Full)
+    /// Whether the quotient is enabled at all (process-id permutation,
+    /// with or without the composed value relabeling).
+    pub fn reduces(self) -> bool {
+        !matches!(self, SymmetryMode::Off)
     }
+
+    /// Whether the quotient is enabled. Kept as the historical name of
+    /// [`SymmetryMode::reduces`]; `Values` implies `Full`'s process-id
+    /// quotient, so both reducing modes answer `true`.
+    pub fn is_full(self) -> bool {
+        self.reduces()
+    }
+
+    /// Whether the composed value relabeling is requested on top of the
+    /// process-id quotient.
+    pub fn wants_values(self) -> bool {
+        matches!(self, SymmetryMode::Values)
+    }
+
+    /// This mode with the value group stripped: `Values` steps down to
+    /// `Full`, everything else is unchanged.
+    ///
+    /// Quotienting is only sound for observations invariant under the
+    /// group quotiented by. Process-id permutation is invisible to
+    /// every observation the pipeline makes, but the 0 ↔ 1 relabeling
+    /// is *not* value-blind — validity against a fixed input assignment
+    /// distinguishes a state from its mirror — so passes that check
+    /// value-naming predicates over raw interned states (the safety
+    /// scan) drop to this mode.
+    #[must_use]
+    pub fn value_blind(self) -> SymmetryMode {
+        match self {
+            SymmetryMode::Values => SymmetryMode::Full,
+            other => other,
+        }
+    }
+}
+
+/// A compact descriptor of the symmetry group a quotient graph was
+/// built under: process-id permutations of `0..n`, optionally composed
+/// with the consensus-value relabeling group. Replaces the materialized
+/// `Vec<Perm>` the brute-force canonicalizer used to carry — the
+/// signature-sort canonical form (DESIGN §2.1.6) never enumerates the
+/// group, so the descriptor is all downstream layers need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SymGroup {
+    /// The permuted index-set size `n` (the process count).
+    pub n: usize,
+    /// Whether the 0 ↔ 1 value relabeling is composed in
+    /// (`S_n × S_vals` instead of `S_n`).
+    pub values: bool,
 }
 
 /// A permutation `π` of `0..n`, stored in one-line notation:
@@ -156,9 +213,14 @@ impl Perm {
     /// symmetric group: `8! = 40 320` permutations. Beyond that the
     /// factorial blow-up would silently eat memory and wall-clock long
     /// before producing anything useful, so [`Perm::all`] refuses with
-    /// a hard error instead. Callers that gate symmetry machinery on
-    /// group enumeration (e.g. `system::packed`) should check against
-    /// this bound and degrade to [`SymmetryMode::Off`] above it.
+    /// a hard error instead.
+    ///
+    /// The cap bounds *only* this explicit-enumeration API (used by
+    /// tests, audits and orbit-census diagnostics). Canonicalization no
+    /// longer enumerates the group at all — the signature-sort
+    /// canonical form in `system::packed` is `O(n log n)` per state
+    /// (DESIGN §2.1.6) — so quotient exploration works at any `n` the
+    /// failed-set bitmask supports, far beyond this constant.
     pub const MAX_ENUMERATED: usize = 8;
 
     /// All `n!` permutations of `0..n`, in lexicographic order of
@@ -170,17 +232,18 @@ impl Perm {
     /// # Panics
     ///
     /// Panics if `n > Perm::MAX_ENUMERATED` (= 8): `9!` is already
-    /// 362 880 permutations and each orbit probe multiplies by it, so
-    /// enumeration past 8 is a factorial OOM in waiting, not a slow
-    /// path. For larger systems run with `SYMMETRY=off`, or implement
-    /// stabilizer-chain pruning first (ROADMAP item 1 names it as the
-    /// prerequisite for n ≥ 5 quotients anyway).
+    /// 362 880 permutations, so enumeration past 8 is a factorial OOM
+    /// in waiting, not a slow path. This bounds only explicit group
+    /// enumeration; the canonicalization hot path sorts slot signatures
+    /// instead of probing permutations and is unaffected by the cap.
     pub fn all(n: usize) -> Vec<Perm> {
         assert!(
             n <= Self::MAX_ENUMERATED,
-            "Perm::all({n}) would materialize {n}! permutations; symmetric-group \
-             enumeration is capped at n = {} (8! = 40320). Use SYMMETRY=off for \
-             larger systems, or add stabilizer-chain pruning before raising the cap.",
+            "Perm::all({n}) would materialize {n}! permutations; explicit \
+             symmetric-group enumeration is capped at n = {} (8! = 40320). \
+             Canonicalization does not enumerate the group (signature-sort \
+             canonical form, DESIGN §2.1.6) — only enumeration-based \
+             diagnostics need this API, and they must stay below the cap.",
             Self::MAX_ENUMERATED
         );
         let mut out = Vec::new();
@@ -292,5 +355,16 @@ mod tests {
         assert_eq!(SymmetryMode::default(), SymmetryMode::Off);
         assert!(SymmetryMode::Full.is_full());
         assert!(!SymmetryMode::Off.is_full());
+    }
+
+    #[test]
+    fn values_mode_reduces_and_wants_values() {
+        assert!(SymmetryMode::Values.reduces());
+        assert!(SymmetryMode::Values.is_full());
+        assert!(SymmetryMode::Values.wants_values());
+        assert!(SymmetryMode::Full.reduces());
+        assert!(!SymmetryMode::Full.wants_values());
+        assert!(!SymmetryMode::Off.reduces());
+        assert!(!SymmetryMode::Off.wants_values());
     }
 }

@@ -76,7 +76,7 @@ pub mod store;
 pub mod toy;
 
 pub use automaton::{ActionKind, Automaton, CacheStats};
-pub use canon::{Perm, SymmetryMode};
+pub use canon::{Perm, SymGroup, SymmetryMode};
 pub use csr::Csr;
 pub use execution::{Execution, Step};
 pub use explore::FrontierMode;

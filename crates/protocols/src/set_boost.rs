@@ -77,6 +77,19 @@ pub enum Phase {
     Decided(Val),
 }
 
+impl spec::RelabelValues for Phase {
+    /// Structural 0 ↔ 1 relabeling of the carried value.
+    fn relabel_values(&self, vp: spec::ValuePerm) -> Phase {
+        match self {
+            Phase::Idle => Phase::Idle,
+            Phase::Waiting => Phase::Waiting,
+            Phase::HasInput(v) => Phase::HasInput(v.relabel_values(vp)),
+            Phase::Responding(v) => Phase::Responding(v.relabel_values(vp)),
+            Phase::Decided(v) => Phase::Decided(v.relabel_values(vp)),
+        }
+    }
+}
+
 /// The Section 4 process: forward the input to the group's service,
 /// decide the response.
 #[derive(Clone, Debug)]

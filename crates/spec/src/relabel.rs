@@ -1,0 +1,206 @@
+//! The consensus-value relabeling group `S_vals` (the 0 ↔ 1 swap).
+//!
+//! The paper's indistinguishability arguments are symmetric not only in
+//! process identities but in the consensus values themselves: relabeling
+//! every occurrence of input/decision value `0` as `1` (and vice versa)
+//! maps executions to executions whenever the substrate never inspects
+//! the values it carries. [`ValuePerm`] is that two-element group, and
+//! [`RelabelValues`] is the structural action of a `ValuePerm` on the
+//! workspace's data — values, invocations, responses, service states,
+//! process states. Composed with the process-permutation group
+//! `S_n` (see `ioa::canon::Perm`) it yields the full `S_n × S_vals`
+//! symmetry the quotient explorer reduces by under
+//! `SymmetryMode::Values`.
+//!
+//! The action is *structural*: it recursively swaps `Val::Int(0)` and
+//! `Val::Int(1)` inside sets, sequences, maps and pairs, leaving every
+//! other leaf alone. Whether that structural action is a genuine
+//! automorphism of a given substrate is a *contract*
+//! (`SeqType::value_symmetric`, `Service::value_symmetric`,
+//! `ProcessAutomaton::value_symmetric`), default-off and audited by the
+//! `value-symmetry` rule in `analysis::audit`.
+
+use crate::value::Val;
+
+/// An element of the value-relabeling group: identity or the 0 ↔ 1
+/// swap. The group is `Z/2`: [`ValuePerm::Swap`] is an involution and
+/// composition is exclusive-or.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValuePerm {
+    /// Leave every value alone.
+    #[default]
+    Id,
+    /// Swap every (nested) occurrence of `Int(0)` and `Int(1)`.
+    Swap,
+}
+
+impl ValuePerm {
+    /// Group composition. `Z/2` is abelian and every element is its
+    /// own inverse, so this is simply exclusive-or.
+    #[must_use]
+    pub fn compose(self, other: ValuePerm) -> ValuePerm {
+        if self == other {
+            ValuePerm::Id
+        } else {
+            ValuePerm::Swap
+        }
+    }
+
+    /// The inverse element (every element of `Z/2` is an involution).
+    #[must_use]
+    pub fn inverse(self) -> ValuePerm {
+        self
+    }
+
+    /// Whether this is the identity.
+    #[must_use]
+    pub fn is_identity(self) -> bool {
+        self == ValuePerm::Id
+    }
+
+    /// Applies the relabeling to one value.
+    #[must_use]
+    pub fn apply(self, v: &Val) -> Val {
+        match self {
+            ValuePerm::Id => v.clone(),
+            ValuePerm::Swap => v.relabel_values(self),
+        }
+    }
+}
+
+impl std::fmt::Display for ValuePerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValuePerm::Id => write!(f, "id"),
+            ValuePerm::Swap => write!(f, "0↔1"),
+        }
+    }
+}
+
+/// Data a [`ValuePerm`] acts on structurally.
+///
+/// Implementations must form a group action: relabeling by
+/// [`ValuePerm::Id`] is the identity and relabeling twice by
+/// [`ValuePerm::Swap`] round-trips. The provided impls recurse through
+/// [`Val`]'s containers; component-state impls (service states, process
+/// phases) relabel exactly their value-carrying fields.
+pub trait RelabelValues {
+    /// The image of `self` under `vp`.
+    #[must_use]
+    fn relabel_values(&self, vp: ValuePerm) -> Self;
+}
+
+impl RelabelValues for Val {
+    fn relabel_values(&self, vp: ValuePerm) -> Val {
+        if vp.is_identity() {
+            return self.clone();
+        }
+        match self {
+            Val::Int(0) => Val::Int(1),
+            Val::Int(1) => Val::Int(0),
+            Val::Unit | Val::Bool(_) | Val::Int(_) | Val::Sym(_) | Val::Str(_) => self.clone(),
+            Val::Set(s) => Val::Set(s.iter().map(|v| v.relabel_values(vp)).collect()),
+            Val::Seq(s) => Val::Seq(s.iter().map(|v| v.relabel_values(vp)).collect()),
+            Val::Map(m) => Val::Map(
+                m.iter()
+                    .map(|(k, v)| (k.relabel_values(vp), v.relabel_values(vp)))
+                    .collect(),
+            ),
+            Val::Pair(a, b) => Val::pair(a.relabel_values(vp), b.relabel_values(vp)),
+        }
+    }
+}
+
+impl RelabelValues for crate::seq_type::Inv {
+    fn relabel_values(&self, vp: ValuePerm) -> Self {
+        crate::seq_type::Inv(self.0.relabel_values(vp))
+    }
+}
+
+impl RelabelValues for crate::seq_type::Resp {
+    fn relabel_values(&self, vp: ValuePerm) -> Self {
+        crate::seq_type::Resp(self.0.relabel_values(vp))
+    }
+}
+
+// Value-free scalar states (toy/test automata use small integers as
+// states); the relabeling acts trivially.
+macro_rules! impl_relabel_trivial {
+    ($($t:ty),* $(,)?) => {$(
+        impl RelabelValues for $t {
+            fn relabel_values(&self, _vp: ValuePerm) -> Self {
+                self.clone()
+            }
+        }
+    )*};
+}
+
+impl_relabel_trivial!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, ());
+
+impl<T: RelabelValues> RelabelValues for Vec<T> {
+    fn relabel_values(&self, vp: ValuePerm) -> Self {
+        self.iter().map(|v| v.relabel_values(vp)).collect()
+    }
+}
+
+impl<T: RelabelValues> RelabelValues for Option<T> {
+    fn relabel_values(&self, vp: ValuePerm) -> Self {
+        self.as_ref().map(|v| v.relabel_values(vp))
+    }
+}
+
+impl<A: RelabelValues, B: RelabelValues> RelabelValues for (A, B) {
+    fn relabel_values(&self, vp: ValuePerm) -> Self {
+        (self.0.relabel_values(vp), self.1.relabel_values(vp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_is_an_involution() {
+        let vals = [
+            Val::Int(0),
+            Val::Int(1),
+            Val::Int(7),
+            Val::Sym("read"),
+            Val::set([Val::Int(0), Val::Int(2)]),
+            Val::pair(Val::Sym("init"), Val::Int(1)),
+            Val::map([(Val::Int(0), Val::Int(1))]),
+            Val::seq([Val::Int(1), Val::Unit]),
+        ];
+        for v in &vals {
+            let once = v.relabel_values(ValuePerm::Swap);
+            assert_eq!(&once.relabel_values(ValuePerm::Swap), v, "{v}");
+            assert_eq!(&v.relabel_values(ValuePerm::Id), v);
+        }
+    }
+
+    #[test]
+    fn swap_recurses_and_leaves_other_leaves_alone() {
+        let v = Val::pair(Val::Sym("decide"), Val::set([Val::Int(0), Val::Int(5)]));
+        assert_eq!(
+            v.relabel_values(ValuePerm::Swap),
+            Val::pair(Val::Sym("decide"), Val::set([Val::Int(1), Val::Int(5)]))
+        );
+    }
+
+    #[test]
+    fn composition_is_xor() {
+        use ValuePerm::{Id, Swap};
+        assert_eq!(Id.compose(Id), Id);
+        assert_eq!(Id.compose(Swap), Swap);
+        assert_eq!(Swap.compose(Id), Swap);
+        assert_eq!(Swap.compose(Swap), Id);
+        assert_eq!(Swap.inverse(), Swap);
+        assert!(Id.is_identity() && !Swap.is_identity());
+    }
+
+    #[test]
+    fn display_names_the_swap() {
+        assert_eq!(ValuePerm::Id.to_string(), "id");
+        assert_eq!(ValuePerm::Swap.to_string(), "0↔1");
+    }
+}

@@ -36,12 +36,12 @@ use crate::build::{CompleteSystem, Delta, ProcStep, StateView, SystemState};
 use crate::effect_cache::{BranchEntry, EffectCache, PopEntry, ProcStepEntry};
 use crate::process::ProcessAutomaton;
 use ioa::automaton::{ActionKind, Automaton, CacheStats};
-use ioa::canon::{Perm, SymmetryMode};
+use ioa::canon::{Perm, SymGroup, SymmetryMode};
 use ioa::store::{fx_hash, CompId, Interner};
 use services::SvcState;
-use spec::{Inv, ProcId, Resp, SvcId};
+use spec::{Inv, ProcId, RelabelValues, Resp, SvcId, ValuePerm};
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 use std::sync::{RwLock, RwLockReadGuard};
 
@@ -106,29 +106,34 @@ pub struct PackedSystem<'s, P: ProcessAutomaton> {
     symmetry: Option<Symmetry>,
 }
 
-/// The process-id symmetry group of a symmetric system, with the lazy
-/// per-permutation service-component remap tables.
+/// The canonicalizer's lazy memo tables. The group itself is never
+/// materialized — the signature-sort canonical form (see
+/// [`PackedSystem::canonical_with_sym`]) computes the one sorting
+/// permutation each state needs, so only the permutations that actually
+/// occur as sort outcomes ever get a service remap table.
 ///
 /// Permuting process ids in a packed state is cheap on the process
 /// block — an id-symmetric family (see
 /// [`ProcessAutomaton::id_symmetric`]) keeps per-process state contents
 /// `ProcId`-free, so `π` only *moves slots* — but a service component
 /// embeds per-endpoint buffers and a failed set keyed by `ProcId`, so
-/// its image under `π` is a different component. `svc_maps[k][sc]`
-/// memoizes the interned id of `π_k` applied to service component `sc`;
+/// its image under `π` is a different component. `svc_maps[π][sc]`
+/// memoizes the interned id of `π` applied to service component `sc`;
 /// entries are filled on demand, and since interning is idempotent a
-/// racing fill writes the identical id.
+/// racing fill writes the identical id. The two `*_relabel` tables do
+/// the same for the 0 ↔ 1 value relabeling `ν` (active only when
+/// `values` is set), indexed by component id.
 #[derive(Debug)]
 struct Symmetry {
-    /// All `n!` permutations, identity first (`Perm::all` order).
-    perms: Vec<Perm>,
-    /// `invs[k] = perms[k]⁻¹`, precomputed so a candidate's slot `j`
-    /// can be read off as `ps.comps[π⁻¹(j)]` without materializing the
-    /// whole permuted vector.
-    invs: Vec<Perm>,
-    /// `svc_maps[k][sc]` = id of `π_k · resolve(sc)`; index 0 (the
-    /// identity) is present but never consulted.
-    svc_maps: Vec<RwLock<Vec<Option<u32>>>>,
+    /// Whether the consensus-value relabeling group is composed in
+    /// (`S_n × S_vals` instead of `S_n`).
+    values: bool,
+    /// `svc_maps[π][sc]` = interned id of `π · resolve(sc)`.
+    svc_maps: RwLock<HashMap<Perm, Vec<Option<u32>>>>,
+    /// `proc_relabel[pc]` = interned id of `ν · resolve(pc)`.
+    proc_relabel: RwLock<Vec<Option<u32>>>,
+    /// `svc_relabel[sc]` = interned id of `ν · resolve(sc)`.
+    svc_relabel: RwLock<Vec<Option<u32>>>,
 }
 
 /// A [`StateView`] over a packed state: holds read guards on both
@@ -173,14 +178,19 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         Self::with_symmetry(sys, SymmetryMode::from_env())
     }
 
-    /// [`PackedSystem::new`] with an explicit symmetry mode. Under
-    /// [`SymmetryMode::Full`] the canonicalizer activates only when the
-    /// system actually *is* process-id symmetric — an id-symmetric
-    /// process family and endpoint-symmetric services whose endpoint
-    /// set is exactly all `n` processes (see
-    /// [`PackedSystem::symmetric_system`]); otherwise
-    /// [`PackedSystem::canonical_with_perm`] degenerates to the
-    /// identity and exploration is unchanged.
+    /// [`PackedSystem::new`] with an explicit symmetry mode. Under any
+    /// reducing mode ([`SymmetryMode::reduces`]) the canonicalizer
+    /// activates only when the system actually *is* process-id
+    /// symmetric — an id-symmetric process family and
+    /// endpoint-symmetric services whose endpoint set is exactly all
+    /// `n` processes (see [`PackedSystem::symmetric_system`]);
+    /// otherwise [`PackedSystem::canonical_with_sym`] degenerates to
+    /// the identity and exploration is unchanged. Under
+    /// [`SymmetryMode::Values`] the 0 ↔ 1 value relabeling is
+    /// additionally composed in when every component claims it
+    /// ([`PackedSystem::value_symmetric_system`]); a system that is
+    /// process-symmetric but not value-symmetric degrades to the plain
+    /// `S_n` quotient.
     ///
     /// # Panics
     ///
@@ -194,14 +204,12 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 .collect::<Vec<_>>()
         });
         p.cache = Some(EffectCache::new(p.n, p.m, globals));
-        if mode.is_full() && Self::symmetric_system(sys) {
-            let perms = Perm::all(p.n);
-            let invs = perms.iter().map(Perm::inverse).collect();
-            let svc_maps = (0..perms.len()).map(|_| RwLock::new(Vec::new())).collect();
+        if mode.reduces() && Self::symmetric_system(sys) {
             p.symmetry = Some(Symmetry {
-                perms,
-                invs,
-                svc_maps,
+                values: mode.wants_values() && Self::value_symmetric_system(sys),
+                svc_maps: RwLock::new(HashMap::new()),
+                proc_relabel: RwLock::new(Vec::new()),
+                svc_relabel: RwLock::new(Vec::new()),
             });
         }
         p
@@ -212,22 +220,33 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
     /// ([`ProcessAutomaton::id_symmetric`]), and every service both
     /// endpoint-symmetric ([`services::Service::endpoint_symmetric`])
     /// and connected to *all* `n` processes (a proper-subset endpoint
-    /// set would make `π` move an endpoint out of `J`). Systems with
-    /// more than [`Perm::MAX_ENUMERATED`] processes are reported
-    /// asymmetric as well — the canonicalizer materializes the full
-    /// symmetric group, so past that bound the quotient degrades to
-    /// concrete exploration instead of hitting the [`Perm::all`]
-    /// factorial guard.
+    /// set would make `π` move an endpoint out of `J`). The
+    /// signature-sort canonical form never enumerates the group, so the
+    /// only size bound is the packed representation's own 32-process
+    /// failed-bitmask limit — `n` far beyond [`Perm::MAX_ENUMERATED`]
+    /// canonicalizes fine.
     #[must_use]
     pub fn symmetric_system(sys: &CompleteSystem<P>) -> bool {
         let n = sys.process_count();
-        (2..=Perm::MAX_ENUMERATED).contains(&n)
+        (2..=32).contains(&n)
             && sys.process_automaton().id_symmetric()
             && sys.services().iter().all(|svc| {
                 svc.endpoint_symmetric()
                     && svc.endpoints().len() == n
                     && svc.endpoints().iter().enumerate().all(|(k, p)| p.0 == k)
             })
+    }
+
+    /// Whether every component of `sys` claims the 0 ↔ 1 value
+    /// relabeling as an automorphism
+    /// ([`ProcessAutomaton::value_symmetric`],
+    /// [`services::Service::value_symmetric`]). Gates the composed
+    /// `S_n × S_vals` quotient; the claims themselves are audited by
+    /// the `value-symmetry` rule in `analysis::audit`.
+    #[must_use]
+    pub fn value_symmetric_system(sys: &CompleteSystem<P>) -> bool {
+        sys.process_automaton().value_symmetric()
+            && sys.services().iter().all(|svc| svc.value_symmetric())
     }
 
     /// Like [`PackedSystem::new`] but with effect memoization disabled:
@@ -256,25 +275,30 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         }
     }
 
-    /// The effective symmetry mode: [`SymmetryMode::Full`] iff the
-    /// orbit canonicalizer is active (requested *and* the system is
-    /// symmetric). Exploration options should take their `symmetry`
-    /// from here so asymmetric systems never pay canonicalization
-    /// overhead.
+    /// The effective symmetry mode: what the orbit canonicalizer
+    /// actually quotients by after the contract gates —
+    /// [`SymmetryMode::Off`] when inactive, [`SymmetryMode::Values`]
+    /// when the value relabeling is composed in, [`SymmetryMode::Full`]
+    /// otherwise. Exploration options should take their `symmetry` from
+    /// here so asymmetric systems never pay canonicalization overhead.
     #[must_use]
     pub fn symmetry_mode(&self) -> SymmetryMode {
-        if self.symmetry.is_some() {
-            SymmetryMode::Full
-        } else {
-            SymmetryMode::Off
+        match &self.symmetry {
+            None => SymmetryMode::Off,
+            Some(s) if s.values => SymmetryMode::Values,
+            Some(_) => SymmetryMode::Full,
         }
     }
 
     /// The symmetry group the canonicalizer quotients by, when active:
-    /// all `n!` process-id permutations, identity first.
+    /// a compact descriptor (`S_n`, optionally composed with the value
+    /// relabeling) — the group is never materialized.
     #[must_use]
-    pub fn symmetry_perms(&self) -> Option<&[Perm]> {
-        self.symmetry.as_ref().map(|s| s.perms.as_slice())
+    pub fn symmetry_group(&self) -> Option<SymGroup> {
+        self.symmetry.as_ref().map(|s| SymGroup {
+            n: self.n,
+            values: s.values,
+        })
     }
 
     /// Whether the transition-effect cache is enabled.
@@ -336,23 +360,25 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
 
     // ----- orbit canonicalization ------------------------------------
 
-    /// The interned id of `π_k` applied to service component `sc`,
-    /// memoized per `(k, sc)`. Takes the memo read lock, then (on a
+    /// The interned id of `π` applied to service component `sc`,
+    /// memoized per `(π, sc)`. Takes the memo read lock, then (on a
     /// miss) the service-arena read guard to resolve, the write guard
     /// to intern, and finally the memo write lock — never two guards at
     /// once, so the lock order stays trivially acyclic.
-    fn svc_remap(&self, k: usize, sc: u32) -> u32 {
+    fn svc_remap(&self, p: &Perm, sc: u32) -> u32 {
         let sym = self.symmetry.as_ref().expect("symmetry enabled");
-        if let Some(&Some(v)) = sym.svc_maps[k]
+        if let Some(&Some(v)) = sym
+            .svc_maps
             .read()
             .expect("svc remap lock poisoned")
-            .get(sc as usize)
+            .get(p)
+            .and_then(|memo| memo.get(sc as usize))
         {
             return v;
         }
         let permuted = {
             let svcs = self.svcs.read().expect("interner lock poisoned");
-            permute_svc_state(&sym.perms[k], svcs.resolve(CompId::from_index(sc as usize)))
+            permute_svc_state(p, svcs.resolve(CompId::from_index(sc as usize)))
         };
         let sc2 = id_bits(
             self.svcs
@@ -361,7 +387,8 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 .intern(permuted)
                 .0,
         );
-        let mut memo = sym.svc_maps[k].write().expect("svc remap lock poisoned");
+        let mut maps = sym.svc_maps.write().expect("svc remap lock poisoned");
+        let memo = maps.entry(p.clone()).or_default();
         if memo.len() <= sc as usize {
             memo.resize(sc as usize + 1, None);
         }
@@ -371,41 +398,111 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         sc2
     }
 
-    /// The canonical orbit representative of `ps` together with the
-    /// permutation `σ` that produced it (`σ · ps = rep`; the identity
-    /// when `ps` is already canonical or the canonicalizer is
-    /// inactive).
-    ///
-    /// The representative is the slot-wise minimum over all `n!`
-    /// candidates, comparing process slots first, then service slots,
-    /// then the failed bitmask numerically; each slot compares by the
-    /// component's cached fx hash with the component value's `Ord` as
-    /// tie-break. The order is a fixed function of component *values*
-    /// (never of arena ids, which differ across runs), so canonical
-    /// representatives are bit-stable across runs and thread counts.
-    /// The deep mirror [`canonical_system_state_with`] uses the same
-    /// order, keeping the two representations in lockstep.
-    ///
-    /// Two shortcuts keep the common (asymmetric-state) case cheap
-    /// without changing the chosen representative:
-    ///
-    /// * **Identity-first early exit.** When the process block's slot
-    ///   keys are strictly ascending, the identity arrangement is the
-    ///   unique lexicographic minimum over every rearrangement of that
-    ///   key multiset — each non-identity candidate loses on the
-    ///   process block alone, so the `n!−1` sweep (and every
-    ///   service-component remap it would have interned) is skipped.
-    /// * **Lazy candidates.** Otherwise candidates are compared slot
-    ///   by slot against the running best without being materialized:
-    ///   candidate `k`'s process slot `j` is read off as
-    ///   `ps.comps[π_k⁻¹(j)]`, and service slots — the expensive part,
-    ///   each a memoized [`svc_remap`](Self::svc_remap) — are computed
-    ///   only for candidates that tie the entire process block.
-    #[must_use]
-    pub fn canonical_with_perm(&self, ps: &PackedState) -> (PackedState, Perm) {
-        let Some(sym) = &self.symmetry else {
-            return (ps.clone(), Perm::identity(self.n));
+    /// The interned id of the 0 ↔ 1 relabeling `ν` applied to process
+    /// component `pc`, memoized. Same acyclic lock discipline as
+    /// [`svc_remap`](Self::svc_remap).
+    fn proc_relabel(&self, pc: u32) -> u32 {
+        let sym = self.symmetry.as_ref().expect("symmetry enabled");
+        if let Some(&Some(v)) = sym
+            .proc_relabel
+            .read()
+            .expect("relabel lock poisoned")
+            .get(pc as usize)
+        {
+            return v;
+        }
+        let relabeled = {
+            let procs = self.procs.read().expect("interner lock poisoned");
+            procs
+                .resolve(CompId::from_index(pc as usize))
+                .relabel_values(ValuePerm::Swap)
         };
+        let pc2 = id_bits(
+            self.procs
+                .write()
+                .expect("interner lock poisoned")
+                .intern(relabeled)
+                .0,
+        );
+        let mut memo = sym.proc_relabel.write().expect("relabel lock poisoned");
+        if memo.len() <= pc as usize {
+            memo.resize(pc as usize + 1, None);
+        }
+        memo[pc as usize] = Some(pc2);
+        pc2
+    }
+
+    /// The interned id of `ν` applied to service component `sc`,
+    /// memoized.
+    fn svc_relabel(&self, sc: u32) -> u32 {
+        let sym = self.symmetry.as_ref().expect("symmetry enabled");
+        if let Some(&Some(v)) = sym
+            .svc_relabel
+            .read()
+            .expect("relabel lock poisoned")
+            .get(sc as usize)
+        {
+            return v;
+        }
+        let relabeled = {
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            svcs.resolve(CompId::from_index(sc as usize))
+                .relabel_values(ValuePerm::Swap)
+        };
+        let sc2 = id_bits(
+            self.svcs
+                .write()
+                .expect("interner lock poisoned")
+                .intern(relabeled)
+                .0,
+        );
+        let mut memo = sym.svc_relabel.write().expect("relabel lock poisoned");
+        if memo.len() <= sc as usize {
+            memo.resize(sc as usize + 1, None);
+        }
+        memo[sc as usize] = Some(sc2);
+        sc2
+    }
+
+    /// `ν · ps`: every process and service component relabeled 0 ↔ 1,
+    /// the failed mask (process identities) untouched.
+    fn relabel_state(&self, ps: &PackedState) -> PackedState {
+        let mut comps = ps.comps.clone();
+        for i in 0..self.n {
+            comps[i] = self.proc_relabel(ps.comps[i]);
+        }
+        for c in 0..self.m {
+            comps[self.n + c] = self.svc_relabel(ps.comps[self.n + c]);
+        }
+        PackedState { comps }
+    }
+
+    /// The `S_n`-canonical form of `ps` and the sorting permutation `σ`
+    /// (`σ · ps = rep`): process indices stably sorted by their full
+    /// local-view signature — process component key first, then the
+    /// failed bit, then the per-service endpoint views. One
+    /// `O(n log n)` sort instead of an `n!` candidate sweep.
+    ///
+    /// **Why a sort is canonical.** The signature captures *everything*
+    /// in the state that distinguishes index `i` from index `j`: the
+    /// process component, the failed bit, and each service's
+    /// `⟨inv_buffer(i), resp_buffer(i), i ∈ failed⟩` triple (service
+    /// values are endpoint-independent, so they are π-invariant and
+    /// need not participate). Two indices with equal signatures are
+    /// therefore genuinely interchangeable — transposing them is an
+    /// automorphism fixing the state — so the stably-sorted arrangement
+    /// depends only on the signature *multiset*, which is constant on
+    /// the orbit. Every signature comparison is a fixed function of
+    /// component values (cached fx hash, then `Ord`), never of arena
+    /// ids, so representatives are bit-stable across runs and thread
+    /// counts.
+    ///
+    /// **Identity fast path.** When the process block's slot keys are
+    /// strictly ascending the sort is the identity regardless of the
+    /// finer signature components (strict ascent means no ties), so the
+    /// common asymmetric-state case returns without resolving a single
+    /// service component.
+    fn proc_canonical(&self, ps: &PackedState) -> (PackedState, Perm) {
         {
             let procs = self.procs.read().expect("interner lock poisoned");
             if (1..self.n)
@@ -414,80 +511,103 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 return (ps.clone(), Perm::identity(self.n));
             }
         }
-        let mut best_k = 0usize;
-        for k in 1..sym.perms.len() {
-            if self.cmp_candidates(sym, ps, k, best_k) == Ordering::Less {
-                best_k = k;
-            }
+        let order = {
+            let procs = self.procs.read().expect("interner lock poisoned");
+            let svcs = self.svcs.read().expect("interner lock poisoned");
+            let mask = ps.comps[self.n + self.m];
+            let svc_states: Vec<&SvcState> = (0..self.m)
+                .map(|c| svcs.resolve(CompId::from_index(ps.comps[self.n + c] as usize)))
+                .collect();
+            let mut order: Vec<usize> = (0..self.n).collect();
+            order.sort_by(|&i, &j| {
+                cmp_proc_slot(&procs, ps.comps[i], ps.comps[j])
+                    .then_with(|| ((mask >> i) & 1).cmp(&((mask >> j) & 1)))
+                    .then_with(|| {
+                        svc_states
+                            .iter()
+                            .map(|st| cmp_endpoint_view(st, ProcId(i), ProcId(j)))
+                            .find(|ord| *ord != Ordering::Equal)
+                            .unwrap_or(Ordering::Equal)
+                    })
+            });
+            order
+        };
+        // σ sends old index `order[j]` to slot `j`.
+        let mut map = vec![0usize; self.n];
+        for (j, &i) in order.iter().enumerate() {
+            map[i] = j;
         }
-        if best_k == 0 {
-            return (ps.clone(), Perm::identity(self.n));
+        let sigma = Perm::from_map(map);
+        if sigma.is_identity() {
+            return (ps.clone(), sigma);
         }
-        // Materialize the winner; its service remaps are warm in the
-        // memo, so this pass is pure index juggling.
-        let p = &sym.perms[best_k];
         let mut comps = ps.comps.clone();
-        for i in 0..self.n {
-            comps[p.apply(i)] = ps.comps[i];
+        for (j, &i) in order.iter().enumerate() {
+            comps[j] = ps.comps[i];
         }
         for c in 0..self.m {
-            comps[self.n + c] = self.svc_remap(best_k, ps.comps[self.n + c]);
+            comps[self.n + c] = self.svc_remap(&sigma, ps.comps[self.n + c]);
         }
-        comps[self.n + self.m] = p.permute_mask(ps.comps[self.n + self.m]);
-        (PackedState { comps }, p.clone())
+        comps[self.n + self.m] = sigma.permute_mask(ps.comps[self.n + self.m]);
+        (PackedState { comps }, sigma)
     }
 
-    /// Lexicographic comparison of candidates `a` and `b` — indices
-    /// into the symmetry group, `0` meaning the identity (`ps` itself)
-    /// — under the slot order documented on
-    /// [`canonical_with_perm`](Self::canonical_with_perm), touching
-    /// only the slots needed to decide. The process block is compared
-    /// under a short-lived process-arena read guard; the guard is
-    /// dropped before any [`svc_remap`](Self::svc_remap) call, which
-    /// may take the service arena's write lock on a memo miss.
-    fn cmp_candidates(&self, sym: &Symmetry, ps: &PackedState, a: usize, b: usize) -> Ordering {
+    /// Value-based comparison of two (already `S_n`-canonical) packed
+    /// states, used to pick between the `ν = id` and `ν = swap`
+    /// branches: process slots by `(fx hash, value)`, then service
+    /// slots the same way, then the failed masks numerically — the
+    /// packed twin of [`cmp_deep`].
+    fn cmp_reps(&self, a: &PackedState, b: &PackedState) -> Ordering {
         {
             let procs = self.procs.read().expect("interner lock poisoned");
             for j in 0..self.n {
-                let ord = cmp_proc_slot(
-                    &procs,
-                    ps.comps[sym.invs[a].apply(j)],
-                    ps.comps[sym.invs[b].apply(j)],
-                );
+                let ord = cmp_proc_slot(&procs, a.comps[j], b.comps[j]);
                 if ord != Ordering::Equal {
                     return ord;
                 }
             }
         }
-        for c in 0..self.m {
-            let remap = |k: usize| {
-                if k == 0 {
-                    ps.comps[self.n + c]
-                } else {
-                    self.svc_remap(k, ps.comps[self.n + c])
-                }
-            };
-            let (x, y) = (remap(a), remap(b));
-            if x == y {
-                continue;
-            }
+        {
             let svcs = self.svcs.read().expect("interner lock poisoned");
-            let (cx, cy) = (
-                CompId::from_index(x as usize),
-                CompId::from_index(y as usize),
-            );
-            let ord = svcs
-                .hash_of(cx)
-                .cmp(&svcs.hash_of(cy))
-                .then_with(|| svcs.resolve(cx).cmp(svcs.resolve(cy)));
-            if ord != Ordering::Equal {
-                return ord;
+            for c in 0..self.m {
+                let ord = cmp_proc_slot(&svcs, a.comps[self.n + c], b.comps[self.n + c]);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
             }
         }
-        let mask = ps.comps[self.n + self.m];
-        sym.perms[a]
-            .permute_mask(mask)
-            .cmp(&sym.perms[b].permute_mask(mask))
+        a.comps[self.n + self.m].cmp(&b.comps[self.n + self.m])
+    }
+
+    /// The canonical orbit representative of `ps` under the active
+    /// group, together with the group element `(σ, ν)` that produced it
+    /// (`σ · ν · ps = rep`; `σ` and `ν` act on disjoint data, so they
+    /// commute). Both are identities when `ps` is already canonical or
+    /// the canonicalizer is inactive.
+    ///
+    /// Under the plain `S_n` quotient this is
+    /// [`proc_canonical`](Self::proc_canonical); with the value group
+    /// composed in, the representative is the smaller (by
+    /// [`cmp_reps`](Self::cmp_reps)) of the `S_n`-canonical forms of
+    /// `ps` and `ν · ps`, preferring `ν = id` on ties. The deep mirror
+    /// [`canonical_system_state_with`] makes exactly the same choices,
+    /// keeping the two representations in lockstep.
+    #[must_use]
+    pub fn canonical_with_sym(&self, ps: &PackedState) -> (PackedState, Perm, ValuePerm) {
+        let Some(sym) = &self.symmetry else {
+            return (ps.clone(), Perm::identity(self.n), ValuePerm::Id);
+        };
+        let (rep0, sigma0) = self.proc_canonical(ps);
+        if !sym.values {
+            return (rep0, sigma0, ValuePerm::Id);
+        }
+        let swapped = self.relabel_state(ps);
+        let (rep1, sigma1) = self.proc_canonical(&swapped);
+        if self.cmp_reps(&rep1, &rep0) == Ordering::Less {
+            (rep1, sigma1, ValuePerm::Swap)
+        } else {
+            (rep0, sigma0, ValuePerm::Id)
+        }
     }
 
     // ----- cached successor expansion --------------------------------
@@ -517,23 +637,6 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
             }
         };
         cache.step_put(i, pc, entry.clone());
-        // Remap-on-publish: the same effect holds for every permuted
-        // process id (the family is id-symmetric), so warm hits survive
-        // canonicalization — a successor permuted into canonical form
-        // looks its effects up under the permuted keys.
-        if let Some(sym) = &self.symmetry {
-            for p in sym.perms.iter().skip(1) {
-                let e2 = match &entry {
-                    ProcStepEntry::Local(a, pc2) => {
-                        ProcStepEntry::Local(permute_action(p, a), *pc2)
-                    }
-                    ProcStepEntry::Invoke(c, inv, pc2) => {
-                        ProcStepEntry::Invoke(*c, inv.clone(), *pc2)
-                    }
-                };
-                cache.step_put(ProcId(p.apply(i.0)), pc, e2);
-            }
-        }
         entry
     }
 
@@ -559,12 +662,6 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 .0,
         );
         cache.enqueue_put(i, pc, sc, sc2);
-        if let Some(sym) = &self.symmetry {
-            for k in 1..sym.perms.len() {
-                let i2 = ProcId(sym.perms[k].apply(i.0));
-                cache.enqueue_put(i2, pc, self.svc_remap(k, sc), self.svc_remap(k, sc2));
-            }
-        }
         sc2
     }
 
@@ -583,17 +680,6 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         drop(w);
         let entry = BranchEntry { real, dummy };
         cache.perform_put(c, i, sc, entry.clone());
-        if let Some(sym) = &self.symmetry {
-            for k in 1..sym.perms.len() {
-                let i2 = ProcId(sym.perms[k].apply(i.0));
-                let real: Box<[u32]> = entry.real.iter().map(|&s2| self.svc_remap(k, s2)).collect();
-                let e2 = BranchEntry {
-                    real,
-                    dummy: entry.dummy,
-                };
-                cache.perform_put(c, i2, self.svc_remap(k, sc), e2);
-            }
-        }
         entry
     }
 
@@ -618,16 +704,6 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         drop(w);
         let entry = BranchEntry { real, dummy };
         cache.compute_put(c, g, sc, entry.clone());
-        if let Some(sym) = &self.symmetry {
-            for k in 1..sym.perms.len() {
-                let real: Box<[u32]> = entry.real.iter().map(|&s2| self.svc_remap(k, s2)).collect();
-                let e2 = BranchEntry {
-                    real,
-                    dummy: entry.dummy,
-                };
-                cache.compute_put(c, g, self.svc_remap(k, sc), e2);
-            }
-        }
         entry
     }
 
@@ -650,20 +726,6 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
         });
         let entry = PopEntry { resp, dummy };
         cache.pop_put(c, i, sc, entry.clone());
-        if let Some(sym) = &self.symmetry {
-            for k in 1..sym.perms.len() {
-                let i2 = ProcId(sym.perms[k].apply(i.0));
-                let resp = entry
-                    .resp
-                    .as_ref()
-                    .map(|(r, s2)| (r.clone(), self.svc_remap(k, *s2)));
-                let e2 = PopEntry {
-                    resp,
-                    dummy: entry.dummy,
-                };
-                cache.pop_put(c, i2, self.svc_remap(k, sc), e2);
-            }
-        }
         entry
     }
 
@@ -693,12 +755,6 @@ impl<'s, P: ProcessAutomaton> PackedSystem<'s, P> {
                 .0,
         );
         cache.on_resp_put(c, i, sc, pc, pc2);
-        if let Some(sym) = &self.symmetry {
-            for k in 1..sym.perms.len() {
-                let i2 = ProcId(sym.perms[k].apply(i.0));
-                cache.on_resp_put(c, i2, self.svc_remap(k, sc), pc, pc2);
-            }
-        }
         pc2
     }
 
@@ -945,7 +1001,20 @@ fn failed_mask(failed: &BTreeSet<ProcId>) -> u32 {
     failed.iter().fold(0u32, |m, i| m | 1 << i.0)
 }
 
-/// The deep mirror of the packed candidate order: processes, then
+/// One service's view of endpoint `i` versus endpoint `j` — the
+/// per-endpoint signature component of the canonical sort: failed-set
+/// membership first, then the invocation buffer, then the response
+/// buffer, all by value. The service *value* is endpoint-independent
+/// and never participates.
+fn cmp_endpoint_view(st: &SvcState, i: ProcId, j: ProcId) -> Ordering {
+    st.failed
+        .contains(&i)
+        .cmp(&st.failed.contains(&j))
+        .then_with(|| st.inv_buffer(i).cmp(st.inv_buffer(j)))
+        .then_with(|| st.resp_buffer(i).cmp(st.resp_buffer(j)))
+}
+
+/// The deep mirror of the packed representative order: processes, then
 /// services (each slot by `(fx hash, value)`), then failed-set masks
 /// numerically.
 fn cmp_deep<PS: Hash + Ord>(a: &SystemState<PS>, b: &SystemState<PS>) -> Ordering {
@@ -964,41 +1033,142 @@ fn cmp_deep<PS: Hash + Ord>(a: &SystemState<PS>, b: &SystemState<PS>) -> Orderin
     failed_mask(&a.failed).cmp(&failed_mask(&b.failed))
 }
 
-/// The canonical orbit representative of a deep system state under
-/// `perms`, with the permutation that produced it (`σ · s = rep`).
-///
-/// Chooses by exactly the order [`PackedSystem::canonical_with_perm`]
-/// uses — [`Interner::hash_of`] caches precisely `fx_hash` of the
-/// component value — so the deep and packed canonicalizers always
-/// agree (pinned by the differential tests).
+/// `ν` applied to a deep system state: every process and service state
+/// relabeled 0 ↔ 1 structurally, the failed set (process identities)
+/// untouched.
 #[must_use]
-pub fn canonical_system_state_with<PS: Clone + Hash + Ord>(
-    perms: &[Perm],
-    s: &SystemState<PS>,
-) -> (SystemState<PS>, Perm) {
-    let n = s.procs.len();
-    let mut best = s.clone();
-    let mut best_perm = Perm::identity(n);
-    for p in perms {
-        if p.is_identity() {
-            continue;
-        }
-        let cand = permute_system_state(p, s);
-        if cmp_deep(&cand, &best) == Ordering::Less {
-            best = cand;
-            best_perm = p.clone();
-        }
-    }
-    (best, best_perm)
-}
-
-/// [`canonical_system_state_with`] without the permutation.
-#[must_use]
-pub fn canonical_system_state<PS: Clone + Hash + Ord>(
-    perms: &[Perm],
+pub fn relabel_system_state<PS: RelabelValues>(
+    vp: ValuePerm,
     s: &SystemState<PS>,
 ) -> SystemState<PS> {
-    canonical_system_state_with(perms, s).0
+    SystemState {
+        procs: s.procs.iter().map(|p| p.relabel_values(vp)).collect(),
+        services: s.services.iter().map(|st| st.relabel_values(vp)).collect(),
+        failed: s.failed.clone(),
+    }
+}
+
+/// The deep `S_n`-canonical form: process indices stably sorted by the
+/// same full local-view signature the packed
+/// [`PackedSystem::canonical_with_sym`] sorts by — `(fx hash, value)`
+/// of the process state, then the failed bit, then each service's
+/// endpoint view ([`cmp_endpoint_view`]).
+fn proc_canonical_deep<PS: Clone + Hash + Ord>(s: &SystemState<PS>) -> (SystemState<PS>, Perm) {
+    let n = s.procs.len();
+    let mask = failed_mask(&s.failed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        let (x, y) = (&s.procs[i], &s.procs[j]);
+        fx_hash(x)
+            .cmp(&fx_hash(y))
+            .then_with(|| x.cmp(y))
+            .then_with(|| ((mask >> i) & 1).cmp(&((mask >> j) & 1)))
+            .then_with(|| {
+                s.services
+                    .iter()
+                    .map(|st| cmp_endpoint_view(st, ProcId(i), ProcId(j)))
+                    .find(|ord| *ord != Ordering::Equal)
+                    .unwrap_or(Ordering::Equal)
+            })
+    });
+    let mut map = vec![0usize; n];
+    for (j, &i) in order.iter().enumerate() {
+        map[i] = j;
+    }
+    let sigma = Perm::from_map(map);
+    if sigma.is_identity() {
+        return (s.clone(), sigma);
+    }
+    let rep = permute_system_state(&sigma, s);
+    (rep, sigma)
+}
+
+/// The canonical orbit representative of a deep system state under the
+/// group `group`, with the group element `(σ, ν)` that produced it
+/// (`σ · ν · s = rep`; `σ` permutes process ids, `ν` relabels values,
+/// and the two commute since they act on disjoint data).
+///
+/// Chooses by exactly the signature order
+/// [`PackedSystem::canonical_with_sym`] uses — [`Interner::hash_of`]
+/// caches precisely `fx_hash` of the component value — so the deep and
+/// packed canonicalizers always agree (pinned by the differential
+/// tests).
+#[must_use]
+pub fn canonical_system_state_with<PS: Clone + Hash + Ord + RelabelValues>(
+    group: SymGroup,
+    s: &SystemState<PS>,
+) -> (SystemState<PS>, Perm, ValuePerm) {
+    assert_eq!(s.procs.len(), group.n, "state has wrong process count");
+    let (rep0, sigma0) = proc_canonical_deep(s);
+    if !group.values {
+        return (rep0, sigma0, ValuePerm::Id);
+    }
+    let swapped = relabel_system_state(ValuePerm::Swap, s);
+    let (rep1, sigma1) = proc_canonical_deep(&swapped);
+    if cmp_deep(&rep1, &rep0) == Ordering::Less {
+        (rep1, sigma1, ValuePerm::Swap)
+    } else {
+        (rep0, sigma0, ValuePerm::Id)
+    }
+}
+
+/// [`canonical_system_state_with`] without the group element.
+#[must_use]
+pub fn canonical_system_state<PS: Clone + Hash + Ord + RelabelValues>(
+    group: SymGroup,
+    s: &SystemState<PS>,
+) -> SystemState<PS> {
+    canonical_system_state_with(group, s).0
+}
+
+/// The size of the orbit of `s` under `group` — the number of distinct
+/// concrete states one interned representative stands for.
+///
+/// The `S_n` stabilizer of a state is exactly the product of symmetric
+/// groups over its equal-signature process classes (two processes with
+/// identical full local-view signatures — state, failed bit, every
+/// service's endpoint view — are literally interchangeable), so the
+/// process-orbit size is the multinomial `n! / ∏ |class|!`. With the
+/// value group composed in, the orbit doubles precisely when the 0 ↔ 1
+/// relabeled state falls outside the `S_n` orbit (its `S_n`-canonical
+/// form differs from the state's own).
+#[must_use]
+pub fn orbit_size<PS: Clone + Hash + Ord + RelabelValues>(
+    group: SymGroup,
+    s: &SystemState<PS>,
+) -> u64 {
+    let n = group.n;
+    assert_eq!(s.procs.len(), n, "state has wrong process count");
+    let mask = failed_mask(&s.failed);
+    let sig_eq = |i: usize, j: usize| {
+        s.procs[i] == s.procs[j]
+            && (mask >> i) & 1 == (mask >> j) & 1
+            && s.services
+                .iter()
+                .all(|st| cmp_endpoint_view(st, ProcId(i), ProcId(j)) == Ordering::Equal)
+    };
+    let mut reps: Vec<usize> = Vec::new();
+    let mut class_sizes: Vec<u64> = Vec::new();
+    for i in 0..n {
+        match reps.iter().position(|&j| sig_eq(i, j)) {
+            Some(k) => class_sizes[k] += 1,
+            None => {
+                reps.push(i);
+                class_sizes.push(1);
+            }
+        }
+    }
+    let fact = |k: u64| (1..=k).product::<u64>();
+    let mut orbit = class_sizes
+        .iter()
+        .fold(fact(n as u64), |acc, &c| acc / fact(c));
+    if group.values {
+        let swapped = relabel_system_state(ValuePerm::Swap, s);
+        if proc_canonical_deep(&swapped).0 != proc_canonical_deep(s).0 {
+            orbit *= 2;
+        }
+    }
+    orbit
 }
 
 impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
@@ -1107,7 +1277,7 @@ impl<P: ProcessAutomaton> Automaton for PackedSystem<'_, P> {
         if self.symmetry.is_none() {
             return s;
         }
-        self.canonical_with_perm(&s).0
+        self.canonical_with_sym(&s).0
     }
 }
 
@@ -1228,12 +1398,25 @@ mod tests {
     fn symmetry_gate_accepts_direct_consensus_only_when_asked() {
         let sys = direct_system(3, 1);
         assert!(PackedSystem::symmetric_system(&sys));
+        assert!(PackedSystem::value_symmetric_system(&sys));
         let full = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
         assert_eq!(full.symmetry_mode(), SymmetryMode::Full);
-        assert_eq!(full.symmetry_perms().expect("active").len(), 6);
+        assert_eq!(
+            full.symmetry_group(),
+            Some(SymGroup {
+                n: 3,
+                values: false
+            })
+        );
+        let values = PackedSystem::with_symmetry(&sys, SymmetryMode::Values);
+        assert_eq!(values.symmetry_mode(), SymmetryMode::Values);
+        assert_eq!(
+            values.symmetry_group(),
+            Some(SymGroup { n: 3, values: true })
+        );
         let off = PackedSystem::with_symmetry(&sys, SymmetryMode::Off);
         assert_eq!(off.symmetry_mode(), SymmetryMode::Off);
-        assert!(off.symmetry_perms().is_none());
+        assert!(off.symmetry_group().is_none());
     }
 
     #[test]
@@ -1251,7 +1434,8 @@ mod tests {
     fn canonicalization_collapses_orbits_and_matches_the_deep_mirror() {
         let sys = direct_system(3, 1);
         let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
-        let perms: Vec<Perm> = packed.symmetry_perms().expect("active").to_vec();
+        let group = packed.symmetry_group().expect("active");
+        let perms = Perm::all(3);
         // A state with asymmetric content: distinct inputs, one
         // failure, and a pending invocation in the object.
         let mut s = sys.single_initial_state();
@@ -1263,27 +1447,97 @@ mod tests {
             .into_iter()
             .next()
             .expect("invoke step");
-        let deep_rep = canonical_system_state(&perms, &s);
+        let deep_rep = canonical_system_state(group, &s);
         for p in &perms {
             let s2 = permute_system_state(p, &s);
-            let (rep, sigma) = packed.canonical_with_perm(&packed.encode(&s2));
+            let (rep, sigma, nu) = packed.canonical_with_sym(&packed.encode(&s2));
             // Every orbit member canonicalizes to the same packed rep,
             // which decodes to the deep mirror's rep.
             assert_eq!(packed.decode(&rep), deep_rep, "perm {p:?}");
-            // The returned σ really maps the input to the rep.
+            // The returned (σ, ν) really maps the input to the rep.
+            assert_eq!(nu, spec::ValuePerm::Id);
             assert_eq!(permute_system_state(&sigma, &s2), deep_rep);
             // Idempotence.
-            let (rep2, sigma2) = packed.canonical_with_perm(&rep);
+            let (rep2, sigma2, nu2) = packed.canonical_with_sym(&rep);
             assert_eq!(rep2, rep);
             assert!(sigma2.is_identity());
+            assert!(nu2.is_identity());
         }
         // Deep mirror agrees with itself under permutation too.
         for p in &perms {
             let s2 = permute_system_state(p, &s);
-            let (rep, sigma) = canonical_system_state_with(&perms, &s2);
+            let (rep, sigma, _) = canonical_system_state_with(group, &s2);
             assert_eq!(rep, deep_rep);
             assert_eq!(permute_system_state(&sigma, &s2), deep_rep);
         }
+    }
+
+    #[test]
+    fn value_canonicalization_collapses_relabeled_orbits() {
+        let sys = direct_system(3, 1);
+        let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Values);
+        let group = packed.symmetry_group().expect("active");
+        assert!(group.values);
+        // Inputs whose value *multiset* changes under 0 ↔ 1
+        // ({1, 1, 0} → {0, 0, 1}): the swapped state is then outside
+        // the S_n orbit of `s`, so collapsing the two genuinely needs
+        // the value group. (A single 1 vs a single 0 would not do —
+        // there the swap equals a process transposition and ν = Id is
+        // the correct answer for both members.)
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(0), Val::Int(1));
+        s = sys.init(&s, ProcId(1), Val::Int(1));
+        s = sys.init(&s, ProcId(2), Val::Int(0));
+        let swapped = relabel_system_state(spec::ValuePerm::Swap, &s);
+        assert_ne!(s, swapped);
+        // Both value-orbit members canonicalize to the same rep, in
+        // both representations.
+        let (rep_a, _, _) = packed.canonical_with_sym(&packed.encode(&s));
+        let (rep_b, _, _) = packed.canonical_with_sym(&packed.encode(&swapped));
+        assert_eq!(rep_a, rep_b);
+        let (deep_a, _, _) = canonical_system_state_with(group, &s);
+        let (deep_b, _, _) = canonical_system_state_with(group, &swapped);
+        assert_eq!(deep_a, deep_b);
+        assert_eq!(packed.decode(&rep_a), deep_a);
+        // The returned (σ, ν) maps the input onto the rep: σ · ν · s.
+        for member in [&s, &swapped] {
+            let (rep, sigma, nu) = canonical_system_state_with(group, member);
+            assert_eq!(
+                permute_system_state(&sigma, &relabel_system_state(nu, member)),
+                rep
+            );
+        }
+        // Exactly one of the two carries the swap.
+        let nu_a = canonical_system_state_with(group, &s).2;
+        let nu_b = canonical_system_state_with(group, &swapped).2;
+        assert_ne!(nu_a, nu_b);
+        // Value quotient refines into the plain quotient: under Full
+        // the two members stay distinct.
+        let full = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
+        let (fa, _, _) = full.canonical_with_sym(&full.encode(&s));
+        let (fb, _, _) = full.canonical_with_sym(&full.encode(&swapped));
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn canonicalization_handles_nine_processes_without_enumeration() {
+        // Regression: the brute-force canonicalizer materialized all n!
+        // permutations and panicked past n = 8. The signature sort has
+        // no such bound — an n = 9 state canonicalizes fine.
+        let sys = direct_system(9, 1);
+        assert!(PackedSystem::symmetric_system(&sys));
+        let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
+        assert_eq!(packed.symmetry_mode(), SymmetryMode::Full);
+        let mut s = sys.single_initial_state();
+        s = sys.init(&s, ProcId(7), Val::Int(1));
+        s = sys.init(&s, ProcId(2), Val::Int(0));
+        s = sys.fail(&s, ProcId(5));
+        let (rep, sigma, _) = packed.canonical_with_sym(&packed.encode(&s));
+        assert_eq!(permute_system_state(&sigma, &s), packed.decode(&rep));
+        // A transposed twin lands on the same representative.
+        let t = Perm::from_map([0, 1, 7, 3, 4, 5, 6, 2, 8]);
+        let (rep2, _, _) = packed.canonical_with_sym(&packed.encode(&permute_system_state(&t, &s)));
+        assert_eq!(rep, rep2);
     }
 
     #[test]
@@ -1292,7 +1546,7 @@ mod tests {
         // canonicalizing the successors yields the same successor set.
         let sys = direct_system(3, 1);
         let packed = PackedSystem::with_symmetry(&sys, SymmetryMode::Full);
-        let perms: Vec<Perm> = packed.symmetry_perms().expect("active").to_vec();
+        let perms = Perm::all(3);
         let mut s = sys.single_initial_state();
         s = sys.init(&s, ProcId(0), Val::Int(1));
         s = sys.init(&s, ProcId(1), Val::Int(0));

@@ -2,16 +2,16 @@
 //!
 //! ```text
 //! repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T]
-//!               [--symmetry full|off] [--frontier layered|ws]
+//!               [--symmetry full|values|off] [--frontier layered|ws]
 //! repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]
-//! repro hook    [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off]
+//! repro hook    [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|values|off]
 //!               [--frontier layered|ws]
-//! repro census  [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]
+//! repro census  [--n N] [--f F] [--threads T] [--symmetry full|values|off] [--frontier layered|ws]
 //! repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F]
-//!                  [--ones K] [--threads T] [--symmetry full|off] [--frontier layered|ws]
+//!                  [--ones K] [--threads T] [--symmetry full|values|off] [--frontier layered|ws]
 //! repro audit   [--class atomic|registers|oblivious|general|mixed|tas|universal|flooding|
 //!                        snapshot|fd-boost|set-boost|derived-fd|all|
-//!                        broken-sym|broken-tasks|broken-impure]
+//!                        broken-sym|broken-values|broken-tasks|broken-impure]
 //!               [--n N] [--f F] [--budget STATES]
 //! ```
 //!
@@ -53,8 +53,13 @@
 //! `G(C)` (orbit canonicalization) — same theorem verdicts and census
 //! classifications with far fewer interned states on id-symmetric
 //! candidates; falls back to the full graph on candidates that are
-//! not. Defaults to the `SYMMETRY` environment variable (`full` to
-//! enable), else off.
+//! not. `--symmetry values` composes the 0 ↔ 1 value-relabeling group
+//! on top (`S_n × S_vals`, DESIGN §2.1.6) on substrates whose every
+//! component claims `value_symmetric`, degrading to `full` otherwise.
+//! Defaults to the `SYMMETRY` environment variable (`full`/`values` to
+//! enable), else off. Under an active quotient, `census` additionally
+//! prints the orbit-size histogram — how many concrete states each
+//! interned representative stands for.
 //!
 //! Examples:
 //!
@@ -136,14 +141,15 @@ impl Args {
         self.usize_or("threads", 0)
     }
 
-    /// The symmetry mode (`--symmetry full|off`, default from the
-    /// `SYMMETRY` environment variable).
+    /// The symmetry mode (`--symmetry full|values|off`, default from
+    /// the `SYMMETRY` environment variable).
     fn symmetry(&self) -> SymmetryMode {
         match self.get("symmetry") {
             None => SymmetryMode::from_env(),
             Some("full") => SymmetryMode::Full,
+            Some("values") => SymmetryMode::Values,
             Some("off") => SymmetryMode::Off,
-            Some(other) => die(&format!("--symmetry wants full|off, got {other:?}")),
+            Some(other) => die(&format!("--symmetry wants full|values|off, got {other:?}")),
         }
     }
 
@@ -178,15 +184,15 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage:\n  \
-         repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
+         repro witness --class atomic|registers|oblivious|general|tas [--n N] [--f F] [--threads T] [--symmetry full|values|off] [--frontier layered|ws]\n  \
          repro certify --construction set-boost|fd-boost|tas [--n N] [--k K]\n  \
-         repro hook [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
-         repro census [--n N] [--f F] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
-         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T] [--symmetry full|off] [--frontier layered|ws]\n  \
-         repro audit [--class atomic|registers|oblivious|general|mixed|tas|universal|flooding|snapshot|fd-boost|set-boost|derived-fd|all|broken-sym|broken-tasks|broken-impure] [--n N] [--f F] [--budget STATES]\n\
+         repro hook [--n N] [--f F] [--dot FILE] [--threads T] [--symmetry full|values|off] [--frontier layered|ws]\n  \
+         repro census [--n N] [--f F] [--threads T] [--symmetry full|values|off] [--frontier layered|ws]\n  \
+         repro check EXPR --class atomic|registers|oblivious|general [--n N] [--f F] [--ones K] [--threads T] [--symmetry full|values|off] [--frontier layered|ws]\n  \
+         repro audit [--class atomic|registers|oblivious|general|mixed|tas|universal|flooding|snapshot|fd-boost|set-boost|derived-fd|all|broken-sym|broken-values|broken-tasks|broken-impure] [--n N] [--f F] [--budget STATES]\n\
          \n\
          audit statically checks substrate contracts (task partition, determinism,\n  \
-         symmetry honesty, effect purity) component-locally — no exploration.\n  \
+         symmetry honesty, value symmetry, effect purity) component-locally — no exploration.\n  \
          exit codes: 0 clean, 1 violation, 2 unauditable\n\
          \n\
          check evaluates ';'-separated properties over the explored graph, e.g.\n  \
@@ -353,6 +359,30 @@ fn census_cmd(args: &Args) -> ExitCode {
         Ok(InitOutcome::Bivalent { assignment, map }) => {
             println!("valence landscape of G(C) from {assignment}:");
             println!("  {}", census(&map));
+            if let Some(group) = map.sym() {
+                let mut hist: std::collections::BTreeMap<u64, usize> =
+                    std::collections::BTreeMap::new();
+                let mut mass: u64 = 0;
+                for id in map.ids() {
+                    let k = system::packed::orbit_size(group, map.resolve(id));
+                    mass += k;
+                    *hist.entry(k).or_insert(0) += 1;
+                }
+                let group_name = if group.values {
+                    format!("S_{} × S_vals", group.n)
+                } else {
+                    format!("S_{}", group.n)
+                };
+                println!(
+                    "orbit sizes under {group_name}: {} representative(s) covering {mass} \
+                     orbit state(s) ({:.2}× compression)",
+                    map.state_count(),
+                    mass as f64 / map.state_count() as f64,
+                );
+                for (k, c) in &hist {
+                    println!("  |orbit| = {k:>4}: {c} representative(s)");
+                }
+            }
             ExitCode::SUCCESS
         }
         Ok(other) => {
@@ -522,6 +552,11 @@ fn audit_one(class: &str, n: Option<usize>, f: Option<usize>, cfg: &AuditConfig)
         "broken-sym" => audit_system(
             &protocols::broken::lying_symmetry(n_or(2), f_or(0)),
             "broken-sym",
+            cfg,
+        ),
+        "broken-values" => audit_system(
+            &protocols::broken::value_biased(n_or(2), f_or(0)),
+            "broken-values",
             cfg,
         ),
         "broken-impure" => audit_system(
